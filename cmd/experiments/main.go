@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's evaluation figures (15-25)
+// as text tables.
+//
+// Usage:
+//
+//	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25] [-o out.txt]
+//
+// Without flags it runs every figure on all twelve benchmarks, which takes
+// a few minutes of simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stridepf/internal/experiments"
+)
+
+func main() {
+	var (
+		workloadsFlag = flag.String("workloads", "", "comma-separated benchmark names (default: all)")
+		figureFlag    = flag.String("figure", "all", "figure to regenerate: all, 15..25")
+		outFlag       = flag.String("o", "", "output file (default: stdout)")
+		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text (single figures only)")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := experiments.Config{}
+	if *workloadsFlag != "" {
+		cfg.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+
+	if *figureFlag == "all" {
+		if *csvFlag {
+			fatal(fmt.Errorf("-csv requires a single -figure"))
+		}
+		if err := experiments.RunAll(out, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s := experiments.NewSession(cfg)
+	type figFn func() (*experiments.Table, error)
+	figs := map[string]figFn{
+		"16": s.Fig16, "17": s.Fig17, "18": s.Fig18, "19": s.Fig19,
+		"20": s.Fig20, "21": s.Fig21, "22": s.Fig22,
+		"23": s.Fig23, "24": s.Fig24, "25": s.Fig25,
+	}
+	if *figureFlag == "15" {
+		fmt.Fprintln(out, s.Fig15())
+		return
+	}
+	fn, ok := figs[*figureFlag]
+	if !ok {
+		fatal(fmt.Errorf("unknown figure %q (want all or 15..25)", *figureFlag))
+	}
+	t, err := fn()
+	if err != nil {
+		fatal(err)
+	}
+	if *csvFlag {
+		fmt.Fprint(out, t.CSV())
+		return
+	}
+	fmt.Fprintln(out, t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

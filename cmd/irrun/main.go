@@ -1,0 +1,136 @@
+// Command irrun executes an IR listing (the textual form produced by the
+// -dump-ir flags of the other tools, or written by hand) on the simulated
+// machine, with optional instruction tracing and cache statistics —
+// handy for debugging instrumentation and prefetch sequences in isolation.
+//
+// Usage:
+//
+//	irrun [-trace] [-stats] [-max-steps N] prog.ir
+//	irrun -print prog.ir        # parse and pretty-print only
+//
+// The program must define a parameterless "main". Initial memory can be
+// seeded with -set addr=value flags (decimal or 0x-hex), e.g.
+//
+//	irrun -set 0x2000=12345 prog.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/opt"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var (
+		trace    = flag.Bool("trace", false, "print each executed instruction")
+		stats    = flag.Bool("stats", false, "print execution and cache statistics")
+		printIR  = flag.Bool("print", false, "parse and pretty-print, do not execute")
+		dot      = flag.Bool("dot", false, "emit the CFG in Graphviz dot format, do not execute")
+		optimize = flag.Bool("O", false, "optimise (fold/cse/dce/licm) before running")
+		maxSteps = flag.Uint64("max-steps", 100_000_000, "instruction budget")
+		sets     setFlags
+	)
+	flag.Var(&sets, "set", "initial memory word, addr=value (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: irrun [flags] prog.ir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ir.ParseProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		optimised, st, err := opt.Run(prog, opt.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		prog = optimised
+		fmt.Fprintf(os.Stderr, "opt: folded %d, cse %d, removed %d, hoisted %d\n",
+			st.Folded, st.CSE, st.Removed, st.Hoisted)
+	}
+	if *printIR {
+		fmt.Print(ir.PrintProgram(prog))
+		return
+	}
+	if *dot {
+		fmt.Print(ir.DotProgram(prog))
+		return
+	}
+
+	cfg := machine.Config{MaxSteps: *maxSteps}
+	if *trace {
+		cfg.Trace = os.Stdout
+	}
+	m, err := machine.New(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range sets {
+		i := strings.Index(s, "=")
+		if i < 0 {
+			fatal(fmt.Errorf("bad -set %q (want addr=value)", s))
+		}
+		addr, err := parseNum(s[:i])
+		if err != nil {
+			fatal(err)
+		}
+		val, err := parseNum(s[i+1:])
+		if err != nil {
+			fatal(err)
+		}
+		m.Mem.Store(uint64(addr), val)
+	}
+
+	ret, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("return value: %d\n", ret)
+	if *stats {
+		st := m.Stats()
+		fmt.Printf("cycles:      %d\n", st.Cycles)
+		fmt.Printf("instrs:      %d\n", st.Instrs)
+		fmt.Printf("loads:       %d\n", st.LoadRefs)
+		fmt.Printf("stores:      %d\n", st.StoreRefs)
+		fmt.Printf("prefetches:  %d (useful %d, late %d, dropped %d)\n",
+			st.PrefetchRefs, m.Hier.PrefetchUseful, m.Hier.PrefetchLate, m.Hier.PrefetchDrops)
+		for i := 0; i < 3; i++ {
+			l := m.Hier.Level(i)
+			fmt.Printf("%-4s hits %d misses %d\n", l.Config().Name, l.Hits, l.Misses)
+		}
+	}
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		return int64(v), err
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irrun:", err)
+	os.Exit(1)
+}

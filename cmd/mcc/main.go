@@ -1,0 +1,175 @@
+// Command mcc compiles mc source (a minimal C-like language, see package
+// internal/mc) to IR and optionally runs it — including a one-command
+// profile-guided-prefetching mode that performs the paper's whole pipeline
+// on a self-contained program:
+//
+//	mcc -run prog.mc              # compile and execute
+//	mcc -O -stats prog.mc         # optimise, execute, print statistics
+//	mcc -emit-ir prog.mc          # print the IR listing
+//	mcc -pgo prog.mc              # instrument -> profile -> prefetch -> compare
+//
+// mc programs build their own data structures (via alloc), so the PGO mode
+// profiles and measures the same execution — a convenient way to
+// experiment with the stride profiler on hand-written kernels such as the
+// paper's Figure 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stridepf/internal/instrument"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/mc"
+	"stridepf/internal/opt"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+)
+
+func main() {
+	var (
+		emitIR   = flag.Bool("emit-ir", false, "print the compiled IR")
+		optimize = flag.Bool("O", false, "run the optimiser")
+		runIt    = flag.Bool("run", false, "execute the program")
+		stats    = flag.Bool("stats", false, "print execution statistics (implies -run)")
+		pgo      = flag.Bool("pgo", false, "run the full profile-guided prefetching pipeline")
+		method   = flag.String("method", "edge-check", "profiling method for -pgo: edge-check, naive-loop, naive-all")
+		indirect = flag.Bool("indirect", false, "-pgo: enable dependent-load (indirect) prefetching")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [flags] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := mc.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		optimised, st, err := opt.Run(prog, opt.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		prog = optimised
+		fmt.Fprintf(os.Stderr, "opt: folded %d, cse %d, removed %d, hoisted %d\n",
+			st.Folded, st.CSE, st.Removed, st.Hoisted)
+	}
+	if *emitIR {
+		fmt.Print(ir.PrintProgram(prog))
+	}
+	if *pgo {
+		if err := runPGO(prog, *method, *indirect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *runIt || *stats {
+		m, err := machine.New(prog, machine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		ret, err := m.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("return value: %d\n", ret)
+		if *stats {
+			st := m.Stats()
+			fmt.Printf("cycles: %d, instrs: %d, loads: %d, stores: %d\n",
+				st.Cycles, st.Instrs, st.LoadRefs, st.StoreRefs)
+		}
+	}
+}
+
+// runPGO performs instrument -> profile -> feedback -> measure on a
+// self-contained program.
+func runPGO(prog *ir.Program, method string, indirect bool) error {
+	var m instrument.Method
+	switch method {
+	case "edge-check":
+		m = instrument.EdgeCheck
+	case "naive-loop":
+		m = instrument.NaiveLoop
+	case "naive-all":
+		m = instrument.NaiveAll
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	inst, err := instrument.Instrument(prog, instrument.Options{Method: m})
+	if err != nil {
+		return err
+	}
+	pm, err := machine.New(inst.Prog, machine.Config{})
+	if err != nil {
+		return err
+	}
+	inst.Runtime.Register(pm)
+	if _, err := pm.Run(); err != nil {
+		return err
+	}
+	prof := &profile.Combined{
+		Edge:   inst.ExtractEdgeProfile(pm),
+		Stride: profile.NewStrideProfile(inst.StrideSummaries()),
+	}
+	fmt.Printf("profiled %d loads\n", prof.Stride.Len())
+	for _, s := range prof.Stride.Summaries() {
+		if s.TotalStrides == 0 || len(s.TopStrides) == 0 {
+			continue
+		}
+		fmt.Printf("  %s#%d: top stride %d (%.0f%% of %d samples), zero-diff %.0f%%\n",
+			s.Key.Func, s.Key.ID, s.TopStrides[0].Value,
+			100*float64(s.TopStrides[0].Freq)/float64(s.TotalStrides),
+			s.TotalStrides,
+			100*float64(s.ZeroDiffs)/float64(s.TotalStrides))
+	}
+
+	fb, err := prefetch.Apply(prog, prof, prefetch.Options{EnableIndirect: indirect})
+	if err != nil {
+		return err
+	}
+	if fb.IndirectInserted > 0 {
+		fmt.Printf("%d indirect (dependent-load) prefetches inserted\n", fb.IndirectInserted)
+	}
+	for _, d := range fb.Decisions {
+		if d.K > 0 {
+			fmt.Printf("prefetching %s#%d: %s stride=%d K=%d\n",
+				d.Key.Func, d.Key.ID, d.Class, d.Stride, d.K)
+		}
+	}
+
+	runOne := func(p *ir.Program) (int64, uint64, error) {
+		mm, err := machine.New(p, machine.Config{})
+		if err != nil {
+			return 0, 0, err
+		}
+		v, err := mm.Run()
+		return v, mm.Stats().Cycles, err
+	}
+	baseRet, baseCyc, err := runOne(prog)
+	if err != nil {
+		return err
+	}
+	pfRet, pfCyc, err := runOne(fb.Prog)
+	if err != nil {
+		return err
+	}
+	if baseRet != pfRet {
+		return fmt.Errorf("prefetched binary diverged: %d vs %d", pfRet, baseRet)
+	}
+	fmt.Printf("base:       %d cycles\n", baseCyc)
+	fmt.Printf("prefetched: %d cycles\n", pfCyc)
+	fmt.Printf("speedup:    %.3fx\n", float64(baseCyc)/float64(pfCyc))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcc:", err)
+	os.Exit(1)
+}

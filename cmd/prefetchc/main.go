@@ -1,0 +1,110 @@
+// Command prefetchc is the profile-feedback "compiler" driver: it reads a
+// combined profile produced by cmd/strideprof, classifies every profiled
+// load (Figure 5), inserts prefetching code, and optionally measures the
+// speedup on an input.
+//
+// Usage:
+//
+//	prefetchc -workload 181.mcf -profile profile.json [-run ref]
+//	          [-heuristic lb|trip|fixed] [-wsst] [-report] [-dump-ir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+	"stridepf/internal/workloads"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "", "benchmark name")
+		profF     = flag.String("profile", "profile.json", "combined profile (from strideprof)")
+		runInput  = flag.String("run", "", "measure speedup on this input: train or ref")
+		heuristic = flag.String("heuristic", "lb", "prefetch distance heuristic: lb (latency/body), trip, fixed")
+		wsst      = flag.Bool("wsst", false, "enable conditional prefetching for weak-single-stride loads")
+		report    = flag.Bool("report", false, "print per-load classification decisions")
+		dumpIR    = flag.Bool("dump-ir", false, "print the prefetched IR")
+	)
+	flag.Parse()
+
+	w := workloads.Get(*wl)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+	prof, err := profile.Load(*profF)
+	if err != nil {
+		fatal(err)
+	}
+	opts := prefetch.Options{EnableWSST: *wsst}
+	switch *heuristic {
+	case "lb":
+		opts.Heuristic = prefetch.LatencyOverBody
+	case "trip":
+		opts.Heuristic = prefetch.TripBased
+	case "fixed":
+		opts.Heuristic = prefetch.FixedDistance
+	default:
+		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
+	}
+
+	fb, err := core.BuildPrefetched(w, prof, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d loads considered, %d prefetches inserted\n",
+		w.Name(), len(fb.Decisions), fb.Inserted)
+	if *report {
+		for _, d := range fb.Decisions {
+			where := "out-loop"
+			if d.InLoop {
+				where = "in-loop"
+			}
+			fmt.Printf("  %s#%d: %-5s %-8s freq=%d trip=%.0f stride=%d K=%d lines=%d %s\n",
+				d.Key.Func, d.Key.ID, d.Class, where, d.Freq, d.Trip, d.Stride,
+				d.K, d.CoverLines, d.FilteredBy)
+		}
+	}
+	if *dumpIR {
+		fmt.Println(ir.PrintProgram(fb.Prog))
+	}
+
+	if *runInput != "" {
+		var in core.Input
+		switch *runInput {
+		case "train":
+			in = w.Train()
+		case "ref":
+			in = w.Ref()
+		default:
+			fatal(fmt.Errorf("unknown input %q", *runInput))
+		}
+		base, err := core.Execute(w.Program(), w, in, machine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		pf, err := core.Execute(fb.Prog, w, in, machine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		if base.Ret != pf.Ret {
+			fatal(fmt.Errorf("prefetched binary diverged: %d vs %d", pf.Ret, base.Ret))
+		}
+		fmt.Printf("base:       %12d cycles (%d demand-miss cycles)\n",
+			base.Stats.Cycles, base.DemandMissCycles)
+		fmt.Printf("prefetched: %12d cycles (%d demand-miss cycles, %d useful / %d late / %d dropped prefetches)\n",
+			pf.Stats.Cycles, pf.DemandMissCycles, pf.PrefetchUseful, pf.PrefetchLate, pf.PrefetchDrops)
+		fmt.Printf("speedup:    %.3fx\n", float64(base.Stats.Cycles)/float64(pf.Stats.Cycles))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefetchc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command profmerge combines profiles from several training runs into one
+// (the standard multi-run PGO workflow): edge and entry counts sum, and
+// per-load stride summaries merge with their top strides re-ranked.
+//
+// Usage:
+//
+//	profmerge -o merged.json run1.json run2.json [run3.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stridepf/internal/profile"
+)
+
+func main() {
+	out := flag.String("o", "merged.json", "output profile path")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: profmerge -o out.json in1.json [in2.json ...]")
+		os.Exit(2)
+	}
+	var profiles []*profile.Combined
+	for _, path := range flag.Args() {
+		p, err := profile.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	merged := profile.Merge(profiles...)
+	if err := merged.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d profiles into %s: %d edges, %d stride summaries\n",
+		len(profiles), *out, merged.Edge.Len(), merged.Stride.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profmerge:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command strideprof instruments a benchmark with one of the paper's
+// profiling methods, executes the instrumented program on the selected
+// input, and writes the combined edge + stride profile as JSON.
+//
+// Usage:
+//
+//	strideprof -workload 181.mcf [-method sample-edge-check] [-input train]
+//	           [-o profile.json] [-dump-ir] [-v]
+//
+// The profile file feeds cmd/prefetchc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+	"stridepf/internal/workloads"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "", "benchmark name (see -list)")
+		list   = flag.Bool("list", false, "list available benchmarks")
+		method = flag.String("method", "edge-check",
+			"profiling method: edge-only, edge-check, block-check, naive-loop, naive-all, "+
+				"sample-edge-check, sample-naive-loop, sample-naive-all")
+		input  = flag.String("input", "train", "input data set: train or ref")
+		outF   = flag.String("o", "profile.json", "profile output path")
+		dumpIR = flag.Bool("dump-ir", false, "print the instrumented IR")
+		verb   = flag.Bool("v", false, "print profiling statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workloads.Names() {
+			w := workloads.Get(name)
+			fmt.Printf("%-13s %s\n", name, w.Description())
+		}
+		return
+	}
+	w := workloads.Get(*wl)
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q (use -list)", *wl))
+	}
+	opts, err := methodOptions(*method)
+	if err != nil {
+		fatal(err)
+	}
+	var in core.Input
+	switch *input {
+	case "train":
+		in = w.Train()
+	case "ref":
+		in = w.Ref()
+	default:
+		fatal(fmt.Errorf("unknown input %q (want train or ref)", *input))
+	}
+
+	pr, err := core.ProfilePass(w, in, opts, machine.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Println(ir.PrintProgram(pr.Instr.Prog))
+	}
+	if err := pr.Profiles.Save(*outF); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d edges, %d stride summaries\n",
+		*outF, pr.Profiles.Edge.Len(), pr.Profiles.Stride.Len())
+	if *verb {
+		fmt.Printf("instrumented run: %d cycles, %d instructions\n",
+			pr.Stats.Stats.Cycles, pr.Stats.Stats.Instrs)
+		fmt.Printf("program load refs: %d (%.1f%% in-loop)\n", pr.ProgramLoadRefs,
+			100*float64(pr.InLoopLoadRefs)/float64(pr.ProgramLoadRefs))
+		if pr.ProgramLoadRefs > 0 {
+			fmt.Printf("strideProf processed: %d (%.1f%%), LFU: %d (%.1f%%)\n",
+				pr.ProcessedRefs, 100*float64(pr.ProcessedRefs)/float64(pr.ProgramLoadRefs),
+				pr.LFUCalls, 100*float64(pr.LFUCalls)/float64(pr.ProgramLoadRefs))
+		}
+	}
+}
+
+func methodOptions(name string) (instrument.Options, error) {
+	sampled := stride.Config{FineInterval: 4, ChunkSkip: 1200, ChunkProfile: 300}
+	switch name {
+	case "edge-only":
+		return instrument.Options{Method: instrument.EdgeOnly}, nil
+	case "edge-check":
+		return instrument.Options{Method: instrument.EdgeCheck}, nil
+	case "block-check":
+		return instrument.Options{Method: instrument.BlockCheck}, nil
+	case "naive-loop":
+		return instrument.Options{Method: instrument.NaiveLoop}, nil
+	case "naive-all":
+		return instrument.Options{Method: instrument.NaiveAll}, nil
+	case "sample-edge-check":
+		return instrument.Options{Method: instrument.EdgeCheck, Stride: sampled}, nil
+	case "sample-naive-loop":
+		return instrument.Options{Method: instrument.NaiveLoop, Stride: sampled}, nil
+	case "sample-naive-all":
+		return instrument.Options{Method: instrument.NaiveAll, Stride: sampled}, nil
+	default:
+		return instrument.Options{}, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strideprof:", err)
+	os.Exit(1)
+}

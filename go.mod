@@ -1,0 +1,3 @@
+module stridepf
+
+go 1.22

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"testing"
+
+	"stridepf/internal/ir"
+)
+
+// pointerChaseLoop builds a loop chasing p = load [p+8] plus a load from a
+// register that is not an induction pointer (reloaded from two places).
+func pointerChaseLoop() *ir.Program {
+	b := ir.NewBuilder("main")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	p := b.MovConst(b.F.NewReg(), 0x2000).Dst
+	zero := b.Const(0)
+	b.Br(head)
+
+	b.At(head)
+	b.CondBr(b.CmpNE(p, zero), body, exit)
+
+	b.At(body)
+	b.Load(p, 0)      // induction-pointer use (p chased below)
+	b.LoadTo(p, p, 8) // p = p->next
+	b.Br(head)
+
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+	return prog
+}
+
+func countPrefetches(f *ir.Function) int {
+	n := 0
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Op == ir.OpPrefetch {
+			n++
+		}
+	})
+	return n
+}
+
+func TestDetectsPointerChase(t *testing.T) {
+	prog := pointerChaseLoop()
+	res, err := Apply(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both loads use p as base; p is an induction pointer, so both sites
+	// get dynamic-stride prefetching.
+	if len(res.InductionLoads) != 2 {
+		t.Errorf("induction loads = %d, want 2", len(res.InductionLoads))
+	}
+	if got := countPrefetches(res.Prog.Func("main")); got != 2 {
+		t.Errorf("prefetches = %d, want 2", got)
+	}
+	if err := ir.VerifyProgram(res.Prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIgnoresNonInductionLoads(t *testing.T) {
+	// q is redefined twice in the loop: not an induction pointer.
+	b := ir.NewBuilder("main")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	q := b.MovConst(b.F.NewReg(), 0x2000).Dst
+	n := b.Const(100)
+	i := b.Const(0)
+	b.Br(head)
+	b.At(head)
+	b.CondBr(b.CmpLT(i, n), body, exit)
+	b.At(body)
+	b.Load(q, 0)
+	b.AddITo(q, q, 8)
+	b.AddITo(q, q, 16) // second def
+	b.AddITo(i, i, 1)
+	b.Br(head)
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+
+	res, err := Apply(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InductionLoads) != 0 {
+		t.Errorf("induction loads = %d, want 0", len(res.InductionLoads))
+	}
+}
+
+func TestDetectsAffineBump(t *testing.T) {
+	b := ir.NewBuilder("main")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	q := b.MovConst(b.F.NewReg(), 0x2000).Dst
+	n := b.Const(100)
+	i := b.Const(0)
+	b.Br(head)
+	b.At(head)
+	b.CondBr(b.CmpLT(i, n), body, exit)
+	b.At(body)
+	b.Load(q, 0)
+	b.AddITo(q, q, 64)
+	b.AddITo(i, i, 1)
+	b.Br(head)
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+
+	res, err := Apply(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InductionLoads) != 1 {
+		t.Errorf("induction loads = %d, want 1", len(res.InductionLoads))
+	}
+}
+
+func TestOutLoopLoadsUntouched(t *testing.T) {
+	b := ir.NewBuilder("main")
+	p := b.Const(0x1000)
+	b.Load(p, 0)
+	b.Ret(ir.NoReg)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+
+	res, err := Apply(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 {
+		t.Errorf("inserted %d prefetches outside loops, want 0", res.Inserted)
+	}
+}

@@ -1,0 +1,37 @@
+package cache
+
+import "testing"
+
+// BenchmarkHierarchySequential measures the simulator's cost for the
+// common case: a unit-stride demand stream (mostly L1 hits).
+func BenchmarkHierarchySequential(b *testing.B) {
+	h := NewHierarchy(ItaniumConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i*8), uint64(i))
+	}
+}
+
+// BenchmarkHierarchyRandom measures the miss-heavy path.
+func BenchmarkHierarchyRandom(b *testing.B) {
+	h := NewHierarchy(ItaniumConfig())
+	rng := uint64(0x12345)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		h.Load(rng&0xFFFFFF8, uint64(i))
+	}
+}
+
+// BenchmarkHierarchyPrefetch measures prefetch issue plus consumption.
+func BenchmarkHierarchyPrefetch(b *testing.B) {
+	h := NewHierarchy(ItaniumConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i * 64)
+		h.Prefetch(a+512, uint64(i*10))
+		h.Load(a, uint64(i*10))
+	}
+}

@@ -1,0 +1,157 @@
+// Package cache simulates the Itanium-like data-memory hierarchy the
+// experiments run against: set-associative LRU caches arranged in three
+// levels plus main memory, with tracking of in-flight (prefetched) lines.
+//
+// The hierarchy reproduces the machine of the paper's Section 4: a 16 KB
+// 4-way L1D, a 96 KB 6-way unified L2 and a 2 MB 4-way L3 on a 733 MHz
+// Itanium. Prefetches model Itanium lfetch: non-binding and non-faulting,
+// they start a fill without stalling the pipeline; a demand load that hits
+// an in-flight line stalls only for the remaining fill time.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level in statistics ("L1D", "L2", "L3").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Assoc is the set associativity.
+	Assoc int
+	// LineSize is the cache-line size in bytes (the hierarchy requires all
+	// levels to share one line size).
+	LineSize int
+	// HitLatency is the access latency, in cycles, when the line is found
+	// at this level.
+	HitLatency int
+}
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	cfg     Config
+	sets    int
+	shift   uint // log2(LineSize)
+	mask    uint64
+	tags    []uint64 // sets*assoc entries; line address (addr >> shift)
+	valid   []bool
+	lastUse []uint64 // LRU timestamps
+	tick    uint64
+
+	// Hits and Misses count lookups at this level.
+	Hits, Misses uint64
+}
+
+// New returns an empty cache with the given geometry. It panics if the
+// geometry is not a power-of-two line size or does not divide evenly.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", cfg.LineSize))
+	}
+	if cfg.Assoc <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache %s: bad size/assoc %d/%d", cfg.Name, cfg.Size, cfg.Assoc))
+	}
+	lines := cfg.Size / cfg.LineSize
+	if lines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by assoc %d", cfg.Name, lines, cfg.Assoc))
+	}
+	sets := lines / cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		tags:    make([]uint64, lines),
+		valid:   make([]bool, lines),
+		lastUse: make([]uint64, lines),
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.shift++
+	}
+	c.mask = uint64(sets - 1)
+	if sets&(sets-1) != 0 {
+		// Non-power-of-two set counts use modulo indexing.
+		c.mask = 0
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(line uint64) int {
+	if c.mask != 0 {
+		return int(line & c.mask)
+	}
+	return int(line % uint64(c.sets))
+}
+
+// Lookup probes the cache for the line containing addr. On a hit the line's
+// LRU stamp is refreshed. It does not fill on miss; use Insert.
+func (c *Cache) Lookup(addr uint64) bool {
+	line := addr >> c.shift
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	c.tick++
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.lastUse[base+w] = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains probes without updating LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.shift
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way if the set is
+// full. It returns the evicted line's address and whether an eviction
+// happened. Inserting a line already present refreshes it in place.
+func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
+	line := addr >> c.shift
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	c.tick++
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lastUse[i] = c.tick
+			return 0, false
+		}
+		if !c.valid[i] {
+			victim = i
+			// Prefer an invalid way but keep scanning for an existing copy.
+			continue
+		}
+		if c.valid[victim] && c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+	didEvict = c.valid[victim]
+	evicted = c.tags[victim] << c.shift
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lastUse[victim] = c.tick
+	return evicted, didEvict
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Hits, c.Misses = 0, 0
+	c.tick = 0
+}

@@ -1,0 +1,277 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	return New(Config{Name: "T", Size: 1024, Assoc: 2, LineSize: 64, HitLatency: 1})
+}
+
+func TestLookupAfterInsert(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(0x1000) {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Fatal("inserted line must hit")
+	}
+	if !c.Lookup(0x1038) {
+		t.Fatal("address in same 64-byte line must hit")
+	}
+	if c.Lookup(0x1040) {
+		t.Fatal("next line must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache() // 8 sets x 2 ways, 64B lines: set stride is 512B
+	// Three lines mapping to the same set (addr/64 mod 8 equal).
+	a := uint64(0x0000)
+	b := uint64(0x0200)
+	d := uint64(0x0400)
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a) // make b the LRU way
+	ev, did := c.Insert(d)
+	if !did || ev != b {
+		t.Fatalf("evicted %#x (did=%v), want %#x", ev, did, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Error("LRU state wrong after eviction")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := smallCache()
+	c.Insert(0)
+	if _, did := c.Insert(0); did {
+		t.Error("re-inserting present line must not evict")
+	}
+}
+
+func TestCacheProperties(t *testing.T) {
+	// After any access sequence, a Lookup immediately following an Insert of
+	// the same line hits, and hits+misses equals lookups.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "P", Size: 2048, Assoc: 4, LineSize: 32, HitLatency: 1})
+		lookups := uint64(0)
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			switch rng.Intn(3) {
+			case 0:
+				c.Insert(addr)
+				if !c.Contains(addr) {
+					return false
+				}
+			case 1:
+				c.Lookup(addr)
+				lookups++
+			case 2:
+				c.Insert(addr)
+				if !c.Lookup(addr) {
+					return false
+				}
+				lookups++
+			}
+		}
+		return c.Hits+c.Misses == lookups
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOccupancyNeverExceedsAssoc(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Name: "P", Size: 1024, Assoc: 2, LineSize: 64, HitLatency: 1}
+		c := New(cfg)
+		present := map[uint64]bool{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(1<<13)) &^ 63
+			ev, did := c.Insert(addr)
+			present[addr] = true
+			if did {
+				delete(present, ev)
+			}
+		}
+		// Count per-set occupancy from the model.
+		counts := map[int]int{}
+		for line := range present {
+			counts[c.setIndex(line>>c.shift)]++
+		}
+		for _, n := range counts {
+			if n > cfg.Assoc {
+				return false
+			}
+		}
+		// Model and cache agree.
+		for line := range present {
+			if !c.Contains(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+
+	// Cold miss costs memory latency.
+	if lat := h.Load(0x10000, 0); lat != cfg.MemLatency {
+		t.Errorf("cold load latency = %d, want %d", lat, cfg.MemLatency)
+	}
+	// Immediately after, it is an L1 hit.
+	if lat := h.Load(0x10000, 200); lat != cfg.Levels[0].HitLatency {
+		t.Errorf("warm load latency = %d, want %d", lat, cfg.Levels[0].HitLatency)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+	h.Load(0, 0)
+	// Evict line 0 from L1 by touching 5 conflicting lines (L1 is 4-way,
+	// 64 sets, so lines 64*64 bytes apart conflict).
+	setStride := uint64(64 * 64)
+	for i := 1; i <= 4; i++ {
+		h.Load(uint64(i)*setStride, 0)
+	}
+	lat := h.Load(0, 1000)
+	if lat != cfg.Levels[1].HitLatency {
+		t.Errorf("L1-evicted load latency = %d, want L2 hit %d", lat, cfg.Levels[1].HitLatency)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+
+	h.Prefetch(0x40000, 0)
+	// Long after the fill completes, the demand load is an L1-speed hit.
+	lat := h.Load(0x40000, uint64(cfg.MemLatency+50))
+	if lat != cfg.Levels[0].HitLatency {
+		t.Errorf("prefetched load latency = %d, want %d", lat, cfg.Levels[0].HitLatency)
+	}
+	if h.PrefetchUseful != 1 {
+		t.Errorf("PrefetchUseful = %d, want 1", h.PrefetchUseful)
+	}
+}
+
+func TestPrefetchLatePartialStall(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+
+	h.Prefetch(0x40000, 0)
+	// Demand load arrives halfway through the fill.
+	half := uint64(cfg.MemLatency / 2)
+	lat := h.Load(0x40000, half)
+	wantMax := cfg.MemLatency // must be cheaper than a full miss
+	if lat >= wantMax {
+		t.Errorf("late-prefetch load latency = %d, want < %d", lat, wantMax)
+	}
+	if lat <= cfg.Levels[0].HitLatency {
+		t.Errorf("late-prefetch load latency = %d, should still stall", lat)
+	}
+	if h.PrefetchLate != 1 {
+		t.Errorf("PrefetchLate = %d, want 1", h.PrefetchLate)
+	}
+}
+
+func TestPrefetchDropWhenPresent(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	h.Load(0x100, 0)
+	h.Prefetch(0x100, 10)
+	if h.PrefetchDrops != 1 {
+		t.Errorf("PrefetchDrops = %d, want 1 (line already in L1)", h.PrefetchDrops)
+	}
+}
+
+func TestPrefetchMSHRLimit(t *testing.T) {
+	cfg := ItaniumConfig()
+	cfg.MaxInFlight = 2
+	h := NewHierarchy(cfg)
+	h.Prefetch(0x1000, 0)
+	h.Prefetch(0x2000, 0)
+	h.Prefetch(0x3000, 0) // dropped
+	if h.PrefetchDrops != 1 {
+		t.Errorf("PrefetchDrops = %d, want 1 (MSHRs full)", h.PrefetchDrops)
+	}
+}
+
+func TestCompleteInflightInstalls(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+	h.Prefetch(0x5000, 0)
+	h.CompleteInflight(uint64(cfg.MemLatency) + 1)
+	if !h.Level(0).Contains(0x5000) {
+		t.Error("completed prefetch not installed in L1")
+	}
+	// The demand load should not consult the in-flight table now.
+	if lat := h.Load(0x5000, 500); lat != cfg.Levels[0].HitLatency {
+		t.Errorf("latency = %d, want L1 hit", lat)
+	}
+}
+
+func TestStoreLatencyCapped(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	cfg := h.Config()
+	if lat := h.Store(0x9000, 0); lat != cfg.StoreLatency {
+		t.Errorf("cold store latency = %d, want capped %d", lat, cfg.StoreLatency)
+	}
+	// The store still allocated the line.
+	if !h.Level(0).Contains(0x9000) {
+		t.Error("store did not allocate the line")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	h.Load(0, 0)
+	h.Prefetch(0x100, 0)
+	h.Reset()
+	if h.Loads != 0 || h.Prefetches != 0 {
+		t.Error("stats not cleared by Reset")
+	}
+	if h.Level(0).Contains(0) {
+		t.Error("contents not cleared by Reset")
+	}
+	if lat := h.Load(0, 0); lat != h.Config().MemLatency {
+		t.Error("reset cache should cold-miss")
+	}
+}
+
+func TestStridedStreamPrefetchBenefit(t *testing.T) {
+	// End-to-end sanity: a strided stream over a large array with prefetch
+	// K lines ahead must stall far less than without.
+	run := func(prefetch bool) uint64 {
+		h := NewHierarchy(ItaniumConfig())
+		now := uint64(0)
+		const stride = 64
+		const n = 64 << 10
+		for i := 0; i < n; i++ {
+			addr := uint64(i * stride)
+			if prefetch {
+				h.Prefetch(addr+8*stride, now)
+			}
+			lat := h.Load(addr, now)
+			now += uint64(lat) + 10 // 10-cycle loop body
+		}
+		return h.DemandMissCycles
+	}
+	without := run(false)
+	with := run(true)
+	if with*2 > without {
+		t.Errorf("prefetching saved too little: %d vs %d demand miss cycles", with, without)
+	}
+}

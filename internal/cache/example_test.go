@@ -1,0 +1,27 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"stridepf/internal/cache"
+)
+
+// A prefetch started far enough ahead turns a 120-cycle memory stall into
+// an L1 hit; one started too late still hides part of the fill.
+func ExampleHierarchy() {
+	h := cache.NewHierarchy(cache.ItaniumConfig())
+
+	fmt.Println("cold load:      ", h.Load(0x10000, 0), "cycles")
+
+	h.Prefetch(0x20000, 0)
+	fmt.Println("prefetched load:", h.Load(0x20000, 500), "cycles")
+
+	h.Prefetch(0x30000, 1000)
+	lat := h.Load(0x30000, 1040) // only 40 cycles of lead
+	fmt.Println("late prefetch:  ", lat, "cycles")
+
+	// Output:
+	// cold load:       120 cycles
+	// prefetched load: 2 cycles
+	// late prefetch:   82 cycles
+}

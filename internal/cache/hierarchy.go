@@ -1,0 +1,251 @@
+package cache
+
+// HierarchyConfig describes a full memory hierarchy.
+type HierarchyConfig struct {
+	// Levels lists the cache levels from closest (L1) to farthest.
+	Levels []Config
+	// MemLatency is the access latency, in cycles, of main memory.
+	MemLatency int
+	// StoreLatency caps the charged latency of stores (write-buffer model):
+	// stores still update cache state, but the pipeline only stalls this
+	// many cycles at most. Zero means stores cost full load latency.
+	StoreLatency int
+	// MaxInFlight bounds the number of simultaneously outstanding fills
+	// (an MSHR-like limit); further prefetches are dropped. Zero means 16.
+	MaxInFlight int
+	// TLB, when non-nil, adds a data TLB: demand loads and stores pay the
+	// walk penalty on translation misses. Prefetches that miss the TLB are
+	// dropped, matching Itanium lfetch semantics.
+	TLB *TLBConfig
+}
+
+// ItaniumConfig returns the hierarchy of the paper's evaluation machine:
+// 16 KB 4-way L1D, 96 KB 6-way L2, 2 MB 4-way L3, 64-byte lines, with
+// latencies approximating a 733 MHz Itanium (2/9/24-cycle hits, 120-cycle
+// memory).
+func ItaniumConfig() HierarchyConfig {
+	return HierarchyConfig{
+		Levels: []Config{
+			{Name: "L1D", Size: 16 << 10, Assoc: 4, LineSize: 64, HitLatency: 2},
+			{Name: "L2", Size: 96 << 10, Assoc: 6, LineSize: 64, HitLatency: 9},
+			{Name: "L3", Size: 2 << 20, Assoc: 4, LineSize: 64, HitLatency: 24},
+		},
+		MemLatency:   120,
+		StoreLatency: 2,
+		MaxInFlight:  16,
+	}
+}
+
+// Hierarchy is a multi-level cache simulator with in-flight line tracking
+// for non-blocking prefetches.
+type Hierarchy struct {
+	cfg    HierarchyConfig
+	levels []*Cache
+	tlb    *TLB
+	shift  uint
+
+	// inflight maps a line address (addr >> shift) to the cycle its fill
+	// into L1 completes.
+	inflight map[uint64]uint64
+
+	// Stats.
+	Loads            uint64 // demand loads
+	Stores           uint64
+	Prefetches       uint64 // prefetches issued
+	PrefetchDrops    uint64 // dropped: line already present or MSHRs full
+	PrefetchLate     uint64 // demand load hit a still-in-flight line
+	PrefetchUseful   uint64 // demand load hit a line brought in by prefetch
+	DemandMissCycles uint64 // cycles stalled on demand accesses
+}
+
+// NewHierarchy builds the hierarchy. All levels must share one line size.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if len(cfg.Levels) == 0 {
+		panic("cache: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{cfg: cfg, inflight: make(map[uint64]uint64)}
+	line := cfg.Levels[0].LineSize
+	for _, lc := range cfg.Levels {
+		if lc.LineSize != line {
+			panic("cache: all levels must share a line size")
+		}
+		h.levels = append(h.levels, New(lc))
+	}
+	for ls := line; ls > 1; ls >>= 1 {
+		h.shift++
+	}
+	if h.cfg.MaxInFlight == 0 {
+		h.cfg.MaxInFlight = 16
+	}
+	if cfg.TLB != nil {
+		h.tlb = NewTLB(*cfg.TLB)
+	}
+	return h
+}
+
+// TLB returns the data TLB, or nil when disabled.
+func (h *Hierarchy) TLB() *TLB { return h.tlb }
+
+// LineSize returns the hierarchy's cache-line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.cfg.Levels[0].LineSize }
+
+// Level returns the i-th cache level (0 = L1).
+func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Load performs a demand load of addr at time now (in cycles) and returns
+// the latency in cycles. The line is filled into every level on a miss.
+func (h *Hierarchy) Load(addr uint64, now uint64) int {
+	h.Loads++
+	lat := 0
+	if h.tlb != nil {
+		lat = h.tlb.Access(addr)
+		h.DemandMissCycles += uint64(lat)
+	}
+	return lat + h.access(addr, now+uint64(lat))
+}
+
+// Store performs a store; state updates mirror a write-allocate,
+// write-back cache but the charged latency is capped by StoreLatency.
+func (h *Hierarchy) Store(addr uint64, now uint64) int {
+	h.Stores++
+	tlbLat := 0
+	if h.tlb != nil {
+		tlbLat = h.tlb.Access(addr)
+		h.DemandMissCycles += uint64(tlbLat)
+	}
+	lat := h.access(addr, now+uint64(tlbLat))
+	if h.cfg.StoreLatency > 0 && lat > h.cfg.StoreLatency {
+		lat = h.cfg.StoreLatency
+	}
+	return tlbLat + lat
+}
+
+// access looks the address up level by level; on a miss it consults the
+// in-flight table, then memory. The line is installed in all levels.
+func (h *Hierarchy) access(addr uint64, now uint64) int {
+	line := addr >> h.shift
+	// L1 first.
+	if h.levels[0].Lookup(addr) {
+		return h.levels[0].cfg.HitLatency
+	}
+	// In-flight fill?
+	if ready, ok := h.inflight[line]; ok {
+		var lat int
+		if ready > now {
+			lat = int(ready-now) + h.levels[0].cfg.HitLatency
+			h.PrefetchLate++
+		} else {
+			lat = h.levels[0].cfg.HitLatency
+			h.PrefetchUseful++
+		}
+		delete(h.inflight, line)
+		h.fillAll(addr)
+		h.DemandMissCycles += uint64(lat)
+		return lat
+	}
+	// Outer levels.
+	for i := 1; i < len(h.levels); i++ {
+		if h.levels[i].Lookup(addr) {
+			lat := h.levels[i].cfg.HitLatency
+			h.fillUpTo(addr, i)
+			h.DemandMissCycles += uint64(lat)
+			return lat
+		}
+	}
+	lat := h.cfg.MemLatency
+	h.fillAll(addr)
+	h.DemandMissCycles += uint64(lat)
+	return lat
+}
+
+// Prefetch starts a non-binding fill of addr's line at time now. It never
+// stalls: the returned latency is the (small) issue cost of zero — the
+// machine charges the instruction's ordinary occupancy. Prefetches to lines
+// already in L1 or already in flight are dropped.
+func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
+	h.Prefetches++
+	// lfetch semantics: a prefetch whose translation misses the TLB is
+	// dropped rather than triggering a page walk. (The probe does not
+	// install a translation either; Contains-style peek.)
+	if h.tlb != nil && !h.tlbContains(addr) {
+		h.PrefetchDrops++
+		return
+	}
+	line := addr >> h.shift
+	if h.levels[0].Contains(addr) {
+		h.PrefetchDrops++
+		return
+	}
+	if _, ok := h.inflight[line]; ok {
+		h.PrefetchDrops++
+		return
+	}
+	if len(h.inflight) >= h.cfg.MaxInFlight {
+		// MSHRs look full, but fills that have already completed free their
+		// entries (install the lines) before we give up.
+		h.CompleteInflight(now)
+		if len(h.inflight) >= h.cfg.MaxInFlight {
+			h.PrefetchDrops++
+			return
+		}
+	}
+	// Fill time depends on where the line currently lives.
+	fill := h.cfg.MemLatency
+	for i := 1; i < len(h.levels); i++ {
+		if h.levels[i].Lookup(addr) {
+			fill = h.levels[i].cfg.HitLatency
+			break
+		}
+	}
+	h.inflight[line] = now + uint64(fill)
+}
+
+// CompleteInflight installs any fills that have completed by time now.
+// Calling it periodically keeps the in-flight table small; correctness does
+// not depend on the call frequency because demand accesses consult the
+// table directly.
+func (h *Hierarchy) CompleteInflight(now uint64) {
+	for line, ready := range h.inflight {
+		if ready <= now {
+			h.fillAll(line << h.shift)
+			delete(h.inflight, line)
+		}
+	}
+}
+
+func (h *Hierarchy) fillAll(addr uint64) { h.fillUpTo(addr, len(h.levels)) }
+
+// fillUpTo installs the line into levels [0, upto).
+func (h *Hierarchy) fillUpTo(addr uint64, upto int) {
+	for i := 0; i < upto && i < len(h.levels); i++ {
+		h.levels[i].Insert(addr)
+	}
+}
+
+// tlbContains peeks at the TLB without updating LRU or statistics.
+func (h *Hierarchy) tlbContains(addr uint64) bool {
+	page := addr >> h.tlb.shift
+	for i := range h.tlb.pages {
+		if h.tlb.valid[i] && h.tlb.pages[i] == page {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all cache contents, the in-flight table and statistics.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		l.Reset()
+	}
+	if h.tlb != nil {
+		h.tlb.Reset()
+	}
+	h.inflight = make(map[uint64]uint64)
+	h.Loads, h.Stores, h.Prefetches = 0, 0, 0
+	h.PrefetchDrops, h.PrefetchLate, h.PrefetchUseful = 0, 0, 0
+	h.DemandMissCycles = 0
+}

@@ -1,0 +1,90 @@
+package cache
+
+// TLBConfig describes a data TLB. The paper's motivation counts DTLB misses
+// among the ~40% of Itanium cycles lost to memory stalls; the simulator can
+// optionally model them. The default experiments leave the TLB disabled
+// (zero miss penalty) so the calibrated speedups isolate cache effects; the
+// TLB ablation bench turns it on.
+type TLBConfig struct {
+	// Entries is the number of TLB entries (fully associative, LRU).
+	Entries int
+	// PageSize is the page size in bytes (power of two).
+	PageSize int
+	// MissPenalty is the cycle cost of a hardware page walk.
+	MissPenalty int
+}
+
+// ItaniumTLBConfig returns a 128-entry, 8 KB-page DTLB with a 25-cycle
+// walk, approximating the Itanium DTLB.
+func ItaniumTLBConfig() TLBConfig {
+	return TLBConfig{Entries: 128, PageSize: 8 << 10, MissPenalty: 25}
+}
+
+// TLB is a fully associative translation buffer with LRU replacement.
+type TLB struct {
+	cfg     TLBConfig
+	shift   uint
+	pages   []uint64
+	valid   []bool
+	lastUse []uint64
+	tick    uint64
+
+	// Hits and Misses count translations.
+	Hits, Misses uint64
+}
+
+// NewTLB returns an empty TLB. It panics on a non-power-of-two page size.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic("cache: TLB page size must be a power of two")
+	}
+	if cfg.Entries <= 0 {
+		panic("cache: TLB needs at least one entry")
+	}
+	t := &TLB{
+		cfg:     cfg,
+		pages:   make([]uint64, cfg.Entries),
+		valid:   make([]bool, cfg.Entries),
+		lastUse: make([]uint64, cfg.Entries),
+	}
+	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
+		t.shift++
+	}
+	return t
+}
+
+// Access translates addr, returning the added latency: zero on a hit, the
+// miss penalty on a walk (after which the translation is cached).
+func (t *TLB) Access(addr uint64) int {
+	page := addr >> t.shift
+	t.tick++
+	victim := 0
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.lastUse[i] = t.tick
+			t.Hits++
+			return 0
+		}
+		if !t.valid[i] {
+			victim = i
+			continue
+		}
+		if t.valid[victim] && t.lastUse[i] < t.lastUse[victim] {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.lastUse[victim] = t.tick
+	return t.cfg.MissPenalty
+}
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.Hits, t.Misses = 0, 0
+	t.tick = 0
+}

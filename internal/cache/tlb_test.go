@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBHitAfterMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageSize: 4096, MissPenalty: 30})
+	if got := tlb.Access(0x1000); got != 30 {
+		t.Errorf("first access latency = %d, want 30", got)
+	}
+	if got := tlb.Access(0x1ff8); got != 0 {
+		t.Errorf("same-page access latency = %d, want 0", got)
+	}
+	if got := tlb.Access(0x2000); got != 30 {
+		t.Errorf("next-page access latency = %d, want 30", got)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageSize: 4096, MissPenalty: 30})
+	tlb.Access(0x0000) // page 0
+	tlb.Access(0x1000) // page 1
+	tlb.Access(0x0000) // refresh page 0
+	tlb.Access(0x2000) // evicts page 1 (LRU)
+	if got := tlb.Access(0x0000); got != 0 {
+		t.Error("page 0 should still be resident")
+	}
+	if got := tlb.Access(0x1000); got != 30 {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestTLBQuickOccupancy(t *testing.T) {
+	// After any access sequence, re-accessing the most recent page hits.
+	prop := func(addrs []uint32) bool {
+		tlb := NewTLB(TLBConfig{Entries: 8, PageSize: 8192, MissPenalty: 25})
+		var last uint64
+		for _, a := range addrs {
+			last = uint64(a)
+			tlb.Access(last)
+		}
+		if len(addrs) == 0 {
+			return true
+		}
+		return tlb.Access(last) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyWithTLB(t *testing.T) {
+	cfg := ItaniumConfig()
+	tc := ItaniumTLBConfig()
+	cfg.TLB = &tc
+	h := NewHierarchy(cfg)
+
+	// Cold access pays page walk + memory.
+	lat := h.Load(0x10000, 0)
+	if lat != tc.MissPenalty+cfg.MemLatency {
+		t.Errorf("cold load with TLB = %d, want %d", lat, tc.MissPenalty+cfg.MemLatency)
+	}
+	// Second access to the same page and line: pure L1 hit.
+	if lat := h.Load(0x10000, 500); lat != cfg.Levels[0].HitLatency {
+		t.Errorf("warm load = %d, want L1 hit", lat)
+	}
+	if h.TLB().Misses != 1 {
+		t.Errorf("TLB misses = %d, want 1", h.TLB().Misses)
+	}
+}
+
+func TestPrefetchDroppedOnTLBMiss(t *testing.T) {
+	cfg := ItaniumConfig()
+	tc := ItaniumTLBConfig()
+	cfg.TLB = &tc
+	h := NewHierarchy(cfg)
+
+	// No translation for the page yet: lfetch drops.
+	h.Prefetch(0x40000, 0)
+	if h.PrefetchDrops != 1 {
+		t.Errorf("drops = %d, want 1 (TLB miss)", h.PrefetchDrops)
+	}
+	// After a demand access installs the translation, prefetching the next
+	// line in the same page works.
+	h.Load(0x40000, 10)
+	h.Prefetch(0x40040, 20)
+	if h.PrefetchDrops != 1 {
+		t.Errorf("drops = %d, want still 1", h.PrefetchDrops)
+	}
+	if lat := h.Load(0x40040, 400); lat != cfg.Levels[0].HitLatency {
+		t.Errorf("prefetched same-page load = %d, want L1 hit", lat)
+	}
+}
+
+func TestTLBDisabledByDefault(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	if h.TLB() != nil {
+		t.Error("TLB should be nil unless configured")
+	}
+}

@@ -1,0 +1,419 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stridepf/internal/ir"
+)
+
+// diamond builds: entry -> (left|right) -> join -> exit, returning the
+// function and its blocks.
+func diamond() (*ir.Function, []*ir.Block) {
+	b := ir.NewBuilder("diamond")
+	left := b.Block("left")
+	right := b.Block("right")
+	join := b.Block("join")
+	c := b.Const(1)
+	b.CondBr(c, left, right)
+	b.At(left).Br(join)
+	b.At(right).Br(join)
+	b.At(join).Ret(ir.NoReg)
+	f := b.Finish()
+	return f, []*ir.Block{f.Entry(), left, right, join}
+}
+
+// nestedLoops builds a doubly-nested counted loop:
+//
+//	entry -> oh -> ob -> ih -> ib -> ih' ... -> ilatch -> oh ... -> exit
+func nestedLoops() (*ir.Function, map[string]*ir.Block) {
+	b := ir.NewBuilder("nest")
+	oh := b.Block("outerhead")
+	ob := b.Block("outerbody")
+	ih := b.Block("innerhead")
+	ib := b.Block("innerbody")
+	ol := b.Block("outerlatch")
+	exit := b.Block("exit")
+
+	n := b.Const(10)
+	i := b.Const(0)
+	b.Br(oh)
+
+	b.At(oh)
+	b.CondBr(b.CmpLT(i, n), ob, exit)
+
+	b.At(ob)
+	j := b.MovConst(b.F.NewReg(), 0).Dst
+	b.Br(ih)
+
+	b.At(ih)
+	b.CondBr(b.CmpLT(j, n), ib, ol)
+
+	b.At(ib)
+	b.AddITo(j, j, 1)
+	b.Br(ih)
+
+	b.At(ol)
+	b.AddITo(i, i, 1)
+	b.Br(oh)
+
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+	return f, map[string]*ir.Block{
+		"entry": f.Entry(), "oh": oh, "ob": ob, "ih": ih, "ib": ib, "ol": ol, "exit": exit,
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f, bs := diamond()
+	entry, left, right, join := bs[0], bs[1], bs[2], bs[3]
+	dom := Dominators(f)
+
+	cases := []struct {
+		a, b *ir.Block
+		want bool
+	}{
+		{entry, left, true}, {entry, right, true}, {entry, join, true},
+		{left, join, false}, {right, join, false},
+		{join, join, true}, {left, right, false},
+	}
+	for _, c := range cases {
+		if got := dom.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a.Name, c.b.Name, got, c.want)
+		}
+	}
+	if got := dom.Idom(join); got != entry {
+		t.Errorf("Idom(join) = %v, want entry", got)
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	f, bs := diamond()
+	entry, left, _, join := bs[0], bs[1], bs[2], bs[3]
+	pdom := PostDominators(f)
+
+	if !pdom.Dominates(join, entry) {
+		t.Error("join must postdominate entry")
+	}
+	if !pdom.Dominates(join, left) {
+		t.Error("join must postdominate left")
+	}
+	if pdom.Dominates(left, entry) {
+		t.Error("left must not postdominate entry")
+	}
+}
+
+func TestControlEquivalence(t *testing.T) {
+	f, bs := diamond()
+	entry, left, _, join := bs[0], bs[1], bs[2], bs[3]
+	ce := NewControlEquiv(Dominators(f), PostDominators(f))
+
+	if !ce.Equivalent(entry, join) {
+		t.Error("entry and join must be control equivalent")
+	}
+	if ce.Equivalent(entry, left) {
+		t.Error("entry and left must not be control equivalent")
+	}
+	if !ce.Equivalent(left, left) {
+		t.Error("a block must be equivalent to itself")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f, bs := nestedLoops()
+	dom := Dominators(f)
+	li := FindLoops(f, dom)
+
+	if len(li.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range li.Loops {
+		switch l.Header {
+		case bs["oh"]:
+			outer = l
+		case bs["ih"]:
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("loop headers not identified")
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent is not the outer loop")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d/%d, want 1/2", outer.Depth, inner.Depth)
+	}
+	if !outer.Contains(bs["ib"]) || !inner.Contains(bs["ib"]) {
+		t.Error("inner body must belong to both loops")
+	}
+	if inner.Contains(bs["ol"]) {
+		t.Error("outer latch must not belong to the inner loop")
+	}
+	if got := li.InnermostLoop(bs["ib"]); got != inner {
+		t.Error("innermost loop of inner body is not the inner loop")
+	}
+	if got := li.InnermostLoop(bs["ol"]); got != outer {
+		t.Error("innermost loop of outer latch is not the outer loop")
+	}
+	if li.InnermostLoop(bs["exit"]) != nil {
+		t.Error("exit block must not be in a loop")
+	}
+	if len(outer.EntryEdges) != 1 || outer.EntryEdges[0].From != bs["entry"] {
+		t.Errorf("outer entry edges = %v, want one from entry", outer.EntryEdges)
+	}
+	if len(inner.EntryEdges) != 1 || inner.EntryEdges[0].From != bs["ob"] {
+		t.Errorf("inner entry edges = %v, want one from outerbody", inner.EntryEdges)
+	}
+	if !li.InLoop(bs["ib"]) || li.InLoop(bs["exit"]) {
+		t.Error("InLoop misclassifies blocks")
+	}
+}
+
+func TestIrreducibleRegion(t *testing.T) {
+	// entry -> a or b; a -> b; b -> a (two-entry cycle: irreducible).
+	b := ir.NewBuilder("irr")
+	ba := b.Block("a")
+	bb := b.Block("bb")
+	exit := b.Block("exit")
+	c := b.Const(1)
+	b.CondBr(c, ba, bb)
+	b.At(ba).CondBr(c, bb, exit)
+	b.At(bb).CondBr(c, ba, exit)
+	b.At(exit).Ret(ir.NoReg)
+	f := b.Finish()
+
+	li := FindLoops(f, Dominators(f))
+	if len(li.Loops) != 0 {
+		t.Errorf("found %d natural loops in irreducible graph, want 0", len(li.Loops))
+	}
+	if !li.Irreducible(ba) || !li.Irreducible(bb) {
+		t.Error("cycle blocks not flagged irreducible")
+	}
+	if li.Irreducible(exit) {
+		t.Error("exit wrongly flagged irreducible")
+	}
+	if li.InLoop(ba) {
+		t.Error("irreducible block must be treated as out-loop")
+	}
+}
+
+func TestLoopInvariantReg(t *testing.T) {
+	f, bs := nestedLoops()
+	li := FindLoops(f, Dominators(f))
+	inner := li.InnermostLoop(bs["ib"])
+	outer := inner.Parent
+
+	// j (defined in outerbody, incremented in innerbody) is variant in both.
+	jDef := bs["ob"].Instrs[0]
+	if LoopInvariantReg(inner, jDef.Dst) {
+		t.Error("j must be variant in the inner loop")
+	}
+	// n (const in entry) is invariant everywhere.
+	nReg := f.Entry().Instrs[0].Dst
+	if !LoopInvariantReg(inner, nReg) || !LoopInvariantReg(outer, nReg) {
+		t.Error("n must be invariant in both loops")
+	}
+	// i (incremented in outer latch) is invariant in the inner loop only.
+	iReg := f.Entry().Instrs[1].Dst
+	if !LoopInvariantReg(inner, iReg) {
+		t.Error("i must be invariant in the inner loop")
+	}
+	if LoopInvariantReg(outer, iReg) {
+		t.Error("i must be variant in the outer loop")
+	}
+}
+
+func TestResolveAddr(t *testing.T) {
+	b := ir.NewBuilder("addr")
+	p := b.Param()
+	q := b.AddI(p, 16)  // q = p + 16 (single def)
+	r := b.AddI(q, 8)   // r = q + 8
+	ld1 := b.Load(p, 0) // base p, off 0
+	ld2 := b.Load(r, 4) // base p, off 28
+	s := b.Add(p, q)    // non-traceable def
+	ld3 := b.Load(s, 0) // base s, off 0
+	_ = ld3
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+
+	defs := ComputeDefs(f)
+	a1 := ResolveAddr(defs, ld1)
+	a2 := ResolveAddr(defs, ld2)
+	a3 := ResolveAddr(defs, ld3)
+
+	if !a1.OK || !a2.OK {
+		t.Fatal("addresses must resolve")
+	}
+	if a1.Base != a2.Base {
+		t.Errorf("bases differ: %v vs %v", a1.Base, a2.Base)
+	}
+	if a2.Off-a1.Off != 28 {
+		t.Errorf("offset delta = %d, want 28", a2.Off-a1.Off)
+	}
+	if !a3.OK || a3.Base != s {
+		t.Errorf("ld3 should resolve to its own base register, got %+v", a3)
+	}
+}
+
+func TestResolveAddrMultipleDefsStops(t *testing.T) {
+	// p is redefined in the loop; the walk must not trace through it.
+	b := ir.NewBuilder("multi")
+	p := b.Param()
+	ld := b.Load(p, 8)
+	b.AddITo(p, p, 8) // second def of p
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+
+	defs := ComputeDefs(f)
+	a := ResolveAddr(defs, ld)
+	if !a.OK || a.Base != p || a.Off != 8 {
+		t.Errorf("ResolveAddr = %+v, want base=p off=8", a)
+	}
+}
+
+// randomCFG builds a pseudo-random reducible-ish CFG with n blocks; each
+// block branches to one or two later-or-earlier blocks. Used for dominator
+// property tests.
+func randomCFG(seed int64, n int) *ir.Function {
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder("rand")
+	blocks := make([]*ir.Block, n)
+	blocks[0] = b.F.Entry()
+	for i := 1; i < n; i++ {
+		blocks[i] = b.Block("b")
+	}
+	c := b.Const(1)
+	for i := 0; i < n; i++ {
+		b.At(blocks[i])
+		if i == n-1 {
+			b.Ret(ir.NoReg)
+			continue
+		}
+		t1 := blocks[rng.Intn(n-i-1)+i+1] // forward edge keeps exit reachable
+		if rng.Intn(2) == 0 {
+			b.Br(t1)
+		} else {
+			t2 := blocks[rng.Intn(n)]
+			if t2 == blocks[i] {
+				t2 = t1
+			}
+			b.CondBr(c, t1, t2)
+		}
+	}
+	return b.Finish()
+}
+
+func TestDominatorProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := 3 + int(uint64(seed)%13)
+		f := randomCFG(seed, n)
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("random CFG invalid: %v", err)
+		}
+		dom := Dominators(f)
+		entry := f.Entry()
+		for _, b := range f.Blocks {
+			if !dom.Reachable(b) {
+				continue
+			}
+			// Entry dominates every reachable block.
+			if !dom.Dominates(entry, b) {
+				return false
+			}
+			// Reflexivity.
+			if !dom.Dominates(b, b) {
+				return false
+			}
+			// The idom chain terminates at the entry.
+			steps := 0
+			for x := b; x != entry; {
+				x = dom.Idom(x)
+				if x == nil || steps > n {
+					return false
+				}
+				steps++
+			}
+		}
+		// Antisymmetry among distinct reachable blocks.
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				if a != b && dom.Dominates(a, b) && dom.Dominates(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopMembershipProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := 4 + int(uint64(seed)%12)
+		f := randomCFG(seed, n)
+		dom := Dominators(f)
+		li := FindLoops(f, dom)
+		for _, l := range li.Loops {
+			// The header belongs to its loop and dominates every member
+			// (true for natural loops in reducible regions).
+			if !l.Contains(l.Header) {
+				return false
+			}
+			for b := range l.Blocks {
+				if !li.Irreducible(b) && !dom.Dominates(l.Header, b) {
+					return false
+				}
+			}
+			// Back edges come from inside; entry edges from outside.
+			for _, e := range l.BackEdges {
+				if !l.Contains(e.From) || e.To != l.Header {
+					return false
+				}
+			}
+			for _, e := range l.EntryEdges {
+				if l.Contains(e.From) || e.To != l.Header {
+					return false
+				}
+			}
+			// Nesting: parent strictly contains the child.
+			if l.Parent != nil {
+				for b := range l.Blocks {
+					if !l.Parent.Contains(b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostDominatorsMultipleExits(t *testing.T) {
+	// entry -> (e1 | e2), both return: neither exit postdominates entry,
+	// and each postdominates only itself.
+	b := ir.NewBuilder("exits")
+	e1 := b.Block("e1")
+	e2 := b.Block("e2")
+	c := b.Const(0)
+	b.CondBr(c, e1, e2)
+	b.At(e1).Ret(ir.NoReg)
+	b.At(e2).Ret(ir.NoReg)
+	f := b.Finish()
+
+	pdom := PostDominators(f)
+	if pdom.Dominates(e1, f.Entry()) || pdom.Dominates(e2, f.Entry()) {
+		t.Error("no single exit may postdominate entry with two returns")
+	}
+	if !pdom.Dominates(e1, e1) {
+		t.Error("reflexivity failed on exit block")
+	}
+}

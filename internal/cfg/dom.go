@@ -1,0 +1,203 @@
+// Package cfg implements the control-flow analyses the profiling and
+// prefetching passes depend on: dominator and postdominator trees, the
+// natural-loop forest (with irreducible-region detection), control
+// equivalence, loop-invariant address detection and the symbolic
+// base-plus-offset address analysis used to find equivalent loads
+// (Section 2.1 of the paper).
+package cfg
+
+import "stridepf/internal/ir"
+
+// DomTree holds the immediate-dominator relation for a function's blocks.
+// It is computed over block indices, so the function must have been
+// renumbered (ir.Function.RebuildEdges does this).
+type DomTree struct {
+	// idom[i] is the Index of block i's immediate dominator; the root maps
+	// to itself and unreachable blocks map to -1.
+	idom []int
+	// rpo numbers blocks in reverse postorder; unreachable blocks get -1.
+	rpo []int
+	// blocks aliases the function's block slice.
+	blocks []*ir.Block
+	// virtual is true for postdominator trees, whose root is a virtual exit
+	// node with index len(blocks).
+	virtual bool
+}
+
+// Dominators computes the dominator tree of f using the iterative algorithm
+// of Cooper, Harvey and Kennedy over reverse postorder.
+func Dominators(f *ir.Function) *DomTree {
+	return newDomTree(f.Blocks, [][]*ir.Block{}, false)
+}
+
+// PostDominators computes the postdominator tree of f by running the same
+// algorithm on the reversed CFG. Functions may have several exit blocks
+// (and, in pathological cases, none that reach a return); a virtual exit
+// node joining every block with no successors is used as the root.
+func PostDominators(f *ir.Function) *DomTree {
+	return newDomTree(f.Blocks, nil, true)
+}
+
+// newDomTree computes (post)dominators. When post is true the edge relation
+// is reversed and a virtual root node (index len(blocks)) joins every exit
+// block, giving multi-exit functions a proper single postdominator root.
+func newDomTree(blocks []*ir.Block, _ [][]*ir.Block, post bool) *DomTree {
+	nb := len(blocks)
+	n := nb
+	root := 0
+	if post {
+		n = nb + 1 // virtual root
+		root = nb
+	}
+	t := &DomTree{
+		idom:    make([]int, n),
+		rpo:     make([]int, n),
+		blocks:  blocks,
+		virtual: post,
+	}
+
+	// Build the (possibly reversed) adjacency we traverse forward from the
+	// root, and the corresponding predecessor relation used by the dataflow.
+	succs := make([][]int, n)
+	preds := make([][]int, n)
+	addEdge := func(from, to int) {
+		succs[from] = append(succs[from], to)
+		preds[to] = append(preds[to], from)
+	}
+	for _, b := range blocks {
+		for _, s := range b.Succs() {
+			if post {
+				addEdge(s.Index, b.Index)
+			} else {
+				addEdge(b.Index, s.Index)
+			}
+		}
+	}
+	if post {
+		exits := 0
+		for _, b := range blocks {
+			if len(b.Succs()) == 0 {
+				addEdge(root, b.Index)
+				exits++
+			}
+		}
+		if exits == 0 && nb > 0 {
+			// Degenerate: every block loops forever. Join the entry so
+			// queries still terminate.
+			addEdge(root, 0)
+		}
+	}
+
+	// Iterative postorder DFS from the root.
+	post2node := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	stack := []int{root}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		switch state[b] {
+		case 0:
+			state[b] = 1
+			for i := len(succs[b]) - 1; i >= 0; i-- {
+				s := succs[b][i]
+				if state[s] == 0 {
+					stack = append(stack, s)
+				}
+			}
+		case 1:
+			state[b] = 2
+			post2node = append(post2node, b)
+			stack = stack[:len(stack)-1]
+		default:
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	for i := range t.rpo {
+		t.rpo[i] = -1
+		t.idom[i] = -1
+	}
+	for i, b := range post2node {
+		t.rpo[b] = len(post2node) - 1 - i
+	}
+	t.idom[root] = root
+
+	order := make([]int, 0, len(post2node))
+	for i := len(post2node) - 1; i >= 0; i-- { // reverse postorder
+		order = append(order, post2node[i])
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for t.rpo[a] > t.rpo[b] {
+				a = t.idom[a]
+			}
+			for t.rpo[b] > t.rpo[a] {
+				b = t.idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if t.idom[p] == -1 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// Reachable reports whether block b was reachable from the tree's root(s).
+func (t *DomTree) Reachable(b *ir.Block) bool { return t.rpo[b.Index] >= 0 }
+
+// Idom returns the immediate dominator of b, or nil for the root,
+// unreachable blocks, and blocks whose immediate postdominator is the
+// virtual exit.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block {
+	i := t.idom[b.Index]
+	if i == -1 || i == b.Index || i >= len(t.blocks) {
+		return nil
+	}
+	return t.blocks[i]
+}
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself). Unreachable blocks dominate nothing and are dominated
+// by nothing except themselves.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	x := b.Index
+	for {
+		next := t.idom[x]
+		if next == x || next == -1 || next >= len(t.blocks) {
+			return false // reached the (possibly virtual) root
+		}
+		x = next
+		if x == a.Index {
+			return true
+		}
+	}
+}

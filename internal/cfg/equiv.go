@@ -1,0 +1,145 @@
+package cfg
+
+import "stridepf/internal/ir"
+
+// ControlEquiv answers control-equivalence queries: two blocks are control
+// equivalent when each executes if and only if the other does, which holds
+// when one dominates the other and is postdominated by it. The paper's
+// equivalent-load reduction (Section 2.1) requires the loads to sit in
+// control-equivalent blocks of the same loop.
+type ControlEquiv struct {
+	dom  *DomTree
+	pdom *DomTree
+}
+
+// NewControlEquiv builds the query structure from the function's dominator
+// and postdominator trees.
+func NewControlEquiv(dom, pdom *DomTree) *ControlEquiv {
+	return &ControlEquiv{dom: dom, pdom: pdom}
+}
+
+// Equivalent reports whether blocks a and b are control equivalent.
+func (ce *ControlEquiv) Equivalent(a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	if ce.dom.Dominates(a, b) && ce.pdom.Dominates(b, a) {
+		return true
+	}
+	return ce.dom.Dominates(b, a) && ce.pdom.Dominates(a, b)
+}
+
+// Defs is a per-function register-definition table: for every register, how
+// many instructions define it and (when unique) which one. Registers with
+// exactly one static definition can be traced through by the address
+// analysis without SSA.
+type Defs struct {
+	counts []int
+	def    []*ir.Instr
+}
+
+// ComputeDefs scans f and returns its definition table. Parameter registers
+// carry an implicit definition at function entry, so a parameter that is
+// also written by an instruction counts as multiply defined.
+func ComputeDefs(f *ir.Function) *Defs {
+	d := &Defs{counts: make([]int, f.NumRegs), def: make([]*ir.Instr, f.NumRegs)}
+	for _, p := range f.Params {
+		d.counts[p]++
+	}
+	f.Instrs(func(_ *ir.Block, _ int, in *ir.Instr) {
+		if in.Dst.Valid() {
+			d.counts[in.Dst]++
+			d.def[in.Dst] = in
+		}
+	})
+	return d
+}
+
+// Count returns the number of static definitions of r.
+func (d *Defs) Count(r ir.Reg) int {
+	if !r.Valid() || int(r) >= len(d.counts) {
+		return 0
+	}
+	return d.counts[r]
+}
+
+// SingleDef returns the unique defining instruction of r, or nil if r has
+// zero or several definitions.
+func (d *Defs) SingleDef(r ir.Reg) *ir.Instr {
+	if d.Count(r) != 1 {
+		return nil
+	}
+	return d.def[r]
+}
+
+// LoopInvariantReg reports whether register r is invariant in loop l: no
+// instruction inside the loop defines it. Loads whose address register is
+// loop invariant have stride zero and are excluded from stride profiling
+// (Section 3.2, first improvement to the naive method).
+func LoopInvariantReg(l *Loop, r ir.Reg) bool {
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.Defines(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddrExpr is the symbolic form base+offset of a load's address, where Base
+// is a virtual register and Off a compile-time constant. Two loads whose
+// addresses resolve to the same Base with different Offs "are different only
+// by compile-time constants" and therefore belong to one equivalent set.
+type AddrExpr struct {
+	// Base is the root register of the address computation.
+	Base ir.Reg
+	// Off is the accumulated compile-time displacement in bytes.
+	Off int64
+	// OK reports whether the analysis resolved the address.
+	OK bool
+}
+
+// ResolveAddr resolves the address of a memory instruction to base+offset
+// form. It starts from the instruction's address register and displacement,
+// then walks single-definition copy/add-immediate chains:
+//
+//	r2 = mov r1        => base(r2) = base(r1)
+//	r2 = addi r1, c    => base(r2) = base(r1), off += c
+//
+// Only registers with exactly one static definition in the function are
+// traced; this keeps the analysis sound without SSA. Unresolvable addresses
+// return AddrExpr{OK: false}.
+func ResolveAddr(defs *Defs, in *ir.Instr) AddrExpr {
+	if !in.Op.IsMemory() {
+		return AddrExpr{OK: false}
+	}
+	base := in.Src[0]
+	off := in.Imm
+	visited := map[ir.Reg]bool{base: true}
+	for steps := 0; steps < 64; steps++ {
+		def := defs.SingleDef(base)
+		if def == nil {
+			break
+		}
+		// A self-referential single definition (r = addi r, c inside a loop)
+		// is not a constant relationship; stop at the register itself.
+		if def.Src[0].Valid() && visited[def.Src[0]] {
+			break
+		}
+		switch def.Op {
+		case ir.OpMov:
+			base = def.Src[0]
+		case ir.OpAddI:
+			off += def.Imm
+			base = def.Src[0]
+		default:
+			return AddrExpr{Base: base, Off: off, OK: true}
+		}
+		visited[base] = true
+	}
+	if !base.Valid() {
+		return AddrExpr{OK: false}
+	}
+	return AddrExpr{Base: base, Off: off, OK: true}
+}

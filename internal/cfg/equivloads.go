@@ -1,0 +1,120 @@
+package cfg
+
+import (
+	"sort"
+
+	"stridepf/internal/ir"
+)
+
+// EquivSet is a set of equivalent loads per Section 2.1: loads inside the
+// same loop, in control-equivalent blocks, whose addresses differ only by
+// compile-time constants. They share one stride profile; only the
+// representative is instrumented, and the feedback pass expands prefetches
+// over the members' cache-line span.
+type EquivSet struct {
+	// Loop is the innermost loop containing the set.
+	Loop *Loop
+	// Base is the common resolved base register.
+	Base ir.Reg
+	// Members lists the loads, ordered by ascending offset.
+	Members []EquivLoad
+}
+
+// EquivLoad is one load of an equivalent set.
+type EquivLoad struct {
+	// Instr is the load instruction.
+	Instr *ir.Instr
+	// Block is the block containing it.
+	Block *ir.Block
+	// Off is the load's resolved constant offset from the set's base.
+	Off int64
+}
+
+// Rep returns the set's representative: the member with the smallest
+// offset. Profiling the smallest offset keeps the representative's stride
+// identical to each member's stride.
+func (s *EquivSet) Rep() EquivLoad { return s.Members[0] }
+
+// Span returns the byte range [lo, hi] covered by the first word of each
+// member relative to the representative.
+func (s *EquivSet) Span() (lo, hi int64) {
+	lo = s.Members[0].Off
+	hi = s.Members[len(s.Members)-1].Off
+	return lo, hi
+}
+
+// FindEquivalentLoads groups the given candidate loads of function f into
+// equivalent sets. Candidates typically come from the profiled-load
+// selection (in-loop loads with non-invariant addresses); loads that do not
+// resolve to base+offset form or have no equivalent partner become
+// singleton sets. Sets are returned in deterministic order.
+func FindEquivalentLoads(f *ir.Function, li *LoopInfo, ce *ControlEquiv, defs *Defs, candidates []*ir.Instr) []*EquivSet {
+	// Locate candidate blocks.
+	blockOf := make(map[*ir.Instr]*ir.Block, len(candidates))
+	pos := make(map[*ir.Instr]int, len(candidates))
+	order := 0
+	f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+		blockOf[in] = b
+		pos[in] = order
+		order++
+	})
+
+	var sets []*EquivSet
+	for _, in := range candidates {
+		b := blockOf[in]
+		if b == nil {
+			continue // not in this function
+		}
+		loop := li.InnermostLoop(b)
+		addr := ResolveAddr(defs, in)
+		placed := false
+		if addr.OK {
+			for _, s := range sets {
+				if s.Loop != loop || s.Base != addr.Base {
+					continue
+				}
+				// Must be control equivalent with the existing members'
+				// blocks (checking against the first member suffices given
+				// equivalence is transitive on dominator chains; we check
+				// all members to stay conservative).
+				ok := true
+				for _, m := range s.Members {
+					if !ce.Equivalent(m.Block, b) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				s.Members = append(s.Members, EquivLoad{Instr: in, Block: b, Off: addr.Off})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			base := addr.Base
+			if !addr.OK {
+				base = ir.NoReg
+			}
+			sets = append(sets, &EquivSet{
+				Loop:    loop,
+				Base:    base,
+				Members: []EquivLoad{{Instr: in, Block: b, Off: addr.Off}},
+			})
+		}
+	}
+
+	for _, s := range sets {
+		sort.SliceStable(s.Members, func(i, j int) bool {
+			if s.Members[i].Off != s.Members[j].Off {
+				return s.Members[i].Off < s.Members[j].Off
+			}
+			return pos[s.Members[i].Instr] < pos[s.Members[j].Instr]
+		})
+	}
+	sort.SliceStable(sets, func(i, j int) bool {
+		return pos[sets[i].Members[0].Instr] < pos[sets[j].Members[0].Instr]
+	})
+	return sets
+}

@@ -1,0 +1,133 @@
+package cfg
+
+import (
+	"testing"
+
+	"stridepf/internal/ir"
+)
+
+// equivLoop builds a loop whose body loads [p+0], [p+8] and [p+64] (one
+// equivalent set with base p), plus a load behind a branch (not control
+// equivalent) and a load from an unrelated register.
+func equivLoop() (*ir.Function, []*ir.Instr) {
+	b := ir.NewBuilder("f")
+	head := b.Block("head")
+	body := b.Block("body")
+	cond := b.Block("cond")
+	join := b.Block("join")
+	exit := b.Block("exit")
+
+	p := b.Param()
+	n := b.Const(100)
+	i := b.Const(0)
+	b.Br(head)
+
+	b.At(head)
+	b.CondBr(b.CmpLT(i, n), body, exit)
+
+	b.At(body)
+	l0 := b.Load(p, 0)
+	l8 := b.Load(p, 8)
+	q := b.AddI(p, 56)
+	l64 := b.Load(q, 8) // resolves to p+64
+	b.CondBr(l0.Dst, cond, join)
+
+	b.At(cond)
+	lc := b.Load(p, 16) // same base but conditional: not control equivalent
+	_ = lc
+	b.Br(join)
+
+	b.At(join)
+	lother := b.Load(l8.Dst, 0) // different base register
+	_ = lother
+	b.AddITo(p, p, 64)
+	b.AddITo(i, i, 1)
+	b.Br(head)
+
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+	return f, []*ir.Instr{l0, l8, l64, lc, lother}
+}
+
+func TestFindEquivalentLoads(t *testing.T) {
+	f, loads := equivLoop()
+	dom := Dominators(f)
+	li := FindLoops(f, dom)
+	ce := NewControlEquiv(dom, PostDominators(f))
+	defs := ComputeDefs(f)
+
+	sets := FindEquivalentLoads(f, li, ce, defs, loads)
+	if len(sets) != 3 {
+		for i, s := range sets {
+			t.Logf("set %d: base=%v members=%d", i, s.Base, len(s.Members))
+		}
+		t.Fatalf("got %d sets, want 3", len(sets))
+	}
+
+	main := sets[0]
+	if len(main.Members) != 3 {
+		t.Fatalf("main set has %d members, want 3", len(main.Members))
+	}
+	if main.Rep().Instr != loads[0] {
+		t.Error("representative should be the offset-0 load")
+	}
+	lo, hi := main.Span()
+	if lo != 0 || hi != 64 {
+		t.Errorf("span = [%d, %d], want [0, 64]", lo, hi)
+	}
+	offs := []int64{main.Members[0].Off, main.Members[1].Off, main.Members[2].Off}
+	if offs[0] != 0 || offs[1] != 8 || offs[2] != 64 {
+		t.Errorf("offsets = %v, want [0 8 64]", offs)
+	}
+
+	// The conditional load and the unrelated-base load are singletons.
+	if len(sets[1].Members) != 1 || len(sets[2].Members) != 1 {
+		t.Error("conditional / unrelated loads must form singleton sets")
+	}
+}
+
+func TestFindEquivalentLoadsDifferentLoops(t *testing.T) {
+	// Two sibling loops loading from the same base register must not be
+	// merged into one set.
+	b := ir.NewBuilder("g")
+	h1 := b.Block("h1")
+	b1 := b.Block("b1")
+	h2 := b.Block("h2")
+	b2 := b.Block("b2")
+	exit := b.Block("exit")
+
+	p := b.Param()
+	n := b.Const(10)
+	i := b.Const(0)
+	b.Br(h1)
+
+	b.At(h1)
+	b.CondBr(b.CmpLT(i, n), b1, h2)
+	b.At(b1)
+	ld1 := b.Load(p, 0)
+	_ = ld1
+	b.AddITo(i, i, 1)
+	b.Br(h1)
+
+	b.At(h2)
+	b.CondBr(b.CmpLT(i, n), b2, exit)
+	b.At(b2)
+	ld2 := b.Load(p, 8)
+	_ = ld2
+	b.AddITo(i, i, 2)
+	b.Br(h2)
+
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+
+	dom := Dominators(f)
+	li := FindLoops(f, dom)
+	ce := NewControlEquiv(dom, PostDominators(f))
+	defs := ComputeDefs(f)
+	sets := FindEquivalentLoads(f, li, ce, defs, []*ir.Instr{ld1, ld2})
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2 (different loops)", len(sets))
+	}
+}

@@ -1,0 +1,262 @@
+package cfg
+
+import (
+	"sort"
+
+	"stridepf/internal/ir"
+)
+
+// Loop is a natural loop discovered from back edges. Loops with the same
+// header are merged. Loop membership, entry edges and exit edges drive the
+// trip-count computation of Figure 10 and the placement of the trip-count
+// predicate of Figures 11-14.
+type Loop struct {
+	// Header is the loop's entry block (target of its back edges).
+	Header *ir.Block
+	// Blocks is the set of member blocks, keyed by block pointer.
+	Blocks map[*ir.Block]bool
+	// Parent is the innermost enclosing loop, or nil for top-level loops.
+	Parent *Loop
+	// Children are the loops immediately nested inside this one.
+	Children []*Loop
+	// Depth is the nesting depth (1 for top-level loops).
+	Depth int
+	// BackEdges lists the (latch -> header) edges forming the loop.
+	BackEdges []Edge
+	// EntryEdges lists edges from outside the loop into the header (the
+	// "incoming edges from outside" of Figure 13 whose frequencies sum to
+	// the pre-head frequency).
+	EntryEdges []Edge
+}
+
+// Edge is a CFG edge identified by its endpoint blocks. A CondBr with both
+// targets equal yields one Edge value; frequency instrumentation treats it
+// as a single counter, which preserves flow equations.
+type Edge struct {
+	// From is the source block.
+	From *ir.Block
+	// To is the destination block.
+	To *ir.Block
+}
+
+// Contains reports whether b is a member of the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// LoopInfo is the loop forest of a function plus block-to-loop and
+// irreducibility maps.
+type LoopInfo struct {
+	// Loops lists every natural loop, outermost first within each nest.
+	Loops []*Loop
+	// Top lists the top-level loops.
+	Top []*Loop
+	// byBlock maps a block to its innermost containing loop.
+	byBlock map[*ir.Block]*Loop
+	// irreducible marks blocks involved in irreducible flow; the paper
+	// treats loads there as out-loop loads (Section 2).
+	irreducible map[*ir.Block]bool
+}
+
+// InnermostLoop returns the innermost loop containing b, or nil.
+func (li *LoopInfo) InnermostLoop(b *ir.Block) *Loop { return li.byBlock[b] }
+
+// Irreducible reports whether b belongs to an irreducible region. Loads in
+// such blocks are classified as out-loop loads.
+func (li *LoopInfo) Irreducible(b *ir.Block) bool { return li.irreducible[b] }
+
+// InLoop reports whether b is inside some reducible natural loop and not in
+// an irreducible region — the paper's definition of an "in-loop" location.
+func (li *LoopInfo) InLoop(b *ir.Block) bool {
+	return li.byBlock[b] != nil && !li.irreducible[b]
+}
+
+// FindLoops discovers the natural-loop forest of f. dom must be the
+// dominator tree of f. Retreating edges whose target does not dominate
+// their source mark irreducible regions: every block reachable in the
+// region is flagged and no Loop is created for them.
+func FindLoops(f *ir.Function, dom *DomTree) *LoopInfo {
+	li := &LoopInfo{
+		byBlock:     make(map[*ir.Block]*Loop),
+		irreducible: make(map[*ir.Block]bool),
+	}
+
+	// Classify retreating edges with a DFS from the entry.
+	state := make(map[*ir.Block]uint8) // 1 = on stack, 2 = done
+	var backEdges []Edge
+	var irredTargets []Edge
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		state[b] = 1
+		for _, s := range b.Succs() {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1: // retreating edge
+				if dom.Dominates(s, b) {
+					backEdges = append(backEdges, Edge{b, s})
+				} else {
+					irredTargets = append(irredTargets, Edge{b, s})
+				}
+			}
+		}
+		state[b] = 2
+	}
+	if len(f.Blocks) > 0 {
+		dfs(f.Entry())
+	}
+
+	// Grow each natural loop backwards from the latch.
+	byHeader := make(map[*ir.Block]*Loop)
+	for _, e := range backEdges {
+		l := byHeader[e.To]
+		if l == nil {
+			l = &Loop{Header: e.To, Blocks: map[*ir.Block]bool{e.To: true}}
+			byHeader[e.To] = l
+		}
+		l.BackEdges = append(l.BackEdges, e)
+		// Backward reachability from the latch, stopping at the header.
+		// Entry-unreachable predecessors are skipped: they cannot execute
+		// and would break the header-dominates-members invariant.
+		stack := []*ir.Block{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Blocks[b] || !dom.Reachable(b) {
+				continue
+			}
+			l.Blocks[b] = true
+			for _, p := range b.Preds {
+				if !l.Blocks[p] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+
+	// Mark irreducible regions: the strongly-entangled blocks between an
+	// irreducible retreating edge's target and source. A simple conservative
+	// approximation: every block backward-reachable from the edge source
+	// without passing the entry, intersected with blocks reachable from the
+	// edge target — here we flag the backward slice from source to target.
+	for _, e := range irredTargets {
+		seen := map[*ir.Block]bool{}
+		stack := []*ir.Block{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[b] || b == f.Entry() {
+				continue
+			}
+			seen[b] = true
+			li.irreducible[b] = true
+			if b == e.To {
+				continue
+			}
+			for _, p := range b.Preds {
+				stack = append(stack, p)
+			}
+		}
+		li.irreducible[e.To] = true
+	}
+
+	// Assemble the forest: sort loops by size ascending so that the
+	// innermost loop claims each block first.
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return loops[i].Header.Index < loops[j].Header.Index
+	})
+	for _, l := range loops {
+		for b := range l.Blocks {
+			if li.byBlock[b] == nil {
+				li.byBlock[b] = l
+			}
+		}
+	}
+	// Parent: the innermost loop that contains ALL of l's blocks. (In fully
+	// reducible regions "contains the header" would suffice; requiring full
+	// containment stays correct when natural loops partially overlap next to
+	// irreducible flow.)
+	containsAll := func(outer, inner *Loop) bool {
+		if len(outer.Blocks) <= len(inner.Blocks) {
+			return false
+		}
+		for b := range inner.Blocks {
+			if !outer.Blocks[b] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, l := range loops {
+		for _, cand := range loops {
+			if cand == l || sameLoop(cand, l) {
+				continue
+			}
+			if containsAll(cand, l) {
+				if l.Parent == nil || len(cand.Blocks) < len(l.Parent.Blocks) {
+					l.Parent = cand
+				}
+			}
+		}
+	}
+	for _, l := range loops {
+		if l.Parent != nil {
+			l.Parent.Children = append(l.Parent.Children, l)
+		} else {
+			li.Top = append(li.Top, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, l := range li.Top {
+		setDepth(l, 1)
+	}
+
+	// Entry edges: predecessors of the header from outside the loop.
+	for _, l := range loops {
+		for _, p := range l.Header.Preds {
+			if !l.Blocks[p] {
+				l.EntryEdges = append(l.EntryEdges, Edge{p, l.Header})
+			}
+		}
+	}
+
+	// Deterministic order: outermost first, then header index.
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth < loops[j].Depth
+		}
+		return loops[i].Header.Index < loops[j].Header.Index
+	})
+	li.Loops = loops
+	return li
+}
+
+func sameLoop(a, b *Loop) bool { return a.Header == b.Header }
+
+// HeaderExitEdges returns the outgoing edges of the loop's header block
+// (Figure 13 sums their counters to obtain the header frequency under edge
+// profiling).
+func (l *Loop) HeaderExitEdges() []Edge {
+	succs := l.Header.Succs()
+	out := make([]Edge, 0, len(succs))
+	seen := make(map[*ir.Block]bool, len(succs))
+	for _, s := range succs {
+		if seen[s] {
+			continue // parallel edges share one counter
+		}
+		seen[s] = true
+		out = append(out, Edge{l.Header, s})
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+// Package core provides the end-to-end pipeline that ties the system
+// together, mirroring how the paper's research compiler is driven:
+//
+//  1. ProfilePass — instrument a workload's program (package instrument),
+//     execute it on the train input (package machine), and extract the
+//     combined edge + stride profile (packages profile and stride).
+//  2. BuildPrefetched — feed the profile back into the clean program and
+//     insert prefetching code (package prefetch).
+//  3. Execute / MeasureSpeedup — run clean and prefetched binaries on the
+//     reference input and compare cycle counts.
+//
+// The examples and the experiment harness are thin layers over this
+// package.
+package core
+
+import (
+	"fmt"
+
+	"stridepf/internal/cfg"
+	"stridepf/internal/instrument"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+)
+
+// Input selects a workload input data set. Scale controls the data-set
+// size in workload-specific units; Seed drives any randomised layout or
+// access decisions, so a given (Scale, Seed) pair is fully reproducible.
+type Input struct {
+	// Name labels the input ("train", "ref").
+	Name string
+	// Scale is the workload-specific size parameter.
+	Scale int
+	// Seed drives randomised layout and access patterns.
+	Seed uint64
+}
+
+// Workload couples a deterministic IR program with input installers. The
+// program must not depend on the input (profiles are keyed by instruction
+// ID and must transfer between inputs); all input variation goes through
+// memory contents written by Setup.
+type Workload interface {
+	// Name returns the benchmark-style name (e.g. "181.mcf").
+	Name() string
+	// Description is a one-line summary (Figure 15's description column).
+	Description() string
+	// Program returns the workload's IR. Implementations must return the
+	// same structure on every call (caching is typical).
+	Program() *ir.Program
+	// Setup writes the input data set into the machine's memory and plants
+	// the global pointers the program reads.
+	Setup(m *machine.Machine, in Input)
+	// Train and Ref return the two standard inputs.
+	Train() Input
+	Ref() Input
+}
+
+// RunStats captures one execution.
+type RunStats struct {
+	// Stats is the machine-level summary (cycles, instruction counts...).
+	Stats machine.Stats
+	// DemandMissCycles, PrefetchUseful, PrefetchLate and PrefetchDrops are
+	// copied from the cache hierarchy.
+	DemandMissCycles uint64
+	PrefetchUseful   uint64
+	PrefetchLate     uint64
+	PrefetchDrops    uint64
+	// LoadCounts gives dynamic reference counts per static load.
+	LoadCounts map[machine.LoadKey]uint64
+	// Ret is the program's return value (workloads return a checksum so
+	// transformed binaries can be checked for semantic equivalence).
+	Ret int64
+}
+
+// Execute runs prog against the given workload input and returns its stats.
+// The workload's Setup installs the input; prog may be the clean program,
+// an instrumented clone or a prefetched clone (their instruction IDs all
+// agree).
+func Execute(prog *ir.Program, w Workload, in Input, mcfg machine.Config) (RunStats, error) {
+	m, err := machine.New(prog, mcfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	w.Setup(m, in)
+	ret, err := m.Run()
+	if err != nil {
+		return RunStats{}, fmt.Errorf("core: %s/%s: %w", w.Name(), in.Name, err)
+	}
+	return snapshot(m, ret), nil
+}
+
+func snapshot(m *machine.Machine, ret int64) RunStats {
+	return RunStats{
+		Stats:            m.Stats(),
+		DemandMissCycles: m.Hier.DemandMissCycles,
+		PrefetchUseful:   m.Hier.PrefetchUseful,
+		PrefetchLate:     m.Hier.PrefetchLate,
+		PrefetchDrops:    m.Hier.PrefetchDrops,
+		LoadCounts:       m.LoadCounts(),
+		Ret:              ret,
+	}
+}
+
+// ProfileRun is the outcome of an instrumented (profiling) execution.
+type ProfileRun struct {
+	// Profiles is the combined edge + stride profile.
+	Profiles *profile.Combined
+	// Instr is the instrumentation result (profiled-load list...).
+	Instr *instrument.Result
+	// Stats is the instrumented run's execution summary.
+	Stats RunStats
+	// ProgramLoadRefs counts dynamic references of the program's own loads
+	// (instrumentation counter loads excluded) — the denominator of the
+	// paper's Figures 17, 21 and 22.
+	ProgramLoadRefs uint64
+	// InLoopLoadRefs counts references of loads inside reducible loops.
+	InLoopLoadRefs uint64
+	// ProcessedRefs counts references processed by strideProf after
+	// sampling (Figure 21's numerator).
+	ProcessedRefs int64
+	// LFUCalls counts references reaching the LFU routine (Figure 22).
+	LFUCalls int64
+	// HookInvocations counts strideProf entries before sampling.
+	HookInvocations int64
+}
+
+// ProfilePass instruments the workload per opts, runs it on input in, and
+// extracts profiles and profiling-cost statistics.
+func ProfilePass(w Workload, in Input, opts instrument.Options, mcfg machine.Config) (*ProfileRun, error) {
+	prog := w.Program()
+	res, err := instrument.Instrument(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(res.Prog, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Runtime != nil {
+		res.Runtime.Register(m)
+	}
+	w.Setup(m, in)
+	ret, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling %s/%s with %v: %w", w.Name(), in.Name, opts.Method, err)
+	}
+
+	pr := &ProfileRun{
+		Instr: res,
+		Stats: snapshot(m, ret),
+		Profiles: &profile.Combined{
+			Edge:   res.ExtractEdgeProfile(m),
+			Stride: profile.NewStrideProfile(res.StrideSummaries()),
+		},
+	}
+	if res.Runtime != nil {
+		pr.ProcessedRefs = res.Runtime.ProcessedRefs()
+		pr.LFUCalls = res.Runtime.LFUCalls()
+		pr.HookInvocations = res.Runtime.Invocations
+	}
+	pr.ProgramLoadRefs, pr.InLoopLoadRefs = programLoadRefs(prog, pr.Stats.LoadCounts)
+	return pr, nil
+}
+
+// programLoadRefs sums dynamic references over the loads present in the
+// original (uninstrumented) program, total and in-loop.
+func programLoadRefs(orig *ir.Program, counts map[machine.LoadKey]uint64) (total, inLoop uint64) {
+	inLoopKeys := OriginalLoadKeys(orig)
+	for key, inl := range inLoopKeys {
+		c := counts[key]
+		total += c
+		if inl {
+			inLoop += c
+		}
+	}
+	return total, inLoop
+}
+
+// OriginalLoadKeys returns every static load of the program mapped to
+// whether it sits inside a reducible loop. Used to separate program loads
+// from instrumentation loads and to weight the Figure 17/18/19
+// distributions.
+func OriginalLoadKeys(prog *ir.Program) map[machine.LoadKey]bool {
+	out := make(map[machine.LoadKey]bool)
+	for name, f := range prog.Funcs {
+		f.RebuildEdges()
+		li := loopInfoOf(f)
+		f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+			if in.Op == ir.OpLoad {
+				out[machine.LoadKey{Func: name, ID: in.ID}] = li.InLoop(b)
+			}
+		})
+	}
+	return out
+}
+
+func loopInfoOf(f *ir.Function) *cfg.LoopInfo {
+	return cfg.FindLoops(f, cfg.Dominators(f))
+}
+
+// BuildPrefetched applies the feedback pass to the workload's clean program.
+func BuildPrefetched(w Workload, prof *profile.Combined, opts prefetch.Options) (*prefetch.Result, error) {
+	return prefetch.Apply(w.Program(), prof, opts)
+}
+
+// SpeedupResult compares a clean and a prefetched execution.
+type SpeedupResult struct {
+	// Base and Prefetched are the two runs' stats.
+	Base, Prefetched RunStats
+	// Speedup is base cycles over prefetched cycles (1.2 = 20% faster).
+	Speedup float64
+	// Feedback is the feedback pass's outcome.
+	Feedback *prefetch.Result
+}
+
+// MeasureSpeedup builds the prefetched binary from prof and runs both the
+// clean and the prefetched program on input in. It verifies that both
+// executions return the same value (the transformation must preserve
+// semantics) and returns the cycle-count comparison.
+func MeasureSpeedup(w Workload, in Input, prof *profile.Combined, popts prefetch.Options, mcfg machine.Config) (*SpeedupResult, error) {
+	fb, err := BuildPrefetched(w, prof, popts)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Execute(w.Program(), w, in, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := Execute(fb.Prog, w, in, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if base.Ret != pf.Ret {
+		return nil, fmt.Errorf("core: %s: prefetched binary returned %d, clean returned %d",
+			w.Name(), pf.Ret, base.Ret)
+	}
+	return &SpeedupResult{
+		Base:       base,
+		Prefetched: pf,
+		Speedup:    float64(base.Stats.Cycles) / float64(pf.Stats.Cycles),
+		Feedback:   fb,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+	"stridepf/internal/workloads"
+)
+
+// MethodSpec names one profiling configuration of the paper's evaluation.
+type MethodSpec struct {
+	// Name is the figure label ("edge-check", "sample-naive-all", ...).
+	Name string
+	// Opts is the instrumentation configuration.
+	Opts instrument.Options
+}
+
+// sampledConfig is the Figure 9 sampling setup, scaled from the paper's
+// N1 = 8M / N2 = 2M (against billions of references) to this simulator's
+// run lengths while keeping the paper's 4:1 skip:profile ratio and F = 4.
+// The absolute chunk sizes stay small relative to a workload phase so every
+// phase falls into some profiled window.
+func sampledConfig() stride.Config {
+	return stride.Config{FineInterval: 4, ChunkSkip: 1_200, ChunkProfile: 300}
+}
+
+// PaperMethods returns the six one-pass profiling methods evaluated in
+// Section 4, in the paper's presentation order.
+func PaperMethods() []MethodSpec {
+	return []MethodSpec{
+		{Name: "edge-check", Opts: instrument.Options{Method: instrument.EdgeCheck}},
+		{Name: "naive-loop", Opts: instrument.Options{Method: instrument.NaiveLoop}},
+		{Name: "naive-all", Opts: instrument.Options{Method: instrument.NaiveAll}},
+		{Name: "sample-edge-check", Opts: instrument.Options{Method: instrument.EdgeCheck, Stride: sampledConfig()}},
+		{Name: "sample-naive-loop", Opts: instrument.Options{Method: instrument.NaiveLoop, Stride: sampledConfig()}},
+		{Name: "sample-naive-all", Opts: instrument.Options{Method: instrument.NaiveAll, Stride: sampledConfig()}},
+	}
+}
+
+// Config parameterises an experiment session.
+type Config struct {
+	// Workloads selects benchmarks by name; empty selects all twelve.
+	Workloads []string
+	// Machine configures the simulated machine.
+	Machine machine.Config
+	// Prefetch configures the feedback pass.
+	Prefetch prefetch.Options
+}
+
+func (c *Config) names() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return workloads.Names()
+}
+
+// Session runs and memoises the pipeline stages the figures share: one
+// profiling run per (workload, method, input), one clean measurement run
+// per (workload, input), and one prefetched measurement per profile.
+type Session struct {
+	cfg Config
+
+	profiles map[string]*core.ProfileRun
+	cleans   map[string]core.RunStats
+	speedups map[string]*speedupEntry
+}
+
+type speedupEntry struct {
+	run      core.RunStats
+	feedback *prefetch.Result
+	speedup  float64
+}
+
+// NewSession returns an empty session.
+func NewSession(cfg Config) *Session {
+	return &Session{
+		cfg:      cfg,
+		profiles: make(map[string]*core.ProfileRun),
+		cleans:   make(map[string]core.RunStats),
+		speedups: make(map[string]*speedupEntry),
+	}
+}
+
+func (s *Session) workload(name string) (core.Workload, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Profile returns the memoised profiling run of the workload under the
+// given method and input.
+func (s *Session) Profile(wname string, m MethodSpec, in core.Input) (*core.ProfileRun, error) {
+	key := wname + "|" + m.Name + "|" + in.Name
+	if pr, ok := s.profiles[key]; ok {
+		return pr, nil
+	}
+	w, err := s.workload(wname)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := core.ProfilePass(w, in, m.Opts, s.cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles[key] = pr
+	return pr, nil
+}
+
+// Clean returns the memoised uninstrumented run of the workload on input.
+func (s *Session) Clean(wname string, in core.Input) (core.RunStats, error) {
+	key := wname + "|" + in.Name
+	if st, ok := s.cleans[key]; ok {
+		return st, nil
+	}
+	w, err := s.workload(wname)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	st, err := core.Execute(w.Program(), w, in, s.cfg.Machine)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	s.cleans[key] = st
+	return st, nil
+}
+
+// Speedup builds the prefetched binary from prof (labelled profLabel for
+// memoisation) and measures it against the clean binary on input in.
+func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in core.Input) (*speedupEntry, error) {
+	key := wname + "|" + profLabel + "|" + in.Name
+	if e, ok := s.speedups[key]; ok {
+		return e, nil
+	}
+	w, err := s.workload(wname)
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.Clean(wname, in)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := core.BuildPrefetched(w, prof, s.cfg.Prefetch)
+	if err != nil {
+		return nil, err
+	}
+	run, err := core.Execute(fb.Prog, w, in, s.cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if run.Ret != base.Ret {
+		return nil, fmt.Errorf("experiments: %s: prefetched binary diverged (%d vs %d)",
+			wname, run.Ret, base.Ret)
+	}
+	e := &speedupEntry{
+		run:      run,
+		feedback: fb,
+		speedup:  float64(base.Stats.Cycles) / float64(run.Stats.Cycles),
+	}
+	s.speedups[key] = e
+	return e, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/workloads"
+)
+
+// Fig16Variance measures how stable one benchmark's Figure 16 speedup is
+// across input seeds: the workload's train and ref inputs are re-seeded n
+// times (changing allocation scars, phase lengths and probe sequences) and
+// the full edge-check pipeline runs for each. The table lists one row per
+// seed plus mean/min/max — the simulation-side analogue of re-running the
+// paper's experiment on different machine states.
+func Fig16Variance(workload string, n int) (*Table, error) {
+	w := workloads.Get(workload)
+	if w == nil {
+		return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 16 variance: %s over %d seeds (edge-check)", workload, n),
+		Columns: []string{"speedup"},
+	}
+	var values []float64
+	for k := 0; k < n; k++ {
+		train := w.Train()
+		ref := w.Ref()
+		train.Seed += uint64(1000 * (k + 1))
+		ref.Seed += uint64(1000 * (k + 1))
+
+		sw := &reseeded{Workload: w, train: train, ref: ref}
+		pr, err := core.ProfilePass(sw, sw.Train(),
+			instrument.Options{Method: instrument.EdgeCheck}, machine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		sr, err := core.MeasureSpeedup(sw, sw.Ref(), pr.Profiles, prefetch.Options{}, machine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, sr.Speedup)
+		t.AddRow(fmt.Sprintf("seed+%d", 1000*(k+1)), sr.Speedup)
+	}
+
+	mean, min, max := summarize(values)
+	t.AddRow("mean", mean)
+	t.AddRow("min", min)
+	t.AddRow("max", max)
+	return t, nil
+}
+
+func summarize(v []float64) (mean, min, max float64) {
+	if len(v) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	min, max = v[0], v[0]
+	for _, x := range v {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	mean /= float64(len(v))
+	return mean, min, max
+}
+
+// reseeded overrides a workload's input seeds.
+type reseeded struct {
+	core.Workload
+	train, ref core.Input
+}
+
+func (r *reseeded) Train() core.Input { return r.train }
+func (r *reseeded) Ref() core.Input   { return r.ref }

@@ -1,0 +1,153 @@
+// Package hwpf implements a hardware stride prefetcher based on a
+// reference prediction table (RPT), in the style the paper's Related Work
+// cites as the hardware alternative (Chen & Baer; Dahlgren & Stenström):
+// a PC-indexed table records each load's last address and stride and walks
+// a four-state automaton; loads in the steady state trigger prefetches of
+// the predicted next lines.
+//
+// The paper argues software profile-guided prefetching is a viable
+// alternative that avoids the hardware table's capacity pressure ("for a
+// program with many loads that miss cache, the hardware tables may
+// overflow and cause useful strides to be thrown away"); the benchmark
+// harness compares both on the same workloads.
+package hwpf
+
+import "stridepf/internal/cache"
+
+// state is the RPT automaton state.
+type state uint8
+
+const (
+	initial state = iota
+	transient
+	steady
+	noPred
+)
+
+// Config sizes the table.
+type Config struct {
+	// Entries is the total entry count; zero selects 64 (a typical small
+	// hardware budget).
+	Entries int
+	// Ways is the associativity; zero selects 4.
+	Ways int
+	// Distance is how many strides ahead to prefetch in steady state; zero
+	// selects 4.
+	Distance int
+}
+
+func (c *Config) fill() {
+	if c.Entries == 0 {
+		c.Entries = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.Distance == 0 {
+		c.Distance = 4
+	}
+}
+
+type entry struct {
+	valid    bool
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	st       state
+	lru      uint64
+}
+
+// RPT is the reference prediction table. It implements
+// machine.HWPrefetcher.
+type RPT struct {
+	cfg  Config
+	sets int
+	tab  []entry
+	tick uint64
+
+	// Issued counts prefetches triggered; Replaced counts entry evictions
+	// (the capacity pressure the paper warns about).
+	Issued, Replaced uint64
+}
+
+// New returns an empty table.
+func New(cfg Config) *RPT {
+	cfg.fill()
+	if cfg.Entries%cfg.Ways != 0 {
+		panic("hwpf: entries must divide by ways")
+	}
+	return &RPT{cfg: cfg, sets: cfg.Entries / cfg.Ways, tab: make([]entry, cfg.Entries)}
+}
+
+// Observe records one execution of the static load identified by pc at
+// address addr, updating the automaton and possibly issuing a prefetch
+// into hier.
+func (r *RPT) Observe(pc uint64, addr uint64, hier *cache.Hierarchy, now uint64) {
+	set := int(pc % uint64(r.sets))
+	base := set * r.cfg.Ways
+	r.tick++
+
+	// Lookup.
+	victim := base
+	for w := 0; w < r.cfg.Ways; w++ {
+		i := base + w
+		e := &r.tab[i]
+		if e.valid && e.tag == pc {
+			r.update(e, addr, hier, now)
+			e.lru = r.tick
+			return
+		}
+		if !e.valid {
+			victim = i
+			continue
+		}
+		if r.tab[victim].valid && e.lru < r.tab[victim].lru {
+			victim = i
+		}
+	}
+	// Miss: allocate.
+	if r.tab[victim].valid {
+		r.Replaced++
+	}
+	r.tab[victim] = entry{valid: true, tag: pc, lastAddr: addr, st: initial, lru: r.tick}
+}
+
+// update advances the Chen & Baer automaton for a hit.
+func (r *RPT) update(e *entry, addr uint64, hier *cache.Hierarchy, now uint64) {
+	newStride := int64(addr) - int64(e.lastAddr)
+	match := newStride == e.stride && newStride != 0
+	switch e.st {
+	case initial:
+		if match {
+			e.st = steady
+		} else {
+			e.stride = newStride
+			e.st = transient
+		}
+	case transient:
+		if match {
+			e.st = steady
+		} else {
+			e.stride = newStride
+			e.st = noPred
+		}
+	case steady:
+		if !match {
+			e.st = initial
+		}
+	case noPred:
+		if match {
+			e.st = transient
+		} else {
+			e.stride = newStride
+		}
+	}
+	e.lastAddr = addr
+	if e.st == steady {
+		target := int64(addr) + e.stride*int64(r.cfg.Distance)
+		if target > 0 {
+			hier.Prefetch(uint64(target), now)
+			r.Issued++
+		}
+	}
+}

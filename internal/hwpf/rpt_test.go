@@ -1,0 +1,92 @@
+package hwpf
+
+import (
+	"testing"
+
+	"stridepf/internal/cache"
+)
+
+func newHier() *cache.Hierarchy { return cache.NewHierarchy(cache.ItaniumConfig()) }
+
+func TestSteadyStateAfterTwoMatches(t *testing.T) {
+	r := New(Config{})
+	h := newHier()
+	// Three accesses with constant stride: init -> steady (first stride
+	// observation sets the stride, second confirms it).
+	r.Observe(1, 0x1000, h, 0)
+	r.Observe(1, 0x1040, h, 10) // stride 64 learned (initial -> transient)
+	r.Observe(1, 0x1080, h, 20) // confirmed -> steady, prefetch issued
+	if r.Issued == 0 {
+		t.Fatal("steady state did not issue a prefetch")
+	}
+	// The prefetched line is Distance strides ahead.
+	want := uint64(0x1080 + 4*64)
+	if !h.Level(0).Contains(want) {
+		// The line may still be in flight; a demand access must find it.
+		lat := h.Load(want, 1_000)
+		if lat >= h.Config().MemLatency {
+			t.Errorf("predicted line not prefetched (latency %d)", lat)
+		}
+	}
+}
+
+func TestNoPrefetchOnIrregularStream(t *testing.T) {
+	r := New(Config{})
+	h := newHier()
+	addrs := []uint64{0x1000, 0x9350, 0x2228, 0x77777, 0x31110, 0x5048}
+	for i, a := range addrs {
+		r.Observe(7, a, h, uint64(i*10))
+	}
+	if r.Issued != 0 {
+		t.Errorf("issued %d prefetches on an irregular stream", r.Issued)
+	}
+}
+
+func TestSteadyRecoversAfterPhaseChange(t *testing.T) {
+	r := New(Config{})
+	h := newHier()
+	a := uint64(0x1000)
+	for i := 0; i < 10; i++ {
+		r.Observe(1, a, h, uint64(i))
+		a += 64
+	}
+	issued := r.Issued
+	if issued == 0 {
+		t.Fatal("no prefetches in steady phase")
+	}
+	// Phase change: one wild address, then a new constant stride.
+	r.Observe(1, 0xFF0000, h, 100)
+	a = 0xFF0000
+	for i := 0; i < 6; i++ {
+		a += 128
+		r.Observe(1, a, h, uint64(200+i))
+	}
+	if r.Issued <= issued {
+		t.Error("automaton did not recover steady state after phase change")
+	}
+}
+
+func TestCapacityPressureEvicts(t *testing.T) {
+	r := New(Config{Entries: 8, Ways: 2})
+	h := newHier()
+	// 64 distinct static loads thrash an 8-entry table.
+	for pc := uint64(0); pc < 64; pc++ {
+		for i := 0; i < 3; i++ {
+			r.Observe(pc, uint64(0x1000+pc*0x10000+uint64(i)*64), h, 0)
+		}
+	}
+	if r.Replaced == 0 {
+		t.Error("no replacements under capacity pressure")
+	}
+}
+
+func TestZeroStrideDoesNotPrefetch(t *testing.T) {
+	r := New(Config{})
+	h := newHier()
+	for i := 0; i < 10; i++ {
+		r.Observe(3, 0x4000, h, uint64(i))
+	}
+	if r.Issued != 0 {
+		t.Errorf("issued %d prefetches for a zero-stride load", r.Issued)
+	}
+}

@@ -1,0 +1,75 @@
+package instrument
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stridepf/internal/ir"
+)
+
+// chaseLoop builds the canonical Figure 3(a)/Figure 14 subject: a two-pass
+// pointer chase whose instrumented listing is pinned by a golden file.
+func chaseLoop() *ir.Program {
+	b := ir.NewBuilder("main")
+	ohead := b.Block("ohead")
+	head := b.Block("head")
+	body := b.Block("body")
+	oinc := b.Block("oinc")
+	exit := b.Block("exit")
+
+	sum := b.Const(0)
+	zero := b.Const(0)
+	passes := b.Load(b.Const(0x2008), 0).Dst
+	i := b.Const(0)
+	p := b.F.NewReg()
+	b.Br(ohead)
+
+	b.At(ohead)
+	b.CondBr(b.CmpLT(i, passes), head, exit)
+
+	b.At(head)
+	b.LoadTo(p, b.Const(0x2000), 0)
+	b.Br(body)
+
+	b.At(body)
+	v := b.Load(p, 8)
+	b.LoadTo(p, p, 0)
+	b.Mov(sum, b.Add(sum, v.Dst))
+	b.CondBr(b.CmpNE(p, zero), body, oinc)
+
+	b.At(oinc)
+	b.AddITo(i, i, 1)
+	b.Br(ohead)
+
+	b.At(exit)
+	b.Ret(sum)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+	return prog
+}
+
+// TestEdgeCheckGoldenListing pins the edge-check instrumentation output
+// (Figure 14's counter triples, trip-check sequence and guarded hook).
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/instrument -run Golden.
+func TestEdgeCheckGoldenListing(t *testing.T) {
+	res, err := Instrument(chaseLoop(), Options{Method: EdgeCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ir.PrintProgram(res.Prog)
+	path := filepath.Join("testdata", "edgecheck.golden")
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("instrumented listing changed; review and regenerate with UPDATE_GOLDEN=1\n--- got\n%s", got)
+	}
+}

@@ -1,0 +1,293 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient fluent API for constructing IR functions.
+// It tracks a current insertion block; each emit method appends one
+// instruction to that block and returns either the destination register or
+// the instruction itself.
+//
+// Builders are how the synthetic workloads (package workloads), the tests
+// and the examples construct programs; the instrumentation and prefetching
+// passes edit functions directly instead.
+type Builder struct {
+	// F is the function under construction.
+	F *Function
+	// B is the current insertion block.
+	B *Block
+}
+
+// NewBuilder returns a builder for a new function with the given name,
+// positioned at its entry block.
+func NewBuilder(name string) *Builder {
+	f := NewFunction(name)
+	return &Builder{F: f, B: f.Entry()}
+}
+
+// At moves the insertion point to block b and returns the builder.
+func (bl *Builder) At(b *Block) *Builder {
+	bl.B = b
+	return bl
+}
+
+// Block creates a new block (without moving the insertion point).
+func (bl *Builder) Block(hint string) *Block { return bl.F.NewBlock(hint) }
+
+// Param allocates a parameter register.
+func (bl *Builder) Param() Reg { return bl.F.NewParam() }
+
+// emit appends in to the current block, assigning it a fresh ID.
+func (bl *Builder) emit(in *Instr) *Instr {
+	if bl.B == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := bl.B.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in block %s", in, bl.B.Name))
+	}
+	in.ID = bl.F.NextInstrID()
+	bl.B.Instrs = append(bl.B.Instrs, in)
+	return in
+}
+
+// Const emits Dst = imm and returns Dst.
+func (bl *Builder) Const(imm int64) Reg {
+	in := NewInstr(OpConst)
+	in.Dst = bl.F.NewReg()
+	in.Imm = imm
+	bl.emit(in)
+	return in.Dst
+}
+
+// Mov emits dst = src into an explicit destination register.
+func (bl *Builder) Mov(dst, src Reg) *Instr {
+	in := NewInstr(OpMov)
+	in.Dst = dst
+	in.Src[0] = src
+	return bl.emit(in)
+}
+
+// MovConst emits dst = imm into an explicit destination register.
+func (bl *Builder) MovConst(dst Reg, imm int64) *Instr {
+	in := NewInstr(OpConst)
+	in.Dst = dst
+	in.Imm = imm
+	return bl.emit(in)
+}
+
+// binary emits a two-source arithmetic instruction with a fresh destination.
+func (bl *Builder) binary(op Opcode, a, b Reg) Reg {
+	in := NewInstr(op)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = a
+	in.Src[1] = b
+	bl.emit(in)
+	return in.Dst
+}
+
+// Add emits a+b. Sub, Mul, Div, Rem, And, Or, Xor, Shl and Shr are analogous.
+func (bl *Builder) Add(a, b Reg) Reg { return bl.binary(OpAdd, a, b) }
+
+// Sub emits a-b.
+func (bl *Builder) Sub(a, b Reg) Reg { return bl.binary(OpSub, a, b) }
+
+// Mul emits a*b.
+func (bl *Builder) Mul(a, b Reg) Reg { return bl.binary(OpMul, a, b) }
+
+// Div emits a/b (0 on zero divisor).
+func (bl *Builder) Div(a, b Reg) Reg { return bl.binary(OpDiv, a, b) }
+
+// Rem emits a%b (0 on zero divisor).
+func (bl *Builder) Rem(a, b Reg) Reg { return bl.binary(OpRem, a, b) }
+
+// And emits a&b.
+func (bl *Builder) And(a, b Reg) Reg { return bl.binary(OpAnd, a, b) }
+
+// Or emits a|b.
+func (bl *Builder) Or(a, b Reg) Reg { return bl.binary(OpOr, a, b) }
+
+// Xor emits a^b.
+func (bl *Builder) Xor(a, b Reg) Reg { return bl.binary(OpXor, a, b) }
+
+// Shl emits a<<b.
+func (bl *Builder) Shl(a, b Reg) Reg { return bl.binary(OpShl, a, b) }
+
+// Shr emits a>>b (arithmetic).
+func (bl *Builder) Shr(a, b Reg) Reg { return bl.binary(OpShr, a, b) }
+
+// AddI emits a+imm.
+func (bl *Builder) AddI(a Reg, imm int64) Reg {
+	in := NewInstr(OpAddI)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = a
+	in.Imm = imm
+	bl.emit(in)
+	return in.Dst
+}
+
+// AddITo emits dst = a+imm into an explicit destination register (used for
+// in-place pointer bumps such as "p = p + 8").
+func (bl *Builder) AddITo(dst, a Reg, imm int64) *Instr {
+	in := NewInstr(OpAddI)
+	in.Dst = dst
+	in.Src[0] = a
+	in.Imm = imm
+	return bl.emit(in)
+}
+
+// ShlI emits a<<imm.
+func (bl *Builder) ShlI(a Reg, imm int64) Reg {
+	in := NewInstr(OpShlI)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = a
+	in.Imm = imm
+	bl.emit(in)
+	return in.Dst
+}
+
+// ShrI emits a>>imm.
+func (bl *Builder) ShrI(a Reg, imm int64) Reg {
+	in := NewInstr(OpShrI)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = a
+	in.Imm = imm
+	bl.emit(in)
+	return in.Dst
+}
+
+// AndI emits a&imm.
+func (bl *Builder) AndI(a Reg, imm int64) Reg {
+	in := NewInstr(OpAndI)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = a
+	in.Imm = imm
+	bl.emit(in)
+	return in.Dst
+}
+
+// cmp emits a comparison producing 0/1 in a fresh register.
+func (bl *Builder) cmp(op Opcode, a, b Reg) Reg { return bl.binary(op, a, b) }
+
+// CmpEQ emits (a==b). CmpNE, CmpLT, CmpLE, CmpGT, CmpGE are analogous.
+func (bl *Builder) CmpEQ(a, b Reg) Reg { return bl.cmp(OpCmpEQ, a, b) }
+
+// CmpNE emits (a!=b).
+func (bl *Builder) CmpNE(a, b Reg) Reg { return bl.cmp(OpCmpNE, a, b) }
+
+// CmpLT emits (a<b).
+func (bl *Builder) CmpLT(a, b Reg) Reg { return bl.cmp(OpCmpLT, a, b) }
+
+// CmpLE emits (a<=b).
+func (bl *Builder) CmpLE(a, b Reg) Reg { return bl.cmp(OpCmpLE, a, b) }
+
+// CmpGT emits (a>b).
+func (bl *Builder) CmpGT(a, b Reg) Reg { return bl.cmp(OpCmpGT, a, b) }
+
+// CmpGE emits (a>=b).
+func (bl *Builder) CmpGE(a, b Reg) Reg { return bl.cmp(OpCmpGE, a, b) }
+
+// Load emits dst = M[base+off] into a fresh register and returns the
+// instruction (whose Dst field holds the result register).
+func (bl *Builder) Load(base Reg, off int64) *Instr {
+	in := NewInstr(OpLoad)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = base
+	in.Imm = off
+	return bl.emit(in)
+}
+
+// LoadTo emits dst = M[base+off] into an explicit destination register.
+func (bl *Builder) LoadTo(dst, base Reg, off int64) *Instr {
+	in := NewInstr(OpLoad)
+	in.Dst = dst
+	in.Src[0] = base
+	in.Imm = off
+	return bl.emit(in)
+}
+
+// Store emits M[base+off] = val.
+func (bl *Builder) Store(base Reg, off int64, val Reg) *Instr {
+	in := NewInstr(OpStore)
+	in.Src[0] = base
+	in.Src[1] = val
+	in.Imm = off
+	return bl.emit(in)
+}
+
+// Prefetch emits prefetch M[base+off].
+func (bl *Builder) Prefetch(base Reg, off int64) *Instr {
+	in := NewInstr(OpPrefetch)
+	in.Src[0] = base
+	in.Imm = off
+	return bl.emit(in)
+}
+
+// Alloc emits dst = alloc(size) and returns the instruction.
+func (bl *Builder) Alloc(size Reg) *Instr {
+	in := NewInstr(OpAlloc)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = size
+	return bl.emit(in)
+}
+
+// Rand emits dst = rand(bound) and returns dst.
+func (bl *Builder) Rand(bound Reg) Reg {
+	in := NewInstr(OpRand)
+	in.Dst = bl.F.NewReg()
+	in.Src[0] = bound
+	bl.emit(in)
+	return in.Dst
+}
+
+// Br emits an unconditional branch to target.
+func (bl *Builder) Br(target *Block) *Instr {
+	in := NewInstr(OpBr)
+	in.Targets = []*Block{target}
+	return bl.emit(in)
+}
+
+// CondBr emits a conditional branch: to then if cond != 0, else to els.
+func (bl *Builder) CondBr(cond Reg, then, els *Block) *Instr {
+	in := NewInstr(OpCondBr)
+	in.Src[0] = cond
+	in.Targets = []*Block{then, els}
+	return bl.emit(in)
+}
+
+// Call emits a call to callee with the given arguments, returning the
+// instruction; the result register is the instruction's Dst.
+func (bl *Builder) Call(callee string, args ...Reg) *Instr {
+	in := NewInstr(OpCall)
+	in.Dst = bl.F.NewReg()
+	in.Callee = callee
+	in.Args = args
+	return bl.emit(in)
+}
+
+// CallVoid emits a call whose result is discarded.
+func (bl *Builder) CallVoid(callee string, args ...Reg) *Instr {
+	in := NewInstr(OpCall)
+	in.Callee = callee
+	in.Args = args
+	return bl.emit(in)
+}
+
+// Ret emits a return of val (pass NoReg to return 0).
+func (bl *Builder) Ret(val Reg) *Instr {
+	in := NewInstr(OpRet)
+	in.Src[0] = val
+	return bl.emit(in)
+}
+
+// Hook emits a runtime hook invocation with the given hook ID and arguments.
+func (bl *Builder) Hook(id int64, args ...Reg) *Instr {
+	in := NewInstr(OpHook)
+	in.Imm = id
+	in.Args = args
+	return bl.emit(in)
+}
+
+// Finish rebuilds CFG edges and returns the completed function.
+func (bl *Builder) Finish() *Function {
+	bl.F.RebuildEdges()
+	return bl.F
+}

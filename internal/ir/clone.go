@@ -1,0 +1,50 @@
+package ir
+
+// CloneFunction returns a deep copy of f. Instruction IDs, block names and
+// register numbering are preserved, so profile data keyed by (function name,
+// instruction ID) remains valid for the clone. The clone shares nothing with
+// the original: passes may freely rewrite it.
+func CloneFunction(f *Function) *Function {
+	nf := &Function{
+		Name:        f.Name,
+		Params:      append([]Reg(nil), f.Params...),
+		NumRegs:     f.NumRegs,
+		nextInstrID: f.nextInstrID,
+		nextBlockID: f.nextBlockID,
+	}
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{Index: b.Index, Name: b.Name}
+		blockMap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			ni := *in // shallow copy of the value
+			if in.Targets != nil {
+				ni.Targets = make([]*Block, len(in.Targets))
+				for j, t := range in.Targets {
+					ni.Targets[j] = blockMap[t]
+				}
+			}
+			if in.Args != nil {
+				ni.Args = append([]Reg(nil), in.Args...)
+			}
+			nb.Instrs[i] = &ni
+		}
+	}
+	nf.RebuildEdges()
+	return nf
+}
+
+// CloneProgram returns a deep copy of p (see CloneFunction).
+func CloneProgram(p *Program) *Program {
+	np := NewProgram()
+	np.Main = p.Main
+	for _, f := range p.Funcs {
+		np.Add(CloneFunction(f))
+	}
+	return np
+}

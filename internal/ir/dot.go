@@ -1,0 +1,64 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DotFunc renders the function's CFG in Graphviz dot format, with each
+// block's instructions in its node label. Feed the output to `dot -Tsvg`
+// to visualise instrumentation and prefetch placement.
+func DotFunc(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for _, b := range f.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "%s:\\l", b.Name)
+		for _, in := range b.Instrs {
+			label.WriteString(escapeDot(in.String()))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"];\n", b.Name, label.String())
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for i, s := range t.Targets {
+			attr := ""
+			if t.Op == OpCondBr {
+				if i == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", b.Name, s.Name, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DotProgram renders every function as a separate digraph.
+func DotProgram(p *Program) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sb.WriteString(DotFunc(p.Funcs[n]))
+	}
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

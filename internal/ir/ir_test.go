@@ -1,0 +1,346 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountLoop builds: for (i=0; i<n; i++) { sum += M[p]; p += 8 } return sum.
+func buildCountLoop(t *testing.T) *Function {
+	t.Helper()
+	b := NewBuilder("loop")
+	n := b.Param()
+	p := b.Param()
+
+	body := b.Block("body")
+	exit := b.Block("exit")
+	head := b.Block("head")
+
+	i := b.Const(0)
+	sum := b.Const(0)
+	b.Br(head)
+
+	b.At(head)
+	cond := b.CmpLT(i, n)
+	b.CondBr(cond, body, exit)
+
+	b.At(body)
+	v := b.Load(p, 0)
+	b.Mov(sum, b.Add(sum, v.Dst))
+	b.AddITo(p, p, 8)
+	b.AddITo(i, i, 1)
+	b.Br(head)
+
+	b.At(exit)
+	b.Ret(sum)
+	return b.Finish()
+}
+
+func TestVerifyWellFormed(t *testing.T) {
+	f := buildCountLoop(t)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify() = %v, want nil", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := buildCountLoop(t)
+	body := f.Blocks[1]
+	body.Instrs = body.Instrs[:len(body.Instrs)-1] // drop the br
+	err := Verify(f)
+	if err == nil {
+		t.Fatal("Verify() = nil, want error for missing terminator")
+	}
+	if !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("error %q does not mention terminator", err)
+	}
+}
+
+func TestVerifyCatchesOutOfRangeReg(t *testing.T) {
+	f := buildCountLoop(t)
+	f.Blocks[1].Instrs[0].Src[0] = Reg(f.NumRegs + 5)
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify() = nil, want error for out-of-range register")
+	}
+}
+
+func TestVerifyCatchesDuplicateIDs(t *testing.T) {
+	f := buildCountLoop(t)
+	f.Blocks[1].Instrs[0].ID = f.Blocks[1].Instrs[1].ID
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify() = nil, want error for duplicate instruction IDs")
+	}
+}
+
+func TestVerifyCatchesStalePreds(t *testing.T) {
+	f := buildCountLoop(t)
+	// Retarget a branch without rebuilding edges.
+	head := f.Blocks[3]
+	exit := f.Blocks[2]
+	term := head.Terminator()
+	term.Targets[0] = exit
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify() = nil, want error for stale predecessor lists")
+	}
+	f.RebuildEdges()
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify() after RebuildEdges = %v, want nil", err)
+	}
+}
+
+func TestSplitEdge(t *testing.T) {
+	f := buildCountLoop(t)
+	head := f.Blocks[3]
+	body := f.Blocks[1]
+	nblocks := len(f.Blocks)
+
+	mid := f.SplitEdge(head, body)
+	f.RebuildEdges()
+
+	if len(f.Blocks) != nblocks+1 {
+		t.Fatalf("got %d blocks after split, want %d", len(f.Blocks), nblocks+1)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify() after SplitEdge = %v", err)
+	}
+	if got := head.Succs()[0]; got != mid {
+		t.Errorf("head's first successor = %s, want %s", got.Name, mid.Name)
+	}
+	if got := mid.Succs()[0]; got != body {
+		t.Errorf("mid's successor = %s, want %s", got.Name, body.Name)
+	}
+	if len(body.Preds) != 1 || body.Preds[0] != mid {
+		t.Errorf("body preds = %v, want [%s]", body.Preds, mid.Name)
+	}
+}
+
+func TestSplitEdgeParallelEdges(t *testing.T) {
+	// A condbr with both targets equal carries two distinct edges; splitting
+	// must only redirect one of them.
+	b := NewBuilder("par")
+	tgt := b.Block("tgt")
+	c := b.Const(1)
+	b.CondBr(c, tgt, tgt)
+	b.At(tgt)
+	b.Ret(NoReg)
+	f := b.Finish()
+
+	entry := f.Entry()
+	mid := f.SplitEdge(entry, tgt)
+	f.RebuildEdges()
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify() = %v", err)
+	}
+	succs := entry.Succs()
+	if succs[0] != mid || succs[1] != tgt {
+		t.Errorf("after split, succs = [%s %s], want [%s %s]",
+			succs[0].Name, succs[1].Name, mid.Name, tgt.Name)
+	}
+}
+
+func TestSplitEdgePanicsOnMissingEdge(t *testing.T) {
+	f := buildCountLoop(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("SplitEdge on a non-edge did not panic")
+		}
+	}()
+	f.SplitEdge(f.Blocks[2], f.Blocks[1]) // exit -> body edge does not exist
+}
+
+func TestInsertBefore(t *testing.T) {
+	f := buildCountLoop(t)
+	body := f.Blocks[1]
+	load := body.Instrs[0]
+	nop := NewInstr(OpNop)
+	nop.ID = f.NextInstrID()
+	body.InsertBefore(0, nop)
+	if body.Instrs[0] != nop || body.Instrs[1] != load {
+		t.Error("InsertBefore did not place instruction at requested position")
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify() = %v", err)
+	}
+}
+
+func TestCloneFunctionIndependence(t *testing.T) {
+	f := buildCountLoop(t)
+	g := CloneFunction(f)
+	if err := Verify(g); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+
+	// IDs are preserved position-by-position.
+	for bi := range f.Blocks {
+		if f.Blocks[bi].Name != g.Blocks[bi].Name {
+			t.Fatalf("block %d name mismatch: %s vs %s", bi, f.Blocks[bi].Name, g.Blocks[bi].Name)
+		}
+		for ii := range f.Blocks[bi].Instrs {
+			if f.Blocks[bi].Instrs[ii].ID != g.Blocks[bi].Instrs[ii].ID {
+				t.Fatalf("instr ID mismatch at %d/%d", bi, ii)
+			}
+		}
+	}
+
+	// Mutating the clone must not affect the original.
+	g.Blocks[1].Instrs[0].Imm = 999
+	if f.Blocks[1].Instrs[0].Imm == 999 {
+		t.Error("mutating clone's instruction affected the original")
+	}
+	g.Blocks[3].Terminator().Targets[0] = g.Blocks[2]
+	if f.Blocks[3].Terminator().Targets[0] == f.Blocks[2] {
+		t.Error("mutating clone's branch target affected the original")
+	}
+
+	// Clone targets must point into the clone's blocks.
+	own := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		own[b] = true
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs() {
+			if !own[s] {
+				t.Errorf("clone block %s targets a block outside the clone", b.Name)
+			}
+		}
+	}
+}
+
+func TestCloneProgramPreservesIDKeying(t *testing.T) {
+	p := NewProgram()
+	bm := NewBuilder("main")
+	bm.Ret(NoReg)
+	p.Add(bm.Finish())
+	f := buildCountLoop(t)
+	p.Add(f)
+
+	q := CloneProgram(p)
+	if err := VerifyProgram(q); err != nil {
+		t.Fatalf("VerifyProgram(clone) = %v", err)
+	}
+	loadID := f.Blocks[1].Instrs[0].ID
+	blk, idx := q.Func("loop").FindInstr(loadID)
+	if blk == nil {
+		t.Fatalf("FindInstr(%d) failed in clone", loadID)
+	}
+	if got := blk.Instrs[idx].Op; got != OpLoad {
+		t.Errorf("instr with preserved ID has op %s, want load", got)
+	}
+}
+
+func TestVerifyProgramChecksCalls(t *testing.T) {
+	p := NewProgram()
+	bm := NewBuilder("main")
+	bm.CallVoid("missing")
+	bm.Ret(NoReg)
+	p.Add(bm.Finish())
+	if err := VerifyProgram(p); err == nil {
+		t.Fatal("VerifyProgram() = nil, want error for undefined callee")
+	}
+
+	callee := NewBuilder("missing")
+	x := callee.Param()
+	callee.Ret(x)
+	p.Add(callee.Finish())
+	if err := VerifyProgram(p); err == nil {
+		t.Fatal("VerifyProgram() = nil, want arity error")
+	}
+}
+
+func TestPrintFunc(t *testing.T) {
+	f := buildCountLoop(t)
+	out := PrintFunc(f)
+	for _, want := range []string{"func loop(r0, r1)", "load [r1+0]", "condbr", "ret r3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := NewInstr(OpLoad)
+	in.Dst = 3
+	in.Src[0] = 1
+	in.Imm = -16
+	in.Pred = 7
+	if got, want := in.String(), "(r7)? r3 = load [r1-16]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	p := NewProgram()
+	bm := NewBuilder("main")
+	addr := bm.Const(64)
+	bm.Load(addr, 0)
+	bm.Store(addr, 8, addr)
+	bm.Prefetch(addr, 128)
+	bm.Hook(1, addr)
+	bm.Ret(NoReg)
+	p.Add(bm.Finish())
+
+	s := CollectStats(p)
+	if s.Loads != 1 || s.Stores != 1 || s.Prefetches != 1 || s.Hooks != 1 {
+		t.Errorf("stats = %+v, want 1 load/store/prefetch/hook", s)
+	}
+	if s.Funcs != 1 || s.Blocks != 1 {
+		t.Errorf("stats = %+v, want 1 func, 1 block", s)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpBr.IsTerminator() || !OpCondBr.IsTerminator() || !OpRet.IsTerminator() {
+		t.Error("branch/ret opcodes must be terminators")
+	}
+	if OpLoad.IsTerminator() {
+		t.Error("load must not be a terminator")
+	}
+	if !OpLoad.IsMemory() || !OpStore.IsMemory() || !OpPrefetch.IsMemory() {
+		t.Error("memory opcodes misclassified")
+	}
+	if OpAdd.IsMemory() {
+		t.Error("add is not a memory op")
+	}
+	if OpStore.HasDst() || OpPrefetch.HasDst() {
+		t.Error("store/prefetch must not have destinations")
+	}
+	if !OpLoad.HasDst() || !OpAdd.HasDst() {
+		t.Error("load/add must have destinations")
+	}
+}
+
+func TestBuilderPanicsAfterTerminator(t *testing.T) {
+	b := NewBuilder("f")
+	b.Ret(NoReg)
+	defer func() {
+		if recover() == nil {
+			t.Error("emitting after terminator did not panic")
+		}
+	}()
+	b.Const(1)
+}
+
+func TestVerifyRejectsPredicatedTerminator(t *testing.T) {
+	f := buildCountLoop(t)
+	term := f.Blocks[3].Terminator()
+	term.Pred = 0 // any valid register
+	if err := Verify(f); err == nil {
+		t.Error("predicated terminator accepted")
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	f := buildCountLoop(t)
+	out := DotFunc(f)
+	for _, want := range []string{"digraph \"loop\"", "condbr", "->", "[label=\"T\"]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	p := NewProgram()
+	p.Main = "loop"
+	p.Add(f)
+	if !strings.Contains(DotProgram(p), "digraph") {
+		t.Error("DotProgram produced nothing")
+	}
+}

@@ -1,0 +1,535 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram parses the textual form produced by PrintProgram back into a
+// Program. The parser accepts exactly the printer's output language (plus
+// blank lines and ";"-comments), which makes listings usable as test
+// fixtures and lets the cmd tools round-trip dumped IR.
+//
+// Instruction IDs are reassigned in listing order, so profiles keyed
+// against the original program do not transfer to a parsed listing.
+func ParseProgram(src string) (*Program, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	prog := NewProgram()
+	for {
+		p.skipBlank()
+		if p.eof() {
+			break
+		}
+		f, err := p.function()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(f)
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("ir: parse: no functions found")
+	}
+	return prog, nil
+}
+
+// ParseFunction parses a single function listing.
+func ParseFunction(src string) (*Function, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	p.skipBlank()
+	return p.function()
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.lines) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.lines[p.pos]
+}
+
+func (p *parser) next() string {
+	l := p.peek()
+	p.pos++
+	return l
+}
+
+func (p *parser) skipBlank() {
+	for !p.eof() && strings.TrimSpace(p.peek()) == "" {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ir: parse: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes a trailing "; ..." comment and returns (code, comment).
+func stripComment(s string) (string, string) {
+	if i := strings.Index(s, ";"); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	}
+	return strings.TrimSpace(s), ""
+}
+
+// function parses "func NAME(params) regs=N {" ... "}".
+func (p *parser) function() (*Function, error) {
+	header := strings.TrimSpace(p.next())
+	if !strings.HasPrefix(header, "func ") {
+		return nil, p.errf("expected function header, got %q", header)
+	}
+	open := strings.Index(header, "(")
+	close := strings.Index(header, ")")
+	if open < 0 || close < open {
+		return nil, p.errf("malformed header %q", header)
+	}
+	name := strings.TrimSpace(header[len("func "):open])
+	if name == "" || strings.ContainsAny(name, " \t:(){}\"") {
+		return nil, p.errf("bad function name %q", name)
+	}
+	f := &Function{Name: name}
+
+	for _, ps := range strings.Split(header[open+1:close], ",") {
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			continue
+		}
+		r, err := parseReg(ps)
+		if err != nil {
+			return nil, p.errf("bad parameter %q: %v", ps, err)
+		}
+		f.Params = append(f.Params, r)
+	}
+	rest := header[close+1:]
+	if i := strings.Index(rest, "regs="); i >= 0 {
+		var n int
+		field := strings.Fields(rest[i+len("regs="):])
+		if len(field) == 0 {
+			return nil, p.errf("malformed regs= in %q", header)
+		}
+		n, err := strconv.Atoi(field[0])
+		if err != nil {
+			return nil, p.errf("bad regs= value: %v", err)
+		}
+		f.NumRegs = n
+	}
+	if !strings.HasSuffix(strings.TrimSpace(header), "{") {
+		return nil, p.errf("missing { in header %q", header)
+	}
+
+	// First pass: gather blocks and raw instruction lines, creating block
+	// objects up front so forward branch references resolve.
+	type rawBlock struct {
+		name  string
+		insns []string
+	}
+	var raws []rawBlock
+	for {
+		if p.eof() {
+			return nil, p.errf("unexpected EOF in function %s", name)
+		}
+		line := p.next()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "}" {
+			break
+		}
+		if trimmed == "" {
+			continue
+		}
+		if code, _ := stripComment(trimmed); !strings.HasPrefix(line, "\t") && strings.HasSuffix(code, ":") {
+			label := strings.TrimSuffix(code, ":")
+			if label == "" || strings.ContainsAny(label, ": \t(){}\"") {
+				return nil, p.errf("bad block label %q", label)
+			}
+			raws = append(raws, rawBlock{name: label})
+			continue
+		}
+		if len(raws) == 0 {
+			return nil, p.errf("instruction before first block label: %q", trimmed)
+		}
+		raws[len(raws)-1].insns = append(raws[len(raws)-1].insns, trimmed)
+	}
+
+	blocks := make(map[string]*Block, len(raws))
+	for i, rb := range raws {
+		b := &Block{Name: rb.name, Index: i}
+		f.Blocks = append(f.Blocks, b)
+		if _, dup := blocks[rb.name]; dup {
+			return nil, p.errf("duplicate block label %q", rb.name)
+		}
+		blocks[rb.name] = b
+	}
+
+	nextID := 0
+	for bi, rb := range raws {
+		b := f.Blocks[bi]
+		for _, raw := range rb.insns {
+			in, err := parseInstr(raw, blocks)
+			if err != nil {
+				return nil, p.errf("in %s/%s: %v", name, rb.name, err)
+			}
+			in.ID = nextID
+			nextID++
+			b.Instrs = append(b.Instrs, in)
+		}
+	}
+	f.nextInstrID = nextID
+	f.nextBlockID = len(raws)
+
+	// Ensure NumRegs covers every referenced register even if regs= was
+	// absent or stale.
+	maxReg := Reg(-1)
+	bump := func(r Reg) {
+		if r > maxReg {
+			maxReg = r
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			bump(in.Dst)
+			bump(in.Src[0])
+			bump(in.Src[1])
+			bump(in.Pred)
+			for _, a := range in.Args {
+				bump(a)
+			}
+		}
+	}
+	if int(maxReg)+1 > f.NumRegs {
+		f.NumRegs = int(maxReg) + 1
+	}
+	f.RebuildEdges()
+	return f, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return NoReg, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseInstr parses one printed instruction.
+func parseInstr(raw string, blocks map[string]*Block) (*Instr, error) {
+	code, comment := stripComment(raw)
+	in := NewInstr(OpNop)
+	in.Comment = comment
+
+	// Optional predicate prefix "(rN)? ".
+	if strings.HasPrefix(code, "(") {
+		end := strings.Index(code, ")?")
+		if end < 0 {
+			return nil, fmt.Errorf("malformed predicate in %q", code)
+		}
+		pr, err := parseReg(code[1:end])
+		if err != nil {
+			return nil, err
+		}
+		in.Pred = pr
+		code = strings.TrimSpace(code[end+2:])
+	}
+
+	// Assignment form "rD = ..." vs statement form.
+	var rhs string
+	if i := strings.Index(code, " = "); i > 0 && strings.HasPrefix(code, "r") {
+		dst, err := parseReg(code[:i])
+		if err != nil {
+			return nil, err
+		}
+		in.Dst = dst
+		rhs = strings.TrimSpace(code[i+3:])
+	} else {
+		rhs = code
+	}
+
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty instruction %q", raw)
+	}
+	mnem := fields[0]
+	rest := strings.TrimSpace(rhs[len(mnem):])
+	args := splitArgs(rest)
+
+	target := func(i int) (*Block, error) {
+		if i >= len(args) {
+			return nil, fmt.Errorf("missing target in %q", raw)
+		}
+		b := blocks[args[i]]
+		if b == nil {
+			return nil, fmt.Errorf("unknown block %q in %q", args[i], raw)
+		}
+		return b, nil
+	}
+	reg := func(i int) (Reg, error) {
+		if i >= len(args) {
+			return NoReg, fmt.Errorf("missing operand in %q", raw)
+		}
+		return parseReg(args[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("missing immediate in %q", raw)
+		}
+		return strconv.ParseInt(args[i], 10, 64)
+	}
+
+	var err error
+	switch mnem {
+	case "nop":
+		in.Op = OpNop
+	case "const":
+		in.Op = OpConst
+		in.Imm, err = imm(0)
+	case "mov":
+		in.Op = OpMov
+		in.Src[0], err = reg(0)
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+		"cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge":
+		in.Op = mnemonicOp(mnem)
+		if in.Src[0], err = reg(0); err == nil {
+			in.Src[1], err = reg(1)
+		}
+	case "addi", "shli", "shri", "andi":
+		in.Op = mnemonicOp(mnem)
+		if in.Src[0], err = reg(0); err == nil {
+			in.Imm, err = imm(1)
+		}
+	case "load", "specload", "prefetch", "store":
+		// Memory forms use [rB+disp] syntax.
+		return parseMemInstr(in, mnem, rest, raw)
+	case "alloc":
+		in.Op = OpAlloc
+		in.Src[0], err = reg(0)
+	case "rand":
+		in.Op = OpRand
+		in.Src[0], err = reg(0)
+	case "br":
+		in.Op = OpBr
+		var t *Block
+		t, err = target(0)
+		in.Targets = []*Block{t}
+	case "condbr":
+		in.Op = OpCondBr
+		if in.Src[0], err = reg(0); err == nil {
+			var t0, t1 *Block
+			if t0, err = target(1); err == nil {
+				if t1, err = target(2); err == nil {
+					in.Targets = []*Block{t0, t1}
+				}
+			}
+		}
+	case "ret":
+		in.Op = OpRet
+		if len(args) > 0 {
+			in.Src[0], err = reg(0)
+		}
+	case "call":
+		in.Op = OpCall
+		err = parseCall(in, rest)
+	case "hook":
+		in.Op = OpHook
+		err = parseHook(in, rest)
+	default:
+		return nil, fmt.Errorf("unknown mnemonic %q in %q", mnem, raw)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%v (in %q)", err, raw)
+	}
+	if in.Op.HasDst() && in.Op != OpCall && !in.Dst.Valid() {
+		return nil, fmt.Errorf("%s requires a destination (in %q)", in.Op, raw)
+	}
+	return in, nil
+}
+
+func mnemonicOp(m string) Opcode {
+	switch m {
+	case "add":
+		return OpAdd
+	case "sub":
+		return OpSub
+	case "mul":
+		return OpMul
+	case "div":
+		return OpDiv
+	case "rem":
+		return OpRem
+	case "and":
+		return OpAnd
+	case "or":
+		return OpOr
+	case "xor":
+		return OpXor
+	case "shl":
+		return OpShl
+	case "shr":
+		return OpShr
+	case "addi":
+		return OpAddI
+	case "shli":
+		return OpShlI
+	case "shri":
+		return OpShrI
+	case "andi":
+		return OpAndI
+	case "cmpeq":
+		return OpCmpEQ
+	case "cmpne":
+		return OpCmpNE
+	case "cmplt":
+		return OpCmpLT
+	case "cmple":
+		return OpCmpLE
+	case "cmpgt":
+		return OpCmpGT
+	case "cmpge":
+		return OpCmpGE
+	}
+	return OpNop
+}
+
+// parseMem parses "[rB+disp]" or "[rB-disp]".
+func parseMem(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	// Find the sign separating base and displacement (the displacement is
+	// always printed with an explicit sign).
+	sep := strings.LastIndexAny(body, "+-")
+	if sep <= 0 {
+		return NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	base, err := parseReg(body[:sep])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	disp, err := strconv.ParseInt(body[sep:], 10, 64)
+	if err != nil {
+		return NoReg, 0, fmt.Errorf("bad displacement in %q", s)
+	}
+	return base, disp, nil
+}
+
+func parseMemInstr(in *Instr, mnem, rest, raw string) (*Instr, error) {
+	switch mnem {
+	case "load", "specload", "prefetch":
+		if mnem == "load" {
+			in.Op = OpLoad
+		} else if mnem == "specload" {
+			in.Op = OpSpecLoad
+		} else {
+			in.Op = OpPrefetch
+			in.Dst = NoReg
+		}
+		base, disp, err := parseMem(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%v (in %q)", err, raw)
+		}
+		in.Src[0] = base
+		in.Imm = disp
+		return in, nil
+	case "store":
+		// "store [rB+disp] = rV" — the printed destination form.
+		in.Op = OpStore
+		in.Dst = NoReg
+		i := strings.Index(rest, "=")
+		if i < 0 {
+			return nil, fmt.Errorf("malformed store %q", raw)
+		}
+		base, disp, err := parseMem(rest[:i])
+		if err != nil {
+			return nil, fmt.Errorf("%v (in %q)", err, raw)
+		}
+		val, err := parseReg(rest[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("%v (in %q)", err, raw)
+		}
+		in.Src[0] = base
+		in.Src[1] = val
+		in.Imm = disp
+		return in, nil
+	}
+	return nil, fmt.Errorf("bad memory mnemonic %q", mnem)
+}
+
+// parseCall parses "name[r1 r2 ...]".
+func parseCall(in *Instr, rest string) error {
+	rest = strings.TrimSpace(rest)
+	open := strings.Index(rest, "[")
+	if open < 0 || !strings.HasSuffix(rest, "]") {
+		return fmt.Errorf("malformed call %q", rest)
+	}
+	in.Callee = strings.TrimSpace(rest[:open])
+	return parseRegList(in, rest[open+1:len(rest)-1])
+}
+
+// parseHook parses "ID[r1 r2 ...]".
+func parseHook(in *Instr, rest string) error {
+	rest = strings.TrimSpace(rest)
+	open := strings.Index(rest, "[")
+	if open < 0 || !strings.HasSuffix(rest, "]") {
+		return fmt.Errorf("malformed hook %q", rest)
+	}
+	id, err := strconv.ParseInt(strings.TrimSpace(rest[:open]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad hook id in %q", rest)
+	}
+	in.Imm = id
+	return parseRegList(in, rest[open+1:len(rest)-1])
+}
+
+func parseRegList(in *Instr, body string) error {
+	for _, fs := range strings.Fields(body) {
+		r, err := parseReg(fs)
+		if err != nil {
+			return err
+		}
+		in.Args = append(in.Args, r)
+	}
+	return nil
+}
+
+// splitArgs splits a comma/space separated operand list, keeping bracketed
+// memory operands intact.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '[':
+			depth++
+			cur.WriteRune(r)
+		case r == ']':
+			depth--
+			cur.WriteRune(r)
+		case (r == ',' || r == ' ') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

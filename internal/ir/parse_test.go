@@ -1,0 +1,212 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTripSimple(t *testing.T) {
+	f := buildCountLoop(t)
+	p := NewProgram()
+	p.Main = "loop"
+	p.Add(f)
+	// Give it a main so VerifyProgram is appeasable later if needed.
+	text := PrintFunc(f)
+
+	g, err := ParseFunction(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g); err != nil {
+		t.Fatalf("parsed function fails verification: %v", err)
+	}
+	if got := PrintFunc(g); got != text {
+		t.Errorf("round trip mismatch:\n--- printed\n%s\n--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseAllInstructionForms(t *testing.T) {
+	b := NewBuilder("kitchen")
+	x := b.Param()
+	c := b.Const(-42)
+	m := b.Add(x, c)
+	b.Sub(m, x)
+	b.Mul(m, x)
+	b.Div(m, x)
+	b.Rem(m, x)
+	b.And(m, x)
+	b.Or(m, x)
+	b.Xor(m, x)
+	b.Shl(m, x)
+	b.Shr(m, x)
+	b.AddI(m, -7)
+	b.ShlI(m, 3)
+	b.ShrI(m, 2)
+	b.AndI(m, 255)
+	b.CmpEQ(m, x)
+	b.CmpNE(m, x)
+	b.CmpLT(m, x)
+	b.CmpLE(m, x)
+	b.CmpGT(m, x)
+	b.CmpGE(m, x)
+	ld := b.Load(x, -16)
+	ld.Pred = c // predicated load
+	b.Store(x, 8, m)
+	pf := b.Prefetch(x, 128)
+	pf.Comment = "test comment"
+	b.Alloc(m)
+	b.Rand(m)
+	spec := NewInstr(OpSpecLoad)
+	spec.Dst = b.F.NewReg()
+	spec.Src[0] = x
+	spec.Imm = 24
+	spec.ID = b.F.NextInstrID()
+	b.B.Instrs = append(b.B.Instrs, spec)
+	call := b.Call("callee", x, m)
+	_ = call
+	b.CallVoid("callee", x, m)
+	b.Hook(1001, x, m)
+	nxt := b.Block("next")
+	b.Br(nxt)
+	b.At(nxt)
+	done := b.Block("done")
+	b.CondBr(m, nxt, done)
+	b.At(done)
+	b.Ret(m)
+	f := b.Finish()
+
+	text := PrintFunc(f)
+	g, err := ParseFunction(text)
+	if err != nil {
+		t.Fatalf("%v\nlisting:\n%s", err, text)
+	}
+	if got := PrintFunc(g); got != text {
+		t.Errorf("round trip mismatch:\n--- printed\n%s\n--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseProgramMultipleFunctions(t *testing.T) {
+	prog := NewProgram()
+	mb := NewBuilder("main")
+	cl := mb.Call("helper", mb.Const(3))
+	mb.Ret(cl.Dst)
+	prog.Add(mb.Finish())
+	hb := NewBuilder("helper")
+	a := hb.Param()
+	hb.Ret(hb.AddI(a, 1))
+	prog.Add(hb.Finish())
+
+	text := PrintProgram(prog)
+	got, err := ParseProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProgram(got); err != nil {
+		t.Fatal(err)
+	}
+	if PrintProgram(got) != text {
+		t.Error("program round trip mismatch")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a function",
+		"func f( {",
+		"func f() regs=2 {\nentry0:\n\tbogus r1\n}",
+		"func f() regs=2 {\nentry0:\n\tbr missing\n}",
+		"func f() regs=2 {\n\tret\n}", // instruction before label
+	}
+	for _, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// randomProgram builds a structured random function: a chain of blocks with
+// arithmetic, memory ops and occasional branches, always ending in ret.
+func randomProgram(seed int64) *Function {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rnd")
+	p := b.Param()
+	regs := []Reg{p, b.Const(int64(rng.Intn(1000)))}
+	pick := func() Reg { return regs[rng.Intn(len(regs))] }
+
+	nBlocks := 1 + rng.Intn(4)
+	blocks := make([]*Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = b.Block("b")
+	}
+	for i := -1; i < nBlocks-1; i++ {
+		if i >= 0 {
+			b.At(blocks[i])
+		}
+		for n := rng.Intn(6); n > 0; n-- {
+			switch rng.Intn(8) {
+			case 0:
+				regs = append(regs, b.Const(int64(rng.Intn(512))))
+			case 1:
+				regs = append(regs, b.Add(pick(), pick()))
+			case 2:
+				regs = append(regs, b.ShrI(pick(), int64(rng.Intn(8))))
+			case 3:
+				regs = append(regs, b.Load(pick(), int64(rng.Intn(64)*8-128)).Dst)
+			case 4:
+				b.Store(pick(), int64(rng.Intn(16)*8), pick())
+			case 5:
+				b.Prefetch(pick(), int64(rng.Intn(512)))
+			case 6:
+				regs = append(regs, b.CmpLT(pick(), pick()))
+			case 7:
+				in := b.Mov(b.F.NewReg(), pick())
+				in.Pred = pick()
+			}
+		}
+		tgt := blocks[i+1]
+		if rng.Intn(3) == 0 && i+2 < nBlocks {
+			b.CondBr(pick(), tgt, blocks[i+2])
+		} else {
+			b.Br(tgt)
+		}
+	}
+	b.At(blocks[nBlocks-1])
+	b.Ret(pick())
+	return b.Finish()
+}
+
+func TestParseQuickRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		f := randomProgram(seed)
+		if err := Verify(f); err != nil {
+			t.Fatalf("random program invalid: %v", err)
+		}
+		text := PrintFunc(f)
+		g, err := ParseFunction(text)
+		if err != nil {
+			t.Logf("parse failed for:\n%s", text)
+			return false
+		}
+		return PrintFunc(g) == text
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePreservesComments(t *testing.T) {
+	src := "func f() regs=1 {\nentry0:\n\tr0 = const 5  ; hello world\n\tret r0\n}\n"
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0].Instrs[0].Comment != "hello world" {
+		t.Errorf("comment = %q", f.Blocks[0].Instrs[0].Comment)
+	}
+	if !strings.Contains(PrintFunc(f), "; hello world") {
+		t.Error("comment lost on reprint")
+	}
+}

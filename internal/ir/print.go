@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FprintFunc renders f in a readable assembly-like listing. The output is
+// deterministic and intended for debugging, golden tests and the cmd tools'
+// -dump flags.
+func FprintFunc(sb *strings.Builder, f *Function) {
+	fmt.Fprintf(sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	fmt.Fprintf(sb, ") regs=%d {\n", f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:", b.Name)
+		if len(b.Preds) > 0 {
+			names := make([]string, len(b.Preds))
+			for i, p := range b.Preds {
+				names[i] = p.Name
+			}
+			sort.Strings(names)
+			fmt.Fprintf(sb, "  ; preds: %s", strings.Join(names, ", "))
+		}
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "\t%s", in)
+			if in.Comment != "" {
+				fmt.Fprintf(sb, "  ; %s", in.Comment)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// PrintFunc returns the listing of f as a string.
+func PrintFunc(f *Function) string {
+	var sb strings.Builder
+	FprintFunc(&sb, f)
+	return sb.String()
+}
+
+// PrintProgram returns the listing of every function in p, entry function
+// first and the rest sorted by name.
+func PrintProgram(p *Program) string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		if n != p.Main {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if p.Func(p.Main) != nil {
+		names = append([]string{p.Main}, names...)
+	}
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		FprintFunc(&sb, p.Funcs[n])
+	}
+	return sb.String()
+}
+
+// Stats summarises a program's static composition; used by tests and the
+// cmd tools to report on instrumentation growth.
+type Stats struct {
+	// Funcs is the number of functions.
+	Funcs int
+	// Blocks is the total basic-block count.
+	Blocks int
+	// Instrs is the total static instruction count.
+	Instrs int
+	// Loads, Stores and Prefetches count static memory operations.
+	Loads, Stores, Prefetches int
+	// Hooks counts static runtime-hook call sites.
+	Hooks int
+}
+
+// CollectStats computes static statistics for the program.
+func CollectStats(p *Program) Stats {
+	var s Stats
+	for _, f := range p.Funcs {
+		s.Funcs++
+		s.Blocks += len(f.Blocks)
+		f.Instrs(func(_ *Block, _ int, in *Instr) {
+			s.Instrs++
+			switch in.Op {
+			case OpLoad:
+				s.Loads++
+			case OpStore:
+				s.Stores++
+			case OpPrefetch:
+				s.Prefetches++
+			case OpHook:
+				s.Hooks++
+			}
+		})
+	}
+	return s
+}

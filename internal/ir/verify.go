@@ -1,0 +1,205 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError aggregates all structural problems found in a function or
+// program. The Error string lists one problem per line.
+type VerifyError struct {
+	// Problems holds one message per structural violation found.
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: verification failed:\n  %s", strings.Join(e.Problems, "\n  "))
+}
+
+// Verify checks structural invariants of the function:
+//
+//   - every block ends in exactly one terminator, located last;
+//   - branch targets belong to the function;
+//   - register operands are within the function's register file;
+//   - instruction IDs are unique;
+//   - predecessor lists match the successor edges (RebuildEdges was called);
+//   - opcode/operand shape agreement (e.g. stores have no Dst).
+//
+// It returns nil if the function is well-formed, else a *VerifyError.
+func Verify(f *Function) error {
+	var probs []string
+	bad := func(format string, args ...interface{}) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		bad("function %s has no blocks", f.Name)
+		return &VerifyError{Problems: probs}
+	}
+
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if inFunc[b] {
+			bad("block %s appears twice in Blocks", b.Name)
+		}
+		inFunc[b] = true
+	}
+
+	seenID := make(map[int]string)
+	checkReg := func(b *Block, in *Instr, r Reg, what string) {
+		if !r.Valid() {
+			return
+		}
+		if int(r) >= f.NumRegs {
+			bad("%s/%s: %s register %s out of range (NumRegs=%d)", b.Name, in, what, r, f.NumRegs)
+		}
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			bad("block %s is empty", b.Name)
+			continue
+		}
+		for i, in := range b.Instrs {
+			if prev, dup := seenID[in.ID]; dup {
+				bad("%s: duplicate instruction ID %d (also in %s)", b.Name, in.ID, prev)
+			}
+			seenID[in.ID] = b.Name
+
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					bad("block %s does not end in a terminator (ends with %s)", b.Name, in)
+				} else {
+					bad("block %s: terminator %s not in final position", b.Name, in)
+				}
+			}
+			// A squashed terminator would leave the block without a control
+			// transfer; predication of terminators is rejected outright.
+			if in.Op.IsTerminator() && in.Pred.Valid() {
+				bad("block %s: terminator %s must not be predicated", b.Name, in)
+			}
+
+			checkReg(b, in, in.Pred, "predicate")
+			checkReg(b, in, in.Src[0], "source")
+			checkReg(b, in, in.Src[1], "source")
+			checkReg(b, in, in.Dst, "destination")
+			for _, a := range in.Args {
+				checkReg(b, in, a, "argument")
+			}
+
+			switch in.Op {
+			case OpBr:
+				if len(in.Targets) != 1 {
+					bad("%s: br with %d targets", b.Name, len(in.Targets))
+				}
+			case OpCondBr:
+				if len(in.Targets) != 2 {
+					bad("%s: condbr with %d targets", b.Name, len(in.Targets))
+				}
+				if !in.Src[0].Valid() {
+					bad("%s: condbr without condition register", b.Name)
+				}
+			case OpStore, OpPrefetch:
+				if in.Dst.Valid() {
+					bad("%s: %s must not define a register", b.Name, in.Op)
+				}
+				if !in.Src[0].Valid() {
+					bad("%s: %s without address register", b.Name, in.Op)
+				}
+			case OpLoad, OpSpecLoad:
+				if !in.Dst.Valid() || !in.Src[0].Valid() {
+					bad("%s: malformed load %s", b.Name, in)
+				}
+			default:
+				if in.Op.HasDst() && in.Op != OpCall && !in.Dst.Valid() {
+					bad("%s: %s requires a destination", b.Name, in)
+				}
+			case OpCall:
+				if in.Callee == "" {
+					bad("%s: call without callee", b.Name)
+				}
+			}
+
+			for _, t := range in.Targets {
+				if t == nil {
+					bad("%s: %s has nil target", b.Name, in)
+				} else if !inFunc[t] {
+					bad("%s: %s targets block %s outside function", b.Name, in, t.Name)
+				}
+			}
+		}
+	}
+
+	// Predecessor lists must mirror successor edges, including multiplicity.
+	type edge struct{ from, to *Block }
+	succCount := make(map[edge]int)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if s != nil && inFunc[s] {
+				succCount[edge{b, s}]++
+			}
+		}
+	}
+	predCount := make(map[edge]int)
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			predCount[edge{p, b}]++
+		}
+	}
+	for e, n := range succCount {
+		if predCount[e] != n {
+			bad("edge %s -> %s: %d successor edges but %d predecessor entries (missing RebuildEdges?)",
+				e.from.Name, e.to.Name, n, predCount[e])
+		}
+	}
+	for e, n := range predCount {
+		if succCount[e] != n {
+			bad("edge %s -> %s: %d predecessor entries but %d successor edges",
+				e.from.Name, e.to.Name, n, succCount[e])
+		}
+	}
+
+	if len(probs) > 0 {
+		return &VerifyError{Problems: probs}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every function in the program and checks that call
+// targets resolve and the entry function exists with no parameters.
+func VerifyProgram(p *Program) error {
+	var probs []string
+	for name, f := range p.Funcs {
+		if name != f.Name {
+			probs = append(probs, fmt.Sprintf("function registered as %q but named %q", name, f.Name))
+		}
+		if err := Verify(f); err != nil {
+			probs = append(probs, err.(*VerifyError).Problems...)
+		}
+		f.Instrs(func(b *Block, _ int, in *Instr) {
+			if in.Op != OpCall {
+				return
+			}
+			callee := p.Func(in.Callee)
+			if callee == nil {
+				probs = append(probs, fmt.Sprintf("%s/%s: call to undefined function %q", f.Name, b.Name, in.Callee))
+				return
+			}
+			if len(in.Args) != len(callee.Params) {
+				probs = append(probs, fmt.Sprintf("%s/%s: call to %q with %d args, want %d",
+					f.Name, b.Name, in.Callee, len(in.Args), len(callee.Params)))
+			}
+		})
+	}
+	main := p.Func(p.Main)
+	if main == nil {
+		probs = append(probs, fmt.Sprintf("entry function %q not defined", p.Main))
+	} else if len(main.Params) != 0 {
+		probs = append(probs, fmt.Sprintf("entry function %q must take no parameters", p.Main))
+	}
+	if len(probs) > 0 {
+		return &VerifyError{Problems: probs}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package lfu
+
+import "testing"
+
+// BenchmarkAddHit measures the fast path: the incoming value is already in
+// the temp buffer.
+func BenchmarkAddHit(b *testing.B) {
+	p := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(64)
+	}
+}
+
+// BenchmarkAddChurn measures the replacement path with many distinct
+// values.
+func BenchmarkAddChurn(b *testing.B) {
+	p := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(int64(i % 1024))
+	}
+}

@@ -1,0 +1,24 @@
+package lfu_test
+
+import (
+	"fmt"
+
+	"stridepf/internal/lfu"
+)
+
+// The profiler tracks the most frequent values in a stream with bounded
+// memory — here the Figure 4(a) stride sequence.
+func ExampleProfiler() {
+	p := lfu.New(lfu.Config{TempSize: 4, FinalSize: 4, MergeInterval: 64})
+	for _, stride := range []int64{2, 2, 2, 2, 2, 100, 100, 100, 100, 1} {
+		p.Add(stride)
+	}
+	for i, e := range p.Top(2) {
+		fmt.Printf("top[%d] = %d, freq = %d\n", i+1, e.Value, e.Freq)
+	}
+	fmt.Printf("total strides = %d\n", p.Total())
+	// Output:
+	// top[1] = 2, freq = 5
+	// top[2] = 100, freq = 4
+	// total strides = 10
+}

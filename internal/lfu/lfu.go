@@ -1,0 +1,179 @@
+// Package lfu implements the Least-Frequently-Used value profiler of Calder,
+// Feller and Eustace ("Value Profiling", MICRO-30), which the paper's
+// stride-profiling runtime uses to track the top-N most frequent stride
+// values (Section 3.1).
+//
+// The profiler keeps two buffers. Incoming values are counted in a small
+// temp buffer with LFU replacement: a value already present has its count
+// incremented; otherwise the least-frequently-used entry is replaced.
+// Periodically the temp buffer is merged into the final buffer — the
+// highest-frequency entries of both survive — and the temp buffer is
+// cleared. This bounds the cost per profiled value while reliably retaining
+// values that recur over long stretches of the stream.
+package lfu
+
+import "sort"
+
+// Entry is one tracked value with its observed frequency.
+type Entry struct {
+	// Value is the tracked (stride) value.
+	Value int64
+	// Freq is the number of observations credited to the value.
+	Freq int64
+}
+
+// Config parameterises a profiler.
+type Config struct {
+	// TempSize is the temp buffer capacity; zero selects 16.
+	TempSize int
+	// FinalSize is the final buffer capacity; zero selects 8.
+	FinalSize int
+	// MergeInterval is the number of Add calls between merges; zero
+	// selects 2048.
+	MergeInterval int
+	// SameMask, when non-zero, makes values equal when they agree outside
+	// the masked-off low bits: values a and b are considered the same when
+	// (a &^ SameMask) == (b &^ SameMask). The paper's enhanced runtime
+	// (Figure 7) treats strides differing only in the last 4 bits as equal
+	// so nearby strides share one LFU entry; that corresponds to SameMask
+	// = 15. Zero means exact matching.
+	SameMask int64
+}
+
+func (c *Config) fill() {
+	if c.TempSize == 0 {
+		c.TempSize = 16
+	}
+	if c.FinalSize == 0 {
+		c.FinalSize = 8
+	}
+	if c.MergeInterval == 0 {
+		c.MergeInterval = 2048
+	}
+}
+
+// Profiler tracks the most frequently occurring values in a stream.
+type Profiler struct {
+	cfg        Config
+	temp       []Entry
+	final      []Entry
+	sinceMerge int
+	total      int64
+	// LFUCalls counts Add invocations; the experiments report the fraction
+	// of load references that reach the LFU routine (Figure 22).
+	LFUCalls int64
+}
+
+// New returns an empty profiler.
+func New(cfg Config) *Profiler {
+	cfg.fill()
+	return &Profiler{
+		cfg:   cfg,
+		temp:  make([]Entry, 0, cfg.TempSize),
+		final: make([]Entry, 0, cfg.FinalSize),
+	}
+}
+
+// same reports whether two values are equal under the configured mask
+// (Figure 7's is_same_value).
+func (p *Profiler) same(a, b int64) bool {
+	if p.cfg.SameMask == 0 {
+		return a == b
+	}
+	return a&^p.cfg.SameMask == b&^p.cfg.SameMask
+}
+
+// Add records one observation of v.
+func (p *Profiler) Add(v int64) {
+	p.LFUCalls++
+	p.total++
+	for i := range p.temp {
+		if p.same(p.temp[i].Value, v) {
+			p.temp[i].Freq++
+			p.afterAdd()
+			return
+		}
+	}
+	if len(p.temp) < cap(p.temp) {
+		p.temp = append(p.temp, Entry{Value: v, Freq: 1})
+		p.afterAdd()
+		return
+	}
+	// Replace the least frequently used temp entry.
+	min := 0
+	for i := 1; i < len(p.temp); i++ {
+		if p.temp[i].Freq < p.temp[min].Freq {
+			min = i
+		}
+	}
+	p.temp[min] = Entry{Value: v, Freq: 1}
+	p.afterAdd()
+}
+
+func (p *Profiler) afterAdd() {
+	p.sinceMerge++
+	if p.sinceMerge >= p.cfg.MergeInterval {
+		p.merge()
+	}
+}
+
+// merge folds the temp buffer into the final buffer, keeping the
+// highest-frequency entries, and clears the temp buffer.
+func (p *Profiler) merge() {
+	p.sinceMerge = 0
+	if len(p.temp) == 0 {
+		return
+	}
+	combined := make([]Entry, 0, len(p.final)+len(p.temp))
+	combined = append(combined, p.final...)
+	for _, te := range p.temp {
+		found := false
+		for i := range combined {
+			if p.same(combined[i].Value, te.Value) {
+				combined[i].Freq += te.Freq
+				found = true
+				break
+			}
+		}
+		if !found {
+			combined = append(combined, te)
+		}
+	}
+	sort.Slice(combined, func(i, j int) bool {
+		if combined[i].Freq != combined[j].Freq {
+			return combined[i].Freq > combined[j].Freq
+		}
+		return combined[i].Value < combined[j].Value
+	})
+	if len(combined) > p.cfg.FinalSize {
+		combined = combined[:p.cfg.FinalSize]
+	}
+	p.final = combined
+	p.temp = p.temp[:0]
+}
+
+// Total returns the number of observations recorded.
+func (p *Profiler) Total() int64 { return p.total }
+
+// Top returns up to k entries in decreasing frequency order, merging any
+// pending temp-buffer counts first. Ties break toward smaller values so the
+// result is deterministic.
+func (p *Profiler) Top(k int) []Entry {
+	p.merge()
+	n := k
+	if n > len(p.final) {
+		n = len(p.final)
+	}
+	out := make([]Entry, n)
+	copy(out, p.final[:n])
+	return out
+}
+
+// Reset clears all state including statistics.
+func (p *Profiler) Reset() {
+	p.temp = p.temp[:0]
+	p.final = p.final[:0]
+	p.sinceMerge = 0
+	p.total = 0
+	p.LFUCalls = 0
+}

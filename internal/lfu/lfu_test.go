@@ -1,0 +1,183 @@
+package lfu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleValueStream(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 10_000; i++ {
+		p.Add(64)
+	}
+	top := p.Top(1)
+	if len(top) != 1 || top[0].Value != 64 || top[0].Freq != 10_000 {
+		t.Errorf("Top = %v, want [{64 10000}]", top)
+	}
+}
+
+func TestPaperFigure4Example(t *testing.T) {
+	// Stride sequence of Figure 4(a): 2,2,2,2,2,100,100,100,100,1.
+	p := New(Config{TempSize: 4, FinalSize: 4, MergeInterval: 64})
+	for _, v := range []int64{2, 2, 2, 2, 2, 100, 100, 100, 100, 1} {
+		p.Add(v)
+	}
+	top := p.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2) returned %d entries", len(top))
+	}
+	if top[0].Value != 2 || top[0].Freq != 5 {
+		t.Errorf("top[1] = %+v, want {2 5}", top[0])
+	}
+	if top[1].Value != 100 || top[1].Freq != 4 {
+		t.Errorf("top[2] = %+v, want {100 4}", top[1])
+	}
+	if p.Total() != 10 {
+		t.Errorf("Total = %d, want 10", p.Total())
+	}
+}
+
+func TestDominantValueSurvivesPhases(t *testing.T) {
+	// A phased stream: long runs of each value. The dominant value (60% of
+	// the stream) must be ranked first even across merges.
+	p := New(Config{TempSize: 4, FinalSize: 4, MergeInterval: 128})
+	for phase := 0; phase < 100; phase++ {
+		for i := 0; i < 60; i++ {
+			p.Add(8)
+		}
+		for i := 0; i < 25; i++ {
+			p.Add(1000 + int64(phase)) // churning noise values
+		}
+		for i := 0; i < 15; i++ {
+			p.Add(16)
+		}
+	}
+	top := p.Top(2)
+	if top[0].Value != 8 {
+		t.Fatalf("dominant value not first: %v", top)
+	}
+	// LFU is lossy; we still expect the bulk of the dominant value's
+	// occurrences to be credited.
+	if top[0].Freq < int64(float64(100*60)*0.8) {
+		t.Errorf("dominant freq = %d, want >= 80%% of 6000", top[0].Freq)
+	}
+	if top[1].Value != 16 {
+		t.Errorf("second value = %v, want 16", top[1])
+	}
+}
+
+func TestSameMaskMergesNearbyStrides(t *testing.T) {
+	p := New(Config{SameMask: 15})
+	for i := 0; i < 100; i++ {
+		p.Add(64)
+		p.Add(68) // same 16-byte bucket as 64
+		p.Add(128)
+	}
+	top := p.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2) = %v", top)
+	}
+	if top[0].Freq != 200 {
+		t.Errorf("masked bucket freq = %d, want 200", top[0].Freq)
+	}
+	if got := top[0].Value &^ 15; got != 64 {
+		t.Errorf("masked bucket value = %d, want bucket of 64", top[0].Value)
+	}
+}
+
+func TestExactMatchingKeepsNearbyStridesApart(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 10; i++ {
+		p.Add(64)
+		p.Add(68)
+	}
+	top := p.Top(2)
+	if len(top) != 2 || top[0].Freq != 10 || top[1].Freq != 10 {
+		t.Errorf("exact matching merged distinct values: %v", top)
+	}
+}
+
+func TestTopFewerThanK(t *testing.T) {
+	p := New(Config{})
+	p.Add(1)
+	p.Add(2)
+	if got := len(p.Top(10)); got != 2 {
+		t.Errorf("Top(10) returned %d entries, want 2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	p.Add(5)
+	p.Reset()
+	if p.Total() != 0 || p.LFUCalls != 0 || len(p.Top(4)) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	// For any stream: (1) sum of reported frequencies never exceeds the
+	// stream length; (2) frequencies are positive and sorted descending;
+	// (3) Total equals the stream length; (4) a value making up 100% of the
+	// stream is reported exactly.
+	prop := func(seed int64, nVals uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(Config{TempSize: 8, FinalSize: 4, MergeInterval: 32})
+		n := 200 + rng.Intn(800)
+		distinct := 1 + int(nVals%20)
+		for i := 0; i < n; i++ {
+			p.Add(int64(rng.Intn(distinct)) * 8)
+		}
+		top := p.Top(4)
+		var sum int64
+		last := int64(1 << 62)
+		for _, e := range top {
+			if e.Freq <= 0 || e.Freq > last {
+				return false
+			}
+			last = e.Freq
+			sum += e.Freq
+		}
+		return sum <= int64(n) && p.Total() == int64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMajorityValueRetained(t *testing.T) {
+	// A value occupying >= 70% of a shuffled stream must be ranked first —
+	// the property the SSST classification depends on.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(Config{TempSize: 8, FinalSize: 4, MergeInterval: 64})
+		n := 2000
+		stream := make([]int64, 0, n)
+		for i := 0; i < n*75/100; i++ {
+			stream = append(stream, 48)
+		}
+		for len(stream) < n {
+			stream = append(stream, int64(rng.Intn(50))*8+1000)
+		}
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+		for _, v := range stream {
+			p.Add(v)
+		}
+		top := p.Top(1)
+		return len(top) == 1 && top[0].Value == 48 && top[0].Freq >= int64(n)*6/10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLFUCallsCounted(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 17; i++ {
+		p.Add(int64(i))
+	}
+	if p.LFUCalls != 17 {
+		t.Errorf("LFUCalls = %d, want 17", p.LFUCalls)
+	}
+}

@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"testing"
+
+	"stridepf/internal/ir"
+)
+
+// BenchmarkInterpreterALU measures raw interpretation speed on an
+// arithmetic loop (instructions per b.N iteration: ~6).
+func BenchmarkInterpreterALU(b *testing.B) {
+	bl := ir.NewBuilder("main")
+	head := bl.Block("head")
+	body := bl.Block("body")
+	exit := bl.Block("exit")
+	n := bl.Const(int64(b.N))
+	i := bl.Const(0)
+	acc := bl.Const(1)
+	bl.Br(head)
+	bl.At(head)
+	bl.CondBr(bl.CmpLT(i, n), body, exit)
+	bl.At(body)
+	bl.Mov(acc, bl.Add(bl.Xor(acc, i), acc))
+	bl.AddITo(i, i, 1)
+	bl.Br(head)
+	bl.At(exit)
+	bl.Ret(acc)
+	prog := ir.NewProgram()
+	prog.Add(bl.Finish())
+
+	m, err := New(prog, Config{MaxSteps: 1 << 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkInterpreterMemory measures interpretation with one load per
+// iteration through the cache hierarchy.
+func BenchmarkInterpreterMemory(b *testing.B) {
+	bl := ir.NewBuilder("main")
+	head := bl.Block("head")
+	body := bl.Block("body")
+	exit := bl.Block("exit")
+	n := bl.Const(int64(b.N))
+	i := bl.Const(0)
+	p := bl.Const(0x4000_0000)
+	acc := bl.Const(0)
+	bl.Br(head)
+	bl.At(head)
+	bl.CondBr(bl.CmpLT(i, n), body, exit)
+	bl.At(body)
+	v := bl.Load(p, 0)
+	bl.Mov(acc, bl.Add(acc, v.Dst))
+	bl.AddITo(p, p, 64)
+	bl.AddITo(i, i, 1)
+	bl.Br(head)
+	bl.At(exit)
+	bl.Ret(acc)
+	prog := ir.NewProgram()
+	prog.Add(bl.Finish())
+
+	m, err := New(prog, Config{MaxSteps: 1 << 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,561 @@
+// Package machine executes IR programs against the simulated memory
+// hierarchy, producing cycle counts and per-load reference statistics.
+//
+// The model is a single-issue in-order core in the spirit of the paper's
+// 733 MHz Itanium: every instruction has a fixed occupancy, loads stall for
+// the hierarchy's access latency, prefetches issue without stalling, and
+// predicated-off instructions still occupy an issue slot. The absolute
+// numbers are not those of real hardware; the experiments only rely on the
+// mechanism — prefetching converts stall cycles into overlap — being
+// reproduced faithfully.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"stridepf/internal/cache"
+	"stridepf/internal/ir"
+	"stridepf/internal/mem"
+)
+
+// HookFunc is a profiling runtime routine callable from IR via OpHook. The
+// hook may charge simulated time with Machine.AddCycles, which is how the
+// cost of the strideProf routine (Figures 6/7/9) enters the overhead
+// measurements.
+type HookFunc func(m *Machine, args []int64)
+
+// HWPrefetcher is a hardware prefetcher observing the demand-load stream
+// (e.g. the reference-prediction-table prefetcher in package hwpf). pc is a
+// stable per-static-load identifier playing the role of the load's program
+// counter.
+type HWPrefetcher interface {
+	Observe(pc uint64, addr uint64, hier *cache.Hierarchy, now uint64)
+}
+
+// Config parameterises a machine.
+type Config struct {
+	// Hierarchy is the cache configuration; the zero value selects
+	// cache.ItaniumConfig.
+	Hierarchy cache.HierarchyConfig
+	// HeapBase and HeapSize bound the simulated heap. Zero selects
+	// 0x1000_0000 and 1 GB.
+	HeapBase, HeapSize uint64
+	// MaxSteps aborts runaway programs; zero selects 4e9 instructions.
+	MaxSteps uint64
+	// MaxDepth bounds the call stack; zero selects 256.
+	MaxDepth int
+	// Seed seeds the OpRand generator.
+	Seed uint64
+	// HWPrefetch, when non-nil, observes every demand load (a hardware
+	// prefetcher model such as hwpf.RPT).
+	HWPrefetch HWPrefetcher
+	// Trace, when non-nil, receives one line per executed instruction:
+	// "cycle function/block instruction". Tracing is for debugging small
+	// programs — it slows execution dramatically.
+	Trace io.Writer
+}
+
+func (c *Config) fill() {
+	if len(c.Hierarchy.Levels) == 0 {
+		c.Hierarchy = cache.ItaniumConfig()
+	}
+	if c.HeapBase == 0 {
+		c.HeapBase = 0x1000_0000
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 1 << 30
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 4e9
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+}
+
+// LoadKey identifies a static load instruction across program clones:
+// profiles and statistics are keyed by function name and instruction ID.
+type LoadKey struct {
+	// Func is the function name.
+	Func string
+	// ID is the instruction's function-unique ID.
+	ID int
+}
+
+// Stats aggregates an execution.
+type Stats struct {
+	// Cycles is the total simulated time.
+	Cycles uint64
+	// Instrs counts executed instructions (including predicated-off ones).
+	Instrs uint64
+	// LoadRefs counts executed demand loads.
+	LoadRefs uint64
+	// StoreRefs counts executed stores.
+	StoreRefs uint64
+	// PrefetchRefs counts executed prefetch instructions.
+	PrefetchRefs uint64
+	// HookCalls counts runtime-hook invocations.
+	HookCalls uint64
+}
+
+// decoded is the pre-decoded executable form of one instruction.
+type decoded struct {
+	op       ir.Opcode
+	dst      int32
+	s0, s1   int32
+	pred     int32
+	imm      int64
+	t0, t1   int32 // branch target block indices
+	callee   *code
+	args     []int32
+	hook     HookFunc
+	hookID   int64
+	loadSlot int32  // index into per-function load counters, or -1
+	pc       uint64 // stable static-load identifier for hardware prefetchers
+	src      *ir.Instr
+}
+
+// loadPC derives the stable per-static-load "program counter" handed to
+// hardware prefetchers (FNV-1a of the function name, mixed with the ID).
+func loadPC(fn string, id int) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(fn); i++ {
+		h ^= uint64(fn[i])
+		h *= 0x100000001b3
+	}
+	return h ^ (uint64(id) * 0x9e3779b97f4a7c15)
+}
+
+// code is a pre-decoded function.
+type code struct {
+	name       string
+	fn         *ir.Function
+	blocks     [][]decoded
+	blockNames []string
+	nregs      int
+	params     []int32
+	loadIDs    []int    // loadSlot -> instruction ID
+	loadCount  []uint64 // per-static-load dynamic reference counts
+}
+
+// Machine executes one program. A machine is single-use per program but may
+// Run multiple times (statistics accumulate unless Reset is called).
+type Machine struct {
+	cfg   Config
+	prog  *ir.Program
+	codes map[string]*code
+
+	// Mem is the simulated memory; input builders write into it directly.
+	Mem *mem.Memory
+	// Heap serves OpAlloc and pre-run input construction.
+	Heap *mem.Heap
+	// Hier is the cache hierarchy.
+	Hier *cache.Hierarchy
+
+	hooks map[int64]HookFunc
+
+	cycles uint64
+	stats  Stats
+	rng    uint64
+
+	regPool [][]int64
+	argBuf  []int64
+}
+
+// ErrMaxSteps is returned when execution exceeds Config.MaxSteps.
+var ErrMaxSteps = errors.New("machine: instruction budget exceeded")
+
+// ErrMaxDepth is returned when the call stack exceeds Config.MaxDepth.
+var ErrMaxDepth = errors.New("machine: call stack overflow")
+
+// New creates a machine for prog. The program must pass ir.VerifyProgram;
+// hooks referenced by OpHook instructions must be registered with Register
+// before Run.
+func New(prog *ir.Program, cfg Config) (*Machine, error) {
+	cfg.fill()
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		prog:  prog,
+		codes: make(map[string]*code, len(prog.Funcs)),
+		Mem:   mem.NewMemory(),
+		hooks: make(map[int64]HookFunc),
+		Hier:  cache.NewHierarchy(cfg.Hierarchy),
+		rng:   cfg.Seed,
+	}
+	m.Heap = mem.NewHeap(m.Mem, cfg.HeapBase, cfg.HeapSize)
+	for name, f := range prog.Funcs {
+		m.codes[name] = m.decodeShell(name, f)
+	}
+	for _, f := range prog.Funcs {
+		m.decodeBody(f)
+	}
+	return m, nil
+}
+
+func (m *Machine) decodeShell(name string, f *ir.Function) *code {
+	c := &code{name: name, fn: f, nregs: f.NumRegs}
+	for _, p := range f.Params {
+		c.params = append(c.params, int32(p))
+	}
+	return c
+}
+
+func (m *Machine) decodeBody(f *ir.Function) {
+	c := m.codes[f.Name]
+	f.Renumber()
+	c.blocks = make([][]decoded, len(f.Blocks))
+	c.blockNames = make([]string, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		c.blockNames[bi] = b.Name
+		dl := make([]decoded, len(b.Instrs))
+		for ii, in := range b.Instrs {
+			d := decoded{
+				op:       in.Op,
+				dst:      int32(in.Dst),
+				s0:       int32(in.Src[0]),
+				s1:       int32(in.Src[1]),
+				pred:     int32(in.Pred),
+				imm:      in.Imm,
+				t0:       -1,
+				t1:       -1,
+				loadSlot: -1,
+			}
+			if len(in.Targets) > 0 {
+				d.t0 = int32(in.Targets[0].Index)
+			}
+			if len(in.Targets) > 1 {
+				d.t1 = int32(in.Targets[1].Index)
+			}
+			if in.Op == ir.OpCall {
+				d.callee = m.codes[in.Callee]
+			}
+			if in.Op == ir.OpCall || in.Op == ir.OpHook {
+				for _, a := range in.Args {
+					d.args = append(d.args, int32(a))
+				}
+			}
+			if in.Op == ir.OpHook {
+				d.hookID = in.Imm
+			}
+			if in.Op == ir.OpLoad {
+				d.loadSlot = int32(len(c.loadIDs))
+				c.loadIDs = append(c.loadIDs, in.ID)
+				d.pc = loadPC(f.Name, in.ID)
+			}
+			if m.cfg.Trace != nil {
+				d.src = in
+			}
+			dl[ii] = d
+		}
+		c.blocks[bi] = dl
+	}
+	c.loadCount = make([]uint64, len(c.loadIDs))
+}
+
+// Register installs hook fn under id. Registering id twice replaces the
+// hook (tests rely on this to stub runtimes).
+func (m *Machine) Register(id int64, fn HookFunc) { m.hooks[id] = fn }
+
+// AddCycles charges extra simulated time; profiling hooks use it to model
+// the cost of the runtime routine they represent.
+func (m *Machine) AddCycles(n uint64) { m.cycles += n }
+
+// Now returns the current simulated cycle.
+func (m *Machine) Now() uint64 { return m.cycles }
+
+// Stats returns execution statistics accumulated so far.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.cycles
+	return s
+}
+
+// LoadCounts returns dynamic reference counts per static load.
+func (m *Machine) LoadCounts() map[LoadKey]uint64 {
+	out := make(map[LoadKey]uint64)
+	for name, c := range m.codes {
+		for slot, id := range c.loadIDs {
+			if c.loadCount[slot] > 0 {
+				out[LoadKey{Func: name, ID: id}] = c.loadCount[slot]
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the program's entry function to completion and returns its
+// return value.
+func (m *Machine) Run() (int64, error) {
+	entry := m.codes[m.prog.Main]
+	if entry == nil {
+		return 0, fmt.Errorf("machine: entry function %q missing", m.prog.Main)
+	}
+	return m.call(entry, nil, 0)
+}
+
+func (m *Machine) getRegs(n int) []int64 {
+	if len(m.regPool) > 0 {
+		r := m.regPool[len(m.regPool)-1]
+		m.regPool = m.regPool[:len(m.regPool)-1]
+		if cap(r) >= n {
+			r = r[:n]
+			for i := range r {
+				r[i] = 0
+			}
+			return r
+		}
+	}
+	return make([]int64, n)
+}
+
+func (m *Machine) putRegs(r []int64) { m.regPool = append(m.regPool, r) }
+
+// OpCost is the fixed occupancy, in cycles, of an instruction, excluding
+// memory stalls. The prefetch pass's loop-body latency estimate (the B of
+// the paper's K = min(L/B, C) heuristic) uses the same table the
+// interpreter charges.
+func OpCost(op ir.Opcode) uint64 {
+	switch op {
+	case ir.OpMul:
+		return 3
+	case ir.OpDiv, ir.OpRem:
+		return 8
+	case ir.OpCall, ir.OpRet:
+		return 2
+	case ir.OpAlloc, ir.OpRand:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (m *Machine) nextRand() uint64 {
+	// xorshift64*, deterministic across runs.
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// call executes one function activation.
+func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
+	if depth >= m.cfg.MaxDepth {
+		return 0, ErrMaxDepth
+	}
+	regs := m.getRegs(c.nregs)
+	defer m.putRegs(regs)
+	for i, p := range c.params {
+		if i < len(args) {
+			regs[p] = args[i]
+		}
+	}
+
+	bi := int32(0)
+	ii := 0
+	for {
+		if int(bi) >= len(c.blocks) {
+			return 0, fmt.Errorf("machine: %s: fell off block list", c.name)
+		}
+		blk := c.blocks[bi]
+		if ii >= len(blk) {
+			return 0, fmt.Errorf("machine: %s: block %d has no terminator", c.name, bi)
+		}
+		d := &blk[ii]
+		ii++
+
+		m.stats.Instrs++
+		if m.stats.Instrs > m.cfg.MaxSteps {
+			return 0, ErrMaxSteps
+		}
+		if d.src != nil {
+			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)
+		}
+		m.cycles += OpCost(d.op)
+
+		// Itanium-style predication: a false qualifying predicate squashes
+		// the instruction but it still occupies its slot (charged above).
+		if d.pred >= 0 && regs[d.pred] == 0 {
+			// Squashed terminators would leave the block without control
+			// transfer; the IR builders never predicate terminators, and the
+			// verifier-accepted programs we execute keep that invariant.
+			continue
+		}
+
+		switch d.op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[d.dst] = d.imm
+		case ir.OpMov:
+			regs[d.dst] = regs[d.s0]
+		case ir.OpAdd:
+			regs[d.dst] = regs[d.s0] + regs[d.s1]
+		case ir.OpSub:
+			regs[d.dst] = regs[d.s0] - regs[d.s1]
+		case ir.OpMul:
+			regs[d.dst] = regs[d.s0] * regs[d.s1]
+		case ir.OpDiv:
+			if regs[d.s1] == 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = regs[d.s0] / regs[d.s1]
+			}
+		case ir.OpRem:
+			if regs[d.s1] == 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = regs[d.s0] % regs[d.s1]
+			}
+		case ir.OpAnd:
+			regs[d.dst] = regs[d.s0] & regs[d.s1]
+		case ir.OpOr:
+			regs[d.dst] = regs[d.s0] | regs[d.s1]
+		case ir.OpXor:
+			regs[d.dst] = regs[d.s0] ^ regs[d.s1]
+		case ir.OpShl:
+			regs[d.dst] = regs[d.s0] << (uint64(regs[d.s1]) & 63)
+		case ir.OpShr:
+			regs[d.dst] = regs[d.s0] >> (uint64(regs[d.s1]) & 63)
+		case ir.OpAddI:
+			regs[d.dst] = regs[d.s0] + d.imm
+		case ir.OpShlI:
+			regs[d.dst] = regs[d.s0] << (uint64(d.imm) & 63)
+		case ir.OpShrI:
+			regs[d.dst] = regs[d.s0] >> (uint64(d.imm) & 63)
+		case ir.OpAndI:
+			regs[d.dst] = regs[d.s0] & d.imm
+		case ir.OpCmpEQ:
+			regs[d.dst] = b2i(regs[d.s0] == regs[d.s1])
+		case ir.OpCmpNE:
+			regs[d.dst] = b2i(regs[d.s0] != regs[d.s1])
+		case ir.OpCmpLT:
+			regs[d.dst] = b2i(regs[d.s0] < regs[d.s1])
+		case ir.OpCmpLE:
+			regs[d.dst] = b2i(regs[d.s0] <= regs[d.s1])
+		case ir.OpCmpGT:
+			regs[d.dst] = b2i(regs[d.s0] > regs[d.s1])
+		case ir.OpCmpGE:
+			regs[d.dst] = b2i(regs[d.s0] >= regs[d.s1])
+
+		case ir.OpLoad:
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Load(addr, m.cycles)
+			m.cycles += uint64(lat)
+			regs[d.dst] = m.Mem.Load(addr)
+			m.stats.LoadRefs++
+			c.loadCount[d.loadSlot]++
+			if m.cfg.HWPrefetch != nil {
+				m.cfg.HWPrefetch.Observe(d.pc, addr, m.Hier, m.cycles)
+			}
+		case ir.OpSpecLoad:
+			// Speculative load: non-faulting and excluded from per-load
+			// reference statistics (it is inserted machinery, not a program
+			// load).
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Load(addr, m.cycles)
+			m.cycles += uint64(lat)
+			regs[d.dst] = m.Mem.Load(addr)
+		case ir.OpStore:
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Store(addr, m.cycles)
+			m.cycles += uint64(lat)
+			m.Mem.Store(addr, regs[d.s1])
+			m.stats.StoreRefs++
+		case ir.OpPrefetch:
+			addr := uint64(regs[d.s0] + d.imm)
+			m.stats.PrefetchRefs++
+			// Non-faulting: wild addresses are ignored rather than fetched,
+			// mirroring lfetch semantics on unmapped pages.
+			if m.Mem.Mapped(addr) {
+				m.Hier.Prefetch(addr, m.cycles)
+			}
+
+		case ir.OpAlloc:
+			regs[d.dst] = int64(m.Heap.Alloc(regs[d.s0]))
+		case ir.OpRand:
+			bound := regs[d.s0]
+			if bound <= 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = int64(m.nextRand() % uint64(bound))
+			}
+
+		case ir.OpBr:
+			bi, ii = d.t0, 0
+		case ir.OpCondBr:
+			if regs[d.s0] != 0 {
+				bi, ii = d.t0, 0
+			} else {
+				bi, ii = d.t1, 0
+			}
+		case ir.OpRet:
+			if d.s0 >= 0 {
+				return regs[d.s0], nil
+			}
+			return 0, nil
+
+		case ir.OpCall:
+			if d.callee == nil {
+				return 0, fmt.Errorf("machine: call to unknown function")
+			}
+			argv := m.argValues(regs, d.args)
+			rv, err := m.call(d.callee, argv, depth+1)
+			m.releaseArgs(argv)
+			if err != nil {
+				return 0, err
+			}
+			if d.dst >= 0 {
+				regs[d.dst] = rv
+			}
+		case ir.OpHook:
+			fn := m.hooks[d.hookID]
+			if fn == nil {
+				return 0, fmt.Errorf("machine: hook %d not registered", d.hookID)
+			}
+			argv := m.argValues(regs, d.args)
+			m.stats.HookCalls++
+			fn(m, argv)
+			m.releaseArgs(argv)
+
+		default:
+			return 0, fmt.Errorf("machine: unimplemented opcode %s", d.op)
+		}
+	}
+}
+
+// argValues copies argument registers into a scratch slice. A tiny
+// free-list avoids per-call allocation in hot hook paths.
+func (m *Machine) argValues(regs []int64, args []int32) []int64 {
+	buf := m.argBuf
+	m.argBuf = nil
+	if cap(buf) < len(args) {
+		buf = make([]int64, len(args))
+	}
+	buf = buf[:len(args)]
+	for i, a := range args {
+		buf[i] = regs[a]
+	}
+	return buf
+}
+
+func (m *Machine) releaseArgs(buf []int64) {
+	if m.argBuf == nil {
+		m.argBuf = buf
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

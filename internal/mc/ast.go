@@ -1,0 +1,151 @@
+package mc
+
+// AST node types. Every node records the source line for diagnostics.
+
+// File is a parsed source file: global variable declarations and functions.
+type File struct {
+	// Globals are top-level "var name = <const int>;" declarations, in
+	// order. Initialisers must be integer literals (optionally negated).
+	Globals []*GlobalDecl
+	// Funcs are the function definitions in source order.
+	Funcs []*FuncDecl
+}
+
+// GlobalDecl is a top-level variable.
+type GlobalDecl struct {
+	Name string
+	Init int64
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// VarStmt declares and initialises a local: "var x = e;".
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a local/global name or through a pointer:
+// "x = e;" or "*addr = e;".
+type AssignStmt struct {
+	// Name is the target when assigning to a variable; empty for stores.
+	Name string
+	// Addr is the address expression when assigning through a pointer.
+	Addr Expr
+	Val  Expr
+	Line int
+}
+
+// IfStmt is "if (cond) { } else { }"; Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is "while (cond) { }".
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is "for (init; cond; post) { }"; Init and Post are optional
+// assignments or var declarations, Cond is optional (empty = 1).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt is "return e;" (e optional).
+type ReturnStmt struct {
+	Val  Expr
+	Line int
+}
+
+// PrefetchStmt is "prefetch(e);".
+type PrefetchStmt struct {
+	Addr Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration (running the
+// for-loop post statement).
+type ContinueStmt struct{ Line int }
+
+// ExprStmt is an expression evaluated for effect (typically a call).
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+func (s *VarStmt) stmtLine() int      { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *PrefetchStmt) stmtLine() int { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// NameExpr references a local or global variable.
+type NameExpr struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is -e, !e or *e (word load).
+type UnaryExpr struct {
+	Op   string
+	E    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation, including short-circuit && and ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// CallExpr calls a function, or the builtins alloc(n) and rand(n).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (e *IntLit) exprLine() int     { return e.Line }
+func (e *NameExpr) exprLine() int   { return e.Line }
+func (e *UnaryExpr) exprLine() int  { return e.Line }
+func (e *BinaryExpr) exprLine() int { return e.Line }
+func (e *CallExpr) exprLine() int   { return e.Line }

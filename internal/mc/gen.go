@@ -1,0 +1,469 @@
+package mc
+
+import (
+	"fmt"
+
+	"stridepf/internal/ir"
+)
+
+// GlobalsBase is the simulated address of the first global variable; each
+// global occupies one 8-byte word.
+const GlobalsBase uint64 = 0x2000
+
+// Compile parses and compiles mc source into a verified IR program whose
+// entry function is "main". Globals are initialised by stores prepended to
+// main.
+func Compile(src string) (*ir.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(f)
+}
+
+// CompileFile compiles a parsed file.
+func CompileFile(f *File) (*ir.Program, error) {
+	c := &compiler{
+		globals: map[string]uint64{},
+		arity:   map[string]int{},
+	}
+	for i, g := range f.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, fmt.Errorf("mc: line %d: duplicate global %q", g.Line, g.Name)
+		}
+		c.globals[g.Name] = GlobalsBase + uint64(8*i)
+	}
+	var hasMain bool
+	for _, fn := range f.Funcs {
+		if _, dup := c.arity[fn.Name]; dup {
+			return nil, fmt.Errorf("mc: line %d: duplicate function %q", fn.Line, fn.Name)
+		}
+		c.arity[fn.Name] = len(fn.Params)
+		if fn.Name == "main" {
+			hasMain = true
+			if len(fn.Params) != 0 {
+				return nil, fmt.Errorf("mc: line %d: main must take no parameters", fn.Line)
+			}
+		}
+	}
+	if !hasMain {
+		return nil, fmt.Errorf("mc: no main function")
+	}
+
+	prog := ir.NewProgram()
+	for _, fn := range f.Funcs {
+		irf, err := c.function(fn, f)
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(irf)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, fmt.Errorf("mc: internal error: generated IR invalid: %w", err)
+	}
+	return prog, nil
+}
+
+type compiler struct {
+	globals map[string]uint64
+	arity   map[string]int
+}
+
+// fnCtx is the per-function code generation state.
+type fnCtx struct {
+	c      *compiler
+	b      *ir.Builder
+	locals map[string]ir.Reg
+	zero   ir.Reg
+	// loops is the enclosing-loop stack for break/continue targets.
+	loops []loopTargets
+}
+
+// loopTargets holds a loop's continue and break destinations.
+type loopTargets struct {
+	cont, brk *ir.Block
+}
+
+func (c *compiler) function(fn *FuncDecl, file *File) (*ir.Function, error) {
+	fc := &fnCtx{c: c, b: ir.NewBuilder(fn.Name), locals: map[string]ir.Reg{}}
+	for _, p := range fn.Params {
+		if _, dup := fc.locals[p]; dup {
+			return nil, fmt.Errorf("mc: line %d: duplicate parameter %q", fn.Line, p)
+		}
+		fc.locals[p] = fc.b.Param()
+	}
+	fc.zero = fc.b.Const(0)
+
+	// Global initialisation runs at the top of main.
+	if fn.Name == "main" {
+		for _, g := range file.Globals {
+			if g.Init == 0 {
+				continue // memory starts zeroed
+			}
+			addr := fc.b.Const(int64(c.globals[g.Name]))
+			fc.b.Store(addr, 0, fc.b.Const(g.Init))
+		}
+	}
+
+	if err := fc.stmts(fn.Body); err != nil {
+		return nil, err
+	}
+	// Implicit "return 0" on fallthrough.
+	if fc.b.B.Terminator() == nil {
+		fc.b.Ret(ir.NoReg)
+	}
+	return fc.b.Finish(), nil
+}
+
+// stmts generates a statement list into the current block.
+func (fc *fnCtx) stmts(list []Stmt) error {
+	for _, s := range list {
+		if fc.b.B.Terminator() != nil {
+			// Code after return: keep generating into an unreachable block
+			// so the rest of the function still type-checks.
+			fc.b.At(fc.b.Block("dead"))
+		}
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCtx) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarStmt:
+		if _, dup := fc.locals[st.Name]; dup {
+			return fmt.Errorf("mc: line %d: duplicate local %q", st.Line, st.Name)
+		}
+		v, err := fc.expr(st.Init)
+		if err != nil {
+			return err
+		}
+		r := fc.b.F.NewReg()
+		fc.b.Mov(r, v)
+		fc.locals[st.Name] = r
+		return nil
+
+	case *AssignStmt:
+		v, err := fc.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if st.Name != "" {
+			if r, ok := fc.locals[st.Name]; ok {
+				fc.b.Mov(r, v)
+				return nil
+			}
+			if addr, ok := fc.c.globals[st.Name]; ok {
+				fc.b.Store(fc.b.Const(int64(addr)), 0, v)
+				return nil
+			}
+			return fmt.Errorf("mc: line %d: undefined variable %q", st.Line, st.Name)
+		}
+		addr, err := fc.expr(st.Addr)
+		if err != nil {
+			return err
+		}
+		fc.b.Store(addr, 0, v)
+		return nil
+
+	case *IfStmt:
+		cond, err := fc.truth(st.Cond)
+		if err != nil {
+			return err
+		}
+		then := fc.b.Block("then")
+		join := fc.b.Block("join")
+		els := join
+		if st.Else != nil {
+			els = fc.b.Block("else")
+		}
+		fc.b.CondBr(cond, then, els)
+
+		fc.b.At(then)
+		if err := fc.stmts(st.Then); err != nil {
+			return err
+		}
+		if fc.b.B.Terminator() == nil {
+			fc.b.Br(join)
+		}
+		if st.Else != nil {
+			fc.b.At(els)
+			if err := fc.stmts(st.Else); err != nil {
+				return err
+			}
+			if fc.b.B.Terminator() == nil {
+				fc.b.Br(join)
+			}
+		}
+		fc.b.At(join)
+		return nil
+
+	case *WhileStmt:
+		head := fc.b.Block("whead")
+		body := fc.b.Block("wbody")
+		exit := fc.b.Block("wexit")
+		fc.b.Br(head)
+
+		fc.b.At(head)
+		cond, err := fc.truth(st.Cond)
+		if err != nil {
+			return err
+		}
+		fc.b.CondBr(cond, body, exit)
+
+		fc.b.At(body)
+		fc.loops = append(fc.loops, loopTargets{cont: head, brk: exit})
+		err = fc.stmts(st.Body)
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		if err != nil {
+			return err
+		}
+		if fc.b.B.Terminator() == nil {
+			fc.b.Br(head)
+		}
+		fc.b.At(exit)
+		return nil
+
+	case *ForStmt:
+		if st.Init != nil {
+			if err := fc.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		head := fc.b.Block("fhead")
+		body := fc.b.Block("fbody")
+		exit := fc.b.Block("fexit")
+		fc.b.Br(head)
+
+		fc.b.At(head)
+		var cond ir.Reg
+		if st.Cond != nil {
+			var err error
+			cond, err = fc.truth(st.Cond)
+			if err != nil {
+				return err
+			}
+		} else {
+			cond = fc.b.Const(1)
+		}
+		fc.b.CondBr(cond, body, exit)
+
+		// The post statement lives in its own block so continue can reach
+		// it without duplicating code.
+		post := fc.b.Block("fpost")
+
+		fc.b.At(body)
+		fc.loops = append(fc.loops, loopTargets{cont: post, brk: exit})
+		err := fc.stmts(st.Body)
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		if err != nil {
+			return err
+		}
+		if fc.b.B.Terminator() == nil {
+			fc.b.Br(post)
+		}
+
+		fc.b.At(post)
+		if st.Post != nil {
+			if err := fc.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		fc.b.Br(head)
+
+		fc.b.At(exit)
+		return nil
+
+	case *BreakStmt:
+		if len(fc.loops) == 0 {
+			return fmt.Errorf("mc: line %d: break outside loop", st.Line)
+		}
+		fc.b.Br(fc.loops[len(fc.loops)-1].brk)
+		return nil
+
+	case *ContinueStmt:
+		if len(fc.loops) == 0 {
+			return fmt.Errorf("mc: line %d: continue outside loop", st.Line)
+		}
+		fc.b.Br(fc.loops[len(fc.loops)-1].cont)
+		return nil
+
+	case *ReturnStmt:
+		if st.Val == nil {
+			fc.b.Ret(ir.NoReg)
+			return nil
+		}
+		v, err := fc.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		fc.b.Ret(v)
+		return nil
+
+	case *PrefetchStmt:
+		addr, err := fc.expr(st.Addr)
+		if err != nil {
+			return err
+		}
+		fc.b.Prefetch(addr, 0)
+		return nil
+
+	case *ExprStmt:
+		_, err := fc.expr(st.E)
+		return err
+	}
+	return fmt.Errorf("mc: line %d: unhandled statement %T", s.stmtLine(), s)
+}
+
+// truth evaluates e and normalises it to 0/1 for a branch condition.
+func (fc *fnCtx) truth(e Expr) (ir.Reg, error) {
+	v, err := fc.expr(e)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	return fc.b.CmpNE(v, fc.zero), nil
+}
+
+func (fc *fnCtx) expr(e Expr) (ir.Reg, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fc.b.Const(ex.Val), nil
+
+	case *NameExpr:
+		if r, ok := fc.locals[ex.Name]; ok {
+			return r, nil
+		}
+		if addr, ok := fc.c.globals[ex.Name]; ok {
+			return fc.b.Load(fc.b.Const(int64(addr)), 0).Dst, nil
+		}
+		return ir.NoReg, fmt.Errorf("mc: line %d: undefined variable %q", ex.Line, ex.Name)
+
+	case *UnaryExpr:
+		v, err := fc.expr(ex.E)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		switch ex.Op {
+		case "-":
+			return fc.b.Sub(fc.zero, v), nil
+		case "!":
+			return fc.b.CmpEQ(v, fc.zero), nil
+		case "*":
+			return fc.b.Load(v, 0).Dst, nil
+		}
+		return ir.NoReg, fmt.Errorf("mc: line %d: unhandled unary %q", ex.Line, ex.Op)
+
+	case *BinaryExpr:
+		if ex.Op == "&&" || ex.Op == "||" {
+			return fc.shortCircuit(ex)
+		}
+		l, err := fc.expr(ex.L)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		r, err := fc.expr(ex.R)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		switch ex.Op {
+		case "+":
+			return fc.b.Add(l, r), nil
+		case "-":
+			return fc.b.Sub(l, r), nil
+		case "*":
+			return fc.b.Mul(l, r), nil
+		case "/":
+			return fc.b.Div(l, r), nil
+		case "%":
+			return fc.b.Rem(l, r), nil
+		case "&":
+			return fc.b.And(l, r), nil
+		case "|":
+			return fc.b.Or(l, r), nil
+		case "^":
+			return fc.b.Xor(l, r), nil
+		case "<<":
+			return fc.b.Shl(l, r), nil
+		case ">>":
+			return fc.b.Shr(l, r), nil
+		case "==":
+			return fc.b.CmpEQ(l, r), nil
+		case "!=":
+			return fc.b.CmpNE(l, r), nil
+		case "<":
+			return fc.b.CmpLT(l, r), nil
+		case "<=":
+			return fc.b.CmpLE(l, r), nil
+		case ">":
+			return fc.b.CmpGT(l, r), nil
+		case ">=":
+			return fc.b.CmpGE(l, r), nil
+		}
+		return ir.NoReg, fmt.Errorf("mc: line %d: unhandled operator %q", ex.Line, ex.Op)
+
+	case *CallExpr:
+		switch ex.Name {
+		case "alloc":
+			a, err := fc.expr(ex.Args[0])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			return fc.b.Alloc(a).Dst, nil
+		case "rand":
+			a, err := fc.expr(ex.Args[0])
+			if err != nil {
+				return ir.NoReg, err
+			}
+			return fc.b.Rand(a), nil
+		}
+		arity, ok := fc.c.arity[ex.Name]
+		if !ok {
+			return ir.NoReg, fmt.Errorf("mc: line %d: undefined function %q", ex.Line, ex.Name)
+		}
+		if len(ex.Args) != arity {
+			return ir.NoReg, fmt.Errorf("mc: line %d: %s takes %d arguments, got %d",
+				ex.Line, ex.Name, arity, len(ex.Args))
+		}
+		args := make([]ir.Reg, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := fc.expr(a)
+			if err != nil {
+				return ir.NoReg, err
+			}
+			args[i] = v
+		}
+		return fc.b.Call(ex.Name, args...).Dst, nil
+	}
+	return ir.NoReg, fmt.Errorf("mc: line %d: unhandled expression %T", e.exprLine(), e)
+}
+
+// shortCircuit generates && and || with proper control flow.
+func (fc *fnCtx) shortCircuit(ex *BinaryExpr) (ir.Reg, error) {
+	result := fc.b.F.NewReg()
+	lb, err := fc.truth(ex.L)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	fc.b.Mov(result, lb)
+
+	rhs := fc.b.Block("sc_rhs")
+	end := fc.b.Block("sc_end")
+	if ex.Op == "&&" {
+		fc.b.CondBr(lb, rhs, end) // false short-circuits
+	} else {
+		fc.b.CondBr(lb, end, rhs) // true short-circuits
+	}
+
+	fc.b.At(rhs)
+	rb, err := fc.truth(ex.R)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	fc.b.Mov(result, rb)
+	fc.b.Br(end)
+
+	fc.b.At(end)
+	return result, nil
+}

@@ -1,0 +1,202 @@
+// Package mc implements a minimal C-like language that compiles onto the
+// IR, so workloads — including the paper's Figure 1 and Figure 2 code
+// fragments — can be written as text instead of builder calls.
+//
+// The language is word-oriented (every value is a 64-bit integer; memory is
+// addressed in bytes but accessed in 8-byte words):
+//
+//	var head = 0;                       // globals live in the data segment
+//
+//	func sum(list) {
+//	    var total = 0;
+//	    while (list != 0) {
+//	        total = total + *(list + 8); // word load
+//	        list = *list;                // pointer chase
+//	    }
+//	    return total;
+//	}
+//
+//	func main() {
+//	    var p = alloc(16);               // heap allocation
+//	    *p = 0; *(p + 8) = 42;
+//	    head = p;
+//	    return sum(head);
+//	}
+//
+// Statements: var, assignment (to names or *expr), if/else, while, for,
+// return, prefetch(expr), and expression statements. Expressions: integer
+// literals, names, unary - ! *, calls, alloc(n), rand(n), and the usual
+// binary operators with C precedence including short-circuit && and ||.
+package mc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokIdent
+	tokPunct // operators and punctuation, in tok.text
+	tokKw    // keyword, in tok.text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+	"alloc": true, "rand": true, "prefetch": true,
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenises src, returning an error with a line number on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.ident()
+		default:
+			if err := l.punct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	base := 10
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		base = 16
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+	} else {
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	var v uint64
+	var err error
+	if base == 16 {
+		v, err = strconv.ParseUint(text[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(text, 10, 64)
+	}
+	if err != nil {
+		return fmt.Errorf("mc: line %d: bad number %q", l.line, text)
+	}
+	l.emit(token{kind: tokInt, text: text, val: int64(v), line: l.line})
+	return nil
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKw
+	}
+	l.emit(token{kind: kind, text: text, line: l.line})
+}
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+func (l *lexer) punct() error {
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.emit(token{kind: tokPunct, text: op, line: l.line})
+			l.pos += len(op)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '!',
+		'(', ')', '{', '}', ',', ';', '=':
+		l.emit(token{kind: tokPunct, text: string(c), line: l.line})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("mc: line %d: unexpected character %q", l.line, string(c))
+}

@@ -1,0 +1,476 @@
+package mc
+
+import "fmt"
+
+// Parse turns source text into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKw, "var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.at(tokKw, "func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("expected 'var' or 'func', got %q", p.peek().text)
+		}
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, if given).
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, got %q", text, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("mc: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+// globalDecl parses "var name = [-]INT ;".
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	kw := p.next() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	neg := p.accept(tokPunct, "-")
+	lit, err := p.expect(tokInt, "")
+	if err != nil {
+		return nil, p.errf("global initialisers must be integer literals")
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	v := lit.val
+	if neg {
+		v = -v
+	}
+	return &GlobalDecl{Name: name.text, Init: v, Line: kw.line}, nil
+}
+
+// funcDecl parses "func name(p1, p2) { body }".
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw := p.next() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Line: kw.line}
+	for !p.at(tokPunct, ")") {
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block parses "{ stmt* }".
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tokKw, "var"):
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ";")
+		return s, err
+	case p.at(tokKw, "return"):
+		kw := p.next()
+		s := &ReturnStmt{Line: kw.line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Val = e
+		}
+		_, err := p.expect(tokPunct, ";")
+		return s, err
+	case p.at(tokKw, "prefetch"):
+		kw := p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &PrefetchStmt{Addr: e, Line: kw.line}, nil
+	case p.at(tokKw, "break"):
+		kw := p.next()
+		_, err := p.expect(tokPunct, ";")
+		return &BreakStmt{Line: kw.line}, err
+	case p.at(tokKw, "continue"):
+		kw := p.next()
+		_, err := p.expect(tokPunct, ";")
+		return &ContinueStmt{Line: kw.line}, err
+	case p.at(tokKw, "if"):
+		return p.ifStmt()
+	case p.at(tokKw, "while"):
+		return p.whileStmt()
+	case p.at(tokKw, "for"):
+		return p.forStmt()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ";")
+		return s, err
+	}
+}
+
+// simpleStmt parses the semicolon-less statements usable in for-headers:
+// var declarations, assignments and expression statements.
+func (p *parser) simpleStmt() (Stmt, error) {
+	if p.at(tokKw, "var") {
+		kw := p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: e, Line: kw.line}, nil
+	}
+	// Store statement: *expr = val.
+	if p.at(tokPunct, "*") {
+		star := p.next()
+		addr, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "=") {
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Addr: addr, Val: val, Line: star.line}, nil
+		}
+		// Not an assignment after all: it was a dereference expression
+		// statement (rare); rebuild it as such.
+		return &ExprStmt{E: &UnaryExpr{Op: "*", E: addr, Line: star.line}, Line: star.line}, nil
+	}
+	// Assignment to a name, or expression statement.
+	if p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+		name := p.next()
+		p.next() // =
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.text, Val: e, Line: name.line}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e, Line: e.exprLine()}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: kw.line}
+	if p.accept(tokKw, "else") {
+		if p.at(tokKw, "if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []Stmt{elif}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: kw.line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: kw.line}
+	if !p.at(tokPunct, ";") {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Operator precedence, lowest first. && and || are handled one level
+// below via dedicated tiers to get short-circuit evaluation.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+// binary implements precedence climbing.
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.text, L: lhs, R: rhs, Line: op.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "*":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: t.text, E: e, Line: t.line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return &IntLit{Val: t.val, Line: t.line}, nil
+	case t.kind == tokKw && (t.text == "alloc" || t.text == "rand"):
+		p.next()
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, p.errf("%s takes one argument", t.text)
+		}
+		return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.at(tokPunct, "(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &NameExpr{Name: t.text, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ")")
+		return e, err
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(tokPunct, ")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	_, err := p.expect(tokPunct, ")")
+	return args, err
+}

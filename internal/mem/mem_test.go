@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x1000, 42)
+	if got := m.Load(0x1000); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	if got := m.Load(0x1008); got != 0 {
+		t.Errorf("adjacent word = %d, want 0", got)
+	}
+}
+
+func TestUnalignedAccessesShareWord(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x1003, 7) // low bits ignored
+	if got := m.Load(0x1000); got != 7 {
+		t.Errorf("Load(0x1000) = %d, want 7 (same word)", got)
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0xdeadbeef) != 0 {
+		t.Error("unmapped memory must read zero")
+	}
+	if m.Mapped(0xdeadbeef) {
+		t.Error("reading must not map a page")
+	}
+}
+
+func TestMemoryQuick(t *testing.T) {
+	m := NewMemory()
+	model := map[uint64]int64{}
+	prop := func(addr uint64, v int64) bool {
+		a := addr &^ 7
+		m.Store(a, v)
+		model[a] = v
+		// All previous writes still visible.
+		for k, want := range model {
+			if m.Load(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapSequentialLayout(t *testing.T) {
+	m := NewMemory()
+	h := NewHeap(m, 0x10000, 1<<20)
+	a := h.Alloc(24)
+	b := h.Alloc(24)
+	c := h.Alloc(10) // rounds to 16
+	if b-a != 24 {
+		t.Errorf("second block at +%d, want +24", b-a)
+	}
+	if c-b != 24 {
+		t.Errorf("third block at +%d, want +24", c-b)
+	}
+	d := h.Alloc(8)
+	if d-c != 16 {
+		t.Errorf("alloc(10) consumed %d bytes, want 16", d-c)
+	}
+	if !m.Mapped(a) {
+		t.Error("allocation did not map its page")
+	}
+}
+
+func TestHeapGap(t *testing.T) {
+	m := NewMemory()
+	h := NewHeap(m, 0, 1<<20)
+	a := h.Alloc(8)
+	h.AllocGap(56)
+	b := h.Alloc(8)
+	if b-a != 64 {
+		t.Errorf("gap layout delta = %d, want 64", b-a)
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	m := NewMemory()
+	h := NewHeap(m, 0, 64)
+	h.Alloc(32)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-allocation did not panic")
+		}
+	}()
+	h.Alloc(64)
+}

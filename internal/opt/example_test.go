@@ -1,0 +1,35 @@
+package opt_test
+
+import (
+	"fmt"
+
+	"stridepf/internal/ir"
+	"stridepf/internal/opt"
+)
+
+// The optimiser folds constants, eliminates the dead chain and leaves a
+// minimal function.
+func ExampleRun() {
+	b := ir.NewBuilder("main")
+	x := b.Const(6)
+	y := b.Const(7)
+	b.Ret(b.Mul(x, y))
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+
+	out, st, err := opt.Run(prog, opt.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("folded=%d removed=%d\n", st.Folded, st.Removed)
+	fmt.Print(ir.PrintFunc(out.Func("main")))
+
+	// Output:
+	// folded=1 removed=2
+	// func main() regs=3 {
+	// entry0:
+	// 	r2 = const 42
+	// 	ret r2
+	// }
+}

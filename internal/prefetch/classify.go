@@ -1,0 +1,152 @@
+// Package prefetch implements the profile-feedback half of the paper: the
+// Figure 5 classifier that sorts profiled loads into strong-single-stride
+// (SSST), phased-multi-stride (PMST) and weak-single-stride (WSST) classes,
+// the prefetch-distance heuristics of Section 2.2, and the prefetch-code
+// insertion pass for each class (Figure 3 c/d/e), including cover-load
+// expansion over equivalent sets and the out-loop policy of Section 2.3.
+package prefetch
+
+import (
+	"stridepf/internal/stride"
+)
+
+// Class is a load's stride classification.
+type Class int
+
+// Stride classes (Section 2.2).
+const (
+	// None marks loads filtered out or without a usable stride pattern.
+	None Class = iota
+	// SSST is a strong single-stride load: one non-zero stride occurring
+	// with very high probability.
+	SSST
+	// PMST is a phased multi-stride load: several non-zero strides that
+	// together occur frequently, with frequently-zero stride differences.
+	PMST
+	// WSST is a weak single-stride load: one stride occurring somewhat
+	// frequently with sometimes-zero differences.
+	WSST
+)
+
+// String returns the class's conventional abbreviation.
+func (c Class) String() string {
+	switch c {
+	case SSST:
+		return "SSST"
+	case PMST:
+		return "PMST"
+	case WSST:
+		return "WSST"
+	default:
+		return "none"
+	}
+}
+
+// Thresholds holds the classifier's tunables with the paper's defaults.
+type Thresholds struct {
+	// FreqThreshold is FT: loads executed fewer times are filtered out.
+	FreqThreshold uint64
+	// TripThreshold is TT: in-loop loads in loops with lower trip counts
+	// are filtered out.
+	TripThreshold float64
+	// SSST is the top-1 stride probability above which a load is SSST.
+	SSST float64
+	// PMST is the top-4 combined stride probability for PMST.
+	PMST float64
+	// PMSTDiff is the zero-stride-difference ratio required for PMST.
+	PMSTDiff float64
+	// WSST is the top-1 stride probability for WSST.
+	WSST float64
+	// WSSTDiff is the zero-stride-difference ratio required for WSST. (The
+	// paper's Figure 5 reuses PMST_diff_threshold here; the text of Section
+	// 2.2 specifies a separate 10% threshold, which we follow.)
+	WSSTDiff float64
+}
+
+// DefaultThresholds returns the paper's example values: FT 2000, TT 128,
+// SSST 70%, PMST 60%/40%, WSST 25%/10%.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		FreqThreshold: 2000,
+		TripThreshold: 128,
+		SSST:          0.70,
+		PMST:          0.60,
+		PMSTDiff:      0.40,
+		WSST:          0.25,
+		WSSTDiff:      0.10,
+	}
+}
+
+// Classification is the classifier's verdict for one load.
+type Classification struct {
+	// Class is the assigned stride class.
+	Class Class
+	// Stride is the dominant stride in bytes, de-scaled by the profile's
+	// fine-sampling interval (Figure 8: S = S1/F). Meaningful for SSST and
+	// WSST; for PMST it is the top stride, informational only.
+	Stride int64
+	// Top1Ratio, Top4Ratio and ZeroDiffRatio echo the classifier inputs.
+	Top1Ratio, Top4Ratio, ZeroDiffRatio float64
+	// FilteredBy names the filter that rejected the load when Class is
+	// None: "freq", "trip", "no-profile", "empty-profile" or "criteria".
+	FilteredBy string
+}
+
+// Classify applies the Figure 5 decision procedure to one load's stride
+// summary. freq is the load's dynamic execution count from the frequency
+// profile; trip is its loop's trip count (use a value above the threshold
+// for out-loop loads, which the caller handles separately); inLoop tells
+// whether the trip filter applies.
+func Classify(sum stride.Summary, freq uint64, trip float64, inLoop bool, th Thresholds) Classification {
+	if freq <= th.FreqThreshold {
+		return Classification{FilteredBy: "freq"}
+	}
+	if inLoop && trip <= th.TripThreshold {
+		return Classification{FilteredBy: "trip"}
+	}
+	total := float64(sum.TotalStrides)
+	if total <= 0 {
+		return Classification{FilteredBy: "empty-profile"}
+	}
+
+	var top1, top4 float64
+	var top1Stride int64
+	for i, e := range sum.TopStrides {
+		if i == 0 {
+			top1 = float64(e.Freq)
+			top1Stride = e.Value
+		}
+		if i < 4 {
+			top4 += float64(e.Freq)
+		}
+	}
+	zeroDiff := float64(sum.ZeroDiffs)
+
+	c := Classification{
+		Top1Ratio:     top1 / total,
+		Top4Ratio:     top4 / total,
+		ZeroDiffRatio: zeroDiff / total,
+	}
+	f := int64(sum.FineInterval)
+	if f < 1 {
+		f = 1
+	}
+	c.Stride = top1Stride / f
+
+	switch {
+	case c.Top1Ratio > th.SSST:
+		c.Class = SSST
+	case c.Top4Ratio > th.PMST && c.ZeroDiffRatio > th.PMSTDiff:
+		c.Class = PMST
+	case c.Top1Ratio > th.WSST && c.ZeroDiffRatio > th.WSSTDiff:
+		c.Class = WSST
+	default:
+		c.FilteredBy = "criteria"
+	}
+	if c.Class != None && c.Stride == 0 {
+		// A dominant stride that de-scales to zero cannot be prefetched.
+		c.Class = None
+		c.FilteredBy = "criteria"
+	}
+	return c
+}

@@ -1,0 +1,50 @@
+package prefetch_test
+
+import (
+	"fmt"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/stride"
+)
+
+// Classify applies the paper's Figure 5 decision procedure: a load whose
+// dominant stride covers 80% of samples is a strong-single-stride (SSST)
+// load; one whose top strides only jointly dominate, with frequently-zero
+// stride differences, is phased-multi-stride (PMST).
+func ExampleClassify() {
+	th := prefetch.DefaultThresholds()
+
+	ssst := stride.Summary{
+		Key:          machine.LoadKey{Func: "main", ID: 1},
+		TopStrides:   []lfu.Entry{{Value: 64, Freq: 800}},
+		TotalStrides: 1000,
+		ZeroDiffs:    790,
+		FineInterval: 1,
+	}
+	c := prefetch.Classify(ssst, 10_000, 500, true, th)
+	fmt.Printf("%s stride=%d\n", c.Class, c.Stride)
+
+	pmst := stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 2},
+		TopStrides: []lfu.Entry{
+			{Value: 32, Freq: 290}, {Value: 48, Freq: 280},
+			{Value: 64, Freq: 210}, {Value: 1024, Freq: 50},
+		},
+		TotalStrides: 1000,
+		ZeroDiffs:    450,
+		FineInterval: 1,
+	}
+	c = prefetch.Classify(pmst, 10_000, 500, true, th)
+	fmt.Printf("%s top4=%.2f zerodiff=%.2f\n", c.Class, c.Top4Ratio, c.ZeroDiffRatio)
+
+	// A load in a low-trip loop is filtered regardless of its strides.
+	c = prefetch.Classify(ssst, 10_000, 4, true, th)
+	fmt.Printf("%s (%s)\n", c.Class, c.FilteredBy)
+
+	// Output:
+	// SSST stride=64
+	// PMST top4=0.83 zerodiff=0.45
+	// none (trip)
+}

@@ -1,0 +1,106 @@
+package prefetch
+
+import (
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+)
+
+// Indirect (dependent-load) prefetching — the paper's second future-work
+// direction (Section 6): "There are cases where a load itself does not have
+// stride patterns, but its address depends on another load with stride
+// patterns. We may extend our method to prefetch loads that depend on the
+// results of the prefetching instructions."
+//
+// For a dependent load D whose address register is produced by a pointer
+// load M belonging to a prefetched strong-single-stride set with stride S
+// and distance K, the pass inserts before D:
+//
+//	t = specload [M.base + M.disp + J*S]   ; the pointer M will load J
+//	                                       ; iterations from now (its line
+//	                                       ; was already prefetched by the
+//	                                       ; set's own SSST prefetch)
+//	prefetch [t + D.disp]                  ; D's future target line
+//
+// with J = max(1, K/2), giving D roughly J loop iterations of prefetch
+// lead even though its own address stream has no stride.
+
+// ssstInfo records one SSST-prefetched equivalent set.
+type ssstInfo struct {
+	set    *cfg.EquivSet
+	stride int64
+	k      int
+}
+
+// insertIndirect applies dependent-load prefetching for every unprefetched
+// load whose address is produced by a member of an SSST-prefetched set in
+// the same loop. It returns the number of prefetches inserted.
+func insertIndirect(f *ir.Function, li *cfg.LoopInfo, defs *cfg.Defs,
+	sets []ssstInfo, unprefetched []*ir.Instr) int {
+
+	if len(sets) == 0 || len(unprefetched) == 0 {
+		return 0
+	}
+	blockOf := make(map[*ir.Instr]*ir.Block)
+	f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) { blockOf[in] = b })
+
+	memberOf := make(map[*ir.Instr]*ssstInfo)
+	for i := range sets {
+		for _, m := range sets[i].set.Members {
+			memberOf[m.Instr] = &sets[i]
+		}
+	}
+
+	inserted := 0
+	for _, d := range unprefetched {
+		db := blockOf[d]
+		if db == nil {
+			continue
+		}
+		// Trace the address register to its producer, looking through the
+		// copy chains front ends emit (q = mov <load result>).
+		def := defs.SingleDef(d.Src[0])
+		for steps := 0; steps < 8 && def != nil && def.Op == ir.OpMov; steps++ {
+			def = defs.SingleDef(def.Src[0])
+		}
+		if def == nil || def.Op != ir.OpLoad {
+			continue
+		}
+		info := memberOf[def]
+		if info == nil {
+			continue
+		}
+		// The producer and consumer must share the (innermost) loop so the
+		// future-pointer address is computed against a live base register.
+		if li.InnermostLoop(db) != info.set.Loop {
+			continue
+		}
+		pos := db.IndexOf(d)
+		if pos < 0 {
+			continue
+		}
+		j := int64(info.k / 2)
+		if j < 1 {
+			j = 1
+		}
+		t := f.NewReg()
+
+		spec := ir.NewInstr(ir.OpSpecLoad)
+		spec.Dst = t
+		spec.Src[0] = def.Src[0]
+		spec.Imm = def.Imm + j*info.stride
+		spec.Pred = d.Pred
+		spec.ID = f.NextInstrID()
+		spec.Comment = "indirect-prefetch"
+		db.InsertBefore(pos, spec)
+		pos++
+
+		pf := ir.NewInstr(ir.OpPrefetch)
+		pf.Src[0] = t
+		pf.Imm = d.Imm
+		pf.Pred = d.Pred
+		pf.ID = f.NextInstrID()
+		db.InsertBefore(pos, pf)
+		inserted++
+	}
+	return inserted
+}

@@ -1,0 +1,667 @@
+package prefetch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stridepf/internal/cache"
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+)
+
+// Heuristic selects the prefetch-distance computation for in-loop loads.
+type Heuristic int
+
+const (
+	// LatencyOverBody computes K = min(L/B, C): the estimated miss latency
+	// of the touched data range divided by the loop-body latency.
+	LatencyOverBody Heuristic = iota
+	// TripBased computes K = min(trip_count/TT, C).
+	TripBased
+	// FixedDistance uses MaxDistance for every load (an ablation baseline).
+	FixedDistance
+)
+
+// Options parameterises the feedback pass.
+type Options struct {
+	// Thresholds are the classifier thresholds; zero selects the defaults.
+	Thresholds Thresholds
+	// Heuristic selects the prefetch-distance computation.
+	Heuristic Heuristic
+	// MaxDistance is C, the prefetch-distance cap; zero selects 8.
+	MaxDistance int
+	// OutLoopDistance is the fixed K for out-loop SSST loads; zero selects 4.
+	OutLoopDistance int
+	// EnableWSST turns on conditional prefetching for weak-single-stride
+	// loads. The paper leaves it off ("does not show noticeable performance
+	// contribution"), so the default is off.
+	EnableWSST bool
+	// Hier describes the target memory hierarchy, used to estimate the miss
+	// latency L; the zero value selects cache.ItaniumConfig.
+	Hier cache.HierarchyConfig
+	// MaxRefDistance, when positive, vetoes prefetching of loads whose mean
+	// inter-reference distance (profiled with stride.Config.RefDistance)
+	// exceeds it: the prefetched line would likely be evicted before use.
+	// This is the paper's first future-work extension (Section 6).
+	MaxRefDistance float64
+	// EnableIndirect turns on dependent-load (indirect) prefetching, the
+	// paper's second future-work extension: loads whose address comes from
+	// a strong-single-stride pointer load are prefetched through a
+	// speculative load of the future pointer value.
+	EnableIndirect bool
+	// OutLoopDynamic enables dynamic-stride prefetching for out-loop PMST
+	// loads using a static memory slot to carry the previous address across
+	// function invocations. The paper rejects this (Section 2.3) because
+	// the slot's load and store add overhead on every execution; the option
+	// exists so the ablation bench can verify that argument.
+	OutLoopDynamic bool
+}
+
+func (o *Options) fill() {
+	if o.Thresholds == (Thresholds{}) {
+		o.Thresholds = DefaultThresholds()
+	}
+	if o.MaxDistance == 0 {
+		o.MaxDistance = 8
+	}
+	if o.OutLoopDistance == 0 {
+		o.OutLoopDistance = 4
+	}
+	if len(o.Hier.Levels) == 0 {
+		o.Hier = cache.ItaniumConfig()
+	}
+}
+
+// Decision records the feedback verdict for one profiled load (or
+// equivalent-set representative).
+type Decision struct {
+	// Key identifies the load.
+	Key machine.LoadKey
+	// Class is the assigned stride class (None if filtered).
+	Class Class
+	// InLoop tells whether the load sits in a reducible loop.
+	InLoop bool
+	// Freq is the load's dynamic execution count per the edge profile.
+	Freq uint64
+	// Trip is the containing loop's trip count (0 for out-loop loads).
+	Trip float64
+	// Stride is the dominant de-scaled stride.
+	Stride int64
+	// K is the chosen prefetch distance in strides (0 if not prefetched).
+	K int
+	// CoverLines is the number of cache lines prefetched per execution
+	// (>1 when an equivalent set spans several lines).
+	CoverLines int
+	// FilteredBy explains a None class.
+	FilteredBy string
+}
+
+// Result is the outcome of the feedback pass.
+type Result struct {
+	// Prog is the prefetch-annotated clone of the input program.
+	Prog *ir.Program
+	// Decisions lists one verdict per profiled load, deterministic order.
+	Decisions []Decision
+	// Inserted counts static prefetch instructions added.
+	Inserted int
+	// IndirectInserted counts dependent-load prefetches added by the
+	// indirect-prefetching extension (Options.EnableIndirect).
+	IndirectInserted int
+
+	// nextSlot bump-allocates static memory slots for out-loop dynamic
+	// prefetching (Options.OutLoopDynamic).
+	nextSlot uint64
+}
+
+// SlotBase is the simulated address region holding the static previous-
+// address slots used by out-loop dynamic prefetching.
+const SlotBase uint64 = 0x0900_0000
+
+func (res *Result) allocSlot() uint64 {
+	if res.nextSlot == 0 {
+		res.nextSlot = SlotBase
+	}
+	a := res.nextSlot
+	res.nextSlot += 8
+	return a
+}
+
+// Apply runs the profile-feedback pass: it clones prog, classifies every
+// profiled load against the combined edge+stride profile, and inserts
+// prefetching code per Section 2.2/2.3.
+func Apply(prog *ir.Program, prof *profile.Combined, opts Options) (*Result, error) {
+	opts.fill()
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, err
+	}
+	res := &Result{Prog: ir.CloneProgram(prog)}
+
+	names := make([]string, 0, len(res.Prog.Funcs))
+	for n := range res.Prog.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := applyFunc(res, res.Prog.Funcs[n], prof, opts); err != nil {
+			return nil, fmt.Errorf("prefetch: %s: %w", n, err)
+		}
+	}
+	if err := ir.VerifyProgram(res.Prog); err != nil {
+		return nil, fmt.Errorf("prefetch: output invalid: %w", err)
+	}
+	return res, nil
+}
+
+func applyFunc(res *Result, f *ir.Function, prof *profile.Combined, opts Options) error {
+	f.RebuildEdges()
+	dom := cfg.Dominators(f)
+	pdom := cfg.PostDominators(f)
+	li := cfg.FindLoops(f, dom)
+	defs := cfg.ComputeDefs(f)
+	ce := cfg.NewControlEquiv(dom, pdom)
+	lineSize := opts.Hier.Levels[0].LineSize
+
+	// Recreate the profiled-load structure the instrumentation used: in-loop
+	// non-invariant loads grouped into equivalent sets; everything else is
+	// an out-loop candidate.
+	var inLoopCands []*ir.Instr
+	var outLoop []struct {
+		in  *ir.Instr
+		blk *ir.Block
+	}
+	f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+		if in.Op != ir.OpLoad {
+			return
+		}
+		if li.InLoop(b) {
+			loop := li.InnermostLoop(b)
+			if !cfg.LoopInvariantReg(loop, in.Src[0]) {
+				inLoopCands = append(inLoopCands, in)
+				return
+			}
+			return // invariant-address loads are never stride-prefetched
+		}
+		outLoop = append(outLoop, struct {
+			in  *ir.Instr
+			blk *ir.Block
+		}{in, b})
+	})
+	sets := cfg.FindEquivalentLoads(f, li, ce, defs, inLoopCands)
+
+	var ssstSets []ssstInfo
+	var unprefetched []*ir.Instr
+
+	for _, s := range sets {
+		rep := s.Rep()
+		key := machine.LoadKey{Func: f.Name, ID: rep.Instr.ID}
+		sum, ok := prof.Stride.Lookup(key)
+		if !ok {
+			// Naive profiles key every member; check them too.
+			for _, mb := range s.Members[1:] {
+				if ss, ok2 := prof.Stride.Lookup(machine.LoadKey{Func: f.Name, ID: mb.Instr.ID}); ok2 {
+					sum, ok = ss, true
+					break
+				}
+			}
+		}
+		freq := prof.Edge.BlockFreq(f.Name, rep.Block)
+		trip := prof.Edge.TripCount(f.Name, s.Loop)
+		if !ok {
+			res.Decisions = append(res.Decisions, Decision{
+				Key: key, InLoop: true, Freq: freq, Trip: trip, FilteredBy: "no-profile",
+			})
+			for _, m := range s.Members {
+				unprefetched = append(unprefetched, m.Instr)
+			}
+			continue
+		}
+		cl := Classify(sum, freq, trip, true, opts.Thresholds)
+		d := Decision{
+			Key: key, Class: cl.Class, InLoop: true, Freq: freq, Trip: trip,
+			Stride: cl.Stride, FilteredBy: cl.FilteredBy,
+		}
+		if cl.Class != None && opts.MaxRefDistance > 0 && sum.AvgRefDistance > opts.MaxRefDistance {
+			// The prefetched line would be evicted by the intervening
+			// references before the load consumes it.
+			d.FilteredBy = "ref-distance"
+			res.Decisions = append(res.Decisions, d)
+			for _, m := range s.Members {
+				unprefetched = append(unprefetched, m.Instr)
+			}
+			continue
+		}
+		if cl.Class == None || (cl.Class == WSST && !opts.EnableWSST) {
+			if cl.Class == WSST {
+				d.FilteredBy = "wsst-disabled"
+				d.Class = WSST // keep the class for distribution reporting
+			}
+			res.Decisions = append(res.Decisions, d)
+			for _, m := range s.Members {
+				unprefetched = append(unprefetched, m.Instr)
+			}
+			continue
+		}
+		k := distance(opts, prof, f, s.Loop, trip, cl.Stride)
+		d.K = k
+		d.CoverLines = insertForSet(res, f, s, cl, k, lineSize, opts)
+		res.Decisions = append(res.Decisions, d)
+		if cl.Class == SSST {
+			ssstSets = append(ssstSets, ssstInfo{set: s, stride: cl.Stride, k: k})
+		}
+	}
+
+	// Dependent-load (indirect) prefetching: loads without stride patterns
+	// whose addresses are produced by an SSST pointer load.
+	if opts.EnableIndirect {
+		res.IndirectInserted += insertIndirect(f, li, defs, ssstSets, unprefetched)
+	}
+
+	// Out-loop loads: prefetch only SSST, with a fixed small distance
+	// (Section 2.3).
+	for _, ol := range outLoop {
+		key := machine.LoadKey{Func: f.Name, ID: ol.in.ID}
+		sum, ok := prof.Stride.Lookup(key)
+		if !ok {
+			continue // never profiled: not even reported
+		}
+		freq := prof.Edge.BlockFreq(f.Name, ol.blk)
+		cl := Classify(sum, freq, 0, false, opts.Thresholds)
+		d := Decision{
+			Key: key, Class: cl.Class, InLoop: false, Freq: freq,
+			Stride: cl.Stride, FilteredBy: cl.FilteredBy,
+		}
+		if cl.Class != None && opts.MaxRefDistance > 0 && sum.AvgRefDistance > opts.MaxRefDistance {
+			d.FilteredBy = "ref-distance"
+			res.Decisions = append(res.Decisions, d)
+			continue
+		}
+		switch {
+		case cl.Class == SSST:
+			k := opts.OutLoopDistance
+			d.K = k
+			res.Inserted += EmitSSST(f, ol.blk, ol.in, []int64{0}, int64(k)*cl.Stride)
+			d.CoverLines = 1
+		case cl.Class == PMST && opts.OutLoopDynamic:
+			k := opts.OutLoopDistance
+			d.K = k
+			res.Inserted += emitOutLoopDynamic(res, f, ol.blk, ol.in, k)
+			d.CoverLines = 1
+			d.FilteredBy = "out-loop-dynamic"
+		case cl.Class != None:
+			d.FilteredBy = "out-loop-" + cl.Class.String()
+		}
+		res.Decisions = append(res.Decisions, d)
+	}
+	f.RebuildEdges()
+	return nil
+}
+
+// distance computes the prefetch distance K per the selected heuristic.
+func distance(opts Options, prof *profile.Combined, f *ir.Function, loop *cfg.Loop, trip float64, strideBytes int64) int {
+	c := opts.MaxDistance
+	switch opts.Heuristic {
+	case FixedDistance:
+		return c
+	case TripBased:
+		k := int(trip / opts.Thresholds.TripThreshold)
+		return clamp(k, 1, c)
+	default: // LatencyOverBody
+		l := missLatency(opts.Hier, trip, strideBytes)
+		b := bodyCycles(prof, f, loop, opts.Hier.Levels[0].HitLatency)
+		if b <= 0 {
+			return 1
+		}
+		return clamp(int(float64(l)/b), 1, c)
+	}
+}
+
+// missLatency estimates L: the latency of the cache level the loop's data
+// range overflows (Section 2.2's "size of a cache level with L cycle miss
+// latency").
+func missLatency(h cache.HierarchyConfig, trip float64, strideBytes int64) int {
+	size := trip * math.Abs(float64(strideBytes))
+	// The innermost level that holds the whole range serves the load's
+	// misses; a range that fits in L1 still pays the L2 latency on its cold
+	// pass, which keeps K at a harmless minimum.
+	for i := 1; i < len(h.Levels); i++ {
+		if size <= float64(h.Levels[i-1].Size) || size <= float64(h.Levels[i].Size) {
+			return h.Levels[i].HitLatency
+		}
+	}
+	return h.MemLatency
+}
+
+// bodyCycles estimates B: the average per-iteration latency of the loop
+// body, excluding miss latencies of prefetched loads — loads are costed at
+// the L1 hit latency.
+func bodyCycles(prof *profile.Combined, f *ir.Function, loop *cfg.Loop, l1Hit int) float64 {
+	headerFreq := prof.Edge.BlockFreq(f.Name, loop.Header)
+	if headerFreq == 0 {
+		return 0
+	}
+	var total float64
+	for b := range loop.Blocks {
+		freq := prof.Edge.BlockFreq(f.Name, b)
+		var cost uint64
+		for _, in := range b.Instrs {
+			cost += machine.OpCost(in.Op)
+			if in.Op == ir.OpLoad {
+				cost += uint64(l1Hit)
+			}
+		}
+		total += float64(freq) * float64(cost)
+	}
+	return total / float64(headerFreq)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// coverDeltas returns the distinct line-aligned offsets (relative to the
+// representative) needed to cover every cache line the set touches.
+func coverDeltas(s *cfg.EquivSet, lineSize int) []int64 {
+	repOff := s.Members[0].Off
+	seen := map[int64]bool{}
+	var deltas []int64
+	for _, m := range s.Members {
+		li := (m.Off - repOff) / int64(lineSize)
+		if !seen[li] {
+			seen[li] = true
+			deltas = append(deltas, li*int64(lineSize))
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+	return deltas
+}
+
+// insertForSet inserts the prefetch sequence for one classified equivalent
+// set and returns the number of lines covered.
+func insertForSet(res *Result, f *ir.Function, s *cfg.EquivSet, cl Classification, k, lineSize int, opts Options) int {
+	deltas := coverDeltas(s, lineSize)
+	rep := s.Rep()
+	switch cl.Class {
+	case SSST:
+		res.Inserted += EmitSSST(f, rep.Block, rep.Instr, deltas, int64(k)*cl.Stride)
+	case PMST:
+		res.Inserted += EmitPMST(f, rep.Block, rep.Instr, deltas, k)
+	case WSST:
+		res.Inserted += EmitWSST(f, rep.Block, rep.Instr, deltas, int64(k), cl.Stride)
+	}
+	return len(deltas)
+}
+
+// EmitSSST inserts, before the load, one prefetch per cover delta:
+//
+//	prefetch [base + disp + K*S + delta]
+//
+// (Figure 3(c): the displacement is a compile-time constant.) It returns
+// the number of prefetch instructions inserted.
+func EmitSSST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, ahead int64) int {
+	pos := b.IndexOf(load)
+	if pos < 0 {
+		return 0
+	}
+	n := 0
+	for _, delta := range deltas {
+		pf := ir.NewInstr(ir.OpPrefetch)
+		pf.Src[0] = load.Src[0]
+		pf.Imm = load.Imm + ahead + delta
+		pf.Pred = load.Pred
+		pf.ID = f.NextInstrID()
+		pf.Comment = "ssst-prefetch"
+		b.InsertBefore(pos, pf)
+		pos++
+		n++
+	}
+	return n
+}
+
+// EmitPMST inserts the Figure 3(d) sequence before the load:
+//
+//	ea      = addi base, disp        ; current address
+//	strideR = sub ea, scratch        ; stride = addr - prev addr
+//	scratch = mov ea                 ; save for next iteration
+//	tmp     = shli strideR, log2(K')
+//	pfb     = add ea, tmp
+//	prefetch [pfb + delta]           ; per cover line
+//
+// K' is K rounded down to a power of two so the multiply becomes a shift.
+// It returns the number of prefetch instructions inserted. The same code
+// sequence implements the profile-blind induction-pointer prefetching of
+// package baseline.
+func EmitPMST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k int) int {
+	pos := b.IndexOf(load)
+	if pos < 0 {
+		return 0
+	}
+	logK := int64(0)
+	for (1 << (logK + 1)) <= k {
+		logK++
+	}
+	scratch := f.NewReg()
+	ea := f.NewReg()
+	strideR := f.NewReg()
+	tmp := f.NewReg()
+	pfb := f.NewReg()
+
+	emit := func(in *ir.Instr) {
+		in.Pred = load.Pred
+		in.ID = f.NextInstrID()
+		b.InsertBefore(pos, in)
+		pos++
+	}
+	eaIn := ir.NewInstr(ir.OpAddI)
+	eaIn.Dst = ea
+	eaIn.Src[0] = load.Src[0]
+	eaIn.Imm = load.Imm
+	eaIn.Comment = "pmst-prefetch"
+	emit(eaIn)
+
+	sub := ir.NewInstr(ir.OpSub)
+	sub.Dst = strideR
+	sub.Src[0] = ea
+	sub.Src[1] = scratch
+	emit(sub)
+
+	mov := ir.NewInstr(ir.OpMov)
+	mov.Dst = scratch
+	mov.Src[0] = ea
+	emit(mov)
+
+	sh := ir.NewInstr(ir.OpShlI)
+	sh.Dst = tmp
+	sh.Src[0] = strideR
+	sh.Imm = logK
+	emit(sh)
+
+	add := ir.NewInstr(ir.OpAdd)
+	add.Dst = pfb
+	add.Src[0] = ea
+	add.Src[1] = tmp
+	emit(add)
+
+	n := 0
+	for _, delta := range deltas {
+		pf := ir.NewInstr(ir.OpPrefetch)
+		pf.Src[0] = pfb
+		pf.Imm = delta
+		emit(pf)
+		n++
+	}
+	return n
+}
+
+// EmitWSST inserts the Figure 3(e) conditional sequence:
+//
+//	ea      = addi base, disp
+//	strideR = sub ea, scratch
+//	scratch = mov ea
+//	sC      = const S
+//	p       = cmpeq strideR, sC
+//	(p)? prefetch [base + disp + K*S + delta]  ; per cover line
+//
+// It returns the number of prefetch instructions inserted.
+func EmitWSST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k, strideBytes int64) int {
+	pos := b.IndexOf(load)
+	if pos < 0 {
+		return 0
+	}
+	scratch := f.NewReg()
+	ea := f.NewReg()
+	strideR := f.NewReg()
+	sC := f.NewReg()
+	p := f.NewReg()
+	pc := p
+
+	emit := func(in *ir.Instr) {
+		in.ID = f.NextInstrID()
+		b.InsertBefore(pos, in)
+		pos++
+	}
+	eaIn := ir.NewInstr(ir.OpAddI)
+	eaIn.Dst = ea
+	eaIn.Src[0] = load.Src[0]
+	eaIn.Imm = load.Imm
+	eaIn.Pred = load.Pred
+	eaIn.Comment = "wsst-prefetch"
+	emit(eaIn)
+
+	sub := ir.NewInstr(ir.OpSub)
+	sub.Dst = strideR
+	sub.Src[0] = ea
+	sub.Src[1] = scratch
+	sub.Pred = load.Pred
+	emit(sub)
+
+	mov := ir.NewInstr(ir.OpMov)
+	mov.Dst = scratch
+	mov.Src[0] = ea
+	mov.Pred = load.Pred
+	emit(mov)
+
+	c := ir.NewInstr(ir.OpConst)
+	c.Dst = sC
+	c.Imm = strideBytes
+	emit(c)
+
+	cmp := ir.NewInstr(ir.OpCmpEQ)
+	cmp.Dst = p
+	cmp.Src[0] = strideR
+	cmp.Src[1] = sC
+	cmp.Pred = load.Pred
+	emit(cmp)
+
+	if load.Pred.Valid() {
+		// Compose the stride test with the load's own predicate.
+		pc = f.NewReg()
+		and := ir.NewInstr(ir.OpAnd)
+		and.Dst = pc
+		and.Src[0] = p
+		and.Src[1] = load.Pred
+		emit(and)
+	}
+	n := 0
+	for _, delta := range deltas {
+		pf := ir.NewInstr(ir.OpPrefetch)
+		pf.Src[0] = load.Src[0]
+		pf.Imm = load.Imm + k*strideBytes + delta
+		pf.Pred = pc
+		emit(pf)
+		n++
+	}
+	return n
+}
+
+// emitOutLoopDynamic inserts, before an out-loop PMST load, the
+// dynamic-stride sequence with the previous address carried in a static
+// memory slot (the variant Section 2.3 describes and rejects for its
+// per-execution load/store overhead):
+//
+//	zr      = const 0
+//	prev    = load [zr + slot]
+//	ea      = addi base, disp
+//	strideR = sub ea, prev
+//	store [zr + slot] = ea
+//	tmp     = shli strideR, log2(K')
+//	pfb     = add ea, tmp
+//	prefetch [pfb]
+func emitOutLoopDynamic(res *Result, f *ir.Function, b *ir.Block, load *ir.Instr, k int) int {
+	pos := b.IndexOf(load)
+	if pos < 0 {
+		return 0
+	}
+	slot := res.allocSlot()
+	logK := int64(0)
+	for (1 << (logK + 1)) <= k {
+		logK++
+	}
+	zr := f.NewReg()
+	prev := f.NewReg()
+	ea := f.NewReg()
+	strideR := f.NewReg()
+	tmp := f.NewReg()
+	pfb := f.NewReg()
+
+	emit := func(in *ir.Instr) {
+		in.Pred = load.Pred
+		in.ID = f.NextInstrID()
+		b.InsertBefore(pos, in)
+		pos++
+	}
+	zc := ir.NewInstr(ir.OpConst)
+	zc.Dst = zr
+	zc.Imm = 0
+	zc.Comment = "outloop-dynamic"
+	emit(zc)
+
+	ld := ir.NewInstr(ir.OpLoad)
+	ld.Dst = prev
+	ld.Src[0] = zr
+	ld.Imm = int64(slot)
+	emit(ld)
+
+	eaIn := ir.NewInstr(ir.OpAddI)
+	eaIn.Dst = ea
+	eaIn.Src[0] = load.Src[0]
+	eaIn.Imm = load.Imm
+	emit(eaIn)
+
+	sub := ir.NewInstr(ir.OpSub)
+	sub.Dst = strideR
+	sub.Src[0] = ea
+	sub.Src[1] = prev
+	emit(sub)
+
+	st := ir.NewInstr(ir.OpStore)
+	st.Src[0] = zr
+	st.Src[1] = ea
+	st.Imm = int64(slot)
+	emit(st)
+
+	sh := ir.NewInstr(ir.OpShlI)
+	sh.Dst = tmp
+	sh.Src[0] = strideR
+	sh.Imm = logK
+	emit(sh)
+
+	add := ir.NewInstr(ir.OpAdd)
+	add.Dst = pfb
+	add.Src[0] = ea
+	add.Src[1] = tmp
+	emit(add)
+
+	pf := ir.NewInstr(ir.OpPrefetch)
+	pf.Src[0] = pfb
+	emit(pf)
+	return 1
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"sort"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+// Merge combines profiles from several training runs, the standard
+// multi-run workflow of production profile-guided optimisation: edge and
+// entry counts sum, and stride summaries merge per load by summing their
+// counters and re-ranking the combined top strides. Fine-sampling
+// intervals must agree across runs (profiles from differently configured
+// runs are not meaningfully mergeable); Merge keeps the first profile's
+// interval and scales nothing.
+func Merge(profiles ...*Combined) *Combined {
+	out := &Combined{Edge: NewEdgeProfile()}
+	entries := make(map[string]uint64)
+	sums := make(map[machine.LoadKey]stride.Summary)
+
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		for _, e := range p.Edge.Edges() {
+			out.Edge.Set(e.Key, out.Edge.Count(e.Key)+e.Count)
+		}
+		for fn, c := range p.Edge.entries {
+			entries[fn] += c
+		}
+		for _, s := range p.Stride.Summaries() {
+			acc, ok := sums[s.Key]
+			if !ok {
+				sums[s.Key] = s
+				continue
+			}
+			sums[s.Key] = mergeSummaries(acc, s)
+		}
+	}
+	for fn, c := range entries {
+		out.Edge.SetEntryCount(fn, c)
+	}
+	merged := make([]stride.Summary, 0, len(sums))
+	for _, s := range sums {
+		merged = append(merged, s)
+	}
+	out.Stride = NewStrideProfile(merged)
+	return out
+}
+
+// mergeSummaries combines two stride summaries of the same load.
+func mergeSummaries(a, b stride.Summary) stride.Summary {
+	byValue := make(map[int64]int64)
+	for _, e := range a.TopStrides {
+		byValue[e.Value] += e.Freq
+	}
+	for _, e := range b.TopStrides {
+		byValue[e.Value] += e.Freq
+	}
+	tops := make([]lfu.Entry, 0, len(byValue))
+	for v, f := range byValue {
+		tops = append(tops, lfu.Entry{Value: v, Freq: f})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].Freq != tops[j].Freq {
+			return tops[i].Freq > tops[j].Freq
+		}
+		return tops[i].Value < tops[j].Value
+	})
+	if len(tops) > 4 {
+		tops = tops[:4]
+	}
+
+	total := a.TotalStrides + b.TotalStrides
+	var dist float64
+	if total > 0 {
+		dist = (a.AvgRefDistance*float64(a.TotalStrides) +
+			b.AvgRefDistance*float64(b.TotalStrides)) / float64(total)
+	}
+	return stride.Summary{
+		Key:            a.Key,
+		TopStrides:     tops,
+		TotalStrides:   total,
+		ZeroStrides:    a.ZeroStrides + b.ZeroStrides,
+		ZeroDiffs:      a.ZeroDiffs + b.ZeroDiffs,
+		FineInterval:   a.FineInterval,
+		AvgRefDistance: dist,
+	}
+}

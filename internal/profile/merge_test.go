@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+func mkCombined(edgeCount uint64, entry uint64, sum stride.Summary) *Combined {
+	ep := NewEdgeProfile()
+	ep.Set(EdgeKey{Func: "main", From: 0, To: 1}, edgeCount)
+	ep.SetEntryCount("leaf", entry)
+	return &Combined{Edge: ep, Stride: NewStrideProfile([]stride.Summary{sum})}
+}
+
+func TestMergeSumsCounts(t *testing.T) {
+	key := machine.LoadKey{Func: "main", ID: 3}
+	a := mkCombined(100, 7, stride.Summary{
+		Key: key, TotalStrides: 50, ZeroStrides: 5, ZeroDiffs: 40, FineInterval: 1,
+		TopStrides: []lfu.Entry{{Value: 64, Freq: 40}, {Value: 8, Freq: 5}},
+	})
+	b := mkCombined(200, 8, stride.Summary{
+		Key: key, TotalStrides: 150, ZeroStrides: 10, ZeroDiffs: 120, FineInterval: 1,
+		TopStrides: []lfu.Entry{{Value: 64, Freq: 100}, {Value: 128, Freq: 30}},
+	})
+
+	m := Merge(a, b)
+	if got := m.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}); got != 300 {
+		t.Errorf("edge count = %d, want 300", got)
+	}
+	if got := m.Edge.EntryCount("leaf"); got != 15 {
+		t.Errorf("entry count = %d, want 15", got)
+	}
+	s, ok := m.Stride.Lookup(key)
+	if !ok {
+		t.Fatal("merged summary missing")
+	}
+	if s.TotalStrides != 200 || s.ZeroStrides != 15 || s.ZeroDiffs != 160 {
+		t.Errorf("merged counters: %+v", s)
+	}
+	if s.TopStrides[0].Value != 64 || s.TopStrides[0].Freq != 140 {
+		t.Errorf("merged top stride: %+v", s.TopStrides)
+	}
+	if len(s.TopStrides) != 3 {
+		t.Errorf("merged stride count = %d, want 3 (64, 128, 8)", len(s.TopStrides))
+	}
+}
+
+func TestMergeDisjointLoads(t *testing.T) {
+	a := mkCombined(1, 0, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 10,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+	})
+	b := mkCombined(1, 0, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 2}, TotalStrides: 20,
+		TopStrides: []lfu.Entry{{Value: 16, Freq: 20}},
+	})
+	m := Merge(a, b)
+	if m.Stride.Len() != 2 {
+		t.Errorf("merged loads = %d, want 2", m.Stride.Len())
+	}
+}
+
+func TestMergeIdentityAndNil(t *testing.T) {
+	key := machine.LoadKey{Func: "main", ID: 1}
+	a := mkCombined(5, 2, stride.Summary{
+		Key: key, TotalStrides: 10, FineInterval: 4,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+	})
+	m := Merge(a, nil)
+	if m.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}) != 5 {
+		t.Error("single-profile merge changed edge counts")
+	}
+	s, _ := m.Stride.Lookup(key)
+	if s.FineInterval != 4 {
+		t.Error("fine interval lost in merge")
+	}
+}
+
+func TestMergeRefDistanceWeighted(t *testing.T) {
+	key := machine.LoadKey{Func: "main", ID: 1}
+	a := mkCombined(1, 0, stride.Summary{
+		Key: key, TotalStrides: 100, AvgRefDistance: 10,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 100}},
+	})
+	b := mkCombined(1, 0, stride.Summary{
+		Key: key, TotalStrides: 300, AvgRefDistance: 50,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 300}},
+	})
+	m := Merge(a, b)
+	s, _ := m.Stride.Lookup(key)
+	if s.AvgRefDistance != 40 { // (100*10 + 300*50)/400
+		t.Errorf("weighted distance = %v, want 40", s.AvgRefDistance)
+	}
+}

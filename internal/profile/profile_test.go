@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+// figure10Loop reconstructs the CFG of the paper's Figure 10: b1 -> b2,
+// b2 -> b2 (back edge), b2 -> b3, with frequencies 20 / 980 / 20.
+func figure10Loop() (*ir.Function, *cfg.Loop) {
+	b := ir.NewBuilder("f")
+	b2 := b.Block("b2")
+	b3 := b.Block("b3")
+	c := b.Const(1)
+	b.Br(b2)
+	b.At(b2)
+	b.CondBr(c, b2, b3)
+	b.At(b3)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+	li := cfg.FindLoops(f, cfg.Dominators(f))
+	return f, li.Loops[0]
+}
+
+func TestTripCountFigure10(t *testing.T) {
+	f, loop := figure10Loop()
+	p := NewEdgeProfile()
+	b1, b2, b3 := f.Blocks[0], f.Blocks[1], f.Blocks[2]
+	p.Set(EdgeKey{Func: "f", From: b1.Index, To: b2.Index}, 20)
+	p.Set(EdgeKey{Func: "f", From: b2.Index, To: b2.Index}, 980)
+	p.Set(EdgeKey{Func: "f", From: b2.Index, To: b3.Index}, 20)
+
+	// TC = (freq(b2->b2) + freq(b2->b3)) / freq(b1->b2) = 1000/20 = 50.
+	if got := p.TripCount("f", loop); got != 50 {
+		t.Errorf("TripCount = %v, want 50", got)
+	}
+	if got := p.BlockFreq("f", b2); got != 1000 {
+		t.Errorf("BlockFreq(b2) = %d, want 1000", got)
+	}
+	// Exit block frequency from incoming edges.
+	if got := p.BlockFreq("f", b3); got != 20 {
+		t.Errorf("BlockFreq(b3) = %d, want 20", got)
+	}
+}
+
+func TestTripCountNeverEntered(t *testing.T) {
+	_, loop := figure10Loop()
+	p := NewEdgeProfile()
+	if got := p.TripCount("f", loop); got != 0 {
+		t.Errorf("TripCount of unexecuted loop = %v, want 0", got)
+	}
+}
+
+func TestEdgesSortedDeterministic(t *testing.T) {
+	p := NewEdgeProfile()
+	p.Set(EdgeKey{Func: "z", From: 0, To: 1}, 5)
+	p.Set(EdgeKey{Func: "a", From: 2, To: 0}, 7)
+	p.Set(EdgeKey{Func: "a", From: 0, To: 3}, 9)
+	es := p.Edges()
+	if es[0].Key.Func != "a" || es[0].Key.From != 0 || es[2].Key.Func != "z" {
+		t.Errorf("edges not sorted: %+v", es)
+	}
+}
+
+func TestCombinedRoundTrip(t *testing.T) {
+	ep := NewEdgeProfile()
+	ep.Set(EdgeKey{Func: "main", From: 0, To: 1}, 12345)
+	sp := NewStrideProfile([]stride.Summary{{
+		Key:          machine.LoadKey{Func: "main", ID: 7},
+		TopStrides:   []lfu.Entry{{Value: 64, Freq: 900}, {Value: 128, Freq: 50}},
+		TotalStrides: 1000,
+		ZeroStrides:  50,
+		ZeroDiffs:    880,
+		FineInterval: 4,
+	}})
+	c := &Combined{Edge: ep, Stride: sp}
+
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}) != 12345 {
+		t.Error("edge count lost in round trip")
+	}
+	s, ok := got.Stride.Lookup(machine.LoadKey{Func: "main", ID: 7})
+	if !ok {
+		t.Fatal("stride summary lost in round trip")
+	}
+	if s.TotalStrides != 1000 || s.ZeroDiffs != 880 || s.FineInterval != 4 {
+		t.Errorf("summary fields wrong: %+v", s)
+	}
+	if len(s.TopStrides) != 2 || s.TopStrides[0].Value != 64 {
+		t.Errorf("top strides wrong: %+v", s.TopStrides)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.json")
+	c := &Combined{Edge: NewEdgeProfile(), Stride: NewStrideProfile(nil)}
+	c.Edge.Set(EdgeKey{Func: "m", From: 1, To: 2}, 3)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Edge.Count(EdgeKey{Func: "m", From: 1, To: 2}) != 3 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString(`{"version": 9}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

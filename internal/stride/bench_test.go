@@ -1,0 +1,42 @@
+package stride
+
+import (
+	"testing"
+
+	"stridepf/internal/machine"
+)
+
+// BenchmarkProfileStrided measures the full strideProf path on a constant
+// stride stream (the common profiled case: diff==0, LFU hit).
+func BenchmarkProfileStrided(b *testing.B) {
+	rt := NewRuntime(Config{})
+	rt.AddLoad(machine.LoadKey{Func: "f", ID: 1})
+	pd := rt.Data(machine.LoadKey{Func: "f", ID: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Profile(pd, int64(i)*64)
+	}
+}
+
+// BenchmarkProfileZeroStride measures the zero-stride fast path.
+func BenchmarkProfileZeroStride(b *testing.B) {
+	rt := NewRuntime(Config{})
+	rt.AddLoad(machine.LoadKey{Func: "f", ID: 1})
+	pd := rt.Data(machine.LoadKey{Func: "f", ID: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Profile(pd, 0x1000)
+	}
+}
+
+// BenchmarkProfileSampled measures the sampled skip path (the production
+// configuration's hot case).
+func BenchmarkProfileSampled(b *testing.B) {
+	rt := NewRuntime(Config{FineInterval: 4, ChunkSkip: 1200, ChunkProfile: 300})
+	rt.AddLoad(machine.LoadKey{Func: "f", ID: 1})
+	pd := rt.Data(machine.LoadKey{Func: "f", ID: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Profile(pd, int64(i)*64)
+	}
+}

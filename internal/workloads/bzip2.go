@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 256.bzip2 — block-sorting compression. The sorter makes long sequential
+// sweeps over the block (unit stride, prefetchable but mostly L3-resident)
+// interleaved with data-dependent comparisons at rotated offsets (no stable
+// stride). A small net gain.
+//
+// Globals: 0 = block base, 1 = block words, 2 = pass count.
+func buildBzip2() *ir.Program {
+	prog := ir.NewProgram()
+
+	// rank(v, tbl): out-loop load of the value's rank bucket.
+	rk := ir.NewBuilder("rank")
+	rv := rk.Param()
+	tbl := rk.Param()
+	bw := rk.Load(rk.Add(tbl, rk.ShlI(rk.AndI(rv, 255), 3)), 0)
+	rk.Ret(bw.Dst)
+	prog.Add(rk.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	passes := loadGlobal(b, 2)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		block := loadGlobal(b, 0)
+		n := loadGlobal(b, 1)
+		mask := b.AddI(n, -1)
+
+		p := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(p, block)
+		forLoop(b, n, "sort", func(i ir.Reg) {
+			wf := b.Load(g15, 0) // loop-invariant work factor
+			b.Mov(sum, b.Add(sum, wf.Dst))
+			v := b.Load(p, 0) // sequential sweep
+			// Compare against the rotated position v mod n: data dependent.
+			roff := b.ShlI(b.And(v.Dst, mask), 3)
+			w := b.Load(b.Add(block, roff), 0)
+			cmp := b.CmpLT(v.Dst, w.Dst)
+			rtbl := loadGlobal(b, 5)
+			rr := b.Call("rank", w.Dst, rtbl) // rotated-word index: pattern-free
+			b.Mov(sum, b.Add(sum, b.Add(cmp, b.Add(v.Dst, rr.Dst))))
+			u := b.Xor(sum, w.Dst)
+			b.Mov(sum, b.AddI(b.ShrI(u, 1), 5))
+			b.AddITo(p, p, 8)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupBzip2(m *machine.Machine, in core.Input) {
+	blockWords := 3 << 10 * in.Scale // 24 KB at train scale
+	block := buildArray(m, blockWords, func(i int) int64 {
+		// Pseudo-random block contents: both the rotated-offset probe and
+		// the rank-leaf index must be pattern-free, as in real block-sort
+		// input.
+		h := uint64(i)*0x9e3779b97f4a7c15 + 12345
+		h ^= h >> 29
+		return int64(h % uint64(blockWords))
+	})
+	SetGlobal(m, 0, int64(block))
+	SetGlobal(m, 15, 9)
+	SetGlobal(m, 1, int64(blockWords))
+	rtbl := buildArray(m, 256, func(i int) int64 { return int64(i % 9) })
+	SetGlobal(m, 5, int64(rtbl))
+	SetGlobal(m, 2, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "256.bzip2",
+		desc:  "Compression",
+		build: buildBzip2,
+		setup: setupBzip2,
+		train: core.Input{Name: "train", Scale: 1, Seed: 111},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 112},
+	})
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 186.crafty — chess. Move generation is bitboard arithmetic over small
+// lookup tables (64-entry attack tables living permanently in L1) inside
+// trip-64 loops, plus an evaluation helper with a couple of out-loop table
+// loads. Everything is cache-resident or guarded away by the trip-count
+// threshold: stride prefetching neither helps nor hurts (Figure 16 ~1.0x).
+//
+// Globals: 0 = attack-table base, 1 = eval-table base, 2 = position count.
+func buildCrafty() *ir.Program {
+	prog := ir.NewProgram()
+
+	ev := ir.NewBuilder("evaluate")
+	sq := ev.Param()
+	tbl := ev.Param()
+	off := ev.ShlI(ev.AndI(sq, 63), 3)
+	v := ev.Load(ev.Add(tbl, off), 0)
+	ev.Ret(ev.AddI(v.Dst, 1))
+	prog.Add(ev.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	positions := loadGlobal(b, 2)
+	attack := loadGlobal(b, 0)
+	eval := loadGlobal(b, 1)
+	b64 := b.Const(64)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, positions, "search", func(pos ir.Reg) {
+		occ := b.Xor(sum, pos)
+		// Bitboard sweep: trip-64 loop over the attack table (L1-resident,
+		// below the TT=128 trip threshold).
+		t := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(t, attack)
+		forLoop(b, b64, "bitboards", func(sqr ir.Reg) {
+			side := b.Load(g15, 0)              // loop-invariant side-to-move word
+			pc := b.Call("evaluate", occ, eval) // data-dependent square
+			b.Mov(occ, b.Add(occ, b.Add(side.Dst, pc.Dst)))
+			a := b.Load(t, 0)
+			m1 := b.And(occ, a.Dst)
+			m2 := b.Shl(m1, b.AndI(sqr, 7))
+			b.Mov(occ, b.Xor(b.Or(m2, b.ShrI(m1, 3)), occ))
+			b.AddITo(t, t, 8)
+		})
+		e := b.Call("evaluate", occ, eval)
+		b.Mov(sum, b.Add(sum, e.Dst))
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupCrafty(m *machine.Machine, in core.Input) {
+	attack := buildArray(m, 64, func(i int) int64 { return int64(i) * 0x0101010101 })
+	eval := buildArray(m, 64, func(i int) int64 { return int64(i * 7) })
+	SetGlobal(m, 0, int64(attack))
+	SetGlobal(m, 15, 5)
+	SetGlobal(m, 1, int64(eval))
+	SetGlobal(m, 2, int64(3_000*in.Scale))
+}
+
+func init() {
+	register(&workload{
+		name:  "186.crafty",
+		desc:  "Game Playing: Chess",
+		build: buildCrafty,
+		setup: setupCrafty,
+		train: core.Input{Name: "train", Scale: 1, Seed: 71},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 72},
+	})
+}

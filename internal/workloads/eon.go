@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 252.eon — probabilistic ray tracer (the suite's only C++ program). Its
+// time goes to fixed-point intersection arithmetic over small scene
+// records; data fits comfortably in cache and the few loops that touch
+// memory are short. Stride prefetching finds nothing worth doing (~1.0x).
+//
+// Globals: 0 = scene base, 1 = object count, 2 = ray count.
+func buildEon() *ir.Program {
+	prog := ir.NewProgram()
+
+	// shade(obj): out-loop load of the object's material word.
+	sh := ir.NewBuilder("shade")
+	ob := sh.Param()
+	mt := sh.Load(ob, 8)
+	sh.Ret(mt.Dst)
+	prog.Add(sh.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	c3 := b.Const(3)
+	rays := loadGlobal(b, 2)
+	scene := loadGlobal(b, 0)
+	nObjs := loadGlobal(b, 1)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, rays, "rays", func(ray ir.Reg) {
+		// Intersect the ray against each object: a short loop (trip below
+		// TT) with division-heavy arithmetic per object.
+		op := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(op, scene)
+		forLoop(b, nObjs, "isect", func(_ ir.Reg) {
+			amb := b.Load(g15, 0).Dst // loop-invariant ambient term
+			cx := b.Load(op, 0)
+			r := b.Add(ray, cx.Dst)
+			// Shade a bounce target chosen by the ray's value: the leaf's
+			// load addresses carry no stride pattern.
+			bounce := b.Add(scene, b.ShlI(b.AndI(r, 31), 5))
+			sv := b.Call("shade", bounce)
+			b.Mov(sum, b.Add(sum, b.Add(amb, sv.Dst)))
+			burnInline(b, sum, c3, 6) // dot products, divisions
+			b.Mov(sum, b.Add(sum, b.ShrI(r, 2)))
+			b.AddITo(op, op, 32)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupEon(m *machine.Machine, in core.Input) {
+	nObjs := 40 // small scene: 40 objects x 32 B, L1-resident
+	scene := m.Heap.Alloc(int64(nObjs) * 32)
+	for i := 0; i < nObjs; i++ {
+		m.Mem.Store(scene+uint64(i*32), int64(i*13+5))
+	}
+	SetGlobal(m, 0, int64(scene))
+	SetGlobal(m, 15, 6)
+	SetGlobal(m, 1, int64(nObjs))
+	SetGlobal(m, 2, int64(800*in.Scale))
+}
+
+func init() {
+	register(&workload{
+		name:  "252.eon",
+		desc:  "Computer Visualization",
+		build: buildEon,
+		setup: setupEon,
+		train: core.Input{Name: "train", Scale: 1, Seed: 81},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 82},
+	})
+}

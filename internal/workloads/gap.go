@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 254.gap — group theory interpreter. This is the paper's Figure 2
+// workload: the garbage collector walks the handle array; the handle load
+// (*s) follows the object layout, whose addresses advance by one of a few
+// dominant strides (the paper measures 29%/28%/21%/5%) because objects
+// were bump-allocated in size-class phases; the master-pointer load
+// ((*s&~3)->ptr) has two dominant strides (48%/47%). Both are
+// phased-multi-stride (PMST) loads: no single stride dominates, but the
+// stride stays constant over long runs, so the Figure 3(d) dynamic-stride
+// prefetch works.
+//
+// Globals: 0 = handle-array base, 1 = handle count, 2 = pass count.
+// Object: [0] size tag, [8] master pointer, [16...] payload.
+// Master: [0] value.
+func buildGAP() *ir.Program {
+	prog := ir.NewProgram()
+
+	// elmSize(obj): reads the object's body word — an out-loop load whose
+	// addresses carry the same phased multi-stride pattern as the handle
+	// dereference, so Figure 18 classifies it PMST (not prefetchable
+	// out-loop per Section 2.3).
+	el := ir.NewBuilder("elm_size")
+	obj := el.Param()
+	bw := el.Load(obj, 16)
+	el.Ret(el.AddI(bw.Dst, 1))
+	prog.Add(el.Finish())
+
+	b := ir.NewBuilder("main")
+
+	sum := b.Const(0)
+	c3 := b.Const(3)
+	passes := loadGlobal(b, 2)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		n := loadGlobal(b, 1)
+		s := b.F.NewReg()
+		b.LoadTo(s, b.Const(int64(Global(0))), 0)
+		forLoop(b, n, "gc", func(_ ir.Reg) {
+			// S1 in Figure 2: the handle dereference *s.
+			obj := b.Load(s, 0)
+			size := b.Load(obj.Dst, 0)
+			// S2: (*s & ~3)->ptr — the master pointer.
+			mp := b.Load(obj.Dst, 8)
+			v := b.Load(mp.Dst, 0)
+			gcMode := b.Load(g15, 0) // loop-invariant GC mode word
+			body := b.Call("elm_size", obj.Dst)
+			b.Mov(sum, b.Add(sum, b.Add(gcMode.Dst, body.Dst)))
+			b.Mov(sum, b.Add(sum, b.Add(size.Dst, v.Dst)))
+			burnInline(b, sum, c3, 52) // mark/sweep + interpreter bookkeeping
+			b.AddITo(s, s, 8)          // s++ (S4)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupGAP(m *machine.Machine, in core.Input) {
+	rng := newRng(in.Seed)
+	nHandles := 2_000 * in.Scale
+
+	// Objects are allocated in phases: runs of one size class, exactly the
+	// layout a bump allocator produces while building same-shaped values.
+	// Size classes and their shares approximate Figure 2's measurements.
+	classes := []struct {
+		size  int64
+		share float64
+	}{
+		{32, 0.29},
+		{48, 0.28},
+		{64, 0.21},
+		{256, 0.05},
+	}
+	pick := func() int64 {
+		x := float64(rng.next()%1000) / 1000
+		for _, c := range classes {
+			if x < c.share {
+				return c.size
+			}
+			x -= c.share
+		}
+		// The remainder: irregular sizes.
+		return int64(32 + 8*rng.intn(40))
+	}
+
+	// Masters: two interleaved phases of sizes 64 and 96 (the 48%/47%
+	// split), with a small irregular tail.
+	nMasters := nHandles
+	masters := make([]uint64, nMasters)
+	mi := 0
+	for mi < nMasters {
+		var sz int64
+		switch x := rng.next() % 100; {
+		case x < 48:
+			sz = 64
+		case x < 95:
+			sz = 96
+		default:
+			sz = int64(32 + 8*rng.intn(20))
+		}
+		run := 60 + rng.intn(140) // phase length
+		for j := 0; j < run && mi < nMasters; j++ {
+			masters[mi] = m.Heap.Alloc(sz)
+			m.Mem.Store(masters[mi], int64(mi%89))
+			mi++
+		}
+	}
+
+	// Objects in size-class phases; handle i points at object i.
+	objs := make([]uint64, nHandles)
+	oi := 0
+	for oi < nHandles {
+		sz := pick()
+		run := 30 + rng.intn(120)
+		for j := 0; j < run && oi < nHandles; j++ {
+			objs[oi] = m.Heap.Alloc(sz)
+			m.Mem.Store(objs[oi]+0, sz)
+			m.Mem.Store(objs[oi]+8, int64(masters[oi]))
+			oi++
+		}
+	}
+
+	handles := buildArray(m, nHandles, func(i int) int64 { return int64(objs[i]) })
+	SetGlobal(m, 0, int64(handles))
+	SetGlobal(m, 15, 2)
+	SetGlobal(m, 1, int64(nHandles))
+	SetGlobal(m, 2, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "254.gap",
+		desc:  "Group theory, interpreter",
+		build: buildGAP,
+		setup: setupGAP,
+		train: core.Input{Name: "train", Scale: 1, Seed: 31},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 32},
+	})
+}

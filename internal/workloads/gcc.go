@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 176.gcc — C compiler. Compilation walks thousands of short insn chains
+// (per-basic-block lists with single-digit trip counts, below the TT=128
+// guard), probes identifier hash tables, and calls small attribute-lookup
+// helpers whose loads are out-loop loads. Almost nothing passes the
+// trip-count and stride filters, so gcc sees essentially no speedup — and
+// it is a major contributor of out-loop references to Figure 17.
+//
+// Globals: 0 = block-array base, 1 = block count, 2 = hash base,
+// 3 = hash mask, 4 = pass count.
+func buildGCC() *ir.Program {
+	prog := ir.NewProgram()
+
+	// getAttr(insn): out-loop loads of the insn's two attribute words.
+	at := ir.NewBuilder("get_attr")
+	insn := at.Param()
+	a0 := at.Load(insn, 0)
+	a1 := at.Load(insn, 16)
+	at.Ret(at.Add(a0.Dst, a1.Dst))
+	prog.Add(at.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	passes := loadGlobal(b, 4)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		blocks := loadGlobal(b, 0)
+		nBlocks := loadGlobal(b, 1)
+		hash := loadGlobal(b, 2)
+		mask := loadGlobal(b, 3)
+
+		bp := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(bp, blocks)
+		h := b.MovConst(b.F.NewReg(), 77).Dst
+		forLoop(b, nBlocks, "cfgpass", func(_ ir.Reg) {
+			// Walk this basic block's short insn chain.
+			ip := b.Load(bp, 0).Dst
+			whileNonZero(b, ip, "insns", func() {
+				flags := b.Load(g15, 0) // loop-invariant target flags
+				b.Mov(sum, b.Add(sum, flags.Dst))
+				attrs := b.Call("get_attr", ip)
+				b.Mov(sum, b.Add(sum, attrs.Dst))
+				// Identifier hash probe.
+				t := b.Mul(h, b.Const(31))
+				b.Mov(h, b.And(b.Add(t, attrs.Dst), mask))
+				hv := b.Load(b.Add(hash, b.ShlI(h, 3)), 0)
+				b.Mov(sum, b.Add(sum, hv.Dst))
+				b.LoadTo(ip, ip, 8)
+			})
+			b.AddITo(bp, bp, 8)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupGCC(m *machine.Machine, in core.Input) {
+	rng := newRng(in.Seed)
+	nBlocks := 600 * in.Scale
+	heads := make([]int64, nBlocks)
+	for i := range heads {
+		// Short chains: 3-14 insns, 24-byte nodes, moderately regular.
+		n := 3 + rng.intn(12)
+		heads[i] = int64(buildList(m, listSpec{
+			N: n, NodeSize: 24, NextOff: 8, Regularity: 0.8,
+		}, rng))
+	}
+	blocks := buildArray(m, nBlocks, func(i int) int64 { return heads[i] })
+
+	hashWords := 64 << 10 // 512 KB symbol table
+	hash := buildArray(m, hashWords, func(i int) int64 { return int64(i % 41) })
+
+	SetGlobal(m, 0, int64(blocks))
+	SetGlobal(m, 15, 11)
+	SetGlobal(m, 1, int64(nBlocks))
+	SetGlobal(m, 2, int64(hash))
+	SetGlobal(m, 3, int64(hashWords-1))
+	SetGlobal(m, 4, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "176.gcc",
+		desc:  "C programming language compiler",
+		build: buildGCC,
+		setup: setupGCC,
+		train: core.Input{Name: "train", Scale: 1, Seed: 61},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 62},
+	})
+}

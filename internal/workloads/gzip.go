@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 164.gzip — compression. The hot loops scan the input buffer and the
+// 32 KB sliding window sequentially (perfect unit stride over word
+// accesses), with short hash-chain probes in between. The buffers exceed
+// the 96 KB L2 but fit in L3, so demand misses cost little and stride
+// prefetching has only a small margin — gzip is near the "no gain" end of
+// Figure 16.
+//
+// Globals: 0 = input base, 1 = input words, 2 = window base,
+// 3 = window mask, 4 = pass count.
+func buildGzip() *ir.Program {
+	prog := ir.NewProgram()
+
+	// encode(sym, codes): out-loop load of the symbol's Huffman code.
+	en := ir.NewBuilder("encode")
+	sym := en.Param()
+	codes := en.Param()
+	cv := en.Load(en.Add(codes, en.ShlI(en.AndI(sym, 255), 3)), 0)
+	en.Ret(cv.Dst)
+	prog.Add(en.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	passes := loadGlobal(b, 4)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		in := loadGlobal(b, 0)
+		n := loadGlobal(b, 1)
+		win := loadGlobal(b, 2)
+		mask := loadGlobal(b, 3)
+
+		p := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(p, in)
+		h := b.MovConst(b.F.NewReg(), 5381).Dst
+		forLoop(b, n, "deflate", func(_ ir.Reg) {
+			level := b.Load(g15, 0) // loop-invariant compression level
+			b.Mov(sum, b.Add(sum, level.Dst))
+			v := b.Load(p, 0) // sequential scan, stride 8
+			// Update the rolling hash and probe the window chain.
+			t := b.ShlI(h, 5)
+			b.Mov(h, b.And(b.Add(b.Add(t, h), v.Dst), mask))
+			woff := b.ShlI(h, 3)
+			wv := b.Load(b.Add(win, woff), 0) // irregular window probe
+			codes := loadGlobal(b, 5)
+			ev := b.Call("encode", h, codes) // hash-indexed: pattern-free
+			b.Mov(sum, b.Add(sum, b.Add(v.Dst, b.Add(wv.Dst, ev.Dst))))
+			// Match-length arithmetic.
+			u := b.Xor(sum, v.Dst)
+			b.Mov(sum, b.Add(b.ShrI(u, 1), b.AddI(u, 3)))
+			b.AddITo(p, p, 8)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupGzip(m *machine.Machine, in core.Input) {
+	inputWords := 2 << 10 * in.Scale // 16 KB at train scale
+	winWords := 4 << 10              // 32 KB window
+	inBase := buildArray(m, inputWords, func(i int) int64 { return int64(i*2654435761) % 255 })
+	winBase := buildArray(m, winWords, func(i int) int64 { return int64(i % 253) })
+	SetGlobal(m, 0, int64(inBase))
+	SetGlobal(m, 15, 8)
+	SetGlobal(m, 1, int64(inputWords))
+	SetGlobal(m, 2, int64(winBase))
+	SetGlobal(m, 3, int64(winWords-1))
+	codes := buildArray(m, 256, func(i int) int64 { return int64(i*2 + 1) })
+	SetGlobal(m, 5, int64(codes))
+	SetGlobal(m, 4, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "164.gzip",
+		desc:  "Compression/Decompression",
+		build: buildGzip,
+		setup: setupGzip,
+		train: core.Input{Name: "train", Scale: 1, Seed: 41},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 42},
+	})
+}

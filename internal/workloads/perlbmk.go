@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 253.perlbmk — Perl interpreter. Opcode dispatch hammers hash tables
+// (symbol lookups with pattern-free addresses) and copies short strings
+// (loops far below the trip threshold); the dispatch helper contributes
+// out-loop loads. The stride profile classifies nearly every candidate as
+// having no usable pattern, so the speedup is negligible (~1.0x).
+//
+// Globals: 0 = hash base, 1 = hash mask, 2 = string arena base,
+// 3 = string count, 4 = op count.
+func buildPerlbmk() *ir.Program {
+	prog := ir.NewProgram()
+
+	// dispatch(op): out-loop load of the op-handler table entry.
+	dp := ir.NewBuilder("dispatch")
+	op := dp.Param()
+	tbl := dp.Param()
+	off := dp.ShlI(dp.AndI(op, 255), 3)
+	slot := dp.Add(tbl, off)
+	handler := dp.Load(slot, 0)
+	flags := dp.Load(slot, 8)
+	dp.Ret(dp.Add(handler.Dst, flags.Dst))
+	prog.Add(dp.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	ops := loadGlobal(b, 4)
+	hash := loadGlobal(b, 0)
+	mask := loadGlobal(b, 1)
+	arena := loadGlobal(b, 2)
+	nStr := loadGlobal(b, 3)
+	g15 := b.Const(int64(Global(15)))
+
+	h := b.MovConst(b.F.NewReg(), 5381).Dst
+	forLoop(b, ops, "interp", func(i ir.Reg) {
+		ctx := b.Load(g15, 0) // loop-invariant interpreter context word
+		b.Mov(sum, b.Add(sum, ctx.Dst))
+		// Symbol lookup: two dependent hash probes, no stride pattern.
+		t := b.Mul(h, b.Const(33))
+		b.Mov(h, b.And(b.Add(t, i), mask))
+		v1 := b.Load(b.Add(hash, b.ShlI(h, 3)), 0)
+		b.Mov(h, b.And(b.Add(h, v1.Dst), mask))
+		v2 := b.Load(b.Add(hash, b.ShlI(h, 3)), 0)
+
+		hd := b.Call("dispatch", v2.Dst, hash)
+		b.Mov(sum, b.Add(sum, hd.Dst))
+
+		// Short string copy: trip 8, below TT.
+		sidx := b.Rem(i, nStr)
+		sp := b.Add(arena, b.ShlI(b.Mul(sidx, b.Const(8)), 3))
+		eight := b.Const(8)
+		forLoop(b, eight, "strcopy", func(_ ir.Reg) {
+			c := b.Load(sp, 0)
+			b.Mov(sum, b.Add(sum, c.Dst))
+			b.Mov(sp, b.AddI(sp, 8))
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupPerlbmk(m *machine.Machine, in core.Input) {
+	hashWords := 128 << 10 // 1 MB symbol table: probes reach L3/memory
+	hash := buildArray(m, hashWords, func(i int) int64 { return int64((i*2654435761 + 17) % 509) })
+	nStr := 512
+	arena := buildArray(m, nStr*8, func(i int) int64 { return int64(i % 127) })
+	SetGlobal(m, 0, int64(hash))
+	SetGlobal(m, 15, 10)
+	SetGlobal(m, 1, int64(hashWords-1))
+	SetGlobal(m, 2, int64(arena))
+	SetGlobal(m, 3, int64(nStr))
+	SetGlobal(m, 4, int64(7_000*in.Scale))
+}
+
+func init() {
+	register(&workload{
+		name:  "253.perlbmk",
+		desc:  "PERL programming language",
+		build: buildPerlbmk,
+		setup: setupPerlbmk,
+		train: core.Input{Name: "train", Scale: 1, Seed: 91},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 92},
+	})
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 300.twolf — place-and-route simulated annealing. Cost evaluation walks
+// the cell chain (cells mostly allocated in chain order, ~80% regular) and
+// inspects each cell's two coordinate words, then samples a random
+// neighbour cell for the swap decision (pattern-free). Mid-pack behaviour:
+// a few percent speedup from the chain walk.
+//
+// Globals: 0 = cell chain head, 1 = cell-pointer array base, 2 = cell
+// count, 3 = pass count.
+// Cell (64 B): [0] x, [8] y, [16] next.
+func buildTwolf() *ir.Program {
+	prog := ir.NewProgram()
+
+	// density(cell): out-loop load of the cell's occupancy word.
+	de := ir.NewBuilder("density")
+	cell := de.Param()
+	oc := de.Load(cell, 24)
+	de.Ret(oc.Dst)
+	prog.Add(de.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	c3 := b.Const(3)
+	passes := loadGlobal(b, 3)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "anneal", func(_ ir.Reg) {
+		cells := loadGlobal(b, 1)
+		n := loadGlobal(b, 2)
+		p := b.F.NewReg()
+		b.LoadTo(p, b.Const(int64(Global(0))), 0)
+		whileNonZero(b, p, "cost", func() {
+			x := b.Load(p, 0)
+			y := b.Load(p, 8)
+			b.Mov(sum, b.Add(sum, b.Add(x.Dst, y.Dst)))
+			// Random neighbour sample.
+			r := b.Rand(n)
+			q := b.Load(b.Add(cells, b.ShlI(r, 3)), 0)
+			qx := b.Load(q.Dst, 0)
+			b.Mov(sum, b.Add(sum, qx.Dst))
+			grid := b.Load(g15, 0) // loop-invariant grid pitch
+			dv := b.Call("density", p)
+			b.Mov(sum, b.Add(sum, b.Add(grid.Dst, dv.Dst)))
+			burnInline(b, sum, c3, 26) // wirelength arithmetic
+			b.LoadTo(p, p, 16)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupTwolf(m *machine.Machine, in core.Input) {
+	rng := newRng(in.Seed)
+	nCells := 2_000 * in.Scale
+	head := buildList(m, listSpec{
+		N: nCells, NodeSize: 64, NextOff: 16, Regularity: 0.92,
+	}, rng)
+
+	// Fill coordinates and build the cell-pointer array in chain order.
+	addrs := make([]int64, 0, nCells)
+	cur := head
+	i := 0
+	for cur != 0 {
+		m.Mem.Store(cur+0, int64(i%997))
+		m.Mem.Store(cur+8, int64((i*7)%991))
+		addrs = append(addrs, int64(cur))
+		cur = uint64(m.Mem.Load(cur + 16))
+		i++
+	}
+	arr := buildArray(m, len(addrs), func(i int) int64 { return addrs[i] })
+
+	SetGlobal(m, 0, int64(head))
+	SetGlobal(m, 15, 4)
+	SetGlobal(m, 1, int64(arr))
+	SetGlobal(m, 2, int64(len(addrs)))
+	SetGlobal(m, 3, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "300.twolf",
+		desc:  "Place and route simulator",
+		build: buildTwolf,
+		setup: setupTwolf,
+		train: core.Input{Name: "train", Scale: 1, Seed: 121},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 122},
+	})
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 255.vortex — object-oriented database. Transactions traverse an object
+// index whose records were mostly created in index order (about 85%
+// allocation-order regularity — enough for a weak-to-strong stride
+// pattern), touching two header fields per record, and validate each
+// record against a memo table with pattern-free probes. A modest speedup,
+// between the heavy pointer chasers and the compute-bound codes.
+//
+// Globals: 0 = index base, 1 = record count, 2 = memo base, 3 = memo mask,
+// 4 = pass count.
+// Record (64 B): [0] key, [8] version.
+func buildVortex() *ir.Program {
+	prog := ir.NewProgram()
+
+	// validate(rec): an out-loop load of the record's checksum word.
+	va := ir.NewBuilder("validate")
+	rec := va.Param()
+	ck := va.Load(rec, 16)
+	va.Ret(ck.Dst)
+	prog.Add(va.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	c3 := b.Const(3)
+	passes := loadGlobal(b, 4)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		idx := loadGlobal(b, 0)
+		n := loadGlobal(b, 1)
+		memo := loadGlobal(b, 2)
+		mask := loadGlobal(b, 3)
+
+		ip := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(ip, idx)
+		forLoop(b, n, "txn", func(_ ir.Reg) {
+			rec := b.Load(ip, 0) // index entry -> record pointer
+			key := b.Load(rec.Dst, 0)
+			ver := b.Load(rec.Dst, 8)
+			schema := b.Load(g15, 0) // loop-invariant schema version
+			ckv := b.Call("validate", rec.Dst)
+			b.Mov(sum, b.Add(sum, b.Add(schema.Dst, ckv.Dst)))
+			b.Mov(sum, b.Add(sum, b.Add(key.Dst, ver.Dst)))
+			// Memo validation: irregular probe.
+			hv := b.And(key.Dst, mask)
+			mv := b.Load(b.Add(memo, b.ShlI(hv, 3)), 0)
+			b.Mov(sum, b.Add(sum, mv.Dst))
+			burnInline(b, sum, c3, 90)
+			b.AddITo(ip, ip, 8)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupVortex(m *machine.Machine, in core.Input) {
+	rng := newRng(in.Seed)
+	nRecs := 800 * in.Scale
+
+	recs := make([]uint64, nRecs)
+	for i := range recs {
+		if !rng.chance(0.92) {
+			// Record rebuilt later in the run: displaced from index order.
+			m.Heap.AllocGap(int64(64 * (1 + rng.intn(9))))
+		}
+		recs[i] = m.Heap.Alloc(64)
+		m.Mem.Store(recs[i]+0, int64(i*31%8191))
+		m.Mem.Store(recs[i]+8, int64(i%7))
+	}
+	idx := buildArray(m, nRecs, func(i int) int64 { return int64(recs[i]) })
+
+	memoWords := 64 << 10 // 512 KB
+	memo := buildArray(m, memoWords, func(i int) int64 { return int64(i % 61) })
+
+	SetGlobal(m, 0, int64(idx))
+	SetGlobal(m, 15, 3)
+	SetGlobal(m, 1, int64(nRecs))
+	SetGlobal(m, 2, int64(memo))
+	SetGlobal(m, 3, int64(memoWords-1))
+	SetGlobal(m, 4, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "255.vortex",
+		desc:  "Object-oriented database",
+		build: buildVortex,
+		setup: setupVortex,
+		train: core.Input{Name: "train", Scale: 1, Seed: 101},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 102},
+	})
+}

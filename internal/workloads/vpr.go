@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 175.vpr — FPGA placement and routing. Routing cost sweeps scan the
+// routing-resource grid in row order (a long strided loop over a grid that
+// exceeds L2), while the placement inner loops walk short per-net pin
+// lists whose trip counts sit far below the 128 threshold, so only the
+// grid sweep is prefetched — a modest overall gain.
+//
+// Globals: 0 = grid base, 1 = grid words, 2 = net array base, 3 = net
+// count, 4 = pins per net, 5 = pass count.
+func buildVPR() *ir.Program {
+	prog := ir.NewProgram()
+
+	// delay(v, tbl): out-loop load of the segment-delay entry.
+	dl := ir.NewBuilder("delay")
+	dv := dl.Param()
+	tbl := dl.Param()
+	de := dl.Load(dl.Add(tbl, dl.ShlI(dl.AndI(dv, 127), 3)), 0)
+	dl.Ret(de.Dst)
+	prog.Add(dl.Finish())
+
+	b := ir.NewBuilder("main")
+	sum := b.Const(0)
+	c3 := b.Const(3)
+	passes := loadGlobal(b, 5)
+	g15 := b.Const(int64(Global(15)))
+
+	forLoop(b, passes, "pass", func(_ ir.Reg) {
+		// Routing sweep: long strided scan of the grid.
+		grid := loadGlobal(b, 0)
+		gw := loadGlobal(b, 1)
+		g := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(g, grid)
+		forLoop(b, gw, "route", func(_ ir.Reg) {
+			chanW := b.Load(g15, 0) // loop-invariant channel width
+			b.Mov(sum, b.Add(sum, chanW.Dst))
+			v := b.Load(g, 0)
+			dtbl := loadGlobal(b, 6)
+			dd := b.Call("delay", b.Xor(v.Dst, sum), dtbl) // pattern-free index
+			b.Mov(sum, b.Add(sum, b.Add(v.Dst, dd.Dst)))
+			burnInline(b, sum, c3, 3) // congestion cost
+			b.AddITo(g, g, 8)
+		})
+
+		// Placement: short pin-list walks per net (low trip count).
+		nets := loadGlobal(b, 2)
+		nNets := loadGlobal(b, 3)
+		np := b.MovConst(b.F.NewReg(), 0).Dst
+		b.Mov(np, nets)
+		forLoop(b, nNets, "place", func(_ ir.Reg) {
+			pin := b.Load(np, 0).Dst // head of this net's pin list
+			whileNonZero(b, pin, "pins", func() {
+				x := b.Load(pin, 0)
+				b.Mov(sum, b.Add(sum, x.Dst))
+				b.LoadTo(pin, pin, 8)
+			})
+			b.AddITo(np, np, 8)
+		})
+	})
+	b.Ret(sum)
+	prog.Add(b.Finish())
+	return prog
+}
+
+func setupVPR(m *machine.Machine, in core.Input) {
+	rng := newRng(in.Seed)
+	gridWords := 5 << 10 * in.Scale // 40 KB at train scale
+	grid := buildArray(m, gridWords, func(i int) int64 { return int64(i % 17) })
+
+	nNets := 400 * in.Scale
+	pinsPerNet := 6
+	netHeads := make([]int64, nNets)
+	for n := 0; n < nNets; n++ {
+		head := buildList(m, listSpec{
+			N: pinsPerNet, NodeSize: 16, NextOff: 8, Regularity: 0.9,
+		}, rng)
+		netHeads[n] = int64(head)
+	}
+	nets := buildArray(m, nNets, func(i int) int64 { return netHeads[i] })
+
+	SetGlobal(m, 0, int64(grid))
+	SetGlobal(m, 15, 7)
+	SetGlobal(m, 1, int64(gridWords))
+	SetGlobal(m, 2, int64(nets))
+	SetGlobal(m, 3, int64(nNets))
+	SetGlobal(m, 4, int64(pinsPerNet))
+	dtbl := buildArray(m, 128, func(i int) int64 { return int64(i * 3) })
+	SetGlobal(m, 6, int64(dtbl))
+	SetGlobal(m, 5, 3)
+}
+
+func init() {
+	register(&workload{
+		name:  "175.vpr",
+		desc:  "FPGA circuit placement and routing",
+		build: buildVPR,
+		setup: setupVPR,
+		train: core.Input{Name: "train", Scale: 1, Seed: 51},
+		ref:   core.Input{Name: "ref", Scale: 4, Seed: 52},
+	})
+}
