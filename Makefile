@@ -1,0 +1,43 @@
+# Tier-1 gate: `make check` is what CI (and every PR) must keep green.
+# It vets, builds and tests every package, then re-runs the concurrent
+# packages (the parallel experiment session and the interpreter it drives)
+# under the race detector in short mode.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-json figures clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run uses -short so it stays fast enough for a pre-commit gate;
+# TestParallelMatchesSerial (the full parallel-vs-serial determinism check)
+# runs race-enabled in full via `make race-full`.
+race:
+	$(GO) test -race -short ./internal/experiments/... ./internal/machine/...
+
+race-full:
+	$(GO) test -race ./internal/experiments/... ./internal/machine/...
+
+# Interpreter micro-benchmarks (instrs/s throughput and friends).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/machine/
+
+# Refresh BENCH_interp.json with current numbers.
+bench-json:
+	$(GO) run ./cmd/interpbench -o BENCH_interp.json
+
+# Regenerate all paper figures (parallel across GOMAXPROCS workers).
+figures:
+	$(GO) run ./cmd/experiments -figure all
+
+clean:
+	$(GO) clean ./...

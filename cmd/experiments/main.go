@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25] [-o out.txt]
+//	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25]
+//	            [-j N] [-o out.txt] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// Without flags it runs every figure on all twelve benchmarks, which takes
-// a few minutes of simulation.
+// Without flags it runs every figure on all twelve benchmarks. The
+// independent (workload, method, input) simulation cells are precomputed on
+// a worker pool (-j workers, default GOMAXPROCS); the tables are then
+// assembled serially from the memoised cells, so the output is
+// byte-for-byte identical to a serial run (-j 1).
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"stridepf/internal/experiments"
@@ -25,8 +31,36 @@ func main() {
 		figureFlag    = flag.String("figure", "all", "figure to regenerate: all, 15..25")
 		outFlag       = flag.String("o", "", "output file (default: stdout)")
 		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text (single figures only)")
+		jFlag         = flag.Int("j", 0, "number of parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var out io.Writer = os.Stdout
 	if *outFlag != "" {
@@ -38,7 +72,7 @@ func main() {
 		out = f
 	}
 
-	cfg := experiments.Config{}
+	cfg := experiments.Config{Jobs: *jFlag}
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
@@ -67,6 +101,9 @@ func main() {
 	fn, ok := figs[*figureFlag]
 	if !ok {
 		fatal(fmt.Errorf("unknown figure %q (want all or 15..25)", *figureFlag))
+	}
+	if n := cfg.Jobs; n != 1 {
+		s.Warm(n, *figureFlag)
 	}
 	t, err := fn()
 	if err != nil {

@@ -1,0 +1,143 @@
+// Command interpbench runs the interpreter micro-benchmarks and emits the
+// results as JSON, so successive PRs can track the perf trajectory in a
+// machine-readable form (see BENCH_interp.json at the repo root).
+//
+// Usage:
+//
+//	interpbench [-o BENCH_interp.json] [-bench regexp] [-benchtime 2s] [-pkg ./internal/machine/]
+//
+// It shells out to `go test -bench` (so the numbers are exactly what a
+// developer sees) and parses the standard benchmark output, including custom
+// metrics such as instrs/s reported by BenchmarkMachineThroughput.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document written to -o.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Package   string   `json:"package"`
+	Command   string   `json:"command"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		outFlag   = flag.String("o", "BENCH_interp.json", "output JSON file (- for stdout)")
+		benchFlag = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		timeFlag  = flag.String("benchtime", "2s", "value passed to go test -benchtime")
+		pkgFlag   = flag.String("pkg", "./internal/machine/", "package to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchFlag, "-benchtime", *timeFlag, *pkgFlag}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go %s: %w", strings.Join(args, " "), err))
+	}
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Package:   *pkgFlag,
+		Command:   "go " + strings.Join(args, " "),
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = cpu
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q in %s", *benchFlag, *pkgFlag))
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *outFlag == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("interpbench: wrote %d result(s) to %s\n", len(rep.Results), *outFlag)
+}
+
+// parseBenchLine parses a standard `go test -bench` result line:
+//
+//	BenchmarkName-8   12345   98.7 ns/op   24.00 instrs/op   2.1e+08 instrs/s   0 B/op   0 allocs/op
+//
+// Every value/unit pair after the iteration count becomes a metric; ns/op is
+// also lifted into its own field.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       strings.SplitN(fields[0], "-", 2)[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+		}
+		r.Metrics[unit] = val
+	}
+	if r.NsPerOp == 0 && len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "interpbench:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ type Cache struct {
 	tags    []uint64 // sets*assoc entries; line address (addr >> shift)
 	valid   []bool
 	lastUse []uint64 // LRU timestamps
+	mru     []int32  // per-set way of the most recent hit or fill
 	tick    uint64
 
 	// Hits and Misses count lookups at this level.
@@ -62,6 +63,7 @@ func New(cfg Config) *Cache {
 		tags:    make([]uint64, lines),
 		valid:   make([]bool, lines),
 		lastUse: make([]uint64, lines),
+		mru:     make([]int32, sets),
 	}
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.shift++
@@ -86,14 +88,26 @@ func (c *Cache) setIndex(line uint64) int {
 
 // Lookup probes the cache for the line containing addr. On a hit the line's
 // LRU stamp is refreshed. It does not fill on miss; use Insert.
+//
+// The most-recently-hit way of each set is probed first: repeated accesses
+// to the same line (the zero-stride/same-line streams the paper's Figure 6
+// fast path targets) resolve in one tag compare instead of a full
+// associative scan. The fast path leaves exactly the same hit/miss counts
+// and LRU state as the full probe.
 func (c *Cache) Lookup(addr uint64) bool {
 	line := addr >> c.shift
 	set := c.setIndex(line)
 	base := set * c.cfg.Assoc
 	c.tick++
+	if i := base + int(c.mru[set]); c.valid[i] && c.tags[i] == line {
+		c.lastUse[i] = c.tick
+		c.Hits++
+		return true
+	}
 	for w := 0; w < c.cfg.Assoc; w++ {
 		if c.valid[base+w] && c.tags[base+w] == line {
 			c.lastUse[base+w] = c.tick
+			c.mru[set] = int32(w)
 			c.Hits++
 			return true
 		}
@@ -107,6 +121,9 @@ func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.shift
 	set := c.setIndex(line)
 	base := set * c.cfg.Assoc
+	if i := base + int(c.mru[set]); c.valid[i] && c.tags[i] == line {
+		return true
+	}
 	for w := 0; w < c.cfg.Assoc; w++ {
 		if c.valid[base+w] && c.tags[base+w] == line {
 			return true
@@ -128,6 +145,7 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 		i := base + w
 		if c.valid[i] && c.tags[i] == line {
 			c.lastUse[i] = c.tick
+			c.mru[set] = int32(w)
 			return 0, false
 		}
 		if !c.valid[i] {
@@ -144,6 +162,7 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 	c.tags[victim] = line
 	c.valid[victim] = true
 	c.lastUse[victim] = c.tick
+	c.mru[set] = int32(victim - base)
 	return evicted, didEvict
 }
 
@@ -151,6 +170,9 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.Hits, c.Misses = 0, 0
 	c.tick = 0

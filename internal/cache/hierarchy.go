@@ -131,20 +131,23 @@ func (h *Hierarchy) access(addr uint64, now uint64) int {
 	if h.levels[0].Lookup(addr) {
 		return h.levels[0].cfg.HitLatency
 	}
-	// In-flight fill?
-	if ready, ok := h.inflight[line]; ok {
-		var lat int
-		if ready > now {
-			lat = int(ready-now) + h.levels[0].cfg.HitLatency
-			h.PrefetchLate++
-		} else {
-			lat = h.levels[0].cfg.HitLatency
-			h.PrefetchUseful++
+	// In-flight fill? (The map probe is gated on the common case of no
+	// outstanding fills at all — clean runs never prefetch.)
+	if len(h.inflight) > 0 {
+		if ready, ok := h.inflight[line]; ok {
+			var lat int
+			if ready > now {
+				lat = int(ready-now) + h.levels[0].cfg.HitLatency
+				h.PrefetchLate++
+			} else {
+				lat = h.levels[0].cfg.HitLatency
+				h.PrefetchUseful++
+			}
+			delete(h.inflight, line)
+			h.fillAll(addr)
+			h.DemandMissCycles += uint64(lat)
+			return lat
 		}
-		delete(h.inflight, line)
-		h.fillAll(addr)
-		h.DemandMissCycles += uint64(lat)
-		return lat
 	}
 	// Outer levels.
 	for i := 1; i < len(h.levels); i++ {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// programAnalysis caches the CFG facts of one program that every pipeline
+// stage consults: the loop forest per function and the in-loop flag of
+// every static load. It is computed exactly once per program.
+//
+// Centralising this matters for more than speed: the analysis is the only
+// stage that mutates shared workload IR (ir.Function.RebuildEdges rewrites
+// predecessor lists and block indices), and funnelling it through a
+// per-program sync.Once makes the rest of the pipeline a pure reader, so
+// independent (workload, method, input) cells can execute concurrently.
+type programAnalysis struct {
+	once     sync.Once
+	loadKeys map[machine.LoadKey]bool
+	loops    map[string]*cfg.LoopInfo
+}
+
+// analyses maps *ir.Program to its *programAnalysis. Keying by pointer is
+// sound because workloads cache and reuse their Program value; the map
+// stays small (one entry per distinct program analysed).
+var analyses sync.Map
+
+func analysisOf(prog *ir.Program) *programAnalysis {
+	v, _ := analyses.LoadOrStore(prog, &programAnalysis{})
+	a := v.(*programAnalysis)
+	a.once.Do(func() { a.compute(prog) })
+	return a
+}
+
+func (a *programAnalysis) compute(prog *ir.Program) {
+	a.loadKeys = make(map[machine.LoadKey]bool)
+	a.loops = make(map[string]*cfg.LoopInfo, len(prog.Funcs))
+	for name, f := range prog.Funcs {
+		f.RebuildEdges()
+		li := cfg.FindLoops(f, cfg.Dominators(f))
+		a.loops[name] = li
+		f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
+			if in.Op == ir.OpLoad {
+				a.loadKeys[machine.LoadKey{Func: name, ID: in.ID}] = li.InLoop(b)
+			}
+		})
+	}
+}
+
+// EnsureAnalyzed forces the program's cached analysis to be computed now.
+// Callers that are about to fan out concurrent work over a shared program
+// call it first, so the one IR mutation the analysis performs happens
+// before any parallel reader starts.
+func EnsureAnalyzed(prog *ir.Program) { analysisOf(prog) }
+
+// OriginalLoadKeys returns every static load of the program mapped to
+// whether it sits inside a reducible loop. Used to separate program loads
+// from instrumentation loads and to weight the Figure 17/18/19
+// distributions. The returned map is shared and must be treated as
+// read-only.
+func OriginalLoadKeys(prog *ir.Program) map[machine.LoadKey]bool {
+	return analysisOf(prog).loadKeys
+}
+
+// Loops returns the cached loop forest of the program's function fname
+// (nil if the function does not exist). The result is shared and must be
+// treated as read-only.
+func Loops(prog *ir.Program, fname string) *cfg.LoopInfo {
+	return analysisOf(prog).loops[fname]
+}

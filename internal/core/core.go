@@ -16,7 +16,6 @@ package core
 import (
 	"fmt"
 
-	"stridepf/internal/cfg"
 	"stridepf/internal/instrument"
 	"stridepf/internal/ir"
 	"stridepf/internal/machine"
@@ -175,28 +174,6 @@ func programLoadRefs(orig *ir.Program, counts map[machine.LoadKey]uint64) (total
 		}
 	}
 	return total, inLoop
-}
-
-// OriginalLoadKeys returns every static load of the program mapped to
-// whether it sits inside a reducible loop. Used to separate program loads
-// from instrumentation loads and to weight the Figure 17/18/19
-// distributions.
-func OriginalLoadKeys(prog *ir.Program) map[machine.LoadKey]bool {
-	out := make(map[machine.LoadKey]bool)
-	for name, f := range prog.Funcs {
-		f.RebuildEdges()
-		li := loopInfoOf(f)
-		f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
-			if in.Op == ir.OpLoad {
-				out[machine.LoadKey{Func: name, ID: in.ID}] = li.InLoop(b)
-			}
-		})
-	}
-	return out
-}
-
-func loopInfoOf(f *ir.Function) *cfg.LoopInfo {
-	return cfg.FindLoops(f, cfg.Dominators(f))
 }
 
 // BuildPrefetched applies the feedback pass to the workload's clean program.

@@ -5,7 +5,6 @@ import (
 	"io"
 	"math"
 
-	"stridepf/internal/cfg"
 	"stridepf/internal/core"
 	"stridepf/internal/instrument"
 	"stridepf/internal/ir"
@@ -108,7 +107,21 @@ type classBuckets struct {
 	outLoop map[prefetch.Class]uint64
 }
 
+// classify memoises classifyCompute per workload (Figures 18 and 19 both
+// consume it).
 func (s *Session) classify(name string) (*classBuckets, error) {
+	key := "classify|" + name
+	v, err := s.do(key,
+		func() (any, bool) { cb, ok := s.classes[key]; return cb, ok },
+		func(v any) { s.classes[key] = v.(*classBuckets) },
+		func() (any, error) { return s.classifyCompute(name) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*classBuckets), nil
+}
+
+func (s *Session) classifyCompute(name string) (*classBuckets, error) {
 	w, err := s.workload(name)
 	if err != nil {
 		return nil, err
@@ -130,8 +143,7 @@ func (s *Session) classify(name string) (*classBuckets, error) {
 	}
 	prog := w.Program()
 	for fname, f := range prog.Funcs {
-		f.RebuildEdges()
-		li := cfg.FindLoops(f, cfg.Dominators(f))
+		li := core.Loops(prog, fname)
 		f.Instrs(func(b *ir.Block, _ int, in *ir.Instr) {
 			if in.Op != ir.OpLoad {
 				return
@@ -294,52 +306,69 @@ func sampleEdgeCheck() MethodSpec {
 	}
 }
 
+// sensitivitySpec describes one of the three input-sensitivity studies
+// (Figures 23-25). The specs are shared by the figure methods and the
+// parallel warm-up, so both derive identical memoisation labels.
+type sensitivitySpec struct {
+	fig   string
+	title string
+	cols  []string
+	mix   func(train, ref *core.ProfileRun) []*profile.Combined
+}
+
+func sensitivitySpecs() []sensitivitySpec {
+	return []sensitivitySpec{
+		{
+			fig:   "23",
+			title: "Figure 23: Performance of train and ref profiles (sample-edge-check)",
+			cols:  []string{"train", "ref"},
+			mix: func(train, ref *core.ProfileRun) []*profile.Combined {
+				return []*profile.Combined{
+					train.Profiles,
+					ref.Profiles,
+				}
+			},
+		},
+		{
+			fig:   "24",
+			title: "Figure 24: Performance of train and edge.ref-stride.train",
+			cols:  []string{"train", "edge.ref-stride.train"},
+			mix: func(train, ref *core.ProfileRun) []*profile.Combined {
+				return []*profile.Combined{
+					train.Profiles,
+					{Edge: ref.Profiles.Edge, Stride: train.Profiles.Stride},
+				}
+			},
+		},
+		{
+			fig:   "25",
+			title: "Figure 25: Performance of train and edge.train-stride.ref",
+			cols:  []string{"train", "edge.train-stride.ref"},
+			mix: func(train, ref *core.ProfileRun) []*profile.Combined {
+				return []*profile.Combined{
+					train.Profiles,
+					{Edge: train.Profiles.Edge, Stride: ref.Profiles.Stride},
+				}
+			},
+		},
+	}
+}
+
 // Fig23 reproduces Figure 23: speedup of binaries built from train-input
 // profiles versus ref-input profiles, both measured on the ref input.
-func (s *Session) Fig23() (*Table, error) {
-	return s.sensitivityTable(
-		"Figure 23: Performance of train and ref profiles (sample-edge-check)",
-		[]string{"train", "ref"},
-		func(train, ref *core.ProfileRun) []*profile.Combined {
-			return []*profile.Combined{
-				train.Profiles,
-				ref.Profiles,
-			}
-		})
-}
+func (s *Session) Fig23() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[0]) }
 
 // Fig24 reproduces Figure 24: train versus a mixed profile using the ref
 // edge profile and the train stride profile.
-func (s *Session) Fig24() (*Table, error) {
-	return s.sensitivityTable(
-		"Figure 24: Performance of train and edge.ref-stride.train",
-		[]string{"train", "edge.ref-stride.train"},
-		func(train, ref *core.ProfileRun) []*profile.Combined {
-			return []*profile.Combined{
-				train.Profiles,
-				{Edge: ref.Profiles.Edge, Stride: train.Profiles.Stride},
-			}
-		})
-}
+func (s *Session) Fig24() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[1]) }
 
 // Fig25 reproduces Figure 25: train versus a mixed profile using the train
 // edge profile and the ref stride profile.
-func (s *Session) Fig25() (*Table, error) {
-	return s.sensitivityTable(
-		"Figure 25: Performance of train and edge.train-stride.ref",
-		[]string{"train", "edge.train-stride.ref"},
-		func(train, ref *core.ProfileRun) []*profile.Combined {
-			return []*profile.Combined{
-				train.Profiles,
-				{Edge: train.Profiles.Edge, Stride: ref.Profiles.Stride},
-			}
-		})
-}
+func (s *Session) Fig25() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[2]) }
 
-func (s *Session) sensitivityTable(title string, cols []string,
-	mix func(train, ref *core.ProfileRun) []*profile.Combined) (*Table, error) {
+func (s *Session) sensitivityTable(spec sensitivitySpec) (*Table, error) {
 	m := sampleEdgeCheck()
-	t := &Table{Title: title, Columns: cols}
+	t := &Table{Title: spec.title, Columns: spec.cols}
 	for _, name := range s.cfg.names() {
 		w, err := s.workload(name)
 		if err != nil {
@@ -353,10 +382,10 @@ func (s *Session) sensitivityTable(title string, cols []string,
 		if err != nil {
 			return nil, err
 		}
-		profs := mix(trainPR, refPR)
-		row := make([]float64, 0, len(cols))
+		profs := spec.mix(trainPR, refPR)
+		row := make([]float64, 0, len(spec.cols))
 		for i, p := range profs {
-			e, err := s.Speedup(name, title+cols[i], p, w.Ref())
+			e, err := s.Speedup(name, spec.title+spec.cols[i], p, w.Ref())
 			if err != nil {
 				return nil, err
 			}
@@ -368,9 +397,15 @@ func (s *Session) sensitivityTable(title string, cols []string,
 	return t, nil
 }
 
-// RunAll regenerates every figure and writes the tables to w.
+// RunAll regenerates every figure and writes the tables to w. Unless
+// cfg.Jobs pins the session to one worker, the pipeline cells are
+// precomputed in parallel first; the tables are then assembled serially
+// from the memoised cells, so the output is byte-identical to a serial run.
 func RunAll(w io.Writer, cfg Config) error {
 	s := NewSession(cfg)
+	if cfg.jobs() != 1 {
+		s.Warm(cfg.jobs())
+	}
 	fmt.Fprintln(w, s.Fig15())
 	figs := []struct {
 		name string

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelMatchesSerial asserts the determinism contract of the parallel
+// pipeline: with a fixed seed, RunAll under a multi-worker pool produces
+// byte-for-byte identical figure tables to a serial run. Run under -race this
+// also exercises the singleflight memo and the shared-program analysis cache
+// for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	workloads := []string{"197.parser", "255.vortex"}
+
+	var serial bytes.Buffer
+	if err := RunAll(&serial, Config{Workloads: workloads, Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := RunAll(&parallel, Config{Workloads: workloads, Jobs: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("parallel output diverges from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestWarmSingleFigure checks the single-figure warm path used by the CLI:
+// warming only Figure 16 must leave the session producing the same table as
+// an unwarmed serial session.
+func TestWarmSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	workloads := []string{"197.parser"}
+
+	cold := NewSession(Config{Workloads: workloads})
+	want, err := cold.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewSession(Config{Workloads: workloads, Jobs: 4})
+	warm.Warm(4, "16")
+	got, err := warm.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.String() != want.String() {
+		t.Errorf("warmed Fig16 differs from cold run\n--- cold ---\n%s\n--- warmed ---\n%s",
+			want, got)
+	}
+}
+
+func TestConfigJobs(t *testing.T) {
+	if got := (&Config{Jobs: 3}).jobs(); got != 3 {
+		t.Errorf("jobs() = %d, want 3", got)
+	}
+	if got := (&Config{}).jobs(); got < 1 {
+		t.Errorf("default jobs() = %d, want >= 1", got)
+	}
+	if got := (&Config{Jobs: -2}).jobs(); got < 1 {
+		t.Errorf("jobs() with negative config = %d, want >= 1", got)
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"stridepf/internal/core"
 	"stridepf/internal/instrument"
@@ -50,6 +52,10 @@ type Config struct {
 	Machine machine.Config
 	// Prefetch configures the feedback pass.
 	Prefetch prefetch.Options
+	// Jobs bounds the worker pool used when the session precomputes cells
+	// in parallel (see Warm and RunAll). Zero selects GOMAXPROCS; one runs
+	// strictly serially.
+	Jobs int
 }
 
 func (c *Config) names() []string {
@@ -59,15 +65,34 @@ func (c *Config) names() []string {
 	return workloads.Names()
 }
 
+func (c *Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Session runs and memoises the pipeline stages the figures share: one
 // profiling run per (workload, method, input), one clean measurement run
 // per (workload, input), and one prefetched measurement per profile.
+//
+// A session is safe for concurrent use: each memoised entry is computed at
+// most once even under concurrent callers (per-key singleflight), and every
+// cell — profile, clean run, speedup, classification — builds its own
+// machine, heap and cache hierarchy, so cells share no mutable simulation
+// state. Warm exploits this to precompute cells on a bounded worker pool;
+// the figure tables themselves are always assembled serially, so their
+// output is byte-identical whether or not the session was warmed.
 type Session struct {
 	cfg Config
+
+	mu       sync.Mutex
+	inflight map[string]*flight
 
 	profiles map[string]*core.ProfileRun
 	cleans   map[string]core.RunStats
 	speedups map[string]*speedupEntry
+	classes  map[string]*classBuckets
 }
 
 type speedupEntry struct {
@@ -76,14 +101,57 @@ type speedupEntry struct {
 	speedup  float64
 }
 
+// flight is one in-progress computation shared by concurrent callers of the
+// same memo key.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
 // NewSession returns an empty session.
 func NewSession(cfg Config) *Session {
 	return &Session{
 		cfg:      cfg,
+		inflight: make(map[string]*flight),
 		profiles: make(map[string]*core.ProfileRun),
 		cleans:   make(map[string]core.RunStats),
 		speedups: make(map[string]*speedupEntry),
+		classes:  make(map[string]*classBuckets),
 	}
+}
+
+// do memoises compute under key with per-key singleflight: concurrent
+// callers of the same key block on one computation instead of duplicating
+// it. lookup and store run under the session lock and read/write the memo
+// map for the key's kind. Errors are propagated to every waiter of the
+// flight but not memoised, so a later (serial) caller retries and reports
+// the error itself.
+func (s *Session) do(key string, lookup func() (any, bool), store func(any), compute func() (any, error)) (any, error) {
+	s.mu.Lock()
+	if v, ok := lookup(); ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	s.mu.Lock()
+	if f.err == nil {
+		store(f.val)
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
 }
 
 func (s *Session) workload(name string) (core.Workload, error) {
@@ -97,72 +165,198 @@ func (s *Session) workload(name string) (core.Workload, error) {
 // Profile returns the memoised profiling run of the workload under the
 // given method and input.
 func (s *Session) Profile(wname string, m MethodSpec, in core.Input) (*core.ProfileRun, error) {
-	key := wname + "|" + m.Name + "|" + in.Name
-	if pr, ok := s.profiles[key]; ok {
-		return pr, nil
-	}
-	w, err := s.workload(wname)
+	key := "profile|" + wname + "|" + m.Name + "|" + in.Name
+	v, err := s.do(key,
+		func() (any, bool) { pr, ok := s.profiles[key]; return pr, ok },
+		func(v any) { s.profiles[key] = v.(*core.ProfileRun) },
+		func() (any, error) {
+			w, err := s.workload(wname)
+			if err != nil {
+				return nil, err
+			}
+			return core.ProfilePass(w, in, m.Opts, s.cfg.Machine)
+		})
 	if err != nil {
 		return nil, err
 	}
-	pr, err := core.ProfilePass(w, in, m.Opts, s.cfg.Machine)
-	if err != nil {
-		return nil, err
-	}
-	s.profiles[key] = pr
-	return pr, nil
+	return v.(*core.ProfileRun), nil
 }
 
 // Clean returns the memoised uninstrumented run of the workload on input.
 func (s *Session) Clean(wname string, in core.Input) (core.RunStats, error) {
-	key := wname + "|" + in.Name
-	if st, ok := s.cleans[key]; ok {
-		return st, nil
-	}
-	w, err := s.workload(wname)
+	key := "clean|" + wname + "|" + in.Name
+	v, err := s.do(key,
+		func() (any, bool) { st, ok := s.cleans[key]; return st, ok },
+		func(v any) { s.cleans[key] = v.(core.RunStats) },
+		func() (any, error) {
+			w, err := s.workload(wname)
+			if err != nil {
+				return nil, err
+			}
+			return core.Execute(w.Program(), w, in, s.cfg.Machine)
+		})
 	if err != nil {
 		return core.RunStats{}, err
 	}
-	st, err := core.Execute(w.Program(), w, in, s.cfg.Machine)
-	if err != nil {
-		return core.RunStats{}, err
-	}
-	s.cleans[key] = st
-	return st, nil
+	return v.(core.RunStats), nil
 }
 
 // Speedup builds the prefetched binary from prof (labelled profLabel for
 // memoisation) and measures it against the clean binary on input in.
 func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in core.Input) (*speedupEntry, error) {
-	key := wname + "|" + profLabel + "|" + in.Name
-	if e, ok := s.speedups[key]; ok {
-		return e, nil
-	}
-	w, err := s.workload(wname)
+	key := "speedup|" + wname + "|" + profLabel + "|" + in.Name
+	v, err := s.do(key,
+		func() (any, bool) { e, ok := s.speedups[key]; return e, ok },
+		func(v any) { s.speedups[key] = v.(*speedupEntry) },
+		func() (any, error) {
+			w, err := s.workload(wname)
+			if err != nil {
+				return nil, err
+			}
+			base, err := s.Clean(wname, in)
+			if err != nil {
+				return nil, err
+			}
+			fb, err := core.BuildPrefetched(w, prof, s.cfg.Prefetch)
+			if err != nil {
+				return nil, err
+			}
+			run, err := core.Execute(fb.Prog, w, in, s.cfg.Machine)
+			if err != nil {
+				return nil, err
+			}
+			if run.Ret != base.Ret {
+				return nil, fmt.Errorf("experiments: %s: prefetched binary diverged (%d vs %d)",
+					wname, run.Ret, base.Ret)
+			}
+			return &speedupEntry{
+				run:      run,
+				feedback: fb,
+				speedup:  float64(base.Stats.Cycles) / float64(run.Stats.Cycles),
+			}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	base, err := s.Clean(wname, in)
-	if err != nil {
-		return nil, err
+	return v.(*speedupEntry), nil
+}
+
+// warmTasks returns one closure per pipeline cell the named figures need.
+// Figures not in figs are skipped; an empty figs selects all of them. Task
+// errors are deliberately dropped: errors are not memoised, so the serial
+// figure assembly recomputes the failing cell and reports the error with
+// its usual context.
+func (s *Session) warmTasks(figs map[string]bool) []func() {
+	want := func(names ...string) bool {
+		if len(figs) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if figs[n] {
+				return true
+			}
+		}
+		return false
 	}
-	fb, err := core.BuildPrefetched(w, prof, s.cfg.Prefetch)
-	if err != nil {
-		return nil, err
+	var tasks []func()
+	for _, name := range s.cfg.names() {
+		name := name
+		w := workloads.Get(name)
+		if w == nil {
+			continue // the serial pass reports unknown workloads
+		}
+		train, ref := w.Train(), w.Ref()
+		if want("16", "17", "23", "24", "25") {
+			tasks = append(tasks, func() { _, _ = s.Clean(name, ref) })
+		}
+		if want("16", "20", "21", "22") {
+			for _, m := range PaperMethods() {
+				m := m
+				tasks = append(tasks, func() {
+					pr, err := s.Profile(name, m, train)
+					if err != nil || !want("16") {
+						return
+					}
+					_, _ = s.Speedup(name, m.Name+"-train", pr.Profiles, ref)
+				})
+			}
+		}
+		if want("20") {
+			tasks = append(tasks, func() { _, _ = s.Profile(name, edgeOnlySpec, train) })
+		}
+		if want("18", "19") {
+			tasks = append(tasks, func() { _, _ = s.classify(name) })
+		}
+		if want("23", "24", "25") {
+			tasks = append(tasks, func() {
+				m := sampleEdgeCheck()
+				trainPR, err := s.Profile(name, m, train)
+				if err != nil {
+					return
+				}
+				refPR, err := s.Profile(name, m, ref)
+				if err != nil {
+					return
+				}
+				for _, spec := range sensitivitySpecs() {
+					if !want(spec.fig) {
+						continue
+					}
+					for i, p := range spec.mix(trainPR, refPR) {
+						_, _ = s.Speedup(name, spec.title+spec.cols[i], p, ref)
+					}
+				}
+			})
+		}
 	}
-	run, err := core.Execute(fb.Prog, w, in, s.cfg.Machine)
-	if err != nil {
-		return nil, err
+	return tasks
+}
+
+// Warm precomputes the pipeline cells the named figures ("16" through "25";
+// none selects all) will need, fanning the independent (workload, method,
+// input) cells out over a pool of up to jobs workers (jobs <= 0 selects
+// GOMAXPROCS). Warming is purely an optimisation: the figure methods
+// produce byte-identical tables — computed from the memoised cells — with
+// or without it.
+func (s *Session) Warm(jobs int, figs ...string) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
 	}
-	if run.Ret != base.Ret {
-		return nil, fmt.Errorf("experiments: %s: prefetched binary diverged (%d vs %d)",
-			wname, run.Ret, base.Ret)
+	// The per-program CFG analysis is the one stage that writes to shared
+	// workload IR; run it before the fan-out so workers only read.
+	for _, name := range s.cfg.names() {
+		if w := workloads.Get(name); w != nil {
+			core.EnsureAnalyzed(w.Program())
+		}
 	}
-	e := &speedupEntry{
-		run:      run,
-		feedback: fb,
-		speedup:  float64(base.Stats.Cycles) / float64(run.Stats.Cycles),
+	sel := make(map[string]bool, len(figs))
+	for _, f := range figs {
+		sel[f] = true
 	}
-	s.speedups[key] = e
-	return e, nil
+	tasks := s.warmTasks(sel)
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+	if jobs <= 1 {
+		for _, fn := range tasks {
+			fn()
+		}
+		return
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+	for _, fn := range tasks {
+		ch <- fn
+	}
+	close(ch)
+	wg.Wait()
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"stridepf/internal/cache"
 	"stridepf/internal/ir"
@@ -109,6 +110,7 @@ type decoded struct {
 	dst      int32
 	s0, s1   int32
 	pred     int32
+	cost     uint32 // OpCost(op), resolved at decode time
 	imm      int64
 	t0, t1   int32 // branch target block indices
 	callee   *code
@@ -158,6 +160,12 @@ type Machine struct {
 	Hier *cache.Hierarchy
 
 	hooks map[int64]HookFunc
+	// hooksDirty marks that Register calls since the last Run have not yet
+	// been resolved into the decoded instruction stream.
+	hooksDirty bool
+	// fast selects the specialized step loop with no tracing and no hardware
+	// prefetcher observation.
+	fast bool
 
 	cycles uint64
 	stats  Stats
@@ -182,13 +190,14 @@ func New(prog *ir.Program, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		prog:  prog,
-		codes: make(map[string]*code, len(prog.Funcs)),
-		Mem:   mem.NewMemory(),
-		hooks: make(map[int64]HookFunc),
-		Hier:  cache.NewHierarchy(cfg.Hierarchy),
-		rng:   cfg.Seed,
+		cfg:        cfg,
+		prog:       prog,
+		codes:      make(map[string]*code, len(prog.Funcs)),
+		Mem:        mem.NewMemory(),
+		hooks:      make(map[int64]HookFunc),
+		hooksDirty: true,
+		Hier:       cache.NewHierarchy(cfg.Hierarchy),
+		rng:        cfg.Seed,
 	}
 	m.Heap = mem.NewHeap(m.Mem, cfg.HeapBase, cfg.HeapSize)
 	for name, f := range prog.Funcs {
@@ -210,7 +219,13 @@ func (m *Machine) decodeShell(name string, f *ir.Function) *code {
 
 func (m *Machine) decodeBody(f *ir.Function) {
 	c := m.codes[f.Name]
-	f.Renumber()
+	// Block targets are resolved through a local position map rather than
+	// ir.Function.Renumber: the program may be shared by several machines
+	// running concurrently, so decoding must not mutate the IR.
+	idx := make(map[*ir.Block]int32, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		idx[b] = int32(bi)
+	}
 	c.blocks = make([][]decoded, len(f.Blocks))
 	c.blockNames = make([]string, len(f.Blocks))
 	for bi, b := range f.Blocks {
@@ -223,16 +238,17 @@ func (m *Machine) decodeBody(f *ir.Function) {
 				s0:       int32(in.Src[0]),
 				s1:       int32(in.Src[1]),
 				pred:     int32(in.Pred),
+				cost:     uint32(OpCost(in.Op)),
 				imm:      in.Imm,
 				t0:       -1,
 				t1:       -1,
 				loadSlot: -1,
 			}
 			if len(in.Targets) > 0 {
-				d.t0 = int32(in.Targets[0].Index)
+				d.t0 = idx[in.Targets[0]]
 			}
 			if len(in.Targets) > 1 {
-				d.t1 = int32(in.Targets[1].Index)
+				d.t1 = idx[in.Targets[1]]
 			}
 			if in.Op == ir.OpCall {
 				d.callee = m.codes[in.Callee]
@@ -261,8 +277,44 @@ func (m *Machine) decodeBody(f *ir.Function) {
 }
 
 // Register installs hook fn under id. Registering id twice replaces the
-// hook (tests rely on this to stub runtimes).
-func (m *Machine) Register(id int64, fn HookFunc) { m.hooks[id] = fn }
+// hook (tests rely on this to stub runtimes). Registration takes effect at
+// the next Run, which resolves every OpHook site against the hook table.
+func (m *Machine) Register(id int64, fn HookFunc) {
+	m.hooks[id] = fn
+	m.hooksDirty = true
+}
+
+// resolveHooks binds every OpHook site to its registered HookFunc so the
+// step loops skip the per-call map lookup. An unregistered hook ID is
+// reported up front — naming the hook, function and instruction — instead
+// of faulting mid-simulation. Functions are visited in sorted order so the
+// error is deterministic.
+func (m *Machine) resolveHooks() error {
+	names := make([]string, 0, len(m.codes))
+	for name := range m.codes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := m.codes[name]
+		for bi := range c.blocks {
+			for ii := range c.blocks[bi] {
+				d := &c.blocks[bi][ii]
+				if d.op != ir.OpHook {
+					continue
+				}
+				fn := m.hooks[d.hookID]
+				if fn == nil {
+					return fmt.Errorf("machine: hook %d not registered (instruction %d of %s/%s)",
+						d.hookID, ii, name, c.blockNames[bi])
+				}
+				d.hook = fn
+			}
+		}
+	}
+	m.hooksDirty = false
+	return nil
+}
 
 // AddCycles charges extra simulated time; profiling hooks use it to model
 // the cost of the runtime routine they represent.
@@ -292,12 +344,20 @@ func (m *Machine) LoadCounts() map[LoadKey]uint64 {
 }
 
 // Run executes the program's entry function to completion and returns its
-// return value.
+// return value. Hooks referenced by the program must all be registered by
+// this point: Run fails immediately — before simulating a single
+// instruction — if any OpHook site names an unregistered hook ID.
 func (m *Machine) Run() (int64, error) {
 	entry := m.codes[m.prog.Main]
 	if entry == nil {
 		return 0, fmt.Errorf("machine: entry function %q missing", m.prog.Main)
 	}
+	if m.hooksDirty {
+		if err := m.resolveHooks(); err != nil {
+			return 0, err
+		}
+	}
+	m.fast = m.cfg.Trace == nil && m.cfg.HWPrefetch == nil
 	return m.call(entry, nil, 0)
 }
 
@@ -347,7 +407,8 @@ func (m *Machine) nextRand() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// call executes one function activation.
+// call executes one function activation, dispatching to the step loop
+// specialized for this run's configuration.
 func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 	if depth >= m.cfg.MaxDepth {
 		return 0, ErrMaxDepth
@@ -359,7 +420,18 @@ func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 			regs[p] = args[i]
 		}
 	}
+	if m.fast {
+		return m.stepFast(c, regs, depth)
+	}
+	return m.stepSlow(c, regs, depth)
+}
 
+// stepFast is the hot interpreter loop used when neither tracing nor a
+// hardware prefetcher is configured: the per-instruction trace test and the
+// per-load HWPrefetch test are hoisted out entirely. It must stay
+// semantically in sync with stepSlow (which adds only those two
+// observation points).
+func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 	bi := int32(0)
 	ii := 0
 	for {
@@ -377,10 +449,7 @@ func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 		if m.stats.Instrs > m.cfg.MaxSteps {
 			return 0, ErrMaxSteps
 		}
-		if d.src != nil {
-			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)
-		}
-		m.cycles += OpCost(d.op)
+		m.cycles += uint64(d.cost)
 
 		// Itanium-style predication: a false qualifying predicate squashes
 		// the instruction but it still occupies its slot (charged above).
@@ -453,9 +522,6 @@ func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 			regs[d.dst] = m.Mem.Load(addr)
 			m.stats.LoadRefs++
 			c.loadCount[d.loadSlot]++
-			if m.cfg.HWPrefetch != nil {
-				m.cfg.HWPrefetch.Observe(d.pc, addr, m.Hier, m.cycles)
-			}
 		case ir.OpSpecLoad:
 			// Speculative load: non-faulting and excluded from per-load
 			// reference statistics (it is inserted machinery, not a program
@@ -517,13 +583,175 @@ func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 				regs[d.dst] = rv
 			}
 		case ir.OpHook:
-			fn := m.hooks[d.hookID]
-			if fn == nil {
-				return 0, fmt.Errorf("machine: hook %d not registered", d.hookID)
-			}
+			// d.hook was resolved by resolveHooks before the run started.
 			argv := m.argValues(regs, d.args)
 			m.stats.HookCalls++
-			fn(m, argv)
+			d.hook(m, argv)
+			m.releaseArgs(argv)
+
+		default:
+			return 0, fmt.Errorf("machine: unimplemented opcode %s", d.op)
+		}
+	}
+}
+
+// stepSlow is the fully observed interpreter loop: it additionally emits a
+// trace line per instruction (when Config.Trace is set) and feeds demand
+// loads to the hardware prefetcher (when Config.HWPrefetch is set). Keep in
+// sync with stepFast.
+func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
+	bi := int32(0)
+	ii := 0
+	for {
+		if int(bi) >= len(c.blocks) {
+			return 0, fmt.Errorf("machine: %s: fell off block list", c.name)
+		}
+		blk := c.blocks[bi]
+		if ii >= len(blk) {
+			return 0, fmt.Errorf("machine: %s: block %d has no terminator", c.name, bi)
+		}
+		d := &blk[ii]
+		ii++
+
+		m.stats.Instrs++
+		if m.stats.Instrs > m.cfg.MaxSteps {
+			return 0, ErrMaxSteps
+		}
+		if d.src != nil {
+			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)
+		}
+		m.cycles += uint64(d.cost)
+
+		// Itanium-style predication: a false qualifying predicate squashes
+		// the instruction but it still occupies its slot (charged above).
+		if d.pred >= 0 && regs[d.pred] == 0 {
+			continue
+		}
+
+		switch d.op {
+		case ir.OpNop:
+		case ir.OpConst:
+			regs[d.dst] = d.imm
+		case ir.OpMov:
+			regs[d.dst] = regs[d.s0]
+		case ir.OpAdd:
+			regs[d.dst] = regs[d.s0] + regs[d.s1]
+		case ir.OpSub:
+			regs[d.dst] = regs[d.s0] - regs[d.s1]
+		case ir.OpMul:
+			regs[d.dst] = regs[d.s0] * regs[d.s1]
+		case ir.OpDiv:
+			if regs[d.s1] == 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = regs[d.s0] / regs[d.s1]
+			}
+		case ir.OpRem:
+			if regs[d.s1] == 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = regs[d.s0] % regs[d.s1]
+			}
+		case ir.OpAnd:
+			regs[d.dst] = regs[d.s0] & regs[d.s1]
+		case ir.OpOr:
+			regs[d.dst] = regs[d.s0] | regs[d.s1]
+		case ir.OpXor:
+			regs[d.dst] = regs[d.s0] ^ regs[d.s1]
+		case ir.OpShl:
+			regs[d.dst] = regs[d.s0] << (uint64(regs[d.s1]) & 63)
+		case ir.OpShr:
+			regs[d.dst] = regs[d.s0] >> (uint64(regs[d.s1]) & 63)
+		case ir.OpAddI:
+			regs[d.dst] = regs[d.s0] + d.imm
+		case ir.OpShlI:
+			regs[d.dst] = regs[d.s0] << (uint64(d.imm) & 63)
+		case ir.OpShrI:
+			regs[d.dst] = regs[d.s0] >> (uint64(d.imm) & 63)
+		case ir.OpAndI:
+			regs[d.dst] = regs[d.s0] & d.imm
+		case ir.OpCmpEQ:
+			regs[d.dst] = b2i(regs[d.s0] == regs[d.s1])
+		case ir.OpCmpNE:
+			regs[d.dst] = b2i(regs[d.s0] != regs[d.s1])
+		case ir.OpCmpLT:
+			regs[d.dst] = b2i(regs[d.s0] < regs[d.s1])
+		case ir.OpCmpLE:
+			regs[d.dst] = b2i(regs[d.s0] <= regs[d.s1])
+		case ir.OpCmpGT:
+			regs[d.dst] = b2i(regs[d.s0] > regs[d.s1])
+		case ir.OpCmpGE:
+			regs[d.dst] = b2i(regs[d.s0] >= regs[d.s1])
+
+		case ir.OpLoad:
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Load(addr, m.cycles)
+			m.cycles += uint64(lat)
+			regs[d.dst] = m.Mem.Load(addr)
+			m.stats.LoadRefs++
+			c.loadCount[d.loadSlot]++
+			if m.cfg.HWPrefetch != nil {
+				m.cfg.HWPrefetch.Observe(d.pc, addr, m.Hier, m.cycles)
+			}
+		case ir.OpSpecLoad:
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Load(addr, m.cycles)
+			m.cycles += uint64(lat)
+			regs[d.dst] = m.Mem.Load(addr)
+		case ir.OpStore:
+			addr := uint64(regs[d.s0] + d.imm)
+			lat := m.Hier.Store(addr, m.cycles)
+			m.cycles += uint64(lat)
+			m.Mem.Store(addr, regs[d.s1])
+			m.stats.StoreRefs++
+		case ir.OpPrefetch:
+			addr := uint64(regs[d.s0] + d.imm)
+			m.stats.PrefetchRefs++
+			if m.Mem.Mapped(addr) {
+				m.Hier.Prefetch(addr, m.cycles)
+			}
+
+		case ir.OpAlloc:
+			regs[d.dst] = int64(m.Heap.Alloc(regs[d.s0]))
+		case ir.OpRand:
+			bound := regs[d.s0]
+			if bound <= 0 {
+				regs[d.dst] = 0
+			} else {
+				regs[d.dst] = int64(m.nextRand() % uint64(bound))
+			}
+
+		case ir.OpBr:
+			bi, ii = d.t0, 0
+		case ir.OpCondBr:
+			if regs[d.s0] != 0 {
+				bi, ii = d.t0, 0
+			} else {
+				bi, ii = d.t1, 0
+			}
+		case ir.OpRet:
+			if d.s0 >= 0 {
+				return regs[d.s0], nil
+			}
+			return 0, nil
+
+		case ir.OpCall:
+			if d.callee == nil {
+				return 0, fmt.Errorf("machine: call to unknown function")
+			}
+			argv := m.argValues(regs, d.args)
+			rv, err := m.call(d.callee, argv, depth+1)
+			m.releaseArgs(argv)
+			if err != nil {
+				return 0, err
+			}
+			if d.dst >= 0 {
+				regs[d.dst] = rv
+			}
+		case ir.OpHook:
+			argv := m.argValues(regs, d.args)
+			m.stats.HookCalls++
+			d.hook(m, argv)
 			m.releaseArgs(argv)
 
 		default:

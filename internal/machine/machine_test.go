@@ -2,6 +2,7 @@ package machine
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"stridepf/internal/ir"
@@ -282,6 +283,46 @@ func TestUnregisteredHookFails(t *testing.T) {
 	m, _ := New(p, Config{})
 	if _, err := m.Run(); err == nil {
 		t.Error("unregistered hook did not fail")
+	}
+}
+
+// TestUnregisteredHookFailsUpfront checks that hook binding happens at Run
+// start, not at first execution: a hook on a branch that never runs still
+// fails, and the error names the hook ID and instruction site. Registering
+// the hook afterwards makes the same machine runnable.
+func TestUnregisteredHookFailsUpfront(t *testing.T) {
+	b := ir.NewBuilder("main")
+	taken := b.Block("taken")
+	dead := b.Block("dead")
+	b.CondBr(b.Const(1), taken, dead)
+	b.At(dead) // never executed, but its hook must still be checked
+	b.Hook(42)
+	b.Ret(ir.NoReg)
+	b.At(taken)
+	b.Ret(b.Const(0))
+	p := ir.NewProgram()
+	p.Add(b.Finish())
+
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		t.Fatal("hook on dead path did not fail at Run start")
+	}
+	for _, want := range []string{"hook 42", "main", "dead"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if got := m.Stats().Instrs; got != 0 {
+		t.Errorf("executed %d instructions before failing; want 0", got)
+	}
+
+	m.Register(42, func(_ *Machine, _ []int64) {})
+	if _, err := m.Run(); err != nil {
+		t.Errorf("run after registering hook: %v", err)
 	}
 }
 

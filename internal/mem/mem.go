@@ -23,8 +23,13 @@ type page [pageWords]int64
 // Memory is a sparse 64-bit word-addressable memory. Addresses are byte
 // addresses; loads and stores access the aligned 8-byte word containing the
 // address (the low three bits are ignored, matching an aligned-only ISA).
+//
+// The last page touched is cached, so the spatially local access runs the
+// interpreter's hot loop produces mostly skip the page-table map lookup.
 type Memory struct {
-	pages map[uint64]*page
+	pages    map[uint64]*page
+	lastKey  uint64
+	lastPage *page
 }
 
 // NewMemory returns an empty memory.
@@ -34,9 +39,14 @@ func NewMemory() *Memory {
 
 // Load returns the word at addr. Unmapped memory reads as zero.
 func (m *Memory) Load(addr uint64) int64 {
-	p := m.pages[addr>>pageShift]
-	if p == nil {
-		return 0
+	key := addr >> pageShift
+	p := m.lastPage
+	if p == nil || m.lastKey != key {
+		p = m.pages[key]
+		if p == nil {
+			return 0
+		}
+		m.lastKey, m.lastPage = key, p
 	}
 	return p[(addr&pageMask)>>3]
 }
@@ -44,10 +54,14 @@ func (m *Memory) Load(addr uint64) int64 {
 // Store writes the word at addr, mapping the page on demand.
 func (m *Memory) Store(addr uint64, v int64) {
 	key := addr >> pageShift
-	p := m.pages[key]
-	if p == nil {
-		p = new(page)
-		m.pages[key] = p
+	p := m.lastPage
+	if p == nil || m.lastKey != key {
+		p = m.pages[key]
+		if p == nil {
+			p = new(page)
+			m.pages[key] = p
+		}
+		m.lastKey, m.lastPage = key, p
 	}
 	p[(addr&pageMask)>>3] = v
 }
