@@ -2,12 +2,24 @@
 # It vets, builds and tests every package, then re-runs the concurrent
 # packages (the parallel experiment session and the interpreter it drives)
 # under the race detector in short mode.
+#
+# `make check-deep` is the slower tier-2 gate: the whole tree race-enabled
+# and shuffled, a fuzz smoke pass over the seed corpora, the simcheck
+# property suite, and a figure regeneration with shadow-model self-checking
+# on. See TESTING.md for the oracle taxonomy behind each layer.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json figures clean
+.PHONY: check check-deep vet build test race fuzz-smoke simcheck \
+	bench bench-json figures clean
 
 check: vet build test race
+
+check-deep: check
+	$(GO) test -race -shuffle=on ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) simcheck
+	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
 
 vet:
 	$(GO) vet ./...
@@ -15,8 +27,9 @@ vet:
 build:
 	$(GO) build ./...
 
+# Shuffled so tests cannot silently grow order dependencies.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The race run uses -short so it stays fast enough for a pre-commit gate;
 # TestParallelMatchesSerial (the full parallel-vs-serial determinism check)
@@ -26,6 +39,16 @@ race:
 
 race-full:
 	$(GO) test -race ./internal/experiments/... ./internal/machine/...
+
+# Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
+# ~10s per target: enough to exercise the mutator, not a soak test.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseProgram -fuzztime 10s ./internal/ir
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./internal/mc
+
+# Differential/metamorphic property checks (see TESTING.md).
+simcheck:
+	$(GO) run ./cmd/simcheck -n 8
 
 # Interpreter micro-benchmarks (instrs/s throughput and friends).
 bench:

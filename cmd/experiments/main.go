@@ -4,7 +4,13 @@
 // Usage:
 //
 //	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25]
-//	            [-j N] [-o out.txt] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-j N] [-o out.txt] [-selfcheck]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -selfcheck runs every simulation with the naive shadow models of the
+// cache hierarchy and flat memory attached (see internal/simcheck and
+// DESIGN.md): each access is cross-checked event-by-event, and the first
+// divergence aborts the run with an event-trace report.
 //
 // Without flags it runs every figure on all twelve benchmarks. The
 // independent (workload, method, input) simulation cells are precomputed on
@@ -32,6 +38,7 @@ func main() {
 		outFlag       = flag.String("o", "", "output file (default: stdout)")
 		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text (single figures only)")
 		jFlag         = flag.Int("j", 0, "number of parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		selfCheck     = flag.Bool("selfcheck", false, "run naive shadow models of cache and memory in lockstep with every simulation (slower; fails on the first divergence)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -73,6 +80,7 @@ func main() {
 	}
 
 	cfg := experiments.Config{Jobs: *jFlag}
+	cfg.Machine.SelfCheck = *selfCheck
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}

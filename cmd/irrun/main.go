@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,94 +32,98 @@ type setFlags []string
 func (s *setFlags) String() string     { return strings.Join(*s, ",") }
 func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
 
-func main() {
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("irrun", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		trace    = flag.Bool("trace", false, "print each executed instruction")
-		stats    = flag.Bool("stats", false, "print execution and cache statistics")
-		printIR  = flag.Bool("print", false, "parse and pretty-print, do not execute")
-		dot      = flag.Bool("dot", false, "emit the CFG in Graphviz dot format, do not execute")
-		optimize = flag.Bool("O", false, "optimise (fold/cse/dce/licm) before running")
-		maxSteps = flag.Uint64("max-steps", 100_000_000, "instruction budget")
+		trace    = fs.Bool("trace", false, "print each executed instruction")
+		stats    = fs.Bool("stats", false, "print execution and cache statistics")
+		printIR  = fs.Bool("print", false, "parse and pretty-print, do not execute")
+		dot      = fs.Bool("dot", false, "emit the CFG in Graphviz dot format, do not execute")
+		optimize = fs.Bool("O", false, "optimise (fold/cse/dce/licm) before running")
+		maxSteps = fs.Uint64("max-steps", 100_000_000, "instruction budget")
 		sets     setFlags
 	)
-	flag.Var(&sets, "set", "initial memory word, addr=value (repeatable)")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irrun [flags] prog.ir")
-		os.Exit(2)
+	fs.Var(&sets, "set", "initial memory word, addr=value (repeatable)")
+	if err := fs.Parse(argv); err != nil {
+		return err
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: irrun [flags] prog.ir")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prog, err := ir.ParseProgram(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := ir.VerifyProgram(prog); err != nil {
-		fatal(err)
+		return err
 	}
 	if *optimize {
 		optimised, st, err := opt.Run(prog, opt.Options{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prog = optimised
 		fmt.Fprintf(os.Stderr, "opt: folded %d, cse %d, removed %d, hoisted %d\n",
 			st.Folded, st.CSE, st.Removed, st.Hoisted)
 	}
 	if *printIR {
-		fmt.Print(ir.PrintProgram(prog))
-		return
+		fmt.Fprint(out, ir.PrintProgram(prog))
+		return nil
 	}
 	if *dot {
-		fmt.Print(ir.DotProgram(prog))
-		return
+		fmt.Fprint(out, ir.DotProgram(prog))
+		return nil
 	}
 
 	cfg := machine.Config{MaxSteps: *maxSteps}
 	if *trace {
-		cfg.Trace = os.Stdout
+		cfg.Trace = out
 	}
 	m, err := machine.New(prog, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, s := range sets {
 		i := strings.Index(s, "=")
 		if i < 0 {
-			fatal(fmt.Errorf("bad -set %q (want addr=value)", s))
+			return fmt.Errorf("bad -set %q (want addr=value)", s)
 		}
 		addr, err := parseNum(s[:i])
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		val, err := parseNum(s[i+1:])
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		m.Mem.Store(uint64(addr), val)
 	}
 
 	ret, err := m.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("return value: %d\n", ret)
+	fmt.Fprintf(out, "return value: %d\n", ret)
 	if *stats {
 		st := m.Stats()
-		fmt.Printf("cycles:      %d\n", st.Cycles)
-		fmt.Printf("instrs:      %d\n", st.Instrs)
-		fmt.Printf("loads:       %d\n", st.LoadRefs)
-		fmt.Printf("stores:      %d\n", st.StoreRefs)
-		fmt.Printf("prefetches:  %d (useful %d, late %d, dropped %d)\n",
+		fmt.Fprintf(out, "cycles:      %d\n", st.Cycles)
+		fmt.Fprintf(out, "instrs:      %d\n", st.Instrs)
+		fmt.Fprintf(out, "loads:       %d\n", st.LoadRefs)
+		fmt.Fprintf(out, "stores:      %d\n", st.StoreRefs)
+		fmt.Fprintf(out, "prefetches:  %d (useful %d, late %d, dropped %d)\n",
 			st.PrefetchRefs, m.Hier.PrefetchUseful, m.Hier.PrefetchLate, m.Hier.PrefetchDrops)
 		for i := 0; i < 3; i++ {
 			l := m.Hier.Level(i)
-			fmt.Printf("%-4s hits %d misses %d\n", l.Config().Name, l.Hits, l.Misses)
+			fmt.Fprintf(out, "%-4s hits %d misses %d\n", l.Config().Name, l.Hits, l.Misses)
 		}
 	}
+	return nil
 }
 
 func parseNum(s string) (int64, error) {
@@ -130,7 +135,11 @@ func parseNum(s string) (int64, error) {
 	return strconv.ParseInt(s, 10, 64)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "irrun:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "irrun:", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stridepf/internal/instrument"
@@ -28,68 +29,69 @@ import (
 	"stridepf/internal/profile"
 )
 
-func main() {
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcc", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		emitIR   = flag.Bool("emit-ir", false, "print the compiled IR")
-		optimize = flag.Bool("O", false, "run the optimiser")
-		runIt    = flag.Bool("run", false, "execute the program")
-		stats    = flag.Bool("stats", false, "print execution statistics (implies -run)")
-		pgo      = flag.Bool("pgo", false, "run the full profile-guided prefetching pipeline")
-		method   = flag.String("method", "edge-check", "profiling method for -pgo: edge-check, naive-loop, naive-all")
-		indirect = flag.Bool("indirect", false, "-pgo: enable dependent-load (indirect) prefetching")
+		emitIR   = fs.Bool("emit-ir", false, "print the compiled IR")
+		optimize = fs.Bool("O", false, "run the optimiser")
+		runIt    = fs.Bool("run", false, "execute the program")
+		stats    = fs.Bool("stats", false, "print execution statistics (implies -run)")
+		pgo      = fs.Bool("pgo", false, "run the full profile-guided prefetching pipeline")
+		method   = fs.String("method", "edge-check", "profiling method for -pgo: edge-check, naive-loop, naive-all")
+		indirect = fs.Bool("indirect", false, "-pgo: enable dependent-load (indirect) prefetching")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mcc [flags] prog.mc")
-		os.Exit(2)
+	if err := fs.Parse(argv); err != nil {
+		return err
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mcc [flags] prog.mc")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prog, err := mc.Compile(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *optimize {
 		optimised, st, err := opt.Run(prog, opt.Options{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prog = optimised
 		fmt.Fprintf(os.Stderr, "opt: folded %d, cse %d, removed %d, hoisted %d\n",
 			st.Folded, st.CSE, st.Removed, st.Hoisted)
 	}
 	if *emitIR {
-		fmt.Print(ir.PrintProgram(prog))
+		fmt.Fprint(out, ir.PrintProgram(prog))
 	}
 	if *pgo {
-		if err := runPGO(prog, *method, *indirect); err != nil {
-			fatal(err)
-		}
-		return
+		return runPGO(prog, *method, *indirect, out)
 	}
 	if *runIt || *stats {
 		m, err := machine.New(prog, machine.Config{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ret, err := m.Run()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("return value: %d\n", ret)
+		fmt.Fprintf(out, "return value: %d\n", ret)
 		if *stats {
 			st := m.Stats()
-			fmt.Printf("cycles: %d, instrs: %d, loads: %d, stores: %d\n",
+			fmt.Fprintf(out, "cycles: %d, instrs: %d, loads: %d, stores: %d\n",
 				st.Cycles, st.Instrs, st.LoadRefs, st.StoreRefs)
 		}
 	}
+	return nil
 }
 
 // runPGO performs instrument -> profile -> feedback -> measure on a
 // self-contained program.
-func runPGO(prog *ir.Program, method string, indirect bool) error {
+func runPGO(prog *ir.Program, method string, indirect bool, out io.Writer) error {
 	var m instrument.Method
 	switch method {
 	case "edge-check":
@@ -118,12 +120,12 @@ func runPGO(prog *ir.Program, method string, indirect bool) error {
 		Edge:   inst.ExtractEdgeProfile(pm),
 		Stride: profile.NewStrideProfile(inst.StrideSummaries()),
 	}
-	fmt.Printf("profiled %d loads\n", prof.Stride.Len())
+	fmt.Fprintf(out, "profiled %d loads\n", prof.Stride.Len())
 	for _, s := range prof.Stride.Summaries() {
 		if s.TotalStrides == 0 || len(s.TopStrides) == 0 {
 			continue
 		}
-		fmt.Printf("  %s#%d: top stride %d (%.0f%% of %d samples), zero-diff %.0f%%\n",
+		fmt.Fprintf(out, "  %s#%d: top stride %d (%.0f%% of %d samples), zero-diff %.0f%%\n",
 			s.Key.Func, s.Key.ID, s.TopStrides[0].Value,
 			100*float64(s.TopStrides[0].Freq)/float64(s.TotalStrides),
 			s.TotalStrides,
@@ -135,11 +137,11 @@ func runPGO(prog *ir.Program, method string, indirect bool) error {
 		return err
 	}
 	if fb.IndirectInserted > 0 {
-		fmt.Printf("%d indirect (dependent-load) prefetches inserted\n", fb.IndirectInserted)
+		fmt.Fprintf(out, "%d indirect (dependent-load) prefetches inserted\n", fb.IndirectInserted)
 	}
 	for _, d := range fb.Decisions {
 		if d.K > 0 {
-			fmt.Printf("prefetching %s#%d: %s stride=%d K=%d\n",
+			fmt.Fprintf(out, "prefetching %s#%d: %s stride=%d K=%d\n",
 				d.Key.Func, d.Key.ID, d.Class, d.Stride, d.K)
 		}
 	}
@@ -163,13 +165,17 @@ func runPGO(prog *ir.Program, method string, indirect bool) error {
 	if baseRet != pfRet {
 		return fmt.Errorf("prefetched binary diverged: %d vs %d", pfRet, baseRet)
 	}
-	fmt.Printf("base:       %d cycles\n", baseCyc)
-	fmt.Printf("prefetched: %d cycles\n", pfCyc)
-	fmt.Printf("speedup:    %.3fx\n", float64(baseCyc)/float64(pfCyc))
+	fmt.Fprintf(out, "base:       %d cycles\n", baseCyc)
+	fmt.Fprintf(out, "prefetched: %d cycles\n", pfCyc)
+	fmt.Fprintf(out, "speedup:    %.3fx\n", float64(baseCyc)/float64(pfCyc))
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcc:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallMC is a self-contained mc program with a strided loop: build fills
+// an array, walk sums it.
+const smallMC = `
+var data = 0;
+
+func main() {
+    data = alloc(8000);
+    for (var i = 0; i < 1000; i = i + 1) {
+        *(data + i * 8) = i;
+    }
+    var sum = 0;
+    for (var j = 0; j < 1000; j = j + 1) {
+        sum = sum + *(data + j * 8);
+    }
+    return sum;
+}
+`
+
+func writeMC(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(smallMC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompileAndRun(t *testing.T) {
+	path := writeMC(t)
+	var out strings.Builder
+	if err := run([]string{"-run", "-stats", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	// sum(0..999) = 499500
+	for _, want := range []string{"return value: 499500", "cycles:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestEmitIR(t *testing.T) {
+	path := writeMC(t)
+	var out strings.Builder
+	if err := run([]string{"-emit-ir", path}, &out); err != nil {
+		t.Fatalf("run -emit-ir: %v", err)
+	}
+	if !strings.Contains(out.String(), "func main") {
+		t.Errorf("-emit-ir output lacks main:\n%s", out.String())
+	}
+}
+
+func TestPGOPipeline(t *testing.T) {
+	// The repository's Figure 1 example exercises the full pipeline:
+	// instrument -> profile -> classify -> prefetch -> compare.
+	var out strings.Builder
+	if err := run([]string{"-pgo", "../../examples/mcprogs/fig1.mc"}, &out); err != nil {
+		t.Fatalf("run -pgo: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"profiled", "speedup:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-pgo output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing argument accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.mc")
+	if err := os.WriteFile(bad, []byte("func main( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", bad}, &out); err == nil {
+		t.Error("syntax error accepted")
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stridepf/internal/core"
@@ -22,25 +23,29 @@ import (
 	"stridepf/internal/workloads"
 )
 
-func main() {
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prefetchc", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		wl        = flag.String("workload", "", "benchmark name")
-		profF     = flag.String("profile", "profile.json", "combined profile (from strideprof)")
-		runInput  = flag.String("run", "", "measure speedup on this input: train or ref")
-		heuristic = flag.String("heuristic", "lb", "prefetch distance heuristic: lb (latency/body), trip, fixed")
-		wsst      = flag.Bool("wsst", false, "enable conditional prefetching for weak-single-stride loads")
-		report    = flag.Bool("report", false, "print per-load classification decisions")
-		dumpIR    = flag.Bool("dump-ir", false, "print the prefetched IR")
+		wl        = fs.String("workload", "", "benchmark name")
+		profF     = fs.String("profile", "profile.json", "combined profile (from strideprof)")
+		runInput  = fs.String("run", "", "measure speedup on this input: train or ref")
+		heuristic = fs.String("heuristic", "lb", "prefetch distance heuristic: lb (latency/body), trip, fixed")
+		wsst      = fs.Bool("wsst", false, "enable conditional prefetching for weak-single-stride loads")
+		report    = fs.Bool("report", false, "print per-load classification decisions")
+		dumpIR    = fs.Bool("dump-ir", false, "print the prefetched IR")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 
 	w := workloads.Get(*wl)
 	if w == nil {
-		fatal(fmt.Errorf("unknown workload %q", *wl))
+		return fmt.Errorf("unknown workload %q", *wl)
 	}
 	prof, err := profile.Load(*profF)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := prefetch.Options{EnableWSST: *wsst}
 	switch *heuristic {
@@ -51,14 +56,14 @@ func main() {
 	case "fixed":
 		opts.Heuristic = prefetch.FixedDistance
 	default:
-		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
+		return fmt.Errorf("unknown heuristic %q", *heuristic)
 	}
 
 	fb, err := core.BuildPrefetched(w, prof, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s: %d loads considered, %d prefetches inserted\n",
+	fmt.Fprintf(out, "%s: %d loads considered, %d prefetches inserted\n",
 		w.Name(), len(fb.Decisions), fb.Inserted)
 	if *report {
 		for _, d := range fb.Decisions {
@@ -66,13 +71,13 @@ func main() {
 			if d.InLoop {
 				where = "in-loop"
 			}
-			fmt.Printf("  %s#%d: %-5s %-8s freq=%d trip=%.0f stride=%d K=%d lines=%d %s\n",
+			fmt.Fprintf(out, "  %s#%d: %-5s %-8s freq=%d trip=%.0f stride=%d K=%d lines=%d %s\n",
 				d.Key.Func, d.Key.ID, d.Class, where, d.Freq, d.Trip, d.Stride,
 				d.K, d.CoverLines, d.FilteredBy)
 		}
 	}
 	if *dumpIR {
-		fmt.Println(ir.PrintProgram(fb.Prog))
+		fmt.Fprintln(out, ir.PrintProgram(fb.Prog))
 	}
 
 	if *runInput != "" {
@@ -83,28 +88,33 @@ func main() {
 		case "ref":
 			in = w.Ref()
 		default:
-			fatal(fmt.Errorf("unknown input %q", *runInput))
+			return fmt.Errorf("unknown input %q", *runInput)
 		}
 		base, err := core.Execute(w.Program(), w, in, machine.Config{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		pf, err := core.Execute(fb.Prog, w, in, machine.Config{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if base.Ret != pf.Ret {
-			fatal(fmt.Errorf("prefetched binary diverged: %d vs %d", pf.Ret, base.Ret))
+			return fmt.Errorf("prefetched binary diverged: %d vs %d", pf.Ret, base.Ret)
 		}
-		fmt.Printf("base:       %12d cycles (%d demand-miss cycles)\n",
+		fmt.Fprintf(out, "base:       %12d cycles (%d demand-miss cycles)\n",
 			base.Stats.Cycles, base.DemandMissCycles)
-		fmt.Printf("prefetched: %12d cycles (%d demand-miss cycles, %d useful / %d late / %d dropped prefetches)\n",
+		fmt.Fprintf(out, "prefetched: %12d cycles (%d demand-miss cycles, %d useful / %d late / %d dropped prefetches)\n",
 			pf.Stats.Cycles, pf.DemandMissCycles, pf.PrefetchUseful, pf.PrefetchLate, pf.PrefetchDrops)
-		fmt.Printf("speedup:    %.3fx\n", float64(base.Stats.Cycles)/float64(pf.Stats.Cycles))
+		fmt.Fprintf(out, "speedup:    %.3fx\n", float64(base.Stats.Cycles)/float64(pf.Stats.Cycles))
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefetchc:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "prefetchc:", err)
+		}
+		os.Exit(1)
+	}
 }

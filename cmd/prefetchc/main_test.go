@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/workloads"
+)
+
+// writeWorkloadProfile collects a real profile for the workload the way
+// cmd/strideprof would, and saves it for prefetchc to consume.
+func writeWorkloadProfile(t *testing.T, name string) string {
+	t.Helper()
+	w := workloads.Get(name)
+	if w == nil {
+		t.Fatalf("unknown workload %s", name)
+	}
+	pr, err := core.ProfilePass(w, w.Train(), instrument.Options{Method: instrument.EdgeCheck}, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := pr.Profiles.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFeedbackAndSpeedup(t *testing.T) {
+	path := writeWorkloadProfile(t, "181.mcf")
+	var out strings.Builder
+	if err := run([]string{"-workload", "181.mcf", "-profile", path, "-report", "-run", "train"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"prefetches inserted", "speedup:", "base:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFeedbackErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workload", "nope"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-workload", "181.mcf", "-profile", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing profile accepted")
+	}
+	path := writeWorkloadProfile(t, "181.mcf")
+	if err := run([]string{"-workload", "181.mcf", "-profile", path, "-heuristic", "nope"}, &out); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}

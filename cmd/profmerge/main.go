@@ -10,35 +10,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stridepf/internal/profile"
 )
 
-func main() {
-	out := flag.String("o", "merged.json", "output profile path")
-	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: profmerge -o out.json in1.json [in2.json ...]")
-		os.Exit(2)
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profmerge", flag.ContinueOnError)
+	fs.SetOutput(out)
+	outF := fs.String("o", "merged.json", "output profile path")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: profmerge -o out.json in1.json [in2.json ...]")
 	}
 	var profiles []*profile.Combined
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		p, err := profile.Load(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		profiles = append(profiles, p)
 	}
 	merged := profile.Merge(profiles...)
-	if err := merged.Save(*out); err != nil {
-		fatal(err)
+	if err := merged.Save(*outF); err != nil {
+		return err
 	}
-	fmt.Printf("merged %d profiles into %s: %d edges, %d stride summaries\n",
-		len(profiles), *out, merged.Edge.Len(), merged.Stride.Len())
+	fmt.Fprintf(out, "merged %d profiles into %s: %d edges, %d stride summaries\n",
+		len(profiles), *outF, merged.Edge.Len(), merged.Stride.Len())
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "profmerge:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "profmerge:", err)
+		}
+		os.Exit(1)
+	}
 }

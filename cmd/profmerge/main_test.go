@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+// writeProfile saves a small synthetic combined profile.
+func writeProfile(t *testing.T, path string, edgeCount uint64, freq int64) {
+	t.Helper()
+	edge := profile.NewEdgeProfile()
+	edge.Set(profile.EdgeKey{Func: "main", From: 0, To: 1}, edgeCount)
+	edge.SetEntryCount("main", 1)
+	c := &profile.Combined{
+		Edge: edge,
+		Stride: profile.NewStrideProfile([]stride.Summary{{
+			Key:          machine.LoadKey{Func: "main", ID: 4},
+			TopStrides:   []lfu.Entry{{Value: 8, Freq: freq}},
+			TotalStrides: freq,
+			FineInterval: 1,
+		}}),
+	}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTwoProfiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	merged := filepath.Join(dir, "merged.json")
+	writeProfile(t, a, 100, 600)
+	writeProfile(t, b, 50, 400)
+
+	var out strings.Builder
+	if err := run([]string{"-o", merged, a, b}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "merged 2 profiles") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+
+	m, err := profile.Load(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Edge.Count(profile.EdgeKey{Func: "main", From: 0, To: 1}); got != 150 {
+		t.Errorf("merged edge count = %d, want 150", got)
+	}
+	s, ok := m.Stride.Lookup(machine.LoadKey{Func: "main", ID: 4})
+	if !ok || s.TotalStrides != 1000 || s.TopStrides[0].Freq != 1000 {
+		t.Errorf("merged summary wrong: %+v", s)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "x.json")}, &out); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run([]string{"/nonexistent/profile.json"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+}

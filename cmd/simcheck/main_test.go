@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"stridepf/internal/cache"
+)
+
+func TestRunAllPropertiesPass(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, prop := range []string{"lockstep", "neutrality", "sampling", "merge", "lfu"} {
+		if !strings.Contains(out.String(), prop) {
+			t.Errorf("output lacks %q:\n%s", prop, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("expected ok lines:\n%s", out.String())
+	}
+}
+
+func TestRunSingleProperty(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-prop", "merge", "-n", "3", "-seed", "11"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "lockstep") {
+		t.Errorf("-prop merge ran other properties:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownProperty(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-prop", "nonsense"}, &out); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+}
+
+func TestRunReportsAndReducesMutation(t *testing.T) {
+	cache.SetBrokenMRUProbe(true)
+	defer cache.SetBrokenMRUProbe(false)
+
+	var out strings.Builder
+	err := run([]string{"-prop", "lockstep", "-n", "16"}, &out)
+	if err == nil {
+		t.Fatalf("mutated simulator passed lockstep:\n%s", out.String())
+	}
+	for _, want := range []string{"FAIL", "reduced reproducer", "replay: simcheck -prop lockstep", "recent events"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("failure report lacks %q:\n%s", want, out.String())
+		}
+	}
+}

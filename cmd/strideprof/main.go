@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"stridepf/internal/core"
@@ -23,34 +24,38 @@ import (
 	"stridepf/internal/workloads"
 )
 
-func main() {
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("strideprof", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		wl     = flag.String("workload", "", "benchmark name (see -list)")
-		list   = flag.Bool("list", false, "list available benchmarks")
-		method = flag.String("method", "edge-check",
+		wl     = fs.String("workload", "", "benchmark name (see -list)")
+		list   = fs.Bool("list", false, "list available benchmarks")
+		method = fs.String("method", "edge-check",
 			"profiling method: edge-only, edge-check, block-check, naive-loop, naive-all, "+
 				"sample-edge-check, sample-naive-loop, sample-naive-all")
-		input  = flag.String("input", "train", "input data set: train or ref")
-		outF   = flag.String("o", "profile.json", "profile output path")
-		dumpIR = flag.Bool("dump-ir", false, "print the instrumented IR")
-		verb   = flag.Bool("v", false, "print profiling statistics")
+		input  = fs.String("input", "train", "input data set: train or ref")
+		outF   = fs.String("o", "profile.json", "profile output path")
+		dumpIR = fs.Bool("dump-ir", false, "print the instrumented IR")
+		verb   = fs.Bool("v", false, "print profiling statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range workloads.Names() {
 			w := workloads.Get(name)
-			fmt.Printf("%-13s %s\n", name, w.Description())
+			fmt.Fprintf(out, "%-13s %s\n", name, w.Description())
 		}
-		return
+		return nil
 	}
 	w := workloads.Get(*wl)
 	if w == nil {
-		fatal(fmt.Errorf("unknown workload %q (use -list)", *wl))
+		return fmt.Errorf("unknown workload %q (use -list)", *wl)
 	}
 	opts, err := methodOptions(*method)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var in core.Input
 	switch *input {
@@ -59,32 +64,33 @@ func main() {
 	case "ref":
 		in = w.Ref()
 	default:
-		fatal(fmt.Errorf("unknown input %q (want train or ref)", *input))
+		return fmt.Errorf("unknown input %q (want train or ref)", *input)
 	}
 
 	pr, err := core.ProfilePass(w, in, opts, machine.Config{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dumpIR {
-		fmt.Println(ir.PrintProgram(pr.Instr.Prog))
+		fmt.Fprintln(out, ir.PrintProgram(pr.Instr.Prog))
 	}
 	if err := pr.Profiles.Save(*outF); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s: %d edges, %d stride summaries\n",
+	fmt.Fprintf(out, "wrote %s: %d edges, %d stride summaries\n",
 		*outF, pr.Profiles.Edge.Len(), pr.Profiles.Stride.Len())
 	if *verb {
-		fmt.Printf("instrumented run: %d cycles, %d instructions\n",
+		fmt.Fprintf(out, "instrumented run: %d cycles, %d instructions\n",
 			pr.Stats.Stats.Cycles, pr.Stats.Stats.Instrs)
-		fmt.Printf("program load refs: %d (%.1f%% in-loop)\n", pr.ProgramLoadRefs,
+		fmt.Fprintf(out, "program load refs: %d (%.1f%% in-loop)\n", pr.ProgramLoadRefs,
 			100*float64(pr.InLoopLoadRefs)/float64(pr.ProgramLoadRefs))
 		if pr.ProgramLoadRefs > 0 {
-			fmt.Printf("strideProf processed: %d (%.1f%%), LFU: %d (%.1f%%)\n",
+			fmt.Fprintf(out, "strideProf processed: %d (%.1f%%), LFU: %d (%.1f%%)\n",
 				pr.ProcessedRefs, 100*float64(pr.ProcessedRefs)/float64(pr.ProgramLoadRefs),
 				pr.LFUCalls, 100*float64(pr.LFUCalls)/float64(pr.ProgramLoadRefs))
 		}
 	}
+	return nil
 }
 
 func methodOptions(name string) (instrument.Options, error) {
@@ -111,7 +117,11 @@ func methodOptions(name string) (instrument.Options, error) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "strideprof:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "strideprof:", err)
+		}
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stridepf/internal/profile"
+)
+
+func TestListWorkloads(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range []string{"181.mcf", "197.parser", "164.gzip"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestProfileWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.json")
+	var out strings.Builder
+	if err := run([]string{"-workload", "181.mcf", "-method", "naive-loop", "-o", path, "-v"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing wrote line:\n%s", out.String())
+	}
+	p, err := profile.Load(path)
+	if err != nil {
+		t.Fatalf("load written profile: %v", err)
+	}
+	if p.Stride.Len() == 0 || p.Edge.Len() == 0 {
+		t.Fatalf("profile is empty: %d strides, %d edges", p.Stride.Len(), p.Edge.Len())
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workload", "nope"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-workload", "181.mcf", "-method", "nope"}, &out); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-workload", "181.mcf", "-input", "nope"}, &out); err == nil {
+		t.Error("unknown input accepted")
+	}
+}

@@ -99,7 +99,7 @@ func (c *Cache) Lookup(addr uint64) bool {
 	set := c.setIndex(line)
 	base := set * c.cfg.Assoc
 	c.tick++
-	if i := base + int(c.mru[set]); c.valid[i] && c.tags[i] == line {
+	if i := base + int(c.mru[set]); c.valid[i] && (c.tags[i] == line || brokenMRUProbe) {
 		c.lastUse[i] = c.tick
 		c.Hits++
 		return true

@@ -1,5 +1,7 @@
 package cache
 
+import "sort"
+
 // HierarchyConfig describes a full memory hierarchy.
 type HierarchyConfig struct {
 	// Levels lists the cache levels from closest (L1) to farthest.
@@ -43,6 +45,11 @@ type Hierarchy struct {
 	levels []*Cache
 	tlb    *TLB
 	shift  uint
+
+	// check, when non-nil, drives a naive shadow model in lockstep with
+	// every access and panics with a *DivergenceError on the first
+	// disagreement (see shadow.go and EnableSelfCheck).
+	check *selfCheck
 
 	// inflight maps a line address (addr >> shift) to the cycle its fill
 	// into L1 completes.
@@ -104,7 +111,11 @@ func (h *Hierarchy) Load(addr uint64, now uint64) int {
 		lat = h.tlb.Access(addr)
 		h.DemandMissCycles += uint64(lat)
 	}
-	return lat + h.access(addr, now+uint64(lat))
+	lat += h.access(addr, now+uint64(lat))
+	if h.check != nil {
+		h.check.onLoad(h, addr, now, lat)
+	}
+	return lat
 }
 
 // Store performs a store; state updates mirror a write-allocate,
@@ -120,7 +131,11 @@ func (h *Hierarchy) Store(addr uint64, now uint64) int {
 	if h.cfg.StoreLatency > 0 && lat > h.cfg.StoreLatency {
 		lat = h.cfg.StoreLatency
 	}
-	return tlbLat + lat
+	lat += tlbLat
+	if h.check != nil {
+		h.check.onStore(h, addr, now, lat)
+	}
+	return lat
 }
 
 // access looks the address up level by level; on a miss it consults the
@@ -169,6 +184,11 @@ func (h *Hierarchy) access(addr uint64, now uint64) int {
 // machine charges the instruction's ordinary occupancy. Prefetches to lines
 // already in L1 or already in flight are dropped.
 func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
+	if h.check != nil {
+		// The shadow replays the whole prefetch (drop checks, overflow
+		// completion, fill-time scan) after the optimized model runs it.
+		defer h.check.onPrefetch(h, addr, now)
+	}
 	h.Prefetches++
 	// lfetch semantics: a prefetch whose translation misses the TLB is
 	// dropped rather than triggering a page walk. (The probe does not
@@ -189,7 +209,7 @@ func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
 	if len(h.inflight) >= h.cfg.MaxInFlight {
 		// MSHRs look full, but fills that have already completed free their
 		// entries (install the lines) before we give up.
-		h.CompleteInflight(now)
+		h.completeInflight(now)
 		if len(h.inflight) >= h.cfg.MaxInFlight {
 			h.PrefetchDrops++
 			return
@@ -211,11 +231,27 @@ func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
 // not depend on the call frequency because demand accesses consult the
 // table directly.
 func (h *Hierarchy) CompleteInflight(now uint64) {
+	h.completeInflight(now)
+	if h.check != nil {
+		h.check.onComplete(h, now)
+	}
+}
+
+// completeInflight installs completed fills in ascending line order. The
+// canonical order matters: each install refreshes LRU state, so iterating
+// the map directly would make eviction decisions — and therefore cycle
+// counts — depend on Go's randomized map iteration order.
+func (h *Hierarchy) completeInflight(now uint64) {
+	var done []uint64
 	for line, ready := range h.inflight {
 		if ready <= now {
-			h.fillAll(line << h.shift)
-			delete(h.inflight, line)
+			done = append(done, line)
 		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	for _, line := range done {
+		h.fillAll(line << h.shift)
+		delete(h.inflight, line)
 	}
 }
 
@@ -251,4 +287,7 @@ func (h *Hierarchy) Reset() {
 	h.Loads, h.Stores, h.Prefetches = 0, 0, 0
 	h.PrefetchDrops, h.PrefetchLate, h.PrefetchUseful = 0, 0, 0
 	h.DemandMissCycles = 0
+	if h.check != nil {
+		h.check.shadow.reset()
+	}
 }

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream drives a pseudo-random mix of loads, stores, prefetches and
+// completion ticks through h. The address pool mixes tight spatial reuse
+// (exercising the MRU probe) with set-aliasing conflict misses.
+func stream(h *Hierarchy, seed uint64, n int) {
+	rng := seed
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		var addr uint64
+		switch next() % 3 {
+		case 0: // hot line, immediate reuse
+			addr = 0x1000_0000 + next()%256
+		case 1: // strided walk
+			addr = 0x2000_0000 + uint64(i%512)*64
+		default: // L1-aliasing addresses (16 KB apart)
+			addr = 0x1000_0000 + (next()%8)*16*1024
+		}
+		switch next() % 8 {
+		case 0:
+			now += uint64(h.Store(addr, now))
+		case 1:
+			h.Prefetch(addr, now)
+			now += 2
+		case 2:
+			h.CompleteInflight(now)
+			now += uint64(next() % 64)
+		default:
+			now += uint64(h.Load(addr, now))
+		}
+	}
+	h.CompleteInflight(now + 1000)
+}
+
+func TestShadowAgreesOnRandomStream(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	h.EnableSelfCheck()
+	if !h.SelfChecked() {
+		t.Fatal("EnableSelfCheck did not attach")
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		stream(h, seed, 20000)
+		h.Reset()
+	}
+}
+
+func TestShadowAgreesWithoutTLB(t *testing.T) {
+	cfg := ItaniumConfig()
+	cfg.TLB = nil
+	h := NewHierarchy(cfg)
+	h.EnableSelfCheck()
+	stream(h, 42, 20000)
+}
+
+func TestShadowCatchesBrokenMRUProbe(t *testing.T) {
+	SetBrokenMRUProbe(true)
+	defer SetBrokenMRUProbe(false)
+
+	h := NewHierarchy(ItaniumConfig())
+	h.EnableSelfCheck()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("broken MRU probe did not diverge from the shadow")
+		}
+		d, ok := r.(*DivergenceError)
+		if !ok {
+			panic(r)
+		}
+		msg := d.Error()
+		for _, want := range []string{"divergence", "recent events", "addr="} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report lacks %q:\n%s", want, msg)
+			}
+		}
+		if len(d.Events) == 0 {
+			t.Error("divergence carries no event trace")
+		}
+	}()
+	stream(h, 1, 20000)
+}
+
+// TestShadowCountersMirrorOptimized spot-checks that after a clean stream
+// the optimized counters carry plausible values — i.e. the lockstep check
+// compared real traffic, not two idle models.
+func TestShadowCountersMirrorOptimized(t *testing.T) {
+	h := NewHierarchy(ItaniumConfig())
+	h.EnableSelfCheck()
+	stream(h, 7, 20000)
+	if h.Loads == 0 || h.Stores == 0 || h.Prefetches == 0 {
+		t.Fatalf("stream left counters empty: loads=%d stores=%d prefetches=%d",
+			h.Loads, h.Stores, h.Prefetches)
+	}
+	if h.Level(0).Hits == 0 || h.Level(0).Misses == 0 {
+		t.Fatalf("stream produced no L1 traffic: hits=%d misses=%d",
+			h.Level(0).Hits, h.Level(0).Misses)
+	}
+}

@@ -1,0 +1,15 @@
+package cache
+
+// brokenMRUProbe, when set, makes Lookup's MRU fast path claim a hit on any
+// valid MRU way without comparing its tag — a realistic fast-path bug
+// (stale-hint trust) used to prove that the shadow-model self-check has
+// teeth. It is off in all production paths and only toggled by tests via
+// SetBrokenMRUProbe.
+var brokenMRUProbe bool
+
+// SetBrokenMRUProbe enables or disables the deliberately buggy MRU fast
+// path. FOR TESTS ONLY: the mutation smoke test turns it on to assert that
+// self-checked runs report a divergence, then restores it. Callers must not
+// run self-checked machines concurrently while the bug is enabled, as the
+// flag is process-global.
+func SetBrokenMRUProbe(broken bool) { brokenMRUProbe = broken }

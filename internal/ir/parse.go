@@ -440,6 +440,9 @@ func parseMemInstr(in *Instr, mnem, rest, raw string) (*Instr, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%v (in %q)", err, raw)
 		}
+		if in.Op != OpPrefetch && !in.Dst.Valid() {
+			return nil, fmt.Errorf("%s requires a destination (in %q)", in.Op, raw)
+		}
 		in.Src[0] = base
 		in.Imm = disp
 		return in, nil

@@ -119,6 +119,11 @@ func TestParseRejectsGarbage(t *testing.T) {
 		"func f() regs=2 {\nentry0:\n\tbogus r1\n}",
 		"func f() regs=2 {\nentry0:\n\tbr missing\n}",
 		"func f() regs=2 {\n\tret\n}", // instruction before label
+		// Loads must have a destination; a dst-less load used to parse into
+		// Dst=NoReg, which reprints as "_ = load ..." and breaks round trips
+		// (found by FuzzParseProgram).
+		"func f() regs=2 {\nentry0:\n\tload [r0+0]\n\tret\n}",
+		"func f() regs=2 {\nentry0:\n\tspecload [r0+0]\n\tret\n}",
 	}
 	for _, src := range cases {
 		if _, err := ParseProgram(src); err == nil {

@@ -52,6 +52,20 @@ type Config struct {
 	// HWPrefetch, when non-nil, observes every demand load (a hardware
 	// prefetcher model such as hwpf.RPT).
 	HWPrefetch HWPrefetcher
+	// SelfCheck runs naive shadow models of the cache hierarchy and the
+	// flat memory in lockstep with the optimized ones, cross-checking every
+	// access (latency, hit/miss counters, loaded values, page mapping). On
+	// the first mismatch Run returns an error wrapping the model's
+	// *cache.DivergenceError or *mem.DivergenceError, which carries the
+	// recent event trace. Self-checked runs are slower but semantically
+	// identical to unchecked ones.
+	SelfCheck bool
+	// DisablePrefetch makes OpPrefetch instructions architectural no-ops:
+	// they still occupy their issue slot and count in Stats.PrefetchRefs,
+	// but never reach the cache hierarchy. Differential checkers use it to
+	// assert prefetch neutrality (prefetches may change only cycle counts,
+	// never register or memory state).
+	DisablePrefetch bool
 	// Trace, when non-nil, receives one line per executed instruction:
 	// "cycle function/block instruction". Tracing is for debugging small
 	// programs — it slows execution dramatically.
@@ -166,6 +180,8 @@ type Machine struct {
 	// fast selects the specialized step loop with no tracing and no hardware
 	// prefetcher observation.
 	fast bool
+	// noPf caches Config.DisablePrefetch for the step loops.
+	noPf bool
 
 	cycles uint64
 	stats  Stats
@@ -198,6 +214,13 @@ func New(prog *ir.Program, cfg Config) (*Machine, error) {
 		hooksDirty: true,
 		Hier:       cache.NewHierarchy(cfg.Hierarchy),
 		rng:        cfg.Seed,
+		noPf:       cfg.DisablePrefetch,
+	}
+	if cfg.SelfCheck {
+		// Attach the shadows before any memory is touched (the heap and the
+		// workload setup write through m.Mem).
+		m.Mem.EnableSelfCheck()
+		m.Hier.EnableSelfCheck()
 	}
 	m.Heap = mem.NewHeap(m.Mem, cfg.HeapBase, cfg.HeapSize)
 	for name, f := range prog.Funcs {
@@ -347,7 +370,12 @@ func (m *Machine) LoadCounts() map[LoadKey]uint64 {
 // return value. Hooks referenced by the program must all be registered by
 // this point: Run fails immediately — before simulating a single
 // instruction — if any OpHook site names an unregistered hook ID.
-func (m *Machine) Run() (int64, error) {
+//
+// Under Config.SelfCheck a shadow-model divergence aborts the run: the
+// models panic with a typed divergence value, which Run converts into the
+// returned error (use errors.As with *cache.DivergenceError or
+// *mem.DivergenceError to inspect the event trace).
+func (m *Machine) Run() (ret int64, err error) {
 	entry := m.codes[m.prog.Main]
 	if entry == nil {
 		return 0, fmt.Errorf("machine: entry function %q missing", m.prog.Main)
@@ -356,6 +384,19 @@ func (m *Machine) Run() (int64, error) {
 		if err := m.resolveHooks(); err != nil {
 			return 0, err
 		}
+	}
+	if m.cfg.SelfCheck {
+		defer func() {
+			switch d := recover().(type) {
+			case nil:
+			case *cache.DivergenceError:
+				ret, err = 0, fmt.Errorf("machine: self-check at cycle %d: %w", m.cycles, d)
+			case *mem.DivergenceError:
+				ret, err = 0, fmt.Errorf("machine: self-check at cycle %d: %w", m.cycles, d)
+			default:
+				panic(d)
+			}
+		}()
 	}
 	m.fast = m.cfg.Trace == nil && m.cfg.HWPrefetch == nil
 	return m.call(entry, nil, 0)
@@ -541,7 +582,7 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 			m.stats.PrefetchRefs++
 			// Non-faulting: wild addresses are ignored rather than fetched,
 			// mirroring lfetch semantics on unmapped pages.
-			if m.Mem.Mapped(addr) {
+			if !m.noPf && m.Mem.Mapped(addr) {
 				m.Hier.Prefetch(addr, m.cycles)
 			}
 
@@ -707,7 +748,7 @@ func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
 		case ir.OpPrefetch:
 			addr := uint64(regs[d.s0] + d.imm)
 			m.stats.PrefetchRefs++
-			if m.Mem.Mapped(addr) {
+			if !m.noPf && m.Mem.Mapped(addr) {
 				m.Hier.Prefetch(addr, m.cycles)
 			}
 

@@ -30,6 +30,10 @@ type Memory struct {
 	pages    map[uint64]*page
 	lastKey  uint64
 	lastPage *page
+
+	// shadow, when non-nil, is the naive reference model every access is
+	// replayed against (see shadow.go and EnableSelfCheck).
+	shadow *shadowMem
 }
 
 // NewMemory returns an empty memory.
@@ -40,15 +44,18 @@ func NewMemory() *Memory {
 // Load returns the word at addr. Unmapped memory reads as zero.
 func (m *Memory) Load(addr uint64) int64 {
 	key := addr >> pageShift
+	var v int64
 	p := m.lastPage
-	if p == nil || m.lastKey != key {
-		p = m.pages[key]
-		if p == nil {
-			return 0
-		}
+	if p != nil && m.lastKey == key {
+		v = p[(addr&pageMask)>>3]
+	} else if p = m.pages[key]; p != nil {
 		m.lastKey, m.lastPage = key, p
+		v = p[(addr&pageMask)>>3]
 	}
-	return p[(addr&pageMask)>>3]
+	if m.shadow != nil {
+		m.shadow.checkLoad(addr, v)
+	}
+	return v
 }
 
 // Store writes the word at addr, mapping the page on demand.
@@ -64,6 +71,9 @@ func (m *Memory) Store(addr uint64, v int64) {
 		m.lastKey, m.lastPage = key, p
 	}
 	p[(addr&pageMask)>>3] = v
+	if m.shadow != nil {
+		m.shadow.checkStore(addr, v)
+	}
 }
 
 // Mapped reports whether the page containing addr has been touched. The
@@ -71,6 +81,9 @@ func (m *Memory) Store(addr uint64, v int64) {
 // non-faulting).
 func (m *Memory) Mapped(addr uint64) bool {
 	_, ok := m.pages[addr>>pageShift]
+	if m.shadow != nil {
+		m.shadow.checkMapped(addr, ok)
+	}
 	return ok
 }
 

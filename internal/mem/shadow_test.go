@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemShadowAgreesOnRandomAccesses(t *testing.T) {
+	m := NewMemory()
+	m.EnableSelfCheck()
+	if !m.SelfChecked() {
+		t.Fatal("EnableSelfCheck did not attach")
+	}
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	// Alternate between few pages (exercising the last-page cache) and a
+	// wide range (exercising cache invalidation on page switch).
+	for i := 0; i < 50000; i++ {
+		var addr uint64
+		if next()%4 != 0 {
+			addr = 0x1000_0000 + next()%4096
+		} else {
+			addr = 0x1000_0000 + (next()%64)*(1<<15) + next()%256
+		}
+		switch next() % 3 {
+		case 0:
+			m.Store(addr, int64(next()))
+		case 1:
+			m.Load(addr)
+		default:
+			m.Mapped(addr)
+		}
+	}
+}
+
+func TestMemShadowEnableOnNonEmptyPanics(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x1000, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("EnableSelfCheck on non-empty memory did not panic")
+		}
+		if !strings.Contains(r.(string), "non-empty") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m.EnableSelfCheck()
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.Store(0x1000, 7)
+	b.Store(0x1000, 7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical memories fingerprint differently")
+	}
+	b.Store(0x1008, 1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing memories share a fingerprint")
+	}
+	// Insertion order must not matter.
+	c, d := NewMemory(), NewMemory()
+	c.Store(0x1000, 1)
+	c.Store(0x9000_0000, 2)
+	d.Store(0x9000_0000, 2)
+	d.Store(0x1000, 1)
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Fatal("fingerprint depends on page insertion order")
+	}
+	if NewMemory().Fingerprint() == a.Fingerprint() {
+		t.Fatal("empty memory collides with non-empty")
+	}
+}

@@ -1,0 +1,148 @@
+// Regular-stride kernel workloads for the metamorphic sampling checks.
+//
+// The paper's sampling argument (Section 3.3) is that fine and chunk
+// sampling preserve the classification of loads whose stride behaviour is
+// regular: a strong pattern looks the same through any uniform subsample.
+// The Kernel workload makes that premise true by construction — every load
+// walks an array with one fixed stride for thousands of iterations — so the
+// sampling-invariance property can be checked exactly: full profiling and
+// every sampled configuration must classify the identical SSST set with
+// identical de-scaled strides.
+package simcheck
+
+import (
+	"fmt"
+
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// kernelBase is where kernel arrays live; one loop per 4 MB region so the
+// arrays never overlap regardless of stride and trip draws.
+const kernelBase uint64 = 0x3000_0000
+
+const kernelRegion uint64 = 4 << 20
+
+// kernelStrides is the pool of strides a kernel loop can draw from. All are
+// non-zero multiples of the word size, so each loop is a textbook
+// strong-single-stride load.
+var kernelStrides = []int64{8, 16, 24, 32, 64, 128, 256}
+
+// kernelLoop is one strided loop of a kernel.
+type kernelLoop struct {
+	// Stride is the byte stride between successive loads.
+	Stride int64
+	// Trip is the iteration count; always above the classifier's frequency
+	// (2000) and trip (128) thresholds so no loop is filtered out.
+	Trip int64
+	// Base is the array's first element address.
+	Base uint64
+}
+
+// Kernel is a deterministic regular-stride workload: a sequence of loops,
+// each streaming over its own array with one fixed stride and accumulating
+// a checksum. It implements core.Workload so it runs through the same
+// ProfilePass pipeline as the benchmark workloads.
+type Kernel struct {
+	seed  uint64
+	loops []kernelLoop
+	prog  *ir.Program
+}
+
+// NewKernel derives a kernel from the seed: 2-4 loops with strides from
+// kernelStrides and trips in [3000, 5000).
+func NewKernel(seed uint64) *Kernel {
+	rng := seed
+	if rng == 0 {
+		rng = 0x9E3779B97F4A7C15
+	}
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	k := &Kernel{seed: seed}
+	n := 2 + int(next()%3)
+	for j := 0; j < n; j++ {
+		k.loops = append(k.loops, kernelLoop{
+			Stride: kernelStrides[next()%uint64(len(kernelStrides))],
+			Trip:   3000 + int64(next()%2000),
+			Base:   kernelBase + uint64(j)*kernelRegion,
+		})
+	}
+	return k
+}
+
+// Name returns a seed-derived name.
+func (k *Kernel) Name() string { return fmt.Sprintf("kernel-%x", k.seed) }
+
+// Description summarises the loop structure.
+func (k *Kernel) Description() string {
+	return fmt.Sprintf("regular-stride checker kernel (%d loops)", len(k.loops))
+}
+
+// Loops returns the kernel's loop parameters (for tests and reports).
+func (k *Kernel) Loops() []kernelLoop { return k.loops }
+
+// Program builds (once) the kernel IR: one counted loop per kernelLoop,
+// each loading through a pointer bumped by the loop's stride.
+func (k *Kernel) Program() *ir.Program {
+	if k.prog != nil {
+		return k.prog
+	}
+	b := ir.NewBuilder("main")
+	sum := b.F.NewReg()
+	b.MovConst(sum, 0)
+	for _, lp := range k.loops {
+		p := b.F.NewReg()
+		b.MovConst(p, int64(lp.Base))
+		i := b.F.NewReg()
+		b.MovConst(i, 0)
+		trip := b.Const(lp.Trip)
+
+		head := b.Block("head")
+		body := b.Block("body")
+		exit := b.Block("exit")
+		b.Br(head)
+
+		b.At(head)
+		b.CondBr(b.CmpLT(i, trip), body, exit)
+
+		b.At(body)
+		v := b.Load(p, 0).Dst
+		b.Mov(sum, b.Add(sum, v))
+		b.AddITo(p, p, lp.Stride)
+		b.AddITo(i, i, 1)
+		b.Br(head)
+
+		b.At(exit)
+	}
+	b.Ret(sum)
+
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+	k.prog = prog
+	return prog
+}
+
+// Setup fills each loop's array with seed-derived values so the checksum is
+// input-dependent.
+func (k *Kernel) Setup(m *machine.Machine, in core.Input) {
+	rng := k.seed ^ in.Seed ^ 0xD1B54A32D192ED03
+	for _, lp := range k.loops {
+		for t := int64(0); t < lp.Trip; t++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			m.Mem.Store(lp.Base+uint64(t*lp.Stride), int64(rng%1024))
+		}
+	}
+}
+
+// Train returns the training input.
+func (k *Kernel) Train() core.Input { return core.Input{Name: "train", Scale: 1, Seed: k.seed} }
+
+// Ref returns the reference input.
+func (k *Kernel) Ref() core.Input { return core.Input{Name: "ref", Scale: 1, Seed: k.seed ^ 0xABCD} }

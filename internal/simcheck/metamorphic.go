@@ -1,0 +1,377 @@
+// Metamorphic properties: relations that must hold between runs of the
+// profiling pipeline under input transformations with a known effect.
+//
+//   - Sampling invariance (the premise of the paper's Section 3.3): on
+//     regular-stride kernels, fine sampling, chunk sampling and their
+//     combination must classify exactly the loads full profiling
+//     classifies, with the same class and the same de-scaled stride.
+//   - Merge algebra: combining training-run profiles (package profile) is
+//     commutative, and associative in the exact regime — at most four
+//     distinct strides per load (no top-4 truncation loss) and no
+//     reference-distance means (no floating-point reassociation).
+//   - LFU vs exact: the bounded two-buffer LFU profiler must agree with a
+//     brute-force exact counter — completely while distinct values fit its
+//     final buffer, and on the dominant value even on skewed overflowing
+//     streams.
+package simcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+// xrng is the xorshift generator the checkers draw from, seeded per check
+// so every property run is reproducible from its seed alone.
+type xrng uint64
+
+func newRng(seed uint64) *xrng {
+	if seed == 0 {
+		seed = 0x243F6A8885A308D3
+	}
+	r := xrng(seed)
+	return &r
+}
+
+func (r *xrng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = xrng(x)
+	return x
+}
+
+func (r *xrng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// classOutcome is the classification facet that must be sampling-invariant.
+type classOutcome struct {
+	Class  prefetch.Class
+	Stride int64
+}
+
+// classifyRun classifies every profiled load of a ProfilePass outcome the
+// way the feedback pass would, keyed by load.
+func classifyRun(pr *core.ProfileRun) map[machine.LoadKey]classOutcome {
+	out := make(map[machine.LoadKey]classOutcome)
+	th := prefetch.DefaultThresholds()
+	for _, pl := range pr.Instr.Profiled {
+		sum, ok := pr.Profiles.Stride.Lookup(pl.Key)
+		if !ok {
+			continue
+		}
+		freq := pr.Stats.LoadCounts[pl.Key]
+		// Kernel loops run exactly once, so a load's trip count equals its
+		// dynamic frequency.
+		cls := prefetch.Classify(sum, freq, float64(freq), true, th)
+		out[pl.Key] = classOutcome{Class: cls.Class, Stride: cls.Stride}
+	}
+	return out
+}
+
+// CheckSamplingInvariance profiles a regular-stride kernel (NewKernel) in
+// full, fine-sampled, chunk-sampled and combined configurations and
+// requires identical classification outcomes — and, for the full run,
+// agreement with the kernel's ground truth: every loop load is SSST with
+// its configured stride.
+func CheckSamplingInvariance(seed uint64) error {
+	k := NewKernel(seed)
+	configs := []struct {
+		name string
+		sc   stride.Config
+	}{
+		{"full", stride.Config{}},
+		{"fine", stride.Config{FineInterval: 4}},
+		{"chunk", stride.Config{ChunkSkip: 1200, ChunkProfile: 300}},
+		{"sampled", stride.Config{FineInterval: 4, ChunkSkip: 1200, ChunkProfile: 300}},
+	}
+
+	var ref map[machine.LoadKey]classOutcome
+	var refRet int64
+	for i, c := range configs {
+		pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+			Method: instrument.NaiveLoop,
+			Stride: c.sc,
+		}, machine.Config{})
+		if err != nil {
+			return fmt.Errorf("%s profiling run: %w", c.name, err)
+		}
+		got := classifyRun(pr)
+		if i == 0 {
+			ref, refRet = got, pr.Stats.Ret
+			if err := checkKernelGroundTruth(k, got); err != nil {
+				return fmt.Errorf("full profiling vs ground truth: %w", err)
+			}
+			continue
+		}
+		if pr.Stats.Ret != refRet {
+			return fmt.Errorf("%s run changed checksum: %d, full run %d", c.name, pr.Stats.Ret, refRet)
+		}
+		if len(got) != len(ref) {
+			return fmt.Errorf("%s classified %d loads, full classified %d", c.name, len(got), len(ref))
+		}
+		for key, want := range ref {
+			if have, ok := got[key]; !ok || have != want {
+				return fmt.Errorf("%s disagrees on %s#%d: %v/%d, full %v/%d",
+					c.name, key.Func, key.ID, have.Class, have.Stride, want.Class, want.Stride)
+			}
+		}
+	}
+	return nil
+}
+
+// checkKernelGroundTruth verifies that classification found exactly the
+// kernel's loops: one SSST load per loop, and the multiset of classified
+// strides equal to the multiset of configured strides.
+func checkKernelGroundTruth(k *Kernel, got map[machine.LoadKey]classOutcome) error {
+	if len(got) != len(k.Loops()) {
+		return fmt.Errorf("classified %d loads, kernel has %d loops", len(got), len(k.Loops()))
+	}
+	want := make(map[int64]int)
+	for _, lp := range k.Loops() {
+		want[lp.Stride]++
+	}
+	for key, out := range got {
+		if out.Class != prefetch.SSST {
+			return fmt.Errorf("load %s#%d classified %v, want SSST", key.Func, key.ID, out.Class)
+		}
+		if want[out.Stride] == 0 {
+			return fmt.Errorf("load %s#%d classified with stride %d, not a kernel stride", key.Func, key.ID, out.Stride)
+		}
+		want[out.Stride]--
+	}
+	return nil
+}
+
+// profileFingerprint returns the canonical serialised form of a combined
+// profile; Write sorts edges and summaries and encodes maps with sorted
+// keys, so equal profiles serialise identically.
+func profileFingerprint(c *profile.Combined) (string, error) {
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// syntheticProfile builds a random but well-formed combined profile. All
+// stride summaries draw from the shared pool (at most 4 distinct strides,
+// so merging never truncates the top-4 list) and share fineInterval. When
+// exact is set, reference-distance means are zero so merged summaries stay
+// float-exact.
+func syntheticProfile(rng *xrng, keys []machine.LoadKey, pool []int64, fineInterval int, exact bool) *profile.Combined {
+	edge := profile.NewEdgeProfile()
+	fns := []string{"main", "helper0"}
+	for _, fn := range fns {
+		edge.SetEntryCount(fn, uint64(1+rng.intn(1000)))
+		n := 1 + rng.intn(4)
+		for e := 0; e < n; e++ {
+			edge.Set(profile.EdgeKey{Func: fn, From: rng.intn(6), To: rng.intn(6)},
+				uint64(rng.intn(100000)))
+		}
+	}
+
+	var sums []stride.Summary
+	for _, key := range keys {
+		if rng.intn(4) == 0 {
+			continue // not every run profiles every load
+		}
+		var tops []lfu.Entry
+		total := int64(0)
+		for _, s := range pool {
+			if rng.intn(2) == 0 {
+				continue
+			}
+			f := int64(1 + rng.intn(10000))
+			tops = append(tops, lfu.Entry{Value: s, Freq: f})
+			total += f
+		}
+		sortEntries(tops)
+		zero := int64(rng.intn(500))
+		dist := 0.0
+		if !exact {
+			dist = float64(rng.intn(1000)) / 8
+		}
+		sums = append(sums, stride.Summary{
+			Key:            key,
+			TopStrides:     tops,
+			TotalStrides:   total + zero,
+			ZeroStrides:    zero,
+			ZeroDiffs:      int64(rng.intn(2000)),
+			FineInterval:   fineInterval,
+			AvgRefDistance: dist,
+		})
+	}
+	return &profile.Combined{Edge: edge, Stride: profile.NewStrideProfile(sums)}
+}
+
+// sortEntries orders entries the way profiles do: frequency descending,
+// value ascending.
+func sortEntries(es []lfu.Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j-1], es[j]
+			if a.Freq > b.Freq || (a.Freq == b.Freq && a.Value < b.Value) {
+				break
+			}
+			es[j-1], es[j] = b, a
+		}
+	}
+}
+
+// mergeFixture generates the shared ingredients of the merge checks.
+func mergeFixture(seed uint64, exact bool) []*profile.Combined {
+	rng := newRng(seed)
+	keys := []machine.LoadKey{
+		{Func: "main", ID: 3}, {Func: "main", ID: 9}, {Func: "main", ID: 17},
+		{Func: "helper0", ID: 2}, {Func: "helper0", ID: 11},
+	}
+	// At most 4 distinct strides across all profiles of one fixture.
+	allStrides := []int64{8, 16, 24, 32, 64, 128, -8, 48}
+	var pool []int64
+	for len(pool) < 4 {
+		s := allStrides[rng.intn(len(allStrides))]
+		dup := false
+		for _, p := range pool {
+			dup = dup || p == s
+		}
+		if !dup {
+			pool = append(pool, s)
+		}
+	}
+	fine := 1 + 3*rng.intn(2) // 1 or 4, identical across the fixture
+	out := make([]*profile.Combined, 3)
+	for i := range out {
+		out[i] = syntheticProfile(rng, keys, pool, fine, exact)
+	}
+	return out
+}
+
+// CheckMergeCommutative asserts Merge(a, b) == Merge(b, a) on synthetic
+// profiles (including nonzero reference-distance means, whose weighted
+// combination is symmetric).
+func CheckMergeCommutative(seed uint64) error {
+	ps := mergeFixture(seed, false)
+	a, b := ps[0], ps[1]
+	ab, err := profileFingerprint(profile.Merge(a, b))
+	if err != nil {
+		return err
+	}
+	ba, err := profileFingerprint(profile.Merge(b, a))
+	if err != nil {
+		return err
+	}
+	if ab != ba {
+		return fmt.Errorf("merge not commutative:\nmerge(a,b):\n%s\nmerge(b,a):\n%s", ab, ba)
+	}
+	return nil
+}
+
+// CheckMergeAssociative asserts Merge(Merge(a,b),c) == Merge(a,Merge(b,c))
+// == Merge(a,b,c) in the exact regime: shared ≤4-stride pool (the top-4
+// truncation never loses entries) and zero reference-distance means (no
+// floating-point reassociation error).
+func CheckMergeAssociative(seed uint64) error {
+	ps := mergeFixture(seed, true)
+	a, b, c := ps[0], ps[1], ps[2]
+	left, err := profileFingerprint(profile.Merge(profile.Merge(a, b), c))
+	if err != nil {
+		return err
+	}
+	right, err := profileFingerprint(profile.Merge(a, profile.Merge(b, c)))
+	if err != nil {
+		return err
+	}
+	flat, err := profileFingerprint(profile.Merge(a, b, c))
+	if err != nil {
+		return err
+	}
+	if left != right {
+		return fmt.Errorf("merge not associative:\nmerge(merge(a,b),c):\n%s\nmerge(a,merge(b,c)):\n%s", left, right)
+	}
+	if left != flat {
+		return fmt.Errorf("variadic merge disagrees with pairwise:\npairwise:\n%s\nvariadic:\n%s", left, flat)
+	}
+	return nil
+}
+
+// CheckLFUExact compares the bounded LFU profiler against the brute-force
+// exact counter in two regimes: full agreement of the top-4 entries while
+// distinct values fit the final buffer, and dominant-value agreement on a
+// skewed stream with more distinct values than the profiler can hold.
+func CheckLFUExact(seed uint64) error {
+	rng := newRng(seed)
+
+	// Exact regime: at most FinalSize distinct values — neither the temp
+	// buffer (16) nor the final buffer (8) ever evicts, so every frequency
+	// is exact and Top(4) must match entry-for-entry.
+	distinct := 3 + rng.intn(6)
+	values := make([]int64, 0, distinct)
+	for len(values) < distinct {
+		v := int64(rng.intn(4096))*8 - 8192
+		dup := false
+		for _, u := range values {
+			dup = dup || u == v
+		}
+		if !dup {
+			values = append(values, v)
+		}
+	}
+	p := lfu.New(lfu.Config{})
+	e := lfu.NewExact(lfu.Config{})
+	n := 5000 + rng.intn(5000)
+	for i := 0; i < n; i++ {
+		v := values[rng.intn(len(values))]
+		p.Add(v)
+		e.Add(v)
+	}
+	got, want := p.Top(4), e.Top(4)
+	if len(got) != len(want) {
+		return fmt.Errorf("exact regime: lfu Top(4) has %d entries, exact has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("exact regime: Top(4)[%d]: lfu {%d,%d}, exact {%d,%d}",
+				i, got[i].Value, got[i].Freq, want[i].Value, want[i].Freq)
+		}
+	}
+
+	// Skewed regime: 20 distinct values, one drawn half the time. The LFU
+	// buffers overflow and may undercount the tail, but the dominant value
+	// must survive every merge and rank first.
+	wide := make([]int64, 20)
+	for i := range wide {
+		wide[i] = int64(i+1) * 8
+	}
+	dom := wide[rng.intn(len(wide))]
+	p2 := lfu.New(lfu.Config{})
+	e2 := lfu.NewExact(lfu.Config{})
+	for i := 0; i < 20000; i++ {
+		v := dom
+		if rng.intn(2) == 0 {
+			v = wide[rng.intn(len(wide))]
+		}
+		p2.Add(v)
+		e2.Add(v)
+	}
+	gt, wt := p2.Top(1), e2.Top(1)
+	if len(gt) != 1 || len(wt) != 1 || gt[0].Value != wt[0].Value {
+		return fmt.Errorf("skewed regime: lfu top value %v, exact top value %v", gt, wt)
+	}
+	if wt[0].Value != dom {
+		return fmt.Errorf("skewed regime: exact top value %d, dominant was %d", wt[0].Value, dom)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Failing-seed search and reduction. Generated-program checks are
+// deterministic functions of (seed, irgen.Config), so a failure is fully
+// described by that pair; the reducer greedily shrinks the generator bounds
+// while the property keeps failing, yielding the smallest program the bug
+// still reproduces on — usually a couple of blocks instead of hundreds.
+package simcheck
+
+import (
+	"fmt"
+
+	"stridepf/internal/irgen"
+)
+
+// Property is a deterministic check over a generated program. A nil error
+// means the property held for that (seed, config) pair.
+type Property func(seed uint64, cfg irgen.Config) error
+
+// Failure is one reproducible property violation.
+type Failure struct {
+	// Name is the failing property's name (as given to FindFailure).
+	Name string
+	// Seed and Cfg replay the failure.
+	Seed uint64
+	Cfg  irgen.Config
+	// Err is the property's report.
+	Err error
+}
+
+// Replay returns the simcheck command line that reproduces the failure.
+func (f *Failure) Replay() string {
+	return fmt.Sprintf("simcheck -prop %s -seed %d -n 1 -funcs %d -blocks %d -trip %d -depth %d",
+		f.Name, f.Seed, f.Cfg.MaxFuncs, f.Cfg.MaxBlocks, f.Cfg.MaxLoopTrip, f.Cfg.MaxDepth)
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("%s failed at seed=%d cfg={funcs:%d blocks:%d trip:%d depth:%d}:\n%v\nreplay: %s",
+		f.Name, f.Seed, f.Cfg.MaxFuncs, f.Cfg.MaxBlocks, f.Cfg.MaxLoopTrip, f.Cfg.MaxDepth,
+		f.Err, f.Replay())
+}
+
+// fillCfg mirrors irgen's defaults so the reducer shrinks from explicit
+// values (a zero field would be re-inflated by the generator).
+func fillCfg(cfg irgen.Config) irgen.Config {
+	if cfg.MaxFuncs == 0 {
+		cfg.MaxFuncs = 2
+	}
+	if cfg.MaxBlocks == 0 {
+		cfg.MaxBlocks = 6
+	}
+	if cfg.MaxLoopTrip == 0 {
+		cfg.MaxLoopTrip = 50
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 2
+	}
+	return cfg
+}
+
+// FindFailure runs prop on n consecutive seeds starting at startSeed and
+// returns the first failure, or nil when every seed passes.
+func FindFailure(name string, prop Property, startSeed uint64, n int, cfg irgen.Config) *Failure {
+	cfg = fillCfg(cfg)
+	for i := 0; i < n; i++ {
+		seed := startSeed + uint64(i)
+		if err := prop(seed, cfg); err != nil {
+			return &Failure{Name: name, Seed: seed, Cfg: cfg, Err: err}
+		}
+	}
+	return nil
+}
+
+// Reduce greedily shrinks the failure's generator config: each bound is
+// repeatedly lowered (to 1, half, or one less) as long as the property
+// still fails, until no single-field shrink reproduces. The seed is kept —
+// generation is deterministic, so the reduced pair replays the same
+// minimal program every time.
+func Reduce(prop Property, f *Failure) *Failure {
+	cfg := fillCfg(f.Cfg)
+	err := f.Err
+	fields := []*int{&cfg.MaxFuncs, &cfg.MaxBlocks, &cfg.MaxLoopTrip, &cfg.MaxDepth}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range fields {
+			for _, cand := range []int{1, *p / 2, *p - 1} {
+				if cand < 1 || cand >= *p {
+					continue
+				}
+				old := *p
+				*p = cand
+				if e := prop(f.Seed, cfg); e != nil {
+					err = e
+					changed = true
+					break
+				}
+				*p = old
+			}
+		}
+	}
+	return &Failure{Name: f.Name, Seed: f.Seed, Cfg: cfg, Err: err}
+}
