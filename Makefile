@@ -11,7 +11,7 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race fuzz-smoke simcheck \
-	bench bench-json figures clean
+	bench bench-json figures metrics clean
 
 check: vet build test race
 
@@ -61,6 +61,13 @@ bench-json:
 # Regenerate all paper figures (parallel across GOMAXPROCS workers).
 figures:
 	$(GO) run ./cmd/experiments -figure all
+
+# Figure 16 with the prefetch-effectiveness observer on: per-class
+# accuracy/coverage/timeliness JSON plus the sampled event trace
+# (EXPERIMENTS.md, "Prefetch-effectiveness metrics").
+metrics:
+	$(GO) run ./cmd/experiments -figure 16 -metrics metrics.json \
+		-trace trace.jsonl -trace-sample 64
 
 clean:
 	$(GO) clean ./...

@@ -5,12 +5,24 @@
 //
 //	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25]
 //	            [-j N] [-o out.txt] [-selfcheck]
+//	            [-metrics metrics.json]
+//	            [-trace trace.jsonl] [-trace-sample N] [-trace-max N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -selfcheck runs every simulation with the naive shadow models of the
 // cache hierarchy and flat memory attached (see internal/simcheck and
 // DESIGN.md): each access is cross-checked event-by-event, and the first
 // divergence aborts the run with an event-trace report.
+//
+// -metrics writes one prefetch-effectiveness report per prefetched
+// measurement cell — accuracy, coverage and timeliness per prefetch class
+// (SSST/PMST/WSST/indirect/hwpf), with every issued prefetch reconciled
+// into exactly one outcome (useful, late, evicted-unused, resident-unused,
+// still-in-flight) plus redundant/dropped issue-side counts and harmful
+// evictions — as indented JSON (see internal/obs and EXPERIMENTS.md).
+// -trace streams the underlying per-event JSONL, optionally sampled
+// (-trace-sample) and bounded (-trace-max). Both are passive: tables are
+// byte-identical with and without them.
 //
 // Without flags it runs every figure on all twelve benchmarks. The
 // independent (workload, method, input) simulation cells are precomputed on
@@ -20,6 +32,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +42,7 @@ import (
 	"strings"
 
 	"stridepf/internal/experiments"
+	"stridepf/internal/obs"
 )
 
 func main() {
@@ -39,6 +53,10 @@ func main() {
 		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text (single figures only)")
 		jFlag         = flag.Int("j", 0, "number of parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		selfCheck     = flag.Bool("selfcheck", false, "run naive shadow models of cache and memory in lockstep with every simulation (slower; fails on the first divergence)")
+		metricsFlag   = flag.String("metrics", "", "write per-cell prefetch-effectiveness metrics (accuracy, coverage, timeliness per prefetch class) as JSON to this file")
+		traceFlag     = flag.String("trace", "", "write the prefetch-effectiveness event stream as JSON lines to this file")
+		traceSample   = flag.Int("trace-sample", 1, "keep one of every N trace events")
+		traceMax      = flag.Int("trace-max", 1<<20, "stop writing trace events after N lines (further events are counted, not written)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -85,6 +103,51 @@ func main() {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
 	}
 
+	// finish flushes the observability sinks; every successful exit path
+	// calls it after the figures are assembled.
+	finish := func() {}
+	if *metricsFlag != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		cfg.Trace = obs.NewTrace(bw, obs.TraceConfig{
+			SampleEvery: *traceSample,
+			MaxEvents:   *traceMax,
+		})
+		finish = func() {
+			seen, written, dropped := cfg.Trace.Stats()
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: trace %s: %d events seen, %d written, %d dropped at the bound\n",
+				*traceFlag, seen, written, dropped)
+		}
+	}
+	if *metricsFlag != "" {
+		traceDone := finish
+		finish = func() {
+			f, err := os.Create(*metricsFlag)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cfg.Metrics.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			traceDone()
+		}
+	}
+
 	if *figureFlag == "all" {
 		if *csvFlag {
 			fatal(fmt.Errorf("-csv requires a single -figure"))
@@ -92,6 +155,7 @@ func main() {
 		if err := experiments.RunAll(out, cfg); err != nil {
 			fatal(err)
 		}
+		finish()
 		return
 	}
 
@@ -104,6 +168,7 @@ func main() {
 	}
 	if *figureFlag == "15" {
 		fmt.Fprintln(out, s.Fig15())
+		finish()
 		return
 	}
 	fn, ok := figs[*figureFlag]
@@ -119,9 +184,11 @@ func main() {
 	}
 	if *csvFlag {
 		fmt.Fprint(out, t.CSV())
+		finish()
 		return
 	}
 	fmt.Fprintln(out, t)
+	finish()
 }
 
 func fatal(err error) {

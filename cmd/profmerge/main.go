@@ -34,7 +34,10 @@ func run(argv []string, out io.Writer) error {
 		}
 		profiles = append(profiles, p)
 	}
-	merged := profile.Merge(profiles...)
+	merged, err := profile.Merge(profiles...)
+	if err != nil {
+		return err
+	}
 	if err := merged.Save(*outF); err != nil {
 		return err
 	}

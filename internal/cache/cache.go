@@ -41,6 +41,15 @@ type Cache struct {
 
 	// Hits and Misses count lookups at this level.
 	Hits, Misses uint64
+
+	// prov, when non-nil, carries per-way fill provenance for the
+	// observability layer: 0 marks a demand fill, any other value is the
+	// issuing prefetch class + 1. It is allocated only by enableObs, so
+	// unobserved runs pay a single nil check per probe.
+	prov []uint8
+	// pfHits / pfEvicted count, per class, demand hits on still-tagged
+	// lines and evictions of still-tagged lines at this level.
+	pfHits, pfEvicted []uint64
 }
 
 // New returns an empty cache with the given geometry. It panics if the
@@ -95,6 +104,16 @@ func (c *Cache) setIndex(line uint64) int {
 // associative scan. The fast path leaves exactly the same hit/miss counts
 // and LRU state as the full probe.
 func (c *Cache) Lookup(addr uint64) bool {
+	hit, _ := c.lookupTouch(addr, true)
+	return hit
+}
+
+// lookupTouch is Lookup with provenance handling. It leaves exactly the
+// hit/miss counts and LRU state Lookup would: observation must never change
+// simulated behavior. When demand is true and the hit way carries a
+// prefetch tag, the tag is consumed (first demand touch) and returned;
+// non-demand probes (a prefetch locating its fill source) leave tags alone.
+func (c *Cache) lookupTouch(addr uint64, demand bool) (hit bool, tag uint8) {
 	line := addr >> c.shift
 	set := c.setIndex(line)
 	base := set * c.cfg.Assoc
@@ -102,18 +121,31 @@ func (c *Cache) Lookup(addr uint64) bool {
 	if i := base + int(c.mru[set]); c.valid[i] && (c.tags[i] == line || brokenMRUProbe) {
 		c.lastUse[i] = c.tick
 		c.Hits++
-		return true
+		return true, c.consumeProv(i, demand)
 	}
 	for w := 0; w < c.cfg.Assoc; w++ {
 		if c.valid[base+w] && c.tags[base+w] == line {
 			c.lastUse[base+w] = c.tick
 			c.mru[set] = int32(w)
 			c.Hits++
-			return true
+			return true, c.consumeProv(base+w, demand)
 		}
 	}
 	c.Misses++
-	return false
+	return false, 0
+}
+
+// consumeProv clears and returns way i's prefetch tag on a demand touch.
+func (c *Cache) consumeProv(i int, demand bool) uint8 {
+	if c.prov == nil || !demand {
+		return 0
+	}
+	tag := c.prov[i]
+	if tag != 0 {
+		c.prov[i] = 0
+		c.pfHits[tag-1]++
+	}
+	return tag
 }
 
 // Contains probes without updating LRU state or statistics.
@@ -136,6 +168,15 @@ func (c *Cache) Contains(addr uint64) bool {
 // full. It returns the evicted line's address and whether an eviction
 // happened. Inserting a line already present refreshes it in place.
 func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
+	evicted, _, didEvict = c.insertProv(addr, 0)
+	return evicted, didEvict
+}
+
+// insertProv is Insert with provenance handling: the filled way is tagged
+// prov (0 = demand fill), and an eviction reports the victim's tag so the
+// hierarchy can classify evicted-unused prefetched lines and open harm
+// windows. Eviction decisions and LRU state are identical to Insert's.
+func (c *Cache) insertProv(addr uint64, prov uint8) (evicted uint64, evictedProv uint8, didEvict bool) {
 	line := addr >> c.shift
 	set := c.setIndex(line)
 	base := set * c.cfg.Assoc
@@ -146,7 +187,9 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 		if c.valid[i] && c.tags[i] == line {
 			c.lastUse[i] = c.tick
 			c.mru[set] = int32(w)
-			return 0, false
+			// Refresh in place keeps the existing tag: a line's lifecycle is
+			// owned by whichever fill brought it in.
+			return 0, 0, false
 		}
 		if !c.valid[i] {
 			victim = i
@@ -163,7 +206,33 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, didEvict bool) {
 	c.valid[victim] = true
 	c.lastUse[victim] = c.tick
 	c.mru[set] = int32(victim - base)
-	return evicted, didEvict
+	if c.prov != nil {
+		if didEvict {
+			evictedProv = c.prov[victim]
+			if evictedProv != 0 {
+				c.pfEvicted[evictedProv-1]++
+			}
+		}
+		c.prov[victim] = prov
+	}
+	return evicted, evictedProv, didEvict
+}
+
+// enableObs allocates the provenance arrays; classes bounds the per-class
+// counters.
+func (c *Cache) enableObs(classes int) {
+	c.prov = make([]uint8, len(c.tags))
+	c.pfHits = make([]uint64, classes)
+	c.pfEvicted = make([]uint64, classes)
+}
+
+// residentProv counts still-tagged resident lines per class into out.
+func (c *Cache) residentProv(out []uint64) {
+	for i, v := range c.valid {
+		if v && c.prov[i] != 0 {
+			out[c.prov[i]-1]++
+		}
+	}
 }
 
 // Reset clears contents and statistics.
@@ -176,4 +245,13 @@ func (c *Cache) Reset() {
 	}
 	c.Hits, c.Misses = 0, 0
 	c.tick = 0
+	if c.prov != nil {
+		for i := range c.prov {
+			c.prov[i] = 0
+		}
+		for i := range c.pfHits {
+			c.pfHits[i] = 0
+			c.pfEvicted[i] = 0
+		}
+	}
 }

@@ -1,6 +1,10 @@
 package cache
 
-import "sort"
+import (
+	"sort"
+
+	"stridepf/internal/obs"
+)
 
 // HierarchyConfig describes a full memory hierarchy.
 type HierarchyConfig struct {
@@ -55,6 +59,19 @@ type Hierarchy struct {
 	// into L1 completes.
 	inflight map[uint64]uint64
 
+	// obs, when non-nil, receives prefetch-effectiveness events (see
+	// EnableObs). Everything below it is observation-only state: none of it
+	// may influence latencies, evictions or the counters the shadow model
+	// compares.
+	obs *obs.Collector
+	// inflightClass remembers which class issued each in-flight prefetch.
+	inflightClass map[uint64]obs.Class
+	// victims maps lines evicted from L1 by a prefetch fill to the evicting
+	// class; a demand miss on such a line is charged as Harmful. Entries
+	// close when the line is refilled into L1. The table is bounded
+	// (victimTableCap); overflowed victims are counted, not tracked.
+	victims map[uint64]obs.Class
+
 	// Stats.
 	Loads            uint64 // demand loads
 	Stores           uint64
@@ -88,6 +105,54 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		h.tlb = NewTLB(*cfg.TLB)
 	}
 	return h
+}
+
+// victimTableCap bounds the harm-window table: pathological eviction storms
+// must not grow observation state without bound. Overflow makes Harmful a
+// lower bound and is surfaced via Collector.VictimOverflow.
+const victimTableCap = 8192
+
+// EnableObs attaches a prefetch-effectiveness collector. Observation is
+// strictly passive — cycle counts, evictions and every counter the shadow
+// model checks stay bit-identical (pinned by simcheck's
+// CheckMetricsNeutrality). Enable before the first access.
+func (h *Hierarchy) EnableObs(c *obs.Collector) {
+	h.obs = c
+	h.inflightClass = make(map[uint64]obs.Class)
+	h.victims = make(map[uint64]obs.Class)
+	for _, l := range h.levels {
+		l.enableObs(int(obs.NumClasses))
+	}
+}
+
+// Obs returns the attached effectiveness collector, or nil.
+func (h *Hierarchy) Obs() *obs.Collector { return h.obs }
+
+// FinishObs closes the observation window at time now: prefetched lines
+// still resident count as resident-unused, entries still in the in-flight
+// table as in-flight-at-end, and the per-level statistics are frozen into
+// the collector. Call exactly once, after the last simulated access.
+func (h *Hierarchy) FinishObs(now uint64) {
+	if h.obs == nil {
+		return
+	}
+	for line := range h.inflight {
+		h.obs.Classes[h.inflightClass[line]].InFlightEnd++
+	}
+	h.obs.Levels = h.obs.Levels[:0]
+	for i, l := range h.levels {
+		ls := obs.LevelStats{Name: l.cfg.Name, Hits: l.Hits, Misses: l.Misses}
+		copy(ls.PFHits[:], l.pfHits)
+		copy(ls.PFEvictedUnused[:], l.pfEvicted)
+		l.residentProv(ls.PFResident[:])
+		if i == 0 {
+			for cl, n := range ls.PFResident {
+				h.obs.Classes[cl].ResidentUnused += n
+			}
+		}
+		h.obs.Levels = append(h.obs.Levels, ls)
+	}
+	h.obs.Emit(obs.TraceEvent{Cycle: now, Kind: "run-end"})
 }
 
 // TLB returns the data TLB, or nil when disabled.
@@ -143,7 +208,10 @@ func (h *Hierarchy) Store(addr uint64, now uint64) int {
 func (h *Hierarchy) access(addr uint64, now uint64) int {
 	line := addr >> h.shift
 	// L1 first.
-	if h.levels[0].Lookup(addr) {
+	if hit, tag := h.levels[0].lookupTouch(addr, true); hit {
+		if tag != 0 && h.obs != nil {
+			h.obs.DemandUseful(obs.Class(tag-1), addr, now)
+		}
 		return h.levels[0].cfg.HitLatency
 	}
 	// In-flight fill? (The map probe is gated on the common case of no
@@ -154,27 +222,47 @@ func (h *Hierarchy) access(addr uint64, now uint64) int {
 			if ready > now {
 				lat = int(ready-now) + h.levels[0].cfg.HitLatency
 				h.PrefetchLate++
+				if h.obs != nil {
+					h.obs.DemandLate(h.inflightClass[line], addr, now)
+				}
 			} else {
 				lat = h.levels[0].cfg.HitLatency
 				h.PrefetchUseful++
+				if h.obs != nil {
+					h.obs.DemandUseful(h.inflightClass[line], addr, now)
+				}
 			}
 			delete(h.inflight, line)
-			h.fillAll(addr)
+			if h.inflightClass != nil {
+				delete(h.inflightClass, line)
+			}
+			// The demand access consumed the prefetch; the installed line is
+			// demand-owned from here on.
+			h.fillAll(addr, now)
 			h.DemandMissCycles += uint64(lat)
 			return lat
 		}
 	}
+	// An L1 miss with no in-flight help: no prefetch covered it. If the
+	// line was pushed out by a prefetch fill, that fill did active harm.
+	if h.obs != nil {
+		if cls, ok := h.victims[line]; ok {
+			delete(h.victims, line)
+			h.obs.Harmful(cls, addr, now)
+		}
+		h.obs.UncoveredMiss()
+	}
 	// Outer levels.
 	for i := 1; i < len(h.levels); i++ {
-		if h.levels[i].Lookup(addr) {
+		if hit, _ := h.levels[i].lookupTouch(addr, true); hit {
 			lat := h.levels[i].cfg.HitLatency
-			h.fillUpTo(addr, i)
+			h.fillUpTo(addr, i, 0, now)
 			h.DemandMissCycles += uint64(lat)
 			return lat
 		}
 	}
 	lat := h.cfg.MemLatency
-	h.fillAll(addr)
+	h.fillAll(addr, now)
 	h.DemandMissCycles += uint64(lat)
 	return lat
 }
@@ -184,6 +272,13 @@ func (h *Hierarchy) access(addr uint64, now uint64) int {
 // machine charges the instruction's ordinary occupancy. Prefetches to lines
 // already in L1 or already in flight are dropped.
 func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
+	h.PrefetchClass(addr, now, obs.ClassUnknown)
+}
+
+// PrefetchClass is Prefetch with the issuing class attached for the
+// observability layer. The class changes nothing about the simulated
+// behavior; with no collector enabled it is ignored entirely.
+func (h *Hierarchy) PrefetchClass(addr uint64, now uint64, class obs.Class) {
 	if h.check != nil {
 		// The shadow replays the whole prefetch (drop checks, overflow
 		// completion, fill-time scan) after the optimized model runs it.
@@ -195,15 +290,24 @@ func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
 	// install a translation either; Contains-style peek.)
 	if h.tlb != nil && !h.tlbContains(addr) {
 		h.PrefetchDrops++
+		if h.obs != nil {
+			h.obs.PrefetchDroppedTLB(class, addr, now)
+		}
 		return
 	}
 	line := addr >> h.shift
 	if h.levels[0].Contains(addr) {
 		h.PrefetchDrops++
+		if h.obs != nil {
+			h.obs.PrefetchRedundant(class, addr, now)
+		}
 		return
 	}
 	if _, ok := h.inflight[line]; ok {
 		h.PrefetchDrops++
+		if h.obs != nil {
+			h.obs.PrefetchRedundant(class, addr, now)
+		}
 		return
 	}
 	if len(h.inflight) >= h.cfg.MaxInFlight {
@@ -212,18 +316,27 @@ func (h *Hierarchy) Prefetch(addr uint64, now uint64) {
 		h.completeInflight(now)
 		if len(h.inflight) >= h.cfg.MaxInFlight {
 			h.PrefetchDrops++
+			if h.obs != nil {
+				h.obs.PrefetchDroppedMSHR(class, addr, now)
+			}
 			return
 		}
 	}
-	// Fill time depends on where the line currently lives.
+	// Fill time depends on where the line currently lives. The scan is a
+	// non-demand probe: it must not consume another prefetch's provenance
+	// tag at an outer level.
 	fill := h.cfg.MemLatency
 	for i := 1; i < len(h.levels); i++ {
-		if h.levels[i].Lookup(addr) {
+		if hit, _ := h.levels[i].lookupTouch(addr, false); hit {
 			fill = h.levels[i].cfg.HitLatency
 			break
 		}
 	}
 	h.inflight[line] = now + uint64(fill)
+	if h.obs != nil {
+		h.inflightClass[line] = class
+		h.obs.PrefetchIssued(class, addr, now)
+	}
 }
 
 // CompleteInflight installs any fills that have completed by time now.
@@ -250,17 +363,45 @@ func (h *Hierarchy) completeInflight(now uint64) {
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
 	for _, line := range done {
-		h.fillAll(line << h.shift)
+		var prov uint8
+		if h.obs != nil {
+			if cls, ok := h.inflightClass[line]; ok {
+				prov = uint8(cls) + 1
+				delete(h.inflightClass, line)
+			}
+		}
+		h.fillUpTo(line<<h.shift, len(h.levels), prov, now)
 		delete(h.inflight, line)
 	}
 }
 
-func (h *Hierarchy) fillAll(addr uint64) { h.fillUpTo(addr, len(h.levels)) }
+func (h *Hierarchy) fillAll(addr, now uint64) { h.fillUpTo(addr, len(h.levels), 0, now) }
 
-// fillUpTo installs the line into levels [0, upto).
-func (h *Hierarchy) fillUpTo(addr uint64, upto int) {
+// fillUpTo installs the line into levels [0, upto), tagging each filled way
+// with prov (0 = demand fill, else prefetch class + 1). At L1 it maintains
+// the harm-window table: a prefetch fill that evicts a demand-owned line
+// opens a window, any refill of a tracked line closes it, and evicting a
+// still-tagged line closes that prefetch's lifecycle as evicted-unused.
+func (h *Hierarchy) fillUpTo(addr uint64, upto int, prov uint8, now uint64) {
 	for i := 0; i < upto && i < len(h.levels); i++ {
-		h.levels[i].Insert(addr)
+		ev, evProv, didEvict := h.levels[i].insertProv(addr, prov)
+		if i != 0 || h.obs == nil {
+			continue
+		}
+		delete(h.victims, addr>>h.shift)
+		if !didEvict {
+			continue
+		}
+		switch {
+		case evProv != 0:
+			h.obs.EvictedUnused(obs.Class(evProv-1), ev, now)
+		case prov != 0:
+			if len(h.victims) < victimTableCap {
+				h.victims[ev>>h.shift] = obs.Class(prov - 1)
+			} else {
+				h.obs.VictimOverflow++
+			}
+		}
 	}
 }
 
@@ -284,6 +425,10 @@ func (h *Hierarchy) Reset() {
 		h.tlb.Reset()
 	}
 	h.inflight = make(map[uint64]uint64)
+	if h.obs != nil {
+		h.inflightClass = make(map[uint64]obs.Class)
+		h.victims = make(map[uint64]obs.Class)
+	}
 	h.Loads, h.Stores, h.Prefetches = 0, 0, 0
 	h.PrefetchDrops, h.PrefetchLate, h.PrefetchUseful = 0, 0, 0
 	h.DemandMissCycles = 0

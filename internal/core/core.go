@@ -86,6 +86,11 @@ func Execute(prog *ir.Program, w Workload, in Input, mcfg machine.Config) (RunSt
 	if err != nil {
 		return RunStats{}, fmt.Errorf("core: %s/%s: %w", w.Name(), in.Name, err)
 	}
+	if mcfg.Obs != nil {
+		// Close the effectiveness accounting (resident-unused and
+		// still-in-flight prefetches) so the collector reconciles.
+		m.FinishObs()
+	}
 	return snapshot(m, ret), nil
 }
 

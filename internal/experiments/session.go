@@ -8,6 +8,7 @@ import (
 	"stridepf/internal/core"
 	"stridepf/internal/instrument"
 	"stridepf/internal/machine"
+	"stridepf/internal/obs"
 	"stridepf/internal/prefetch"
 	"stridepf/internal/profile"
 	"stridepf/internal/stride"
@@ -56,6 +57,14 @@ type Config struct {
 	// in parallel (see Warm and RunAll). Zero selects GOMAXPROCS; one runs
 	// strictly serially.
 	Jobs int
+	// Metrics, when non-nil, receives one prefetch-effectiveness report per
+	// prefetched measurement cell (accuracy, coverage and timeliness per
+	// prefetch class; see package obs). Collection is passive: the figure
+	// tables are byte-identical with or without it.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the sampled, bounded JSONL event stream
+	// of every observed cell, each event stamped with its cell's run key.
+	Trace *obs.Trace
 }
 
 func (c *Config) names() []string {
@@ -221,9 +230,21 @@ func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in co
 			if err != nil {
 				return nil, err
 			}
-			run, err := core.Execute(fb.Prog, w, in, s.cfg.Machine)
+			mcfg := s.cfg.Machine
+			var col *obs.Collector
+			if s.cfg.Metrics != nil || s.cfg.Trace != nil {
+				col = obs.NewCollector(s.cfg.Trace.WithRun(key))
+				mcfg.Obs = col
+			}
+			run, err := core.Execute(fb.Prog, w, in, mcfg)
 			if err != nil {
 				return nil, err
+			}
+			if col != nil && s.cfg.Metrics != nil {
+				rep := obs.BuildReport(key, col)
+				rep.Workload = wname
+				rep.Label = profLabel + "|" + in.Name
+				s.cfg.Metrics.Register(rep)
 			}
 			if run.Ret != base.Ret {
 				return nil, fmt.Errorf("experiments: %s: prefetched binary diverged (%d vs %d)",

@@ -12,7 +12,10 @@
 // harness compares both on the same workloads.
 package hwpf
 
-import "stridepf/internal/cache"
+import (
+	"stridepf/internal/cache"
+	"stridepf/internal/obs"
+)
 
 // state is the RPT automaton state.
 type state uint8
@@ -68,6 +71,11 @@ type RPT struct {
 	// Issued counts prefetches triggered; Replaced counts entry evictions
 	// (the capacity pressure the paper warns about).
 	Issued, Replaced uint64
+	// Wrapped counts steady-state predictions discarded because the target
+	// address wrapped past either end of the address space. Before these
+	// were counted, every negative-stride prediction whose arithmetic went
+	// negative vanished silently.
+	Wrapped uint64
 }
 
 // New returns an empty table.
@@ -144,10 +152,20 @@ func (r *RPT) update(e *entry, addr uint64, hier *cache.Hierarchy, now uint64) {
 	}
 	e.lastAddr = addr
 	if e.st == steady {
-		target := int64(addr) + e.stride*int64(r.cfg.Distance)
-		if target > 0 {
-			hier.Prefetch(uint64(target), now)
-			r.Issued++
+		// The prediction arithmetic is unsigned with explicit wrap
+		// detection. The old signed `target > 0` guard rejected any target
+		// whose top bit was set — silently discarding every steady-state
+		// prediction of loads walking the upper half of the address space,
+		// and discarding downward-stride predictions without a trace.
+		delta := e.stride * int64(r.cfg.Distance)
+		target := addr + uint64(delta)
+		wrapped := target == 0 ||
+			(delta >= 0 && target < addr) || (delta < 0 && target > addr)
+		if wrapped {
+			r.Wrapped++
+			return
 		}
+		hier.PrefetchClass(target, now, obs.ClassHW)
+		r.Issued++
 	}
 }

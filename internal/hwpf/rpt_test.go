@@ -90,3 +90,49 @@ func TestZeroStrideDoesNotPrefetch(t *testing.T) {
 		t.Errorf("issued %d prefetches for a zero-stride load", r.Issued)
 	}
 }
+
+func TestDownwardWalkIssuesPrefetches(t *testing.T) {
+	// A load walking an array from high addresses to low (stride -64) must
+	// reach steady state and prefetch ahead of the walk, i.e. below the
+	// current address. The old signed `target > 0` guard discarded these
+	// silently whenever the arithmetic wrapped; predictions that stay in
+	// range must issue.
+	r := New(Config{})
+	h := newHier()
+	a := uint64(0x10_0000)
+	for i := 0; i < 10; i++ {
+		r.Observe(1, a, h, uint64(i*10))
+		a -= 64
+	}
+	if r.Issued == 0 {
+		t.Fatal("downward-walking load issued no prefetches")
+	}
+	if r.Wrapped != 0 {
+		t.Errorf("Wrapped = %d on an in-range downward walk, want 0", r.Wrapped)
+	}
+	// The last steady observation predicts Distance strides further down.
+	want := a + 64 - uint64(4*64)
+	lat := h.Load(want, 1_000_000)
+	if lat >= h.Config().MemLatency {
+		t.Errorf("predicted downward line not prefetched (latency %d)", lat)
+	}
+}
+
+func TestWrappedPredictionCountedNotIssued(t *testing.T) {
+	// Walking down right at the bottom of the address space pushes the
+	// prediction past zero: it must be counted as wrapped, not silently
+	// vanish, and must not issue a wild prefetch.
+	r := New(Config{})
+	h := newHier()
+	a := uint64(0x200) // 4*64 ahead crosses zero once a < 0x400
+	for i := 0; i < 6; i++ {
+		r.Observe(1, a, h, uint64(i*10))
+		a -= 64
+	}
+	if r.Wrapped == 0 {
+		t.Fatal("predictions past address zero were not counted as wrapped")
+	}
+	if r.Issued+r.Wrapped == 0 {
+		t.Fatal("steady state never reached")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"stridepf/internal/cache"
 	"stridepf/internal/ir"
 	"stridepf/internal/mem"
+	"stridepf/internal/obs"
 )
 
 // HookFunc is a profiling runtime routine callable from IR via OpHook. The
@@ -70,6 +71,13 @@ type Config struct {
 	// "cycle function/block instruction". Tracing is for debugging small
 	// programs — it slows execution dramatically.
 	Trace io.Writer
+	// Obs, when non-nil, collects prefetch-effectiveness metrics (accuracy,
+	// coverage, timeliness per prefetch class; see package obs). Prefetch
+	// instructions are attributed to their class via the marker comments the
+	// insertion passes emit ("ssst-prefetch" ...). Observation never changes
+	// simulated behavior. Call FinishObs after the final Run to close the
+	// lifecycle accounting.
+	Obs *obs.Collector
 }
 
 func (c *Config) fill() {
@@ -133,7 +141,25 @@ type decoded struct {
 	hookID   int64
 	loadSlot int32  // index into per-function load counters, or -1
 	pc       uint64 // stable static-load identifier for hardware prefetchers
+	pfClass  uint8  // obs.Class of an OpPrefetch, from its marker comment
 	src      *ir.Instr
+}
+
+// prefetchClass maps an OpPrefetch marker comment to its obs class. The
+// insertion passes (package prefetch) stamp these on every prefetch they
+// emit; hand-written IR decodes to ClassUnknown.
+func prefetchClass(comment string) uint8 {
+	switch comment {
+	case "ssst-prefetch":
+		return uint8(obs.ClassSSST)
+	case "pmst-prefetch", "outloop-dynamic":
+		return uint8(obs.ClassPMST)
+	case "wsst-prefetch":
+		return uint8(obs.ClassWSST)
+	case "indirect-prefetch":
+		return uint8(obs.ClassIndirect)
+	}
+	return uint8(obs.ClassUnknown)
 }
 
 // loadPC derives the stable per-static-load "program counter" handed to
@@ -186,6 +212,9 @@ type Machine struct {
 	cycles uint64
 	stats  Stats
 	rng    uint64
+	// fault holds the first error a runtime hook raised via Fault; Run
+	// surfaces it once the program completes.
+	fault error
 
 	regPool [][]int64
 	argBuf  []int64
@@ -221,6 +250,9 @@ func New(prog *ir.Program, cfg Config) (*Machine, error) {
 		// workload setup write through m.Mem).
 		m.Mem.EnableSelfCheck()
 		m.Hier.EnableSelfCheck()
+	}
+	if cfg.Obs != nil {
+		m.Hier.EnableObs(cfg.Obs)
 	}
 	m.Heap = mem.NewHeap(m.Mem, cfg.HeapBase, cfg.HeapSize)
 	for name, f := range prog.Funcs {
@@ -289,6 +321,9 @@ func (m *Machine) decodeBody(f *ir.Function) {
 				c.loadIDs = append(c.loadIDs, in.ID)
 				d.pc = loadPC(f.Name, in.ID)
 			}
+			if in.Op == ir.OpPrefetch {
+				d.pfClass = prefetchClass(in.Comment)
+			}
 			if m.cfg.Trace != nil {
 				d.src = in
 			}
@@ -342,6 +377,30 @@ func (m *Machine) resolveHooks() error {
 // AddCycles charges extra simulated time; profiling hooks use it to model
 // the cost of the runtime routine they represent.
 func (m *Machine) AddCycles(n uint64) { m.cycles += n }
+
+// Fault records a non-fatal runtime-integrity error raised by a hook (a
+// malformed call, an out-of-range argument). Execution continues — faulting
+// mid-simulation would change behavior relative to an unchecked run — but
+// Run returns the first recorded fault once the program completes. Later
+// faults are dropped.
+func (m *Machine) Fault(err error) {
+	if m.fault == nil {
+		m.fault = err
+	}
+}
+
+// SelfChecked reports whether the machine runs with shadow-model
+// self-checking; runtimes use it to decide whether integrity violations
+// should surface as errors or only as counters.
+func (m *Machine) SelfChecked() bool { return m.cfg.SelfCheck }
+
+// Obs returns the attached effectiveness collector, or nil. Runtime hooks
+// use it to emit trace events through the shared sampled sink.
+func (m *Machine) Obs() *obs.Collector { return m.cfg.Obs }
+
+// FinishObs closes effectiveness accounting at the current cycle (see
+// cache.Hierarchy.FinishObs). Call once, after the final Run.
+func (m *Machine) FinishObs() { m.Hier.FinishObs(m.cycles) }
 
 // Now returns the current simulated cycle.
 func (m *Machine) Now() uint64 { return m.cycles }
@@ -399,7 +458,11 @@ func (m *Machine) Run() (ret int64, err error) {
 		}()
 	}
 	m.fast = m.cfg.Trace == nil && m.cfg.HWPrefetch == nil
-	return m.call(entry, nil, 0)
+	ret, err = m.call(entry, nil, 0)
+	if err == nil && m.fault != nil {
+		err = m.fault
+	}
+	return ret, err
 }
 
 func (m *Machine) getRegs(n int) []int64 {
@@ -583,7 +646,7 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 			// Non-faulting: wild addresses are ignored rather than fetched,
 			// mirroring lfetch semantics on unmapped pages.
 			if !m.noPf && m.Mem.Mapped(addr) {
-				m.Hier.Prefetch(addr, m.cycles)
+				m.Hier.PrefetchClass(addr, m.cycles, obs.Class(d.pfClass))
 			}
 
 		case ir.OpAlloc:
@@ -749,7 +812,7 @@ func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
 			addr := uint64(regs[d.s0] + d.imm)
 			m.stats.PrefetchRefs++
 			if !m.noPf && m.Mem.Mapped(addr) {
-				m.Hier.Prefetch(addr, m.cycles)
+				m.Hier.PrefetchClass(addr, m.cycles, obs.Class(d.pfClass))
 			}
 
 		case ir.OpAlloc:

@@ -1,0 +1,167 @@
+// Package obs is the observability layer for prefetch effectiveness: it
+// classifies the fate of every issued prefetch and rolls the outcomes up
+// into the accuracy / coverage / timeliness axes the prefetching literature
+// evaluates on (Blom et al.; Sung et al.).
+//
+// The simulator's older counters (cycles, per-level hits and misses) say
+// whether a run got faster, but not *why*: a prefetch that covered a miss
+// and one that polluted the cache are indistinguishable. This package
+// defines the taxonomy; package cache drives it (see Hierarchy.EnableObs),
+// tagging every line brought in by a prefetch with the class of the code
+// that issued it and classifying each subsequent event:
+//
+//   - useful:    a demand access found the prefetched line ready (installed
+//     in L1, or in flight with its fill already complete).
+//   - late:      a demand access hit the line while its fill was still in
+//     flight — the prefetch hid part of the miss latency but the
+//     pipeline stalled for the remainder.
+//   - redundant: the prefetch targeted a line already resident in L1 or
+//     already in flight, wasting an issue slot.
+//   - harmful:   the prefetched line's fill evicted a demand-owned line
+//     that subsequently demand-missed (cache pollution).
+//
+// Issued prefetches that are never demanded end as evicted-unused,
+// resident-unused or still-in-flight, so the lifecycle counters reconcile
+// exactly against the issue count (see Collector.Reconcile).
+//
+// Observation is strictly passive: enabling it must not change a single
+// simulated cycle, eviction or counter the shadow models check. The
+// simcheck property CheckMetricsNeutrality pins that invariant.
+package obs
+
+import "fmt"
+
+// Class identifies the code that issued a prefetch. Software classes come
+// from the profile-feedback pass (package prefetch); ClassHW marks the
+// hardware reference-prediction-table prefetcher (package hwpf).
+type Class uint8
+
+const (
+	// ClassUnknown tags software prefetches with no recorded provenance
+	// (hand-written IR, generated test programs).
+	ClassUnknown Class = iota
+	// ClassSSST tags prefetches inserted for strong-single-stride loads.
+	ClassSSST
+	// ClassPMST tags the dynamic-stride sequences of phased-multi-stride
+	// loads (including the out-loop dynamic variant).
+	ClassPMST
+	// ClassWSST tags the conditional prefetches of weak-single-stride loads.
+	ClassWSST
+	// ClassIndirect tags dependent-load (indirect) prefetches.
+	ClassIndirect
+	// ClassHW tags prefetches issued by the hardware RPT prefetcher.
+	ClassHW
+
+	// NumClasses bounds the per-class arrays.
+	NumClasses
+)
+
+// String returns the class's report label.
+func (c Class) String() string {
+	switch c {
+	case ClassSSST:
+		return "SSST"
+	case ClassPMST:
+		return "PMST"
+	case ClassWSST:
+		return "WSST"
+	case ClassIndirect:
+		return "indirect"
+	case ClassHW:
+		return "hwpf"
+	case ClassUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ClassNames lists every class label in declaration order.
+func ClassNames() []string {
+	out := make([]string, NumClasses)
+	for c := Class(0); c < NumClasses; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
+
+// ClassStats is the lifecycle account of one class's prefetches. Every
+// prefetch instruction executed lands in exactly one of the issue-side
+// buckets (Issued, Redundant, DroppedTLB, DroppedMSHR), and every Issued
+// prefetch ends in exactly one of the outcome buckets (Useful, Late,
+// EvictedUnused, ResidentUnused, InFlightEnd); Harmful is accounted
+// separately because it charges the *victim* of a fill, not the prefetched
+// line itself.
+type ClassStats struct {
+	// Issued counts prefetches that entered the in-flight table.
+	Issued uint64
+	// Useful counts demand accesses served by a completed prefetch: an
+	// L1-resident prefetched line, or an in-flight line whose fill finished
+	// before the demand arrived.
+	Useful uint64
+	// Late counts demand accesses that hit a line still in flight: the
+	// prefetch was issued too close to its use and hid only part of the
+	// miss latency.
+	Late uint64
+	// Redundant counts prefetches dropped because the line was already in
+	// L1 or already in flight.
+	Redundant uint64
+	// DroppedTLB counts prefetches dropped on a TLB translation miss
+	// (lfetch semantics).
+	DroppedTLB uint64
+	// DroppedMSHR counts prefetches dropped because the in-flight table was
+	// full.
+	DroppedMSHR uint64
+	// EvictedUnused counts prefetched lines evicted from L1 before any
+	// demand access touched them (the pollution-side waste).
+	EvictedUnused uint64
+	// ResidentUnused counts prefetched lines still resident and untouched
+	// when the run ended.
+	ResidentUnused uint64
+	// InFlightEnd counts prefetches still in flight when the run ended.
+	InFlightEnd uint64
+	// Harmful counts demand misses on lines that a prefetch fill of this
+	// class evicted (cache pollution that cost a miss).
+	Harmful uint64
+}
+
+// Add accumulates o into s.
+func (s *ClassStats) Add(o ClassStats) {
+	s.Issued += o.Issued
+	s.Useful += o.Useful
+	s.Late += o.Late
+	s.Redundant += o.Redundant
+	s.DroppedTLB += o.DroppedTLB
+	s.DroppedMSHR += o.DroppedMSHR
+	s.EvictedUnused += o.EvictedUnused
+	s.ResidentUnused += o.ResidentUnused
+	s.InFlightEnd += o.InFlightEnd
+	s.Harmful += o.Harmful
+}
+
+// Attempts returns the total prefetch instructions accounted: issued plus
+// every issue-side drop.
+func (s ClassStats) Attempts() uint64 {
+	return s.Issued + s.Redundant + s.DroppedTLB + s.DroppedMSHR
+}
+
+// Accuracy is the fraction of issued prefetches that were demanded at all
+// (useful or late) — the "was the predicted address right" axis.
+func (s ClassStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful+s.Late) / float64(s.Issued)
+}
+
+// Timeliness is, among demanded prefetches, the fraction whose fill had
+// fully completed — the "was it early enough" axis.
+func (s ClassStats) Timeliness() float64 {
+	if s.Useful+s.Late == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Useful+s.Late)
+}
+
+// covered returns the demand accesses this class's prefetches served.
+func (s ClassStats) covered() uint64 { return s.Useful + s.Late }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestClassStatsAxes(t *testing.T) {
+	s := ClassStats{Issued: 10, Useful: 6, Late: 2, EvictedUnused: 1, ResidentUnused: 1,
+		Redundant: 3, DroppedTLB: 1, DroppedMSHR: 2}
+	if got := s.Accuracy(); got != 0.8 {
+		t.Errorf("Accuracy = %v, want 0.8", got)
+	}
+	if got := s.Timeliness(); got != 0.75 {
+		t.Errorf("Timeliness = %v, want 0.75", got)
+	}
+	if got := s.Attempts(); got != 16 {
+		t.Errorf("Attempts = %d, want 16", got)
+	}
+	var zero ClassStats
+	if zero.Accuracy() != 0 || zero.Timeliness() != 0 {
+		t.Error("zero stats must report 0 accuracy and timeliness, not NaN")
+	}
+}
+
+func TestCollectorCoverageAndTotals(t *testing.T) {
+	c := NewCollector(nil)
+	c.PrefetchIssued(ClassSSST, 0x40, 1)
+	c.PrefetchIssued(ClassSSST, 0x80, 2)
+	c.PrefetchIssued(ClassHW, 0xc0, 3)
+	c.DemandUseful(ClassSSST, 0x40, 10)
+	c.DemandLate(ClassSSST, 0x80, 11)
+	c.EvictedUnused(ClassHW, 0xc0, 12)
+	c.UncoveredMiss()
+	c.UncoveredMiss()
+
+	// covered = 2 (useful + late), uncovered = 2.
+	if got := c.Coverage(); got != 0.5 {
+		t.Errorf("Coverage = %v, want 0.5", got)
+	}
+	if got := c.ClassCoverage(ClassSSST); got != 0.5 {
+		t.Errorf("ClassCoverage(SSST) = %v, want 0.5", got)
+	}
+	if got := c.ClassCoverage(ClassHW); got != 0 {
+		t.Errorf("ClassCoverage(hwpf) = %v, want 0", got)
+	}
+	tot := c.Totals()
+	if tot.Issued != 3 || tot.Useful != 1 || tot.Late != 1 || tot.EvictedUnused != 1 {
+		t.Errorf("Totals = %+v", tot)
+	}
+	if err := c.Reconcile(); err != nil {
+		t.Errorf("Reconcile: %v", err)
+	}
+}
+
+func TestReconcileDetectsLostOutcome(t *testing.T) {
+	c := NewCollector(nil)
+	c.PrefetchIssued(ClassPMST, 0x40, 1)
+	if err := c.Reconcile(); err == nil {
+		t.Fatal("issued prefetch with no outcome reconciled, want error")
+	}
+	c.Classes[ClassPMST].InFlightEnd++
+	if err := c.Reconcile(); err != nil {
+		t.Fatalf("Reconcile after closing the lifecycle: %v", err)
+	}
+	c.Classes[ClassPMST].Useful++ // double-counted outcome
+	if err := c.Reconcile(); err == nil {
+		t.Fatal("double-counted outcome reconciled, want error")
+	}
+}
+
+func TestTraceSamplingAndBound(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf, TraceConfig{SampleEvery: 2, MaxEvents: 3})
+	for i := 0; i < 10; i++ {
+		tr.Emit(TraceEvent{Cycle: uint64(i), Kind: "pf-issue"})
+	}
+	seen, written, dropped := tr.Stats()
+	// 10 seen; sampling keeps every 2nd (5 events); the bound writes 3 and
+	// drops the remaining 2.
+	if seen != 10 || written != 3 || dropped != 2 {
+		t.Fatalf("Stats = (%d, %d, %d), want (10, 3, 2)", seen, written, dropped)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	var ev TraceEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("unmarshal trace line: %v", err)
+	}
+	if ev.Kind != "pf-issue" {
+		t.Errorf("kind = %q", ev.Kind)
+	}
+}
+
+func TestTraceWithRunStampsAndShares(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewTrace(&buf, TraceConfig{MaxEvents: 4})
+	a := root.WithRun("cell-a")
+	b := root.WithRun("cell-b")
+	a.Emit(TraceEvent{Kind: "pf-issue"})
+	b.Emit(TraceEvent{Kind: "pf-useful"})
+	a.Emit(TraceEvent{Kind: "pf-late", Run: "explicit"})
+
+	seen, written, _ := root.Stats()
+	if seen != 3 || written != 3 {
+		t.Fatalf("shared stats = (%d, %d), want (3, 3)", seen, written)
+	}
+	var runs []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, ev.Run)
+	}
+	want := []string{"cell-a", "cell-b", "explicit"}
+	for i, r := range runs {
+		if r != want[i] {
+			t.Errorf("event %d run = %q, want %q", i, r, want[i])
+		}
+	}
+	// nil sinks are inert everywhere.
+	var nilTrace *Trace
+	nilTrace.WithRun("x").Emit(TraceEvent{Kind: "pf-issue"})
+}
+
+func TestBuildReportSkipsIdleClassesAndFlagsMismatch(t *testing.T) {
+	c := NewCollector(nil)
+	c.PrefetchIssued(ClassWSST, 0x40, 1)
+	c.DemandUseful(ClassWSST, 0x40, 5)
+	c.Levels = []LevelStats{{Name: "L1D", Hits: 100, Misses: 10}}
+	r := BuildReport("fig16|x", c)
+	if len(r.Classes) != 1 {
+		t.Fatalf("report has %d classes, want 1 (idle classes skipped): %v", len(r.Classes), r.Classes)
+	}
+	cr, ok := r.Classes["WSST"]
+	if !ok {
+		t.Fatal("WSST class missing from report")
+	}
+	if cr.Accuracy != 1 || cr.Timeliness != 1 {
+		t.Errorf("WSST accuracy=%v timeliness=%v, want 1, 1", cr.Accuracy, cr.Timeliness)
+	}
+	if r.ReconcileError != "" {
+		t.Errorf("unexpected reconcile error: %s", r.ReconcileError)
+	}
+
+	c.Classes[ClassWSST].Issued++ // break the lifecycle identity
+	r = BuildReport("fig16|x", c)
+	if r.ReconcileError == "" {
+		t.Error("lifecycle mismatch not surfaced in ReconcileError")
+	}
+}
+
+func TestRegistryWriteJSONRoundTrip(t *testing.T) {
+	g := NewRegistry()
+	for _, run := range []string{"fig16|b", "fig16|a"} {
+		c := NewCollector(nil)
+		c.PrefetchIssued(ClassSSST, 0x40, 1)
+		c.DemandUseful(ClassSSST, 0x40, 2)
+		c.UncoveredMiss()
+		g.Register(BuildReport(run, c))
+	}
+	reports := g.Reports()
+	if len(reports) != 2 || reports[0].Run != "fig16|a" || reports[1].Run != "fig16|b" {
+		t.Fatalf("Reports order: %v, %v", reports[0].Run, reports[1].Run)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cells  []Report               `json:"cells"`
+		Totals map[string]ClassReport `json:"totals"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("re-parsing WriteJSON output: %v", err)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("doc has %d cells, want 2", len(doc.Cells))
+	}
+	tot, ok := doc.Totals["SSST"]
+	if !ok {
+		t.Fatal("cross-cell SSST totals missing")
+	}
+	if tot.Issued != 2 || tot.Useful != 2 {
+		t.Errorf("totals issued=%d useful=%d, want 2, 2", tot.Issued, tot.Useful)
+	}
+	// covered = 2, uncovered = 2 across cells.
+	if tot.Coverage != 0.5 {
+		t.Errorf("cross-cell coverage = %v, want 0.5", tot.Coverage)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := ClassNames()
+	if len(names) != int(NumClasses) {
+		t.Fatalf("ClassNames len = %d, want %d", len(names), NumClasses)
+	}
+	for i, want := range []string{"unknown", "SSST", "PMST", "WSST", "indirect", "hwpf"} {
+		if names[i] != want {
+			t.Errorf("class %d = %q, want %q", i, names[i], want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ClassReport is the JSON view of one class's effectiveness in one run.
+type ClassReport struct {
+	Issued         uint64  `json:"issued"`
+	Useful         uint64  `json:"useful"`
+	Late           uint64  `json:"late"`
+	Redundant      uint64  `json:"redundant"`
+	DroppedTLB     uint64  `json:"dropped_tlb,omitempty"`
+	DroppedMSHR    uint64  `json:"dropped_mshr,omitempty"`
+	EvictedUnused  uint64  `json:"evicted_unused"`
+	ResidentUnused uint64  `json:"resident_unused"`
+	InFlightEnd    uint64  `json:"in_flight_end"`
+	Harmful        uint64  `json:"harmful"`
+	Accuracy       float64 `json:"accuracy"`
+	Coverage       float64 `json:"coverage"`
+	Timeliness     float64 `json:"timeliness"`
+}
+
+// LevelReport is the JSON view of one cache level in one run.
+type LevelReport struct {
+	Name     string            `json:"name"`
+	Hits     uint64            `json:"hits"`
+	Misses   uint64            `json:"misses"`
+	PFHits   map[string]uint64 `json:"pf_hits,omitempty"`
+	PFUnused map[string]uint64 `json:"pf_unused,omitempty"`
+}
+
+// Report is the finished effectiveness report of one run cell.
+type Report struct {
+	// Run labels the cell ("fig16|181.mcf|edge-check-train|ref" ...).
+	Run string `json:"run"`
+	// Figure, Workload and Label split the run key for grouping.
+	Figure   string `json:"figure,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Label    string `json:"label,omitempty"`
+	// Classes maps class label to its effectiveness, classes with no
+	// activity omitted.
+	Classes map[string]ClassReport `json:"classes"`
+	// Totals aggregates all classes.
+	Totals ClassReport `json:"totals"`
+	// Levels reports per-level statistics.
+	Levels []LevelReport `json:"levels,omitempty"`
+	// UncoveredMisses is the coverage denominator's miss side.
+	UncoveredMisses uint64 `json:"uncovered_misses"`
+	// ReconcileError is non-empty when the lifecycle identity failed.
+	ReconcileError string `json:"reconcile_error,omitempty"`
+}
+
+// BuildReport freezes a collector into a report labelled run. The
+// collector's Levels must already be filled (cache.Hierarchy.FinishObs).
+func BuildReport(run string, c *Collector) Report {
+	r := Report{Run: run, Classes: make(map[string]ClassReport)}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		s := c.Classes[cl]
+		if s == (ClassStats{}) {
+			continue
+		}
+		r.Classes[cl.String()] = ClassReport{
+			Issued:         s.Issued,
+			Useful:         s.Useful,
+			Late:           s.Late,
+			Redundant:      s.Redundant,
+			DroppedTLB:     s.DroppedTLB,
+			DroppedMSHR:    s.DroppedMSHR,
+			EvictedUnused:  s.EvictedUnused,
+			ResidentUnused: s.ResidentUnused,
+			InFlightEnd:    s.InFlightEnd,
+			Harmful:        s.Harmful,
+			Accuracy:       s.Accuracy(),
+			Coverage:       c.ClassCoverage(cl),
+			Timeliness:     s.Timeliness(),
+		}
+	}
+	t := c.Totals()
+	r.Totals = ClassReport{
+		Issued:         t.Issued,
+		Useful:         t.Useful,
+		Late:           t.Late,
+		Redundant:      t.Redundant,
+		DroppedTLB:     t.DroppedTLB,
+		DroppedMSHR:    t.DroppedMSHR,
+		EvictedUnused:  t.EvictedUnused,
+		ResidentUnused: t.ResidentUnused,
+		InFlightEnd:    t.InFlightEnd,
+		Harmful:        t.Harmful,
+		Accuracy:       t.Accuracy(),
+		Coverage:       c.Coverage(),
+		Timeliness:     t.Timeliness(),
+	}
+	for _, l := range c.Levels {
+		lr := LevelReport{Name: l.Name, Hits: l.Hits, Misses: l.Misses}
+		for cl := Class(0); cl < NumClasses; cl++ {
+			if l.PFHits[cl] > 0 {
+				if lr.PFHits == nil {
+					lr.PFHits = make(map[string]uint64)
+				}
+				lr.PFHits[cl.String()] = l.PFHits[cl]
+			}
+			if n := l.PFEvictedUnused[cl] + l.PFResident[cl]; n > 0 {
+				if lr.PFUnused == nil {
+					lr.PFUnused = make(map[string]uint64)
+				}
+				lr.PFUnused[cl.String()] = n
+			}
+		}
+		r.Levels = append(r.Levels, lr)
+	}
+	r.UncoveredMisses = c.UncoveredMisses
+	if err := c.Reconcile(); err != nil {
+		r.ReconcileError = err.Error()
+	}
+	return r
+}
+
+// Registry collects the effectiveness reports of many run cells. It is safe
+// for concurrent use; the parallel experiment harness registers cells from
+// its worker pool.
+type Registry struct {
+	mu      sync.Mutex
+	reports map[string]Report
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{reports: make(map[string]Report)} }
+
+// Register stores (or replaces) the report for its run key.
+func (g *Registry) Register(r Report) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reports[r.Run] = r
+}
+
+// Reports returns all registered reports sorted by run key.
+func (g *Registry) Reports() []Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Report, 0, len(g.reports))
+	for _, r := range g.reports {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Run < out[j].Run })
+	return out
+}
+
+// registryDoc is the JSON envelope WriteJSON emits.
+type registryDoc struct {
+	// Cells holds one report per (figure, workload, profile, input) run.
+	Cells []Report `json:"cells"`
+	// Totals aggregates issue-side and outcome counters across all cells.
+	Totals map[string]ClassReport `json:"totals"`
+}
+
+// WriteJSON writes every report plus cross-cell per-class totals as
+// indented JSON.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	doc := registryDoc{Cells: g.Reports(), Totals: make(map[string]ClassReport)}
+	acc := make(map[string]*ClassStats)
+	var unc uint64
+	for _, r := range doc.Cells {
+		unc += r.UncoveredMisses
+		for name, cr := range r.Classes {
+			s := acc[name]
+			if s == nil {
+				s = &ClassStats{}
+				acc[name] = s
+			}
+			s.Add(ClassStats{
+				Issued: cr.Issued, Useful: cr.Useful, Late: cr.Late,
+				Redundant: cr.Redundant, DroppedTLB: cr.DroppedTLB,
+				DroppedMSHR: cr.DroppedMSHR, EvictedUnused: cr.EvictedUnused,
+				ResidentUnused: cr.ResidentUnused, InFlightEnd: cr.InFlightEnd,
+				Harmful: cr.Harmful,
+			})
+		}
+	}
+	var covered uint64
+	for _, s := range acc {
+		covered += s.covered()
+	}
+	for name, s := range acc {
+		cr := ClassReport{
+			Issued: s.Issued, Useful: s.Useful, Late: s.Late,
+			Redundant: s.Redundant, DroppedTLB: s.DroppedTLB,
+			DroppedMSHR: s.DroppedMSHR, EvictedUnused: s.EvictedUnused,
+			ResidentUnused: s.ResidentUnused, InFlightEnd: s.InFlightEnd,
+			Harmful: s.Harmful, Accuracy: s.Accuracy(), Timeliness: s.Timeliness(),
+		}
+		if covered+unc > 0 {
+			cr.Coverage = float64(s.covered()) / float64(covered+unc)
+		}
+		doc.Totals[name] = cr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

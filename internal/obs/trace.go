@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one observability event, serialised as a single JSON line.
+type TraceEvent struct {
+	// Cycle is the simulated cycle the event happened at.
+	Cycle uint64 `json:"cycle"`
+	// Kind names the event ("pf-issue", "pf-useful", "pf-late",
+	// "pf-redundant", "pf-harmful", "pf-evicted-unused", "pf-drop-tlb",
+	// "pf-drop-mshr", "hook-malformed", "hook-out-of-range", "rpt-drop",
+	// "run" ...).
+	Kind string `json:"kind"`
+	// Class is the prefetch class label, when the event concerns one.
+	Class string `json:"class,omitempty"`
+	// Addr is the byte address involved, when applicable.
+	Addr uint64 `json:"addr,omitempty"`
+	// Run labels the run cell the event belongs to (set by the harness).
+	Run string `json:"run,omitempty"`
+	// Detail carries free-form context ("args=3", a drop reason...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceConfig bounds a Trace sink.
+type TraceConfig struct {
+	// SampleEvery keeps one event in every SampleEvery (per kind-agnostic
+	// global count); values <= 1 keep every event.
+	SampleEvery int
+	// MaxEvents stops writing after this many emitted events; zero selects
+	// 1 << 20. Events past the bound are counted, not written.
+	MaxEvents int
+}
+
+// Trace is a bounded, sampled JSONL event sink. It is safe for concurrent
+// use: the experiment harness runs many simulations in parallel and funnels
+// them into one sink.
+type Trace struct {
+	mu      sync.Mutex
+	w       io.Writer
+	enc     *json.Encoder
+	cfg     TraceConfig
+	seen    uint64
+	written uint64
+	dropped uint64
+	// run is the label stamped on events that do not carry their own.
+	run string
+	// parent links a WithRun view back to the sink owning the shared
+	// mutable state; nil marks the root sink.
+	parent *Trace
+}
+
+// NewTrace returns a sink writing JSON lines to w.
+func NewTrace(w io.Writer, cfg TraceConfig) *Trace {
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 20
+	}
+	return &Trace{w: w, enc: json.NewEncoder(w), cfg: cfg}
+}
+
+// WithRun returns a view of the same sink that stamps run onto every event
+// lacking a Run label. The view shares the parent's lock, sampling state
+// and bound.
+func (t *Trace) WithRun(run string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{run: run, parent: t.root()}
+}
+
+// root returns the sink that owns the mutable state.
+func (t *Trace) root() *Trace {
+	if t.parent != nil {
+		return t.parent
+	}
+	return t
+}
+
+// Emit writes one event, subject to sampling and the event bound.
+func (t *Trace) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if ev.Run == "" {
+		ev.Run = t.run
+	}
+	r := t.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if r.cfg.SampleEvery > 1 && r.seen%uint64(r.cfg.SampleEvery) != 0 {
+		return
+	}
+	if int(r.written) >= r.cfg.MaxEvents {
+		r.dropped++
+		return
+	}
+	if err := r.enc.Encode(ev); err != nil {
+		r.dropped++
+		return
+	}
+	r.written++
+}
+
+// Stats reports how many events were seen, written and dropped (sampled-out
+// events count as seen but neither written nor dropped).
+func (t *Trace) Stats() (seen, written, dropped uint64) {
+	r := t.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen, r.written, r.dropped
+}

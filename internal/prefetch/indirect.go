@@ -99,6 +99,7 @@ func insertIndirect(f *ir.Function, li *cfg.LoopInfo, defs *cfg.Defs,
 		pf.Imm = d.Imm
 		pf.Pred = d.Pred
 		pf.ID = f.NextInstrID()
+		pf.Comment = "indirect-prefetch"
 		db.InsertBefore(pos, pf)
 		inserted++
 	}

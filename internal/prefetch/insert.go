@@ -495,6 +495,7 @@ func EmitPMST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k int
 		pf := ir.NewInstr(ir.OpPrefetch)
 		pf.Src[0] = pfb
 		pf.Imm = delta
+		pf.Comment = "pmst-prefetch"
 		emit(pf)
 		n++
 	}
@@ -576,6 +577,7 @@ func EmitWSST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k, st
 		pf.Src[0] = load.Src[0]
 		pf.Imm = load.Imm + k*strideBytes + delta
 		pf.Pred = pc
+		pf.Comment = "wsst-prefetch"
 		emit(pf)
 		n++
 	}
@@ -662,6 +664,7 @@ func emitOutLoopDynamic(res *Result, f *ir.Function, b *ir.Block, load *ir.Instr
 
 	pf := ir.NewInstr(ir.OpPrefetch)
 	pf.Src[0] = pfb
+	pf.Comment = "outloop-dynamic"
 	emit(pf)
 	return 1
 }

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"sort"
 
 	"stridepf/internal/lfu"
@@ -11,15 +12,21 @@ import (
 // Merge combines profiles from several training runs, the standard
 // multi-run workflow of production profile-guided optimisation: edge and
 // entry counts sum, and stride summaries merge per load by summing their
-// counters and re-ranking the combined top strides. Fine-sampling
-// intervals must agree across runs (profiles from differently configured
-// runs are not meaningfully mergeable); Merge keeps the first profile's
-// interval and scales nothing.
-func Merge(profiles ...*Combined) *Combined {
+// counters and re-ranking the combined top strides.
+//
+// Fine-sampling intervals must agree across runs: the interval is the
+// scale factor of every frequency counter (a run at interval F sees one in
+// F references), so summing counters taken at different intervals produces
+// a profile biased toward the densely sampled run. Merge returns an error
+// on the first mismatch rather than silently keeping one interval.
+func Merge(profiles ...*Combined) (*Combined, error) {
 	out := &Combined{Edge: NewEdgeProfile()}
 	entries := make(map[string]uint64)
 	sums := make(map[machine.LoadKey]stride.Summary)
 
+	// Interval 0 marks a summary that never went through the runtime
+	// (hand-built fixtures); it is compatible with anything.
+	interval := 0
 	for _, p := range profiles {
 		if p == nil {
 			continue
@@ -31,6 +38,15 @@ func Merge(profiles ...*Combined) *Combined {
 			entries[fn] += c
 		}
 		for _, s := range p.Stride.Summaries() {
+			if s.FineInterval != 0 {
+				if interval == 0 {
+					interval = s.FineInterval
+				} else if s.FineInterval != interval {
+					return nil, fmt.Errorf(
+						"profile: cannot merge profiles sampled at fine intervals %d and %d (load %s#%d): frequencies are not on a common scale",
+						interval, s.FineInterval, s.Key.Func, s.Key.ID)
+				}
+			}
 			acc, ok := sums[s.Key]
 			if !ok {
 				sums[s.Key] = s
@@ -47,7 +63,7 @@ func Merge(profiles ...*Combined) *Combined {
 		merged = append(merged, s)
 	}
 	out.Stride = NewStrideProfile(merged)
-	return out
+	return out, nil
 }
 
 // mergeSummaries combines two stride summaries of the same load.
@@ -79,13 +95,17 @@ func mergeSummaries(a, b stride.Summary) stride.Summary {
 		dist = (a.AvgRefDistance*float64(a.TotalStrides) +
 			b.AvgRefDistance*float64(b.TotalStrides)) / float64(total)
 	}
+	fi := a.FineInterval
+	if fi == 0 {
+		fi = b.FineInterval
+	}
 	return stride.Summary{
 		Key:            a.Key,
 		TopStrides:     tops,
 		TotalStrides:   total,
 		ZeroStrides:    a.ZeroStrides + b.ZeroStrides,
 		ZeroDiffs:      a.ZeroDiffs + b.ZeroDiffs,
-		FineInterval:   a.FineInterval,
+		FineInterval:   fi,
 		AvgRefDistance: dist,
 	}
 }

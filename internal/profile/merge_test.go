@@ -26,7 +26,10 @@ func TestMergeSumsCounts(t *testing.T) {
 		TopStrides: []lfu.Entry{{Value: 64, Freq: 100}, {Value: 128, Freq: 30}},
 	})
 
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if got := m.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}); got != 300 {
 		t.Errorf("edge count = %d, want 300", got)
 	}
@@ -57,7 +60,10 @@ func TestMergeDisjointLoads(t *testing.T) {
 		Key: machine.LoadKey{Func: "main", ID: 2}, TotalStrides: 20,
 		TopStrides: []lfu.Entry{{Value: 16, Freq: 20}},
 	})
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if m.Stride.Len() != 2 {
 		t.Errorf("merged loads = %d, want 2", m.Stride.Len())
 	}
@@ -69,13 +75,38 @@ func TestMergeIdentityAndNil(t *testing.T) {
 		Key: key, TotalStrides: 10, FineInterval: 4,
 		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
 	})
-	m := Merge(a, nil)
+	m, err := Merge(a, nil)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if m.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}) != 5 {
 		t.Error("single-profile merge changed edge counts")
 	}
 	s, _ := m.Stride.Lookup(key)
 	if s.FineInterval != 4 {
 		t.Error("fine interval lost in merge")
+	}
+}
+
+func TestMergeFineIntervalMismatch(t *testing.T) {
+	a := mkCombined(1, 0, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 10, FineInterval: 1,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+	})
+	b := mkCombined(1, 0, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 2}, TotalStrides: 20, FineInterval: 4,
+		TopStrides: []lfu.Entry{{Value: 16, Freq: 20}},
+	})
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merging profiles sampled at intervals 1 and 4 succeeded, want error")
+	}
+	// Interval 0 marks hand-built summaries and merges with anything.
+	c := mkCombined(1, 0, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 3}, TotalStrides: 5,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 5}},
+	})
+	if _, err := Merge(a, c); err != nil {
+		t.Fatalf("merging with an interval-0 fixture failed: %v", err)
 	}
 }
 
@@ -89,7 +120,10 @@ func TestMergeRefDistanceWeighted(t *testing.T) {
 		Key: key, TotalStrides: 300, AvgRefDistance: 50,
 		TopStrides: []lfu.Entry{{Value: 8, Freq: 300}},
 	})
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	s, _ := m.Stride.Lookup(key)
 	if s.AvgRefDistance != 40 { // (100*10 + 300*50)/400
 		t.Errorf("weighted distance = %v, want 40", s.AvgRefDistance)

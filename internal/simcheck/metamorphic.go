@@ -259,17 +259,26 @@ func mergeFixture(seed uint64, exact bool) []*profile.Combined {
 	return out
 }
 
+// mergeFingerprint merges the profiles and fingerprints the result.
+func mergeFingerprint(ps ...*profile.Combined) (string, error) {
+	m, err := profile.Merge(ps...)
+	if err != nil {
+		return "", err
+	}
+	return profileFingerprint(m)
+}
+
 // CheckMergeCommutative asserts Merge(a, b) == Merge(b, a) on synthetic
 // profiles (including nonzero reference-distance means, whose weighted
 // combination is symmetric).
 func CheckMergeCommutative(seed uint64) error {
 	ps := mergeFixture(seed, false)
 	a, b := ps[0], ps[1]
-	ab, err := profileFingerprint(profile.Merge(a, b))
+	ab, err := mergeFingerprint(a, b)
 	if err != nil {
 		return err
 	}
-	ba, err := profileFingerprint(profile.Merge(b, a))
+	ba, err := mergeFingerprint(b, a)
 	if err != nil {
 		return err
 	}
@@ -286,15 +295,23 @@ func CheckMergeCommutative(seed uint64) error {
 func CheckMergeAssociative(seed uint64) error {
 	ps := mergeFixture(seed, true)
 	a, b, c := ps[0], ps[1], ps[2]
-	left, err := profileFingerprint(profile.Merge(profile.Merge(a, b), c))
+	ab, err := profile.Merge(a, b)
 	if err != nil {
 		return err
 	}
-	right, err := profileFingerprint(profile.Merge(a, profile.Merge(b, c)))
+	left, err := mergeFingerprint(ab, c)
 	if err != nil {
 		return err
 	}
-	flat, err := profileFingerprint(profile.Merge(a, b, c))
+	bc, err := profile.Merge(b, c)
+	if err != nil {
+		return err
+	}
+	right, err := mergeFingerprint(a, bc)
+	if err != nil {
+		return err
+	}
+	flat, err := mergeFingerprint(a, b, c)
 	if err != nil {
 		return err
 	}

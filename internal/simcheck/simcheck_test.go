@@ -24,6 +24,14 @@ func TestPrefetchNeutralityHolds(t *testing.T) {
 	}
 }
 
+func TestMetricsNeutralityHolds(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		if err := CheckMetricsNeutrality(seed, irgen.Config{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestSamplingInvarianceHolds(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		if err := CheckSamplingInvariance(seed); err != nil {

@@ -11,10 +11,12 @@
 package stride
 
 import (
+	"fmt"
 	"sort"
 
 	"stridepf/internal/lfu"
 	"stridepf/internal/machine"
+	"stridepf/internal/obs"
 )
 
 // HookID is the machine hook identifier under which the runtime registers
@@ -133,6 +135,15 @@ type Runtime struct {
 
 	// Invocations counts hook calls (before any sampling).
 	Invocations int64
+
+	// MalformedCalls counts hook invocations with the wrong argument count;
+	// OutOfRangeCalls counts invocations whose data index named no record.
+	// Both mark instrumentation bugs: the profile is silently incomplete.
+	// They used to be swallowed without a trace; now they are counted
+	// always, and under machine.Config.SelfCheck the first one also faults
+	// the run (see Register).
+	MalformedCalls  int64
+	OutOfRangeCalls int64
 }
 
 // NewRuntime returns an empty runtime.
@@ -173,10 +184,29 @@ func (rt *Runtime) Records() []*ProfData { return rt.data }
 func (rt *Runtime) Register(m *machine.Machine) {
 	m.Register(HookID, func(mm *machine.Machine, args []int64) {
 		if len(args) != 2 {
+			rt.MalformedCalls++
+			mm.Obs().Emit(obs.TraceEvent{
+				Cycle: mm.Now(), Kind: "hook-malformed",
+				Detail: fmt.Sprintf("args=%d", len(args)),
+			})
+			if mm.SelfChecked() {
+				mm.Fault(fmt.Errorf(
+					"stride: hook %d called with %d args, want 2", HookID, len(args)))
+			}
 			return
 		}
 		idx := args[0]
 		if idx < 0 || int(idx) >= len(rt.data) {
+			rt.OutOfRangeCalls++
+			mm.Obs().Emit(obs.TraceEvent{
+				Cycle: mm.Now(), Kind: "hook-out-of-range",
+				Detail: fmt.Sprintf("idx=%d records=%d", idx, len(rt.data)),
+			})
+			if mm.SelfChecked() {
+				mm.Fault(fmt.Errorf(
+					"stride: hook %d called with data index %d, have %d records",
+					HookID, idx, len(rt.data)))
+			}
 			return
 		}
 		pd := rt.data[idx]
@@ -229,8 +259,13 @@ func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
 			return cost
 		}
 		if rt.numberProfiled == rt.cfg.ChunkProfile {
+			// The chunk is full, so this reference opens the next skip
+			// phase and must count as its first skip. Resetting both
+			// counters to zero here would swallow the boundary reference —
+			// neither profiled nor skipped — stretching the sampling
+			// period to ChunkSkip+ChunkProfile+1 references.
 			rt.numberProfiled = 0
-			rt.numberSkipped = 0
+			rt.numberSkipped = 1
 			return cost
 		}
 		rt.numberProfiled++

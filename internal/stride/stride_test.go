@@ -330,3 +330,89 @@ func buildHookLoop(dataIndex int64) *ir.Program {
 	prog.Add(b.Finish())
 	return prog
 }
+
+func TestChunkSamplingExactPeriod(t *testing.T) {
+	// The sampling period must be exactly ChunkSkip+ChunkProfile references
+	// with exactly ChunkProfile of them profiled. The old reset swallowed
+	// the boundary reference (neither skipped nor profiled), stretching the
+	// period to ChunkSkip+ChunkProfile+1 and skewing Figure 21's
+	// processed-reference counts.
+	cases := []struct {
+		skip, prof int64
+		refs       int
+	}{
+		{3, 2, 25},                                           // 5 exact periods
+		{100, 50, 600} /* 4 exact periods */, {100, 50, 500}, // partial tail: 3 periods + 50 skips
+		{1, 1, 100},
+	}
+	for _, tc := range cases {
+		cfg := Config{ChunkSkip: tc.skip, ChunkProfile: tc.prof}
+		_, pd := feed(cfg, strided(0, 8, tc.refs))
+		period := tc.skip + tc.prof
+		full := int64(tc.refs) / period
+		tail := int64(tc.refs) % period
+		want := full * tc.prof
+		if extra := tail - tc.skip; extra > 0 {
+			want += extra
+		}
+		if pd.Processed != want {
+			t.Errorf("skip=%d profile=%d refs=%d: Processed = %d, want %d",
+				tc.skip, tc.prof, tc.refs, pd.Processed, want)
+		}
+	}
+}
+
+func TestHookMisuseCounted(t *testing.T) {
+	rt := NewRuntime(Config{})
+	rt.AddLoad(key(1))
+
+	// Malformed: wrong arg count. Out of range: index past the table.
+	prog := buildMisuseProg(99)
+	m, err := machine.New(prog, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Register(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("unchecked run must not fail on hook misuse: %v", err)
+	}
+	if rt.MalformedCalls != 1 {
+		t.Errorf("MalformedCalls = %d, want 1", rt.MalformedCalls)
+	}
+	if rt.OutOfRangeCalls != 2 {
+		t.Errorf("OutOfRangeCalls = %d, want 2", rt.OutOfRangeCalls)
+	}
+}
+
+func TestHookMisuseFaultsUnderSelfCheck(t *testing.T) {
+	rt := NewRuntime(Config{})
+	rt.AddLoad(key(1))
+	prog := buildMisuseProg(99)
+	m, err := machine.New(prog, machine.Config{SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Register(m)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("self-checked run swallowed hook misuse, want error")
+	}
+}
+
+// buildMisuseProg emits one malformed hook call (wrong arity) and two
+// out-of-range hook calls (negative index, index past the table), plus one
+// well-formed call so the program exercises the healthy path too.
+func buildMisuseProg(badIdx int64) *ir.Program {
+	b := ir.NewBuilder("main")
+	p := b.Const(0x5000)
+	good := b.Const(0)
+	neg := b.Const(-1)
+	big := b.Const(badIdx)
+	b.Hook(HookID, p) // malformed: 1 arg
+	b.Hook(HookID, neg, p)
+	b.Hook(HookID, big, p)
+	b.Hook(HookID, good, p)
+	b.Ret(ir.NoReg)
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+	return prog
+}
