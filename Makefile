@@ -11,7 +11,7 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race fuzz-smoke simcheck \
-	bench bench-json figures metrics clean
+	bench bench-json figures metrics serve smoke-serve clean
 
 check: vet build test race
 
@@ -20,6 +20,7 @@ check-deep: check
 	$(MAKE) fuzz-smoke
 	$(MAKE) simcheck
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
+	$(MAKE) smoke-serve
 
 vet:
 	$(GO) vet ./...
@@ -35,10 +36,10 @@ test:
 # TestParallelMatchesSerial (the full parallel-vs-serial determinism check)
 # runs race-enabled in full via `make race-full`.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/machine/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/machine/... ./internal/server/...
 
 race-full:
-	$(GO) test -race ./internal/experiments/... ./internal/machine/...
+	$(GO) test -race ./internal/experiments/... ./internal/machine/... ./internal/server/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -61,6 +62,26 @@ bench-json:
 # Regenerate all paper figures (parallel across GOMAXPROCS workers).
 figures:
 	$(GO) run ./cmd/experiments -figure all
+
+# Run the stride-profiling service daemon (see cmd/strided and DESIGN.md §9).
+serve:
+	$(GO) run ./cmd/strided
+
+# End-to-end daemon smoke: boot strided on a loopback port, assert the
+# figure-16 endpoint's bytes equal the experiments CLI's output, and shut
+# down gracefully.
+smoke-serve:
+	$(GO) build -o /tmp/stridepf-strided ./cmd/strided
+	$(GO) run ./cmd/experiments -figure 16 -workloads 197.parser -o /tmp/stridepf-fig16-cli.txt
+	/tmp/stridepf-strided -addr 127.0.0.1:8471 -workloads 197.parser & \
+	pid=$$!; \
+	sleep 1; \
+	curl -fsS http://127.0.0.1:8471/healthz > /dev/null && \
+	curl -fsS http://127.0.0.1:8471/v1/figure/16 -o /tmp/stridepf-fig16-http.txt; \
+	status=$$?; \
+	kill -INT $$pid; wait $$pid; \
+	test $$status -eq 0 && cmp /tmp/stridepf-fig16-cli.txt /tmp/stridepf-fig16-http.txt
+	@echo "smoke-serve: figure endpoint byte-identical to CLI"
 
 # Figure 16 with the prefetch-effectiveness observer on: per-class
 # accuracy/coverage/timeliness JSON plus the sampled event trace

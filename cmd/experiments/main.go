@@ -33,6 +33,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -148,11 +149,12 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
 	if *figureFlag == "all" {
 		if *csvFlag {
 			fatal(fmt.Errorf("-csv requires a single -figure"))
 		}
-		if err := experiments.RunAll(out, cfg); err != nil {
+		if err := experiments.RunAll(ctx, out, cfg); err != nil {
 			fatal(err)
 		}
 		finish()
@@ -160,34 +162,21 @@ func main() {
 	}
 
 	s := experiments.NewSession(cfg)
-	type figFn func() (*experiments.Table, error)
-	figs := map[string]figFn{
-		"16": s.Fig16, "17": s.Fig17, "18": s.Fig18, "19": s.Fig19,
-		"20": s.Fig20, "21": s.Fig21, "22": s.Fig22,
-		"23": s.Fig23, "24": s.Fig24, "25": s.Fig25,
+	known := false
+	for _, name := range experiments.FigureNames() {
+		known = known || name == *figureFlag
 	}
-	if *figureFlag == "15" {
-		fmt.Fprintln(out, s.Fig15())
-		finish()
-		return
-	}
-	fn, ok := figs[*figureFlag]
-	if !ok {
+	if !known {
 		fatal(fmt.Errorf("unknown figure %q (want all or 15..25)", *figureFlag))
 	}
-	if n := cfg.Jobs; n != 1 {
-		s.Warm(n, *figureFlag)
+	if n := cfg.Jobs; n != 1 && *figureFlag != "15" {
+		s.Warm(ctx, n, *figureFlag)
 	}
-	t, err := fn()
+	text, err := s.FigureText(ctx, *figureFlag, *csvFlag)
 	if err != nil {
 		fatal(err)
 	}
-	if *csvFlag {
-		fmt.Fprint(out, t.CSV())
-		finish()
-		return
-	}
-	fmt.Fprintln(out, t)
+	fmt.Fprint(out, text)
 	finish()
 }
 

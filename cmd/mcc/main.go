@@ -71,7 +71,7 @@ func run(argv []string, out io.Writer) error {
 		return runPGO(prog, *method, *indirect, out)
 	}
 	if *runIt || *stats {
-		m, err := machine.New(prog, machine.Config{})
+		m, err := machine.New(prog)
 		if err != nil {
 			return err
 		}
@@ -108,7 +108,7 @@ func runPGO(prog *ir.Program, method string, indirect bool, out io.Writer) error
 	if err != nil {
 		return err
 	}
-	pm, err := machine.New(inst.Prog, machine.Config{})
+	pm, err := machine.New(inst.Prog)
 	if err != nil {
 		return err
 	}
@@ -147,7 +147,7 @@ func runPGO(prog *ir.Program, method string, indirect bool, out io.Writer) error
 	}
 
 	runOne := func(p *ir.Program) (int64, uint64, error) {
-		mm, err := machine.New(p, machine.Config{})
+		mm, err := machine.New(p)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,0 +1,104 @@
+// Command strided is the stride-profiling service daemon: an HTTP/JSON
+// front end to the profiling pipeline. Producers POST profile shards to
+// it (a networked profmerge), and consumers query merged profiles,
+// per-load classification decisions, the paper's figure tables (byte-
+// identical to `experiments -figure N` output) and prefetch-effectiveness
+// metrics.
+//
+// Usage:
+//
+//	strided [-addr :8471] [-workloads 181.mcf,197.parser] [-j N]
+//	        [-max-inflight N] [-max-queued N] [-timeout 5m] [-selfcheck]
+//
+// Endpoints:
+//
+//	GET  /healthz                             liveness + load counters
+//	GET  /obs/metrics                         prefetch-effectiveness roll-up
+//	GET  /v1/figures                          figure and format listing
+//	GET  /v1/figure/{n}[?format=csv|jsonl][&workloads=a,b]
+//	GET  /v1/profiles                         stored aggregate listing
+//	POST /v1/profiles/{workload}/{config}     upload one profile shard
+//	GET  /v1/profiles/{workload}/{config}     download merged aggregate
+//	GET  /v1/classify/{workload}/{config}     classification decisions
+//
+// Simulation-heavy requests (figures, classify) run on a bounded worker
+// gate; when the wait queue is full the daemon answers 429 with a
+// Retry-After hint. SIGINT/SIGTERM starts a graceful shutdown that stops
+// accepting connections and drains in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stridepf/internal/experiments"
+	"stridepf/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8471", "listen address")
+		workloadsF  = flag.String("workloads", "", "default benchmark roster (comma-separated; default: all)")
+		jFlag       = flag.Int("j", 0, "per-session simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing heavy requests (0 = GOMAXPROCS)")
+		maxQueued   = flag.Int("max-queued", 0, "max heavy requests waiting for a slot before 429 (0 = 2*max-inflight)")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "per-request timeout for heavy requests (0 = none)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		selfCheck   = flag.Bool("selfcheck", false, "run shadow-model self-checking in every simulation")
+	)
+	flag.Parse()
+
+	lg := log.New(os.Stderr, "strided: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueued:      *maxQueued,
+		RequestTimeout: *timeout,
+		Log:            lg,
+	}
+	cfg.Experiments = experiments.Config{Jobs: *jFlag}
+	cfg.Experiments.Machine.SelfCheck = *selfCheck
+	if *workloadsF != "" {
+		cfg.Experiments.Workloads = strings.Split(*workloadsF, ",")
+	}
+
+	srv := server.New(cfg)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	lg.Printf("listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		lg.Fatalf("serve: %v", err)
+	case sig := <-sigCh:
+		lg.Printf("received %s, draining (budget %s)", sig, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		lg.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		lg.Printf("drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		lg.Printf("serve: %v", err)
+	}
+	lg.Printf("stopped")
+}

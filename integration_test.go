@@ -1,10 +1,14 @@
 package stridepf
 
 import (
+	"context"
 	"testing"
 
 	"stridepf/internal/experiments"
 )
+
+// ctx is the background context the root-package tests and benchmarks share.
+var ctx = context.Background()
 
 // TestHeadlineResults asserts the paper's headline claims on the full
 // twelve-benchmark suite (skipped under -short; the simulation takes a
@@ -24,7 +28,7 @@ func TestHeadlineResults(t *testing.T) {
 	}
 	s := experiments.NewSession(experiments.Config{})
 
-	fig16, err := s.Fig16()
+	fig16, err := s.Fig16(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +87,7 @@ func TestHeadlineResults(t *testing.T) {
 		t.Errorf("profiling methods disagree too much: averages %v", avgRow.Values)
 	}
 
-	fig20, err := s.Fig20()
+	fig20, err := s.Fig20(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func TestHeadlineResults(t *testing.T) {
 	}
 
 	// Figure 22's fast-path effect: naive-all LFU rate well below 100%.
-	fig22, err := s.Fig22()
+	fig22, err := s.Fig22(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

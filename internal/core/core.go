@@ -77,7 +77,7 @@ type RunStats struct {
 // an instrumented clone or a prefetched clone (their instruction IDs all
 // agree).
 func Execute(prog *ir.Program, w Workload, in Input, mcfg machine.Config) (RunStats, error) {
-	m, err := machine.New(prog, mcfg)
+	m, err := machine.New(prog, machine.WithConfig(mcfg))
 	if err != nil {
 		return RunStats{}, err
 	}
@@ -137,7 +137,7 @@ func ProfilePass(w Workload, in Input, opts instrument.Options, mcfg machine.Con
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(res.Prog, mcfg)
+	m, err := machine.New(res.Prog, machine.WithConfig(mcfg))
 	if err != nil {
 		return nil, err
 	}

@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 )
+
+// ctx is the background context the non-cancellation tests share.
+var ctx = context.Background()
 
 func TestTableRendering(t *testing.T) {
 	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
@@ -56,7 +60,7 @@ func sessionFor(t *testing.T) *Session {
 
 func TestFig16Headline(t *testing.T) {
 	s := sessionFor(t)
-	tb, err := s.Fig16()
+	tb, err := s.Fig16(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +82,7 @@ func TestFig16Headline(t *testing.T) {
 
 func TestFig17SumsTo100(t *testing.T) {
 	s := sessionFor(t)
-	tb, err := s.Fig17()
+	tb, err := s.Fig17(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,15 +95,15 @@ func TestFig17SumsTo100(t *testing.T) {
 
 func TestFig18And19Consistency(t *testing.T) {
 	s := sessionFor(t)
-	t18, err := s.Fig18()
+	t18, err := s.Fig18(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t19, err := s.Fig19()
+	t19, err := s.Fig19(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t17, err := s.Fig17()
+	t17, err := s.Fig17(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +130,7 @@ func TestFig18And19Consistency(t *testing.T) {
 
 func TestFig20OverheadOrdering(t *testing.T) {
 	s := sessionFor(t)
-	tb, err := s.Fig20()
+	tb, err := s.Fig20(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +151,11 @@ func TestFig20OverheadOrdering(t *testing.T) {
 
 func TestFig21And22Rates(t *testing.T) {
 	s := sessionFor(t)
-	t21, err := s.Fig21()
+	t21, err := s.Fig21(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t22, err := s.Fig22()
+	t22, err := s.Fig22(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +184,8 @@ func TestFig21And22Rates(t *testing.T) {
 
 func TestFig23To25Stability(t *testing.T) {
 	s := sessionFor(t)
-	for _, fn := range []func() (*Table, error){s.Fig23, s.Fig24, s.Fig25} {
-		tb, err := fn()
+	for _, fn := range []func(context.Context) (*Table, error){s.Fig23, s.Fig24, s.Fig25} {
+		tb, err := fn(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +213,7 @@ func TestRunAllSubset(t *testing.T) {
 		t.Skip("full harness in -short mode")
 	}
 	var buf bytes.Buffer
-	err := RunAll(&buf, Config{Workloads: []string{"197.parser"}})
+	err := RunAll(ctx, &buf, Config{Workloads: []string{"197.parser"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +226,7 @@ func TestRunAllSubset(t *testing.T) {
 
 func TestUnknownWorkloadFails(t *testing.T) {
 	s := NewSession(Config{Workloads: []string{"999.bogus"}})
-	if _, err := s.Fig16(); err == nil {
+	if _, err := s.Fig16(ctx); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -30,7 +31,7 @@ func (s *Session) Fig15() string {
 // Fig16 reproduces Figure 16: the speedup of stride-profile-guided
 // prefetching on the reference input, with profiles collected on the train
 // input by each of the six one-pass profiling methods.
-func (s *Session) Fig16() (*Table, error) {
+func (s *Session) Fig16(ctx context.Context) (*Table, error) {
 	methods := PaperMethods()
 	t := &Table{Title: "Figure 16: Speedup of stride prefetching (train profile, ref run)"}
 	for _, m := range methods {
@@ -43,11 +44,11 @@ func (s *Session) Fig16() (*Table, error) {
 		}
 		row := make([]float64, 0, len(methods))
 		for _, m := range methods {
-			pr, err := s.Profile(name, m, w.Train())
+			pr, err := s.Profile(ctx, name, m, w.Train())
 			if err != nil {
 				return nil, err
 			}
-			e, err := s.Speedup(name, m.Name+"-train", pr.Profiles, w.Ref())
+			e, err := s.Speedup(ctx, name, m.Name+"-train", pr.Profiles, w.Ref())
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +62,7 @@ func (s *Session) Fig16() (*Table, error) {
 
 // Fig17 reproduces Figure 17: the percentage of dynamic load references
 // from in-loop and out-loop loads, measured on the reference input.
-func (s *Session) Fig17() (*Table, error) {
+func (s *Session) Fig17(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:     "Figure 17: Percentage of in-loop and out-loop load references (ref input)",
 		Columns:   []string{"in-loop%", "out-loop%"},
@@ -72,7 +73,7 @@ func (s *Session) Fig17() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := s.Clean(name, w.Ref())
+		run, err := s.Clean(ctx, name, w.Ref())
 		if err != nil {
 			return nil, err
 		}
@@ -109,25 +110,25 @@ type classBuckets struct {
 
 // classify memoises classifyCompute per workload (Figures 18 and 19 both
 // consume it).
-func (s *Session) classify(name string) (*classBuckets, error) {
+func (s *Session) classify(ctx context.Context, name string) (*classBuckets, error) {
 	key := "classify|" + name
-	v, err := s.do(key,
+	v, err := s.do(ctx, key,
 		func() (any, bool) { cb, ok := s.classes[key]; return cb, ok },
 		func(v any) { s.classes[key] = v.(*classBuckets) },
-		func() (any, error) { return s.classifyCompute(name) })
+		func() (any, error) { return s.classifyCompute(ctx, name) })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*classBuckets), nil
 }
 
-func (s *Session) classifyCompute(name string) (*classBuckets, error) {
+func (s *Session) classifyCompute(ctx context.Context, name string) (*classBuckets, error) {
 	w, err := s.workload(name)
 	if err != nil {
 		return nil, err
 	}
 	m := MethodSpec{Name: "naive-all", Opts: instrument.Options{Method: instrument.NaiveAll}}
-	pr, err := s.Profile(name, m, w.Train())
+	pr, err := s.Profile(ctx, name, m, w.Train())
 	if err != nil {
 		return nil, err
 	}
@@ -180,25 +181,25 @@ var classColumns = []prefetch.Class{prefetch.SSST, prefetch.PMST, prefetch.WSST,
 // Fig18 reproduces Figure 18: the distribution of out-loop load references
 // by stride property (naive-all profile), as percentages of all load
 // references.
-func (s *Session) Fig18() (*Table, error) {
-	return s.distTable("Figure 18: Distribution of out-loop loads by stride properties (% of load refs)",
+func (s *Session) Fig18(ctx context.Context) (*Table, error) {
+	return s.distTable(ctx, "Figure 18: Distribution of out-loop loads by stride properties (% of load refs)",
 		func(cb *classBuckets) map[prefetch.Class]uint64 { return cb.outLoop })
 }
 
 // Fig19 reproduces Figure 19: the distribution of in-loop load references
 // by stride property.
-func (s *Session) Fig19() (*Table, error) {
-	return s.distTable("Figure 19: Distribution of in-loop loads by stride properties (% of load refs)",
+func (s *Session) Fig19(ctx context.Context) (*Table, error) {
+	return s.distTable(ctx, "Figure 19: Distribution of in-loop loads by stride properties (% of load refs)",
 		func(cb *classBuckets) map[prefetch.Class]uint64 { return cb.inLoop })
 }
 
-func (s *Session) distTable(title string, sel func(*classBuckets) map[prefetch.Class]uint64) (*Table, error) {
+func (s *Session) distTable(ctx context.Context, title string, sel func(*classBuckets) map[prefetch.Class]uint64) (*Table, error) {
 	t := &Table{Title: title, Precision: 1}
 	for _, c := range classColumns {
 		t.Columns = append(t.Columns, c.String())
 	}
 	for _, name := range s.cfg.names() {
-		cb, err := s.classify(name)
+		cb, err := s.classify(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +224,7 @@ var edgeOnlySpec = MethodSpec{Name: "edge-only", Opts: instrument.Options{Method
 // Fig20 reproduces Figure 20: profiling overhead of each integrated method
 // over edge-frequency profiling alone, on the train input:
 // (cycles(method) - cycles(edge-only)) / cycles(edge-only).
-func (s *Session) Fig20() (*Table, error) {
+func (s *Session) Fig20(ctx context.Context) (*Table, error) {
 	methods := PaperMethods()
 	t := &Table{Title: "Figure 20: Profiling overhead over edge profiling alone (train input)"}
 	for _, m := range methods {
@@ -234,13 +235,13 @@ func (s *Session) Fig20() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := s.Profile(name, edgeOnlySpec, w.Train())
+		base, err := s.Profile(ctx, name, edgeOnlySpec, w.Train())
 		if err != nil {
 			return nil, err
 		}
 		row := make([]float64, 0, len(methods))
 		for _, m := range methods {
-			pr, err := s.Profile(name, m, w.Train())
+			pr, err := s.Profile(ctx, name, m, w.Train())
 			if err != nil {
 				return nil, err
 			}
@@ -256,19 +257,19 @@ func (s *Session) Fig20() (*Table, error) {
 
 // Fig21 reproduces Figure 21: the percentage of load references processed
 // by the strideProf routine (after sampling), per method.
-func (s *Session) Fig21() (*Table, error) {
-	return s.rateTable("Figure 21: %% of load references processed in strideProf (after sampling)",
+func (s *Session) Fig21(ctx context.Context) (*Table, error) {
+	return s.rateTable(ctx, "Figure 21: %% of load references processed in strideProf (after sampling)",
 		func(pr *core.ProfileRun) float64 { return float64(pr.ProcessedRefs) })
 }
 
 // Fig22 reproduces Figure 22: the percentage of load references processed
 // by the LFU routine (the zero-stride fast path bypasses it).
-func (s *Session) Fig22() (*Table, error) {
-	return s.rateTable("Figure 22: %% of load references processed by LFU",
+func (s *Session) Fig22(ctx context.Context) (*Table, error) {
+	return s.rateTable(ctx, "Figure 22: %% of load references processed by LFU",
 		func(pr *core.ProfileRun) float64 { return float64(pr.LFUCalls) })
 }
 
-func (s *Session) rateTable(title string, num func(*core.ProfileRun) float64) (*Table, error) {
+func (s *Session) rateTable(ctx context.Context, title string, num func(*core.ProfileRun) float64) (*Table, error) {
 	methods := PaperMethods()
 	t := &Table{Title: fmt.Sprintf(title), Precision: 1}
 	for _, m := range methods {
@@ -281,7 +282,7 @@ func (s *Session) rateTable(title string, num func(*core.ProfileRun) float64) (*
 		}
 		row := make([]float64, 0, len(methods))
 		for _, m := range methods {
-			pr, err := s.Profile(name, m, w.Train())
+			pr, err := s.Profile(ctx, name, m, w.Train())
 			if err != nil {
 				return nil, err
 			}
@@ -356,17 +357,23 @@ func sensitivitySpecs() []sensitivitySpec {
 
 // Fig23 reproduces Figure 23: speedup of binaries built from train-input
 // profiles versus ref-input profiles, both measured on the ref input.
-func (s *Session) Fig23() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[0]) }
+func (s *Session) Fig23(ctx context.Context) (*Table, error) {
+	return s.sensitivityTable(ctx, sensitivitySpecs()[0])
+}
 
 // Fig24 reproduces Figure 24: train versus a mixed profile using the ref
 // edge profile and the train stride profile.
-func (s *Session) Fig24() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[1]) }
+func (s *Session) Fig24(ctx context.Context) (*Table, error) {
+	return s.sensitivityTable(ctx, sensitivitySpecs()[1])
+}
 
 // Fig25 reproduces Figure 25: train versus a mixed profile using the train
 // edge profile and the ref stride profile.
-func (s *Session) Fig25() (*Table, error) { return s.sensitivityTable(sensitivitySpecs()[2]) }
+func (s *Session) Fig25(ctx context.Context) (*Table, error) {
+	return s.sensitivityTable(ctx, sensitivitySpecs()[2])
+}
 
-func (s *Session) sensitivityTable(spec sensitivitySpec) (*Table, error) {
+func (s *Session) sensitivityTable(ctx context.Context, spec sensitivitySpec) (*Table, error) {
 	m := sampleEdgeCheck()
 	t := &Table{Title: spec.title, Columns: spec.cols}
 	for _, name := range s.cfg.names() {
@@ -374,18 +381,18 @@ func (s *Session) sensitivityTable(spec sensitivitySpec) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		trainPR, err := s.Profile(name, m, w.Train())
+		trainPR, err := s.Profile(ctx, name, m, w.Train())
 		if err != nil {
 			return nil, err
 		}
-		refPR, err := s.Profile(name, m, w.Ref())
+		refPR, err := s.Profile(ctx, name, m, w.Ref())
 		if err != nil {
 			return nil, err
 		}
 		profs := spec.mix(trainPR, refPR)
 		row := make([]float64, 0, len(spec.cols))
 		for i, p := range profs {
-			e, err := s.Speedup(name, spec.title+spec.cols[i], p, w.Ref())
+			e, err := s.Speedup(ctx, name, spec.title+spec.cols[i], p, w.Ref())
 			if err != nil {
 				return nil, err
 			}
@@ -401,24 +408,19 @@ func (s *Session) sensitivityTable(spec sensitivitySpec) (*Table, error) {
 // cfg.Jobs pins the session to one worker, the pipeline cells are
 // precomputed in parallel first; the tables are then assembled serially
 // from the memoised cells, so the output is byte-identical to a serial run.
-func RunAll(w io.Writer, cfg Config) error {
+func RunAll(ctx context.Context, w io.Writer, cfg Config) error {
 	s := NewSession(cfg)
 	if cfg.jobs() != 1 {
-		s.Warm(cfg.jobs())
+		s.Warm(ctx, cfg.jobs())
 	}
 	fmt.Fprintln(w, s.Fig15())
-	figs := []struct {
-		name string
-		fn   func() (*Table, error)
-	}{
-		{"16", s.Fig16}, {"17", s.Fig17}, {"18", s.Fig18}, {"19", s.Fig19},
-		{"20", s.Fig20}, {"21", s.Fig21}, {"22", s.Fig22},
-		{"23", s.Fig23}, {"24", s.Fig24}, {"25", s.Fig25},
-	}
-	for _, f := range figs {
-		t, err := f.fn()
+	for _, name := range FigureNames() {
+		if name == "15" {
+			continue
+		}
+		t, err := s.Figure(ctx, name)
 		if err != nil {
-			return fmt.Errorf("figure %s: %w", f.name, err)
+			return fmt.Errorf("figure %s: %w", name, err)
 		}
 		fmt.Fprintln(w, t)
 	}

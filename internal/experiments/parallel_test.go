@@ -17,11 +17,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	workloads := []string{"197.parser", "255.vortex"}
 
 	var serial bytes.Buffer
-	if err := RunAll(&serial, Config{Workloads: workloads, Jobs: 1}); err != nil {
+	if err := RunAll(ctx, &serial, Config{Workloads: workloads, Jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	var parallel bytes.Buffer
-	if err := RunAll(&parallel, Config{Workloads: workloads, Jobs: 4}); err != nil {
+	if err := RunAll(ctx, &parallel, Config{Workloads: workloads, Jobs: 4}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -41,14 +41,14 @@ func TestWarmSingleFigure(t *testing.T) {
 	workloads := []string{"197.parser"}
 
 	cold := NewSession(Config{Workloads: workloads})
-	want, err := cold.Fig16()
+	want, err := cold.Fig16(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	warm := NewSession(Config{Workloads: workloads, Jobs: 4})
-	warm.Warm(4, "16")
-	got, err := warm.Fig16()
+	warm.Warm(ctx, 4, "16")
+	got, err := warm.Fig16(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -134,33 +136,80 @@ func NewSession(cfg Config) *Session {
 // callers of the same key block on one computation instead of duplicating
 // it. lookup and store run under the session lock and read/write the memo
 // map for the key's kind. Errors are propagated to every waiter of the
-// flight but not memoised, so a later (serial) caller retries and reports
-// the error itself.
-func (s *Session) do(key string, lookup func() (any, bool), store func(any), compute func() (any, error)) (any, error) {
-	s.mu.Lock()
-	if v, ok := lookup(); ok {
+// flight but not memoised, so a later caller retries and reports the error
+// itself.
+//
+// Cancellation is per caller: a waiter whose ctx expires stops waiting
+// (the computation keeps running for whoever else wants it), and a waiter
+// that receives a cancellation error from someone else's flight retries
+// the computation under its own, still-live ctx.
+func (s *Session) do(ctx context.Context, key string, lookup func() (any, bool), store func(any), compute func() (any, error)) (any, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if v, ok := lookup(); ok {
+			s.mu.Unlock()
+			return v, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isCancellation(f.err) && ctx.Err() == nil {
+				continue // the computing caller was cancelled; we were not
+			}
+			return f.val, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		return v, nil
-	}
-	if f, ok := s.inflight[key]; ok {
+
+		f.val, f.err = compute()
+
+		s.mu.Lock()
+		if f.err == nil {
+			store(f.val)
+		}
+		delete(s.inflight, key)
 		s.mu.Unlock()
-		<-f.done
+		close(f.done)
 		return f.val, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.mu.Unlock()
+}
 
-	f.val, f.err = compute()
+// isCancellation reports whether err is a context or simulator-interrupt
+// cancellation rather than a real pipeline failure.
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, machine.ErrInterrupted))
+}
 
-	s.mu.Lock()
-	if f.err == nil {
-		store(f.val)
+// mcfg returns the session's machine configuration with ctx's cancellation
+// threaded in as the simulator interrupt channel, so a cancelled request
+// aborts a multi-second simulation within a few tens of thousands of
+// simulated instructions instead of running it to completion.
+func (s *Session) mcfg(ctx context.Context) machine.Config {
+	c := s.cfg.Machine
+	c.Interrupt = ctx.Done()
+	return c
+}
+
+// ctxErr rewrites a simulator interrupt into the ctx error that caused it,
+// so callers see context.Canceled / DeadlineExceeded rather than the
+// machine-level mechanism.
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, machine.ErrInterrupted) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 	}
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(f.done)
-	return f.val, f.err
+	return err
 }
 
 func (s *Session) workload(name string) (core.Workload, error) {
@@ -173,9 +222,9 @@ func (s *Session) workload(name string) (core.Workload, error) {
 
 // Profile returns the memoised profiling run of the workload under the
 // given method and input.
-func (s *Session) Profile(wname string, m MethodSpec, in core.Input) (*core.ProfileRun, error) {
+func (s *Session) Profile(ctx context.Context, wname string, m MethodSpec, in core.Input) (*core.ProfileRun, error) {
 	key := "profile|" + wname + "|" + m.Name + "|" + in.Name
-	v, err := s.do(key,
+	v, err := s.do(ctx, key,
 		func() (any, bool) { pr, ok := s.profiles[key]; return pr, ok },
 		func(v any) { s.profiles[key] = v.(*core.ProfileRun) },
 		func() (any, error) {
@@ -183,7 +232,8 @@ func (s *Session) Profile(wname string, m MethodSpec, in core.Input) (*core.Prof
 			if err != nil {
 				return nil, err
 			}
-			return core.ProfilePass(w, in, m.Opts, s.cfg.Machine)
+			pr, err := core.ProfilePass(w, in, m.Opts, s.mcfg(ctx))
+			return pr, ctxErr(ctx, err)
 		})
 	if err != nil {
 		return nil, err
@@ -192,9 +242,9 @@ func (s *Session) Profile(wname string, m MethodSpec, in core.Input) (*core.Prof
 }
 
 // Clean returns the memoised uninstrumented run of the workload on input.
-func (s *Session) Clean(wname string, in core.Input) (core.RunStats, error) {
+func (s *Session) Clean(ctx context.Context, wname string, in core.Input) (core.RunStats, error) {
 	key := "clean|" + wname + "|" + in.Name
-	v, err := s.do(key,
+	v, err := s.do(ctx, key,
 		func() (any, bool) { st, ok := s.cleans[key]; return st, ok },
 		func(v any) { s.cleans[key] = v.(core.RunStats) },
 		func() (any, error) {
@@ -202,7 +252,8 @@ func (s *Session) Clean(wname string, in core.Input) (core.RunStats, error) {
 			if err != nil {
 				return nil, err
 			}
-			return core.Execute(w.Program(), w, in, s.cfg.Machine)
+			st, err := core.Execute(w.Program(), w, in, s.mcfg(ctx))
+			return st, ctxErr(ctx, err)
 		})
 	if err != nil {
 		return core.RunStats{}, err
@@ -212,9 +263,9 @@ func (s *Session) Clean(wname string, in core.Input) (core.RunStats, error) {
 
 // Speedup builds the prefetched binary from prof (labelled profLabel for
 // memoisation) and measures it against the clean binary on input in.
-func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in core.Input) (*speedupEntry, error) {
+func (s *Session) Speedup(ctx context.Context, wname, profLabel string, prof *profile.Combined, in core.Input) (*speedupEntry, error) {
 	key := "speedup|" + wname + "|" + profLabel + "|" + in.Name
-	v, err := s.do(key,
+	v, err := s.do(ctx, key,
 		func() (any, bool) { e, ok := s.speedups[key]; return e, ok },
 		func(v any) { s.speedups[key] = v.(*speedupEntry) },
 		func() (any, error) {
@@ -222,7 +273,7 @@ func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in co
 			if err != nil {
 				return nil, err
 			}
-			base, err := s.Clean(wname, in)
+			base, err := s.Clean(ctx, wname, in)
 			if err != nil {
 				return nil, err
 			}
@@ -230,7 +281,7 @@ func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in co
 			if err != nil {
 				return nil, err
 			}
-			mcfg := s.cfg.Machine
+			mcfg := s.mcfg(ctx)
 			var col *obs.Collector
 			if s.cfg.Metrics != nil || s.cfg.Trace != nil {
 				col = obs.NewCollector(s.cfg.Trace.WithRun(key))
@@ -238,7 +289,7 @@ func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in co
 			}
 			run, err := core.Execute(fb.Prog, w, in, mcfg)
 			if err != nil {
-				return nil, err
+				return nil, ctxErr(ctx, err)
 			}
 			if col != nil && s.cfg.Metrics != nil {
 				rep := obs.BuildReport(key, col)
@@ -267,7 +318,7 @@ func (s *Session) Speedup(wname, profLabel string, prof *profile.Combined, in co
 // errors are deliberately dropped: errors are not memoised, so the serial
 // figure assembly recomputes the failing cell and reports the error with
 // its usual context.
-func (s *Session) warmTasks(figs map[string]bool) []func() {
+func (s *Session) warmTasks(ctx context.Context, figs map[string]bool) []func() {
 	want := func(names ...string) bool {
 		if len(figs) == 0 {
 			return true
@@ -288,34 +339,34 @@ func (s *Session) warmTasks(figs map[string]bool) []func() {
 		}
 		train, ref := w.Train(), w.Ref()
 		if want("16", "17", "23", "24", "25") {
-			tasks = append(tasks, func() { _, _ = s.Clean(name, ref) })
+			tasks = append(tasks, func() { _, _ = s.Clean(ctx, name, ref) })
 		}
 		if want("16", "20", "21", "22") {
 			for _, m := range PaperMethods() {
 				m := m
 				tasks = append(tasks, func() {
-					pr, err := s.Profile(name, m, train)
+					pr, err := s.Profile(ctx, name, m, train)
 					if err != nil || !want("16") {
 						return
 					}
-					_, _ = s.Speedup(name, m.Name+"-train", pr.Profiles, ref)
+					_, _ = s.Speedup(ctx, name, m.Name+"-train", pr.Profiles, ref)
 				})
 			}
 		}
 		if want("20") {
-			tasks = append(tasks, func() { _, _ = s.Profile(name, edgeOnlySpec, train) })
+			tasks = append(tasks, func() { _, _ = s.Profile(ctx, name, edgeOnlySpec, train) })
 		}
 		if want("18", "19") {
-			tasks = append(tasks, func() { _, _ = s.classify(name) })
+			tasks = append(tasks, func() { _, _ = s.classify(ctx, name) })
 		}
 		if want("23", "24", "25") {
 			tasks = append(tasks, func() {
 				m := sampleEdgeCheck()
-				trainPR, err := s.Profile(name, m, train)
+				trainPR, err := s.Profile(ctx, name, m, train)
 				if err != nil {
 					return
 				}
-				refPR, err := s.Profile(name, m, ref)
+				refPR, err := s.Profile(ctx, name, m, ref)
 				if err != nil {
 					return
 				}
@@ -324,7 +375,7 @@ func (s *Session) warmTasks(figs map[string]bool) []func() {
 						continue
 					}
 					for i, p := range spec.mix(trainPR, refPR) {
-						_, _ = s.Speedup(name, spec.title+spec.cols[i], p, ref)
+						_, _ = s.Speedup(ctx, name, spec.title+spec.cols[i], p, ref)
 					}
 				}
 			})
@@ -338,8 +389,10 @@ func (s *Session) warmTasks(figs map[string]bool) []func() {
 // input) cells out over a pool of up to jobs workers (jobs <= 0 selects
 // GOMAXPROCS). Warming is purely an optimisation: the figure methods
 // produce byte-identical tables — computed from the memoised cells — with
-// or without it.
-func (s *Session) Warm(jobs int, figs ...string) {
+// or without it. Cancelling ctx stops dispatching new cells (and aborts
+// the in-flight ones); Warm then returns early with the memo partially
+// populated, which is safe for the same reason warming is optional.
+func (s *Session) Warm(ctx context.Context, jobs int, figs ...string) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -354,12 +407,15 @@ func (s *Session) Warm(jobs int, figs ...string) {
 	for _, f := range figs {
 		sel[f] = true
 	}
-	tasks := s.warmTasks(sel)
+	tasks := s.warmTasks(ctx, sel)
 	if jobs > len(tasks) {
 		jobs = len(tasks)
 	}
 	if jobs <= 1 {
 		for _, fn := range tasks {
+			if ctx.Err() != nil {
+				return
+			}
 			fn()
 		}
 		return
@@ -375,8 +431,13 @@ func (s *Session) Warm(jobs int, figs ...string) {
 			}
 		}()
 	}
+dispatch:
 	for _, fn := range tasks {
-		ch <- fn
+		select {
+		case ch <- fn:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()

@@ -105,7 +105,7 @@ func runInstrumented(t *testing.T, prog *ir.Program, opts Options) (*Result, *ma
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := machine.New(res.Prog, machine.Config{})
+	m, err := machine.New(res.Prog)
 	if err != nil {
 		t.Fatal(err)
 	}

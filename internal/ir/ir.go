@@ -207,6 +207,10 @@ type Instr struct {
 	// Comment is an optional annotation emitted by the printer; passes use it
 	// to mark inserted instrumentation and prefetches.
 	Comment string
+	// PFClass records which insertion policy emitted an OpPrefetch (see
+	// PrefetchClass). Zero (PFNone) on every other opcode and on prefetches
+	// without recorded provenance.
+	PFClass PrefetchClass
 }
 
 // NewInstr returns a fresh unpredicated instruction with no operands set.

@@ -435,6 +435,9 @@ func parseMemInstr(in *Instr, mnem, rest, raw string) (*Instr, error) {
 		} else {
 			in.Op = OpPrefetch
 			in.Dst = NoReg
+			// Legacy textual IR carries the prefetch class only as a marker
+			// comment; decode it into the typed field.
+			in.PFClass = ParsePrefetchClass(in.Comment)
 		}
 		base, disp, err := parseMem(rest)
 		if err != nil {

@@ -215,3 +215,52 @@ func TestParsePreservesComments(t *testing.T) {
 		t.Error("comment lost on reprint")
 	}
 }
+
+func TestParsePrefetchClassRoundTrip(t *testing.T) {
+	cases := []struct {
+		marker string
+		class  PrefetchClass
+	}{
+		{"ssst-prefetch", PFSSST},
+		{"pmst-prefetch", PFPMST},
+		{"outloop-dynamic", PFOutLoopDynamic},
+		{"wsst-prefetch", PFWSST},
+		{"indirect-prefetch", PFIndirect},
+	}
+	for _, tc := range cases {
+		src := "func f(r0) regs=1 {\nentry0:\n\tprefetch [r0+64]  ; " + tc.marker + "\n\tret r0\n}\n"
+		f, err := ParseFunction(src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.marker, err)
+		}
+		in := f.Blocks[0].Instrs[0]
+		if in.PFClass != tc.class {
+			t.Errorf("%s: PFClass = %v, want %v", tc.marker, in.PFClass, tc.class)
+		}
+		if PrintFunc(f) != src {
+			t.Errorf("%s: reprint drifted:\n%s", tc.marker, PrintFunc(f))
+		}
+		// A typed class with no comment must print as the legacy marker and
+		// survive a second round trip.
+		in.Comment = ""
+		text := PrintFunc(f)
+		if text != src {
+			t.Errorf("%s: marker not re-synthesised from PFClass:\n%s", tc.marker, text)
+		}
+		g, err := ParseFunction(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", tc.marker, err)
+		}
+		if g.Blocks[0].Instrs[0].PFClass != tc.class {
+			t.Errorf("%s: class lost on reparse", tc.marker)
+		}
+	}
+	// Marker comments on non-prefetch opcodes must not set the typed field.
+	f, err := ParseFunction("func f(r0) regs=2 {\nentry0:\n\tr1 = add r0, r0  ; pmst-prefetch\n\tret r1\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Blocks[0].Instrs[0].PFClass; got != PFNone {
+		t.Errorf("non-prefetch opcode got PFClass %v", got)
+	}
+}

@@ -1,0 +1,62 @@
+package ir
+
+// PrefetchClass records the provenance of an OpPrefetch instruction: which
+// insertion policy emitted it. The class is carried as a typed field on the
+// instruction (Instr.PFClass) so downstream consumers — the interpreter's
+// effectiveness observer, reports, serialisers — never have to decode it
+// from free-form comment strings.
+//
+// Historically the insertion passes encoded the class in Instr.Comment
+// ("ssst-prefetch", ...). The printer still emits those markers for
+// readability, and the parser still decodes them, so textual IR produced by
+// older versions round-trips into the typed field; the markers themselves
+// are a deprecated encoding.
+type PrefetchClass uint8
+
+const (
+	// PFNone marks a prefetch with no recorded provenance (hand-written or
+	// generated IR).
+	PFNone PrefetchClass = iota
+	// PFSSST marks prefetches inserted for strong-single-stride loads.
+	PFSSST
+	// PFPMST marks the dynamic-stride sequences of phased-multi-stride
+	// loads.
+	PFPMST
+	// PFOutLoopDynamic marks the out-loop dynamic-stride variant (a PMST
+	// policy; kept distinct so listings show which pass emitted it).
+	PFOutLoopDynamic
+	// PFWSST marks the conditional prefetches of weak-single-stride loads.
+	PFWSST
+	// PFIndirect marks dependent-load (indirect) prefetches.
+	PFIndirect
+)
+
+// pfMarkers maps each class to its legacy comment marker.
+var pfMarkers = [...]string{
+	PFNone:           "",
+	PFSSST:           "ssst-prefetch",
+	PFPMST:           "pmst-prefetch",
+	PFOutLoopDynamic: "outloop-dynamic",
+	PFWSST:           "wsst-prefetch",
+	PFIndirect:       "indirect-prefetch",
+}
+
+// String returns the class's comment-marker spelling ("" for PFNone).
+func (c PrefetchClass) String() string {
+	if int(c) < len(pfMarkers) {
+		return pfMarkers[c]
+	}
+	return "pfclass(?)"
+}
+
+// ParsePrefetchClass decodes a legacy comment marker into its class.
+// Unrecognised strings (including "") decode to PFNone, so arbitrary
+// comments on prefetch instructions stay inert.
+func ParsePrefetchClass(marker string) PrefetchClass {
+	for c, m := range pfMarkers {
+		if m != "" && m == marker {
+			return PrefetchClass(c)
+		}
+	}
+	return PFNone
+}

@@ -31,8 +31,14 @@ func FprintFunc(sb *strings.Builder, f *Function) {
 		sb.WriteByte('\n')
 		for _, in := range b.Instrs {
 			fmt.Fprintf(sb, "\t%s", in)
-			if in.Comment != "" {
+			switch {
+			case in.Comment != "":
 				fmt.Fprintf(sb, "  ; %s", in.Comment)
+			case in.PFClass != PFNone:
+				// A typed prefetch class with no comment prints as the legacy
+				// marker, so listings stay greppable and older parsers still
+				// recover the class.
+				fmt.Fprintf(sb, "  ; %s", in.PFClass)
 			}
 			sb.WriteByte('\n')
 		}

@@ -28,7 +28,7 @@ func BenchmarkInterpreterALU(b *testing.B) {
 	prog := ir.NewProgram()
 	prog.Add(bl.Finish())
 
-	m, err := New(prog, Config{MaxSteps: 1 << 62})
+	m, err := New(prog, WithConfig(Config{MaxSteps: 1 << 62}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	prog := ir.NewProgram()
 	prog.Add(bl.Finish())
 
-	m, err := New(prog, Config{MaxSteps: 1 << 62})
+	m, err := New(prog, WithConfig(Config{MaxSteps: 1 << 62}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func BenchmarkInterpreterMemory(b *testing.B) {
 	prog := ir.NewProgram()
 	prog.Add(bl.Finish())
 
-	m, err := New(prog, Config{MaxSteps: 1 << 62})
+	m, err := New(prog, WithConfig(Config{MaxSteps: 1 << 62}))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -73,11 +73,18 @@ type Config struct {
 	Trace io.Writer
 	// Obs, when non-nil, collects prefetch-effectiveness metrics (accuracy,
 	// coverage, timeliness per prefetch class; see package obs). Prefetch
-	// instructions are attributed to their class via the marker comments the
-	// insertion passes emit ("ssst-prefetch" ...). Observation never changes
-	// simulated behavior. Call FinishObs after the final Run to close the
-	// lifecycle accounting.
+	// instructions are attributed to their class via the typed
+	// ir.Instr.PFClass field the insertion passes stamp, with the legacy
+	// marker comments ("ssst-prefetch" ...) as a deprecated fallback for IR
+	// predating the field. Observation never changes simulated behavior.
+	// Call FinishObs after the final Run to close the lifecycle accounting.
 	Obs *obs.Collector
+	// Interrupt, when non-nil, aborts a running simulation shortly after the
+	// channel becomes readable (typically a context's Done channel): the
+	// step loops poll it every few tens of thousands of instructions and
+	// return ErrInterrupted. Long-running servers use it to thread request
+	// cancellation into figure simulations.
+	Interrupt <-chan struct{}
 }
 
 func (c *Config) fill() {
@@ -141,25 +148,41 @@ type decoded struct {
 	hookID   int64
 	loadSlot int32  // index into per-function load counters, or -1
 	pc       uint64 // stable static-load identifier for hardware prefetchers
-	pfClass  uint8  // obs.Class of an OpPrefetch, from its marker comment
+	pfClass  uint8  // obs.Class of an OpPrefetch (typed PFClass, marker-comment fallback)
 	src      *ir.Instr
 }
 
-// prefetchClass maps an OpPrefetch marker comment to its obs class. The
-// insertion passes (package prefetch) stamp these on every prefetch they
-// emit; hand-written IR decodes to ClassUnknown.
-func prefetchClass(comment string) uint8 {
+// obsClassOf maps an OpPrefetch's typed provenance (ir.Instr.PFClass) to
+// its obs class, falling back to the deprecated marker-comment encoding for
+// IR produced before the typed field existed (old .mc/.ir files).
+func obsClassOf(in *ir.Instr) obs.Class {
+	switch in.PFClass {
+	case ir.PFSSST:
+		return obs.ClassSSST
+	case ir.PFPMST, ir.PFOutLoopDynamic:
+		return obs.ClassPMST
+	case ir.PFWSST:
+		return obs.ClassWSST
+	case ir.PFIndirect:
+		return obs.ClassIndirect
+	}
+	return legacyPrefetchClass(in.Comment)
+}
+
+// legacyPrefetchClass decodes the deprecated marker-comment encoding of a
+// prefetch's class.
+func legacyPrefetchClass(comment string) obs.Class {
 	switch comment {
 	case "ssst-prefetch":
-		return uint8(obs.ClassSSST)
+		return obs.ClassSSST
 	case "pmst-prefetch", "outloop-dynamic":
-		return uint8(obs.ClassPMST)
+		return obs.ClassPMST
 	case "wsst-prefetch":
-		return uint8(obs.ClassWSST)
+		return obs.ClassWSST
 	case "indirect-prefetch":
-		return uint8(obs.ClassIndirect)
+		return obs.ClassIndirect
 	}
-	return uint8(obs.ClassUnknown)
+	return obs.ClassUnknown
 }
 
 // loadPC derives the stable per-static-load "program counter" handed to
@@ -208,6 +231,8 @@ type Machine struct {
 	fast bool
 	// noPf caches Config.DisablePrefetch for the step loops.
 	noPf bool
+	// intr caches Config.Interrupt for the step loops.
+	intr <-chan struct{}
 
 	cycles uint64
 	stats  Stats
@@ -226,10 +251,29 @@ var ErrMaxSteps = errors.New("machine: instruction budget exceeded")
 // ErrMaxDepth is returned when the call stack exceeds Config.MaxDepth.
 var ErrMaxDepth = errors.New("machine: call stack overflow")
 
-// New creates a machine for prog. The program must pass ir.VerifyProgram;
-// hooks referenced by OpHook instructions must be registered with Register
-// before Run.
-func New(prog *ir.Program, cfg Config) (*Machine, error) {
+// ErrInterrupted is returned when Config.Interrupt fires mid-run (for
+// example a cancelled request context). The machine's state is not usable
+// for further Runs after an interrupt.
+var ErrInterrupted = errors.New("machine: execution interrupted")
+
+// interruptMask gates how often the step loops poll Config.Interrupt: every
+// 64Ki instructions, a few microseconds of real time, so cancellation is
+// prompt without a per-instruction channel operation.
+const interruptMask = 1<<16 - 1
+
+// New creates a machine for prog, configured by functional options:
+//
+//	m, err := machine.New(prog, machine.WithSelfCheck(), machine.WithObs(col))
+//
+// A full Config can be installed wholesale with WithConfig (typically first,
+// with further options layered on top). The program must pass
+// ir.VerifyProgram; hooks referenced by OpHook instructions must be
+// registered with Register before Run.
+func New(prog *ir.Program, opts ...Option) (*Machine, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	cfg.fill()
 	if err := ir.VerifyProgram(prog); err != nil {
 		return nil, err
@@ -244,6 +288,7 @@ func New(prog *ir.Program, cfg Config) (*Machine, error) {
 		Hier:       cache.NewHierarchy(cfg.Hierarchy),
 		rng:        cfg.Seed,
 		noPf:       cfg.DisablePrefetch,
+		intr:       cfg.Interrupt,
 	}
 	if cfg.SelfCheck {
 		// Attach the shadows before any memory is touched (the heap and the
@@ -322,7 +367,7 @@ func (m *Machine) decodeBody(f *ir.Function) {
 				d.pc = loadPC(f.Name, in.ID)
 			}
 			if in.Op == ir.OpPrefetch {
-				d.pfClass = prefetchClass(in.Comment)
+				d.pfClass = uint8(obsClassOf(in))
 			}
 			if m.cfg.Trace != nil {
 				d.src = in
@@ -553,6 +598,13 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 		if m.stats.Instrs > m.cfg.MaxSteps {
 			return 0, ErrMaxSteps
 		}
+		if m.stats.Instrs&interruptMask == 0 && m.intr != nil {
+			select {
+			case <-m.intr:
+				return 0, ErrInterrupted
+			default:
+			}
+		}
 		m.cycles += uint64(d.cost)
 
 		// Itanium-style predication: a false qualifying predicate squashes
@@ -720,6 +772,13 @@ func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
 		m.stats.Instrs++
 		if m.stats.Instrs > m.cfg.MaxSteps {
 			return 0, ErrMaxSteps
+		}
+		if m.stats.Instrs&interruptMask == 0 && m.intr != nil {
+			select {
+			case <-m.intr:
+				return 0, ErrInterrupted
+			default:
+			}
 		}
 		if d.src != nil {
 			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)

@@ -62,7 +62,7 @@ func buildList(m *Machine, n int) int64 {
 
 func TestRunLinkedListSum(t *testing.T) {
 	p := sumProgram()
-	m, err := New(p, Config{})
+	m, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestRunLinkedListSum(t *testing.T) {
 
 func TestLoadCountsPerStaticLoad(t *testing.T) {
 	p := sumProgram()
-	m, err := New(p, Config{})
+	m, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestArithmetic(t *testing.T) {
 	p := ir.NewProgram()
 	p.Add(b.Finish())
 
-	m, err := New(p, Config{})
+	m, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestDivisionByZeroYieldsZero(t *testing.T) {
 	b.Ret(b.Add(b.Div(a, z), b.Rem(a, z)))
 	p := ir.NewProgram()
 	p.Add(b.Finish())
-	m, _ := New(p, Config{})
+	m, _ := New(p)
 	got, err := m.Run()
 	if err != nil || got != 0 {
 		t.Errorf("div/rem by zero = %d (%v), want 0", got, err)
@@ -171,7 +171,7 @@ func TestPredicationSquashes(t *testing.T) {
 	b.Ret(dst)
 	p := ir.NewProgram()
 	p.Add(b.Finish())
-	m, _ := New(p, Config{})
+	m, _ := New(p)
 	got, err := m.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestCallAndReturn(t *testing.T) {
 	b.Ret(call.Dst)
 	p.Add(b.Finish())
 
-	m, err := New(p, Config{})
+	m, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestRecursionDepthLimit(t *testing.T) {
 	c.Ret(ir.NoReg)
 	p.Add(c.Finish())
 
-	m, err := New(p, Config{MaxDepth: 10})
+	m, err := New(p, WithConfig(Config{MaxDepth: 10}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestStepLimit(t *testing.T) {
 	b.Br(loop)
 	p := ir.NewProgram()
 	p.Add(b.Finish())
-	m, _ := New(p, Config{MaxSteps: 1000})
+	m, _ := New(p, WithConfig(Config{MaxSteps: 1000}))
 	if _, err := m.Run(); !errors.Is(err, ErrMaxSteps) {
 		t.Errorf("err = %v, want ErrMaxSteps", err)
 	}
@@ -252,7 +252,7 @@ func TestHooksAndCycleCharging(t *testing.T) {
 	p := ir.NewProgram()
 	p.Add(b.Finish())
 
-	m, _ := New(p, Config{})
+	m, _ := New(p)
 	var gotArgs []int64
 	m.Register(42, func(mm *Machine, args []int64) {
 		gotArgs = append([]int64(nil), args...)
@@ -280,7 +280,7 @@ func TestUnregisteredHookFails(t *testing.T) {
 	b.Ret(ir.NoReg)
 	p := ir.NewProgram()
 	p.Add(b.Finish())
-	m, _ := New(p, Config{})
+	m, _ := New(p)
 	if _, err := m.Run(); err == nil {
 		t.Error("unregistered hook did not fail")
 	}
@@ -303,7 +303,7 @@ func TestUnregisteredHookFailsUpfront(t *testing.T) {
 	p := ir.NewProgram()
 	p.Add(b.Finish())
 
-	m, err := New(p, Config{})
+	m, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestAllocAndRand(t *testing.T) {
 	p := ir.NewProgram()
 	p.Add(b.Finish())
 
-	m, _ := New(p, Config{})
+	m, _ := New(p)
 	got, err := m.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -361,14 +361,14 @@ func TestRandDeterministicAcrossMachines(t *testing.T) {
 		p.Add(b.Finish())
 		return p
 	}
-	m1, _ := New(build(), Config{Seed: 7})
-	m2, _ := New(build(), Config{Seed: 7})
+	m1, _ := New(build(), WithConfig(Config{Seed: 7}))
+	m2, _ := New(build(), WithConfig(Config{Seed: 7}))
 	v1, _ := m1.Run()
 	v2, _ := m2.Run()
 	if v1 != v2 {
 		t.Errorf("same seed produced %d vs %d", v1, v2)
 	}
-	m3, _ := New(build(), Config{Seed: 8})
+	m3, _ := New(build(), WithConfig(Config{Seed: 8}))
 	v3, _ := m3.Run()
 	if v1 == v3 {
 		t.Error("different seeds produced identical streams (suspicious)")
@@ -410,7 +410,7 @@ func TestPrefetchReducesCycles(t *testing.T) {
 		return prog
 	}
 	runCycles := func(withPrefetch bool) uint64 {
-		m, err := New(build(withPrefetch), Config{})
+		m, err := New(build(withPrefetch))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -427,5 +427,51 @@ func TestPrefetchReducesCycles(t *testing.T) {
 	pf := runCycles(true)
 	if pf*10 > plain*9 {
 		t.Errorf("prefetch saved too little: %d vs %d cycles", pf, plain)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	build := func() *ir.Program {
+		b := ir.NewBuilder("main")
+		loop := b.Block("loop")
+		b.Br(loop)
+		b.At(loop)
+		b.Br(loop)
+		p := ir.NewProgram()
+		p.Add(b.Finish())
+		return p
+	}
+
+	// A closed channel aborts the run at the next poll point.
+	ch := make(chan struct{})
+	close(ch)
+	m, err := New(build(), WithInterrupt(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Errorf("err = %v, want ErrInterrupted", err)
+	}
+
+	// Closing mid-run stops the (otherwise step-limited) loop early.
+	ch2 := make(chan struct{})
+	m2, err := New(build(), WithMaxSteps(1<<40), WithInterrupt(ch2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m2.Run()
+		done <- err
+	}()
+	close(ch2)
+	if err := <-done; !errors.Is(err, ErrInterrupted) {
+		t.Errorf("mid-run err = %v, want ErrInterrupted", err)
+	}
+
+	// A nil channel (the default) changes nothing.
+	m3, _ := New(build(), WithMaxSteps(1000))
+	if _, err := m3.Run(); !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("nil-interrupt err = %v, want ErrMaxSteps", err)
 	}
 }

@@ -96,7 +96,7 @@ func runPointerTable(t *testing.T, opts Options) (uint64, uint64, *Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := machine.New(inst.Prog, machine.Config{})
+	m, err := machine.New(inst.Prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func runPointerTable(t *testing.T, opts Options) (uint64, uint64, *Result) {
 	}
 
 	run := func(p *ir.Program) uint64 {
-		mm, err := machine.New(p, machine.Config{})
+		mm, err := machine.New(p)
 		if err != nil {
 			t.Fatal(err)
 		}

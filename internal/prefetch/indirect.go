@@ -100,6 +100,7 @@ func insertIndirect(f *ir.Function, li *cfg.LoopInfo, defs *cfg.Defs,
 		pf.Pred = d.Pred
 		pf.ID = f.NextInstrID()
 		pf.Comment = "indirect-prefetch"
+		pf.PFClass = ir.PFIndirect
 		db.InsertBefore(pos, pf)
 		inserted++
 	}

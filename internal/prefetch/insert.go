@@ -419,6 +419,7 @@ func EmitSSST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, ahead
 		pf.Pred = load.Pred
 		pf.ID = f.NextInstrID()
 		pf.Comment = "ssst-prefetch"
+		pf.PFClass = ir.PFSSST
 		b.InsertBefore(pos, pf)
 		pos++
 		n++
@@ -496,6 +497,7 @@ func EmitPMST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k int
 		pf.Src[0] = pfb
 		pf.Imm = delta
 		pf.Comment = "pmst-prefetch"
+		pf.PFClass = ir.PFPMST
 		emit(pf)
 		n++
 	}
@@ -578,6 +580,7 @@ func EmitWSST(f *ir.Function, b *ir.Block, load *ir.Instr, deltas []int64, k, st
 		pf.Imm = load.Imm + k*strideBytes + delta
 		pf.Pred = pc
 		pf.Comment = "wsst-prefetch"
+		pf.PFClass = ir.PFWSST
 		emit(pf)
 		n++
 	}
@@ -665,6 +668,7 @@ func emitOutLoopDynamic(res *Result, f *ir.Function, b *ir.Block, load *ir.Instr
 	pf := ir.NewInstr(ir.OpPrefetch)
 	pf.Src[0] = pfb
 	pf.Comment = "outloop-dynamic"
+	pf.PFClass = ir.PFOutLoopDynamic
 	emit(pf)
 	return 1
 }

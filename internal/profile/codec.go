@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// On-disk / on-wire format versions understood by the codec.
+//
+// Version 1 is the original format: edges, entries and stride summaries,
+// with the fine-sampling interval recorded only per summary. Version 2
+// lifts the interval into the header so a reader can reject incompatible
+// profiles before looking at a single summary, and so producers that
+// downsample differently cannot be merged by accident (see Merge).
+const (
+	VersionLegacy  = 1
+	VersionCurrent = 2
+)
+
+// Codec serialises and deserialises combined profiles at a pinned format
+// version. The zero value encodes VersionCurrent and decodes every
+// supported version, which is what all the tools want; pin Version to
+// VersionLegacy only to produce files for pre-v2 readers.
+//
+// Decode enforces the fine-interval consistency rule that Merge enforces
+// across runs, but within a single file and at read time: every summary
+// sampled by the runtime must carry the same interval, and under v2 that
+// interval must match the header. A corrupted or hand-spliced profile
+// therefore fails at the I/O boundary instead of skewing a later merge.
+type Codec struct {
+	// Version is the format written by Encode; zero means VersionCurrent.
+	Version int
+}
+
+// DefaultCodec is the codec the package-level Write/Read/Save/Load helpers
+// and the cmd tools use.
+var DefaultCodec = Codec{}
+
+// Encode serialises p as JSON at the codec's version.
+func (c Codec) Encode(w io.Writer, p *Combined) error {
+	v := c.Version
+	if v == 0 {
+		v = VersionCurrent
+	}
+	if v != VersionLegacy && v != VersionCurrent {
+		return fmt.Errorf("profile: encode: unsupported version %d", v)
+	}
+	fi, err := fineInterval(p)
+	if err != nil {
+		return fmt.Errorf("profile: encode: %w", err)
+	}
+	ff := fileFormat{
+		Version: v,
+		Edges:   p.Edge.Edges(),
+		Entries: p.Edge.entries,
+		Strides: p.Stride.Summaries(),
+	}
+	if v >= VersionCurrent {
+		ff.FineInterval = fi
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// Decode deserialises a combined profile, accepting any supported version
+// and validating fine-interval consistency.
+func (c Codec) Decode(r io.Reader) (*Combined, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if ff.Version != VersionLegacy && ff.Version != VersionCurrent {
+		return nil, fmt.Errorf("profile: unsupported version %d", ff.Version)
+	}
+	ep := NewEdgeProfile()
+	for _, e := range ff.Edges {
+		ep.Set(e.Key, e.Count)
+	}
+	for fn, c := range ff.Entries {
+		ep.SetEntryCount(fn, c)
+	}
+	out := &Combined{Edge: ep, Stride: NewStrideProfile(ff.Strides)}
+	fi, err := fineInterval(out)
+	if err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if ff.Version >= VersionCurrent && ff.FineInterval != 0 && fi != 0 && ff.FineInterval != fi {
+		return nil, fmt.Errorf(
+			"profile: decode: header fine interval %d disagrees with summaries sampled at %d",
+			ff.FineInterval, fi)
+	}
+	return out, nil
+}
+
+// FineInterval returns the fine-sampling interval shared by the profile's
+// runtime-collected stride summaries, or zero when no summary records one
+// (empty or hand-built profiles). It errors if summaries disagree, which
+// can only happen to profiles spliced together outside Merge.
+func (c *Combined) FineInterval() (int, error) {
+	return fineInterval(c)
+}
+
+func fineInterval(p *Combined) (int, error) {
+	interval := 0
+	for _, s := range p.Stride.Summaries() {
+		if s.FineInterval == 0 {
+			continue
+		}
+		if interval == 0 {
+			interval = s.FineInterval
+		} else if s.FineInterval != interval {
+			return 0, fmt.Errorf(
+				"fine-interval mismatch: summaries sampled at both %d and %d (load %s#%d)",
+				interval, s.FineInterval, s.Key.Func, s.Key.ID)
+		}
+	}
+	return interval, nil
+}

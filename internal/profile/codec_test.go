@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+func codecFixture(fi int) *Combined {
+	return mkCombined(10, 3, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 10, FineInterval: fi,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+	})
+}
+
+func TestCodecCurrentRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DefaultCodec.Encode(&buf, codecFixture(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Errorf("default codec did not write version 2:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"fineInterval": 4`) {
+		t.Errorf("v2 header missing fine interval:\n%s", buf.String())
+	}
+	got, err := DefaultCodec.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := got.FineInterval(); fi != 4 {
+		t.Errorf("fine interval = %d, want 4", fi)
+	}
+	if got.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}) != 10 {
+		t.Error("edge count lost in round trip")
+	}
+}
+
+func TestCodecLegacyWriteAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Codec{Version: VersionLegacy}).Encode(&buf, codecFixture(4)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fineInterval") {
+		t.Errorf("v1 output carries a v2 header field:\n%s", buf.String())
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("reading legacy format: %v", err)
+	}
+}
+
+func TestCodecRejectsUnknownVersion(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"version": 9, "edges": [], "strides": []}`)); err == nil {
+		t.Fatal("decoding version 9 succeeded, want error")
+	}
+	if err := (Codec{Version: 9}).Encode(&bytes.Buffer{}, codecFixture(0)); err == nil {
+		t.Fatal("encoding version 9 succeeded, want error")
+	}
+}
+
+func TestCodecDecodeFineIntervalMismatch(t *testing.T) {
+	// Summaries sampled at different intervals can only appear in a file
+	// spliced together by hand; the decoder must reject it.
+	src := `{
+  "version": 2,
+  "fineInterval": 1,
+  "edges": [],
+  "strides": [
+    {"key": {"func": "main", "id": 1}, "fineInterval": 1},
+    {"key": {"func": "main", "id": 2}, "fineInterval": 4}
+  ]
+}`
+	if _, err := Read(strings.NewReader(src)); err == nil ||
+		!strings.Contains(err.Error(), "fine-interval mismatch") {
+		t.Fatalf("err = %v, want fine-interval mismatch", err)
+	}
+	// A v2 header that disagrees with consistent summaries is also rejected.
+	src2 := `{
+  "version": 2,
+  "fineInterval": 8,
+  "edges": [],
+  "strides": [{"key": {"func": "main", "id": 1}, "fineInterval": 4}]
+}`
+	if _, err := Read(strings.NewReader(src2)); err == nil {
+		t.Fatal("decoding header/summary interval disagreement succeeded, want error")
+	}
+}

@@ -5,8 +5,6 @@
 package profile
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 	"os"
 	"sort"
@@ -178,12 +176,15 @@ func (p *StrideProfile) Summaries() []stride.Summary {
 	return out
 }
 
-// fileFormat is the on-disk representation of a combined profile.
+// fileFormat is the on-disk representation of a combined profile. See
+// codec.go for the version history; FineInterval is present from version 2
+// onward.
 type fileFormat struct {
-	Version int               `json:"version"`
-	Edges   []Edge            `json:"edges"`
-	Entries map[string]uint64 `json:"entries,omitempty"`
-	Strides []stride.Summary  `json:"strides"`
+	Version      int               `json:"version"`
+	FineInterval int               `json:"fineInterval,omitempty"`
+	Edges        []Edge            `json:"edges"`
+	Entries      map[string]uint64 `json:"entries,omitempty"`
+	Strides      []stride.Summary  `json:"strides"`
 }
 
 // Combined pairs the two profiles a single integrated profiling run
@@ -195,32 +196,12 @@ type Combined struct {
 	Stride *StrideProfile
 }
 
-// Write serialises the combined profile as JSON.
-func (c *Combined) Write(w io.Writer) error {
-	ff := fileFormat{Version: 1, Edges: c.Edge.Edges(), Entries: c.Edge.entries, Strides: c.Stride.Summaries()}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ff)
-}
+// Write serialises the combined profile as JSON via DefaultCodec.
+func (c *Combined) Write(w io.Writer) error { return DefaultCodec.Encode(w, c) }
 
-// Read deserialises a combined profile.
-func Read(r io.Reader) (*Combined, error) {
-	var ff fileFormat
-	if err := json.NewDecoder(r).Decode(&ff); err != nil {
-		return nil, fmt.Errorf("profile: decode: %w", err)
-	}
-	if ff.Version != 1 {
-		return nil, fmt.Errorf("profile: unsupported version %d", ff.Version)
-	}
-	ep := NewEdgeProfile()
-	for _, e := range ff.Edges {
-		ep.Set(e.Key, e.Count)
-	}
-	for fn, c := range ff.Entries {
-		ep.SetEntryCount(fn, c)
-	}
-	return &Combined{Edge: ep, Stride: NewStrideProfile(ff.Strides)}, nil
-}
+// Read deserialises a combined profile via DefaultCodec, accepting any
+// supported format version.
+func Read(r io.Reader) (*Combined, error) { return DefaultCodec.Decode(r) }
 
 // Save writes the combined profile to a file.
 func (c *Combined) Save(path string) error {

@@ -1,0 +1,485 @@
+// Package server implements the strided daemon: an HTTP/JSON front end to
+// the stride-profiling pipeline. It accepts profile uploads from many
+// producers (a networked cmd/profmerge), aggregates them per (workload,
+// config) with version tracking, and serves figure tables, classification
+// decisions and prefetch-effectiveness metrics computed by the same
+// memoised experiment sessions the CLI uses — figure responses are
+// byte-identical to `experiments -figure N` output.
+//
+// The daemon is production-shaped: simulation-heavy requests run on a
+// bounded worker gate with a bounded wait queue (full queue answers 429
+// with Retry-After), every heavy request carries a timeout and the
+// client-disconnect cancellation threaded down into the simulator's
+// interrupt check, and shutdown drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stridepf/internal/core"
+	"stridepf/internal/experiments"
+	"stridepf/internal/machine"
+	"stridepf/internal/obs"
+	"stridepf/internal/profile"
+	"stridepf/internal/workloads"
+)
+
+// Config parameterises the daemon.
+type Config struct {
+	// Experiments configures the sessions backing figure queries (machine
+	// model, prefetch options, worker pool size). Its Workloads field sets
+	// the default roster; requests narrow it with ?workloads=.
+	Experiments experiments.Config
+	// MaxInFlight bounds concurrently executing simulation-heavy requests
+	// (figures, classification). Zero selects GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueued bounds requests waiting for an execution slot; a request
+	// arriving beyond the bound is refused with 429 and a Retry-After
+	// hint. Zero selects 2*MaxInFlight.
+	MaxQueued int
+	// RequestTimeout bounds each simulation-heavy request; zero means
+	// no timeout (client disconnect still cancels).
+	RequestTimeout time.Duration
+	// Metrics receives the prefetch-effectiveness reports of every
+	// observed measurement cell and backs GET /obs/metrics. Nil creates a
+	// registry (set Experiments.Metrics to the same registry to observe
+	// figure cells; New does this automatically when both are nil).
+	Metrics *obs.Registry
+	// Log receives request and lifecycle lines; nil uses log.Default().
+	Log *log.Logger
+}
+
+func (c *Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) maxQueued() int {
+	if c.MaxQueued > 0 {
+		return c.MaxQueued
+	}
+	return 2 * c.maxInFlight()
+}
+
+// Server is the strided HTTP handler. Create with New; serve with any
+// http.Server (it implements http.Handler); drain with Drain before exit.
+type Server struct {
+	cfg   Config
+	store *Store
+	log   *log.Logger
+	mux   *http.ServeMux
+	start time.Time
+
+	gate   chan struct{} // execution slots for heavy requests
+	queued atomic.Int64  // requests waiting for a slot
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*experiments.Session
+
+	served   atomic.Int64 // completed heavy requests
+	rejected atomic.Int64 // 429 responses
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Experiments.Metrics == nil {
+		cfg.Experiments.Metrics = cfg.Metrics
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = log.Default()
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    NewStore(),
+		log:      lg,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		gate:     make(chan struct{}, cfg.maxInFlight()),
+		sessions: make(map[string]*experiments.Session),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /obs/metrics", s.handleObsMetrics)
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /v1/figure/{name}", s.heavy(s.handleFigure))
+	s.mux.HandleFunc("GET /v1/profiles", s.handleProfileList)
+	s.mux.HandleFunc("POST /v1/profiles/{workload}/{config}", s.handleProfileUpload)
+	s.mux.HandleFunc("GET /v1/profiles/{workload}/{config}", s.handleProfileGet)
+	s.mux.HandleFunc("GET /v1/classify/{workload}/{config}", s.heavy(s.handleClassify))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the profile aggregate store (tests and embedding).
+func (s *Server) Store() *Store { return s.store }
+
+// Drain blocks until every in-flight heavy request finished or ctx
+// expires. http.Server.Shutdown already waits for open connections; Drain
+// additionally covers callers embedding the handler elsewhere.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// heavy wraps a simulation-heavy handler with the bounded worker gate,
+// the wait-queue bound, the request timeout, and in-flight tracking.
+func (s *Server) heavy(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if n := s.queued.Add(1); int(n) > s.cfg.maxQueued() {
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			// Retry-After estimates one slot turnover per queued request
+			// ahead of the caller, floored to a second.
+			retry := 1 + int(n)/s.cfg.maxInFlight()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			http.Error(w, "server busy: execution queue full", http.StatusTooManyRequests)
+			return
+		}
+		select {
+		case s.gate <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			return // client went away while queued
+		}
+		s.wg.Add(1)
+		defer func() {
+			<-s.gate
+			s.wg.Done()
+			s.served.Add(1)
+		}()
+
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// session returns the memoised experiment session for a workload roster,
+// creating it on first use. All sessions share the server's obs registry
+// and machine/prefetch configuration.
+func (s *Server) session(names []string) *experiments.Session {
+	key := strings.Join(names, ",")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		return sess
+	}
+	cfg := s.cfg.Experiments
+	cfg.Workloads = names
+	sess := experiments.NewSession(cfg)
+	s.sessions[key] = sess
+	return sess
+}
+
+// roster resolves the ?workloads= selection against the configured
+// default, validating names and normalising order so equivalent requests
+// share one session.
+func (s *Server) roster(r *http.Request) ([]string, error) {
+	raw := r.URL.Query().Get("workloads")
+	if raw == "" {
+		if len(s.cfg.Experiments.Workloads) > 0 {
+			return append([]string(nil), s.cfg.Experiments.Workloads...), nil
+		}
+		return workloads.Names(), nil
+	}
+	names := strings.Split(raw, ",")
+	seen := make(map[string]bool, len(names))
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		if workloads.Get(n) == nil {
+			return nil, fmt.Errorf("unknown workload %q", n)
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty workload selection")
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("server: write response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// errStatus maps a pipeline error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, machine.ErrInterrupted):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"in_flight":      len(s.gate),
+		"queued":         s.queued.Load(),
+		"served":         s.served.Load(),
+		"rejected":       s.rejected.Load(),
+		"profiles":       len(s.store.List()),
+	})
+}
+
+func (s *Server) handleObsMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Metrics.WriteJSON(w); err != nil {
+		s.log.Printf("server: write metrics: %v", err)
+	}
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"figures": experiments.FigureNames(),
+		"formats": []string{"text", "csv", "jsonl"},
+	})
+}
+
+// handleFigure serves one figure table. The default text form is
+// byte-identical to `experiments -figure <name>` output; format=csv
+// matches `-csv`, and format=jsonl streams one JSON object per table row.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	roster, err := s.roster(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(roster)
+	// Mirror the CLI: precompute the figure's cells on the session's worker
+	// pool, then assemble the table serially from the memoised cells. The
+	// output is byte-identical either way; warming only buys parallelism.
+	if jobs := s.cfg.Experiments.Jobs; jobs != 1 && name != "15" {
+		sess.Warm(r.Context(), jobs, name)
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "text", "csv":
+		text, err := sess.FigureText(r.Context(), name, format == "csv")
+		if err != nil {
+			status := errStatus(err)
+			if strings.Contains(err.Error(), "unknown figure") {
+				status = http.StatusNotFound
+			}
+			s.writeError(w, status, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	case "jsonl":
+		s.streamFigureJSONL(w, r, sess, name)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text, csv or jsonl)", format))
+	}
+}
+
+// jsonlHeader is the first line of a figure's JSONL stream.
+type jsonlHeader struct {
+	Figure  string   `json:"figure"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+}
+
+// jsonlRow is one streamed table row. NaN cells (rendered "-" in the text
+// table) become nulls.
+type jsonlRow struct {
+	Benchmark string     `json:"benchmark"`
+	Values    []*float64 `json:"values"`
+}
+
+func (s *Server) streamFigureJSONL(w http.ResponseWriter, r *http.Request, sess *experiments.Session, name string) {
+	t, err := sess.Figure(r.Context(), name)
+	if err != nil {
+		status := errStatus(err)
+		if strings.Contains(err.Error(), "unknown figure") || strings.Contains(err.Error(), "figure 15") {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !writeLine(jsonlHeader{Figure: name, Title: t.Title, Columns: t.Columns}) {
+		return
+	}
+	for _, row := range t.Rows {
+		jr := jsonlRow{Benchmark: row.Name, Values: make([]*float64, len(row.Values))}
+		for i, v := range row.Values {
+			if v == v { // not NaN
+				v := v
+				jr.Values[i] = &v
+			}
+		}
+		if !writeLine(jr) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleProfileList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"profiles": s.store.List()})
+}
+
+// handleProfileUpload accepts one codec-encoded profile shard and merges
+// it into the (workload, config) aggregate.
+func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
+	wname, cname := r.PathValue("workload"), r.PathValue("config")
+	if workloads.Get(wname) == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", wname))
+		return
+	}
+	prof, err := profile.DefaultCodec.Decode(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.store.Upload(wname, cname, prof)
+	if err != nil {
+		// The shard is well-formed but incompatible with the aggregate.
+		s.writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.log.Printf("server: profile %s/%s now at version %d (%d shards)",
+		wname, cname, info.Version, info.Shards)
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	merged, info, err := s.store.Get(r.PathValue("workload"), r.PathValue("config"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Profile-Version", strconv.Itoa(info.Version))
+	if err := profile.DefaultCodec.Encode(w, merged); err != nil {
+		s.log.Printf("server: write profile: %v", err)
+	}
+}
+
+// decisionView is the JSON form of one classification decision, mirroring
+// the fields `prefetchc -report` prints.
+type decisionView struct {
+	Func       string  `json:"func"`
+	ID         int     `json:"id"`
+	Class      string  `json:"class"`
+	InLoop     bool    `json:"inLoop"`
+	Freq       uint64  `json:"freq"`
+	Trip       float64 `json:"trip"`
+	Stride     int64   `json:"stride"`
+	K          int     `json:"k"`
+	CoverLines int     `json:"coverLines"`
+	FilteredBy string  `json:"filteredBy,omitempty"`
+}
+
+// handleClassify classifies every load of the workload against the stored
+// (workload, config) profile aggregate and reports the decisions — the
+// offline `profmerge && prefetchc -report` flow as one query.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	wname, cname := r.PathValue("workload"), r.PathValue("config")
+	wl := workloads.Get(wname)
+	if wl == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", wname))
+		return
+	}
+	merged, info, err := s.store.Get(wname, cname)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	opts := s.cfg.Experiments.Prefetch
+	if v := r.URL.Query().Get("wsst"); v == "1" || v == "true" {
+		opts.EnableWSST = true
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	fb, err := core.BuildPrefetched(wl, merged, opts)
+	if err != nil {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	views := make([]decisionView, 0, len(fb.Decisions))
+	for _, d := range fb.Decisions {
+		views = append(views, decisionView{
+			Func: d.Key.Func, ID: d.Key.ID, Class: d.Class.String(),
+			InLoop: d.InLoop, Freq: d.Freq, Trip: d.Trip, Stride: d.Stride,
+			K: d.K, CoverLines: d.CoverLines, FilteredBy: d.FilteredBy,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"workload":  wname,
+		"config":    cname,
+		"version":   info.Version,
+		"shards":    info.Shards,
+		"inserted":  fb.Inserted,
+		"decisions": views,
+	})
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stridepf/internal/profile"
+)
+
+// EntryInfo is the JSON view of one stored profile aggregate.
+type EntryInfo struct {
+	// Workload and Config key the aggregate: Config names the collection
+	// setup ("sample-edge-check", "prod-v3", ...) so differently collected
+	// profiles of one workload stay separate.
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Version counts accepted uploads; readers use it to detect staleness.
+	Version int `json:"version"`
+	// Shards is the number of profiles merged in (== Version today, but
+	// kept separate so a future reset/compact can diverge them).
+	Shards int `json:"shards"`
+	// FineInterval is the aggregate's fine-sampling interval (0 when the
+	// profiles never went through the runtime sampler).
+	FineInterval int `json:"fineInterval"`
+}
+
+// entry is one (workload, config) aggregate.
+type entry struct {
+	info   EntryInfo
+	merged *profile.Combined
+}
+
+// Store aggregates uploaded stride profiles per (workload, config), the
+// networked analogue of running cmd/profmerge over shard files: each upload
+// is merged into the existing aggregate under the same fine-interval
+// compatibility rule, and the entry's version is bumped so pollers can tell
+// when the aggregate changed. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*entry)}
+}
+
+func storeKey(workload, config string) string { return workload + "|" + config }
+
+// Upload merges prof into the (workload, config) aggregate and returns the
+// updated entry info. A merge failure (fine-interval mismatch) leaves the
+// aggregate unchanged.
+func (s *Store) Upload(workload, config string, prof *profile.Combined) (EntryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := storeKey(workload, config)
+	e := s.entries[key]
+	if e == nil {
+		e = &entry{info: EntryInfo{Workload: workload, Config: config}}
+	}
+	merged, err := profile.Merge(e.merged, prof)
+	if err != nil {
+		return EntryInfo{}, err
+	}
+	fi, err := merged.FineInterval()
+	if err != nil {
+		return EntryInfo{}, err
+	}
+	e.merged = merged
+	e.info.Version++
+	e.info.Shards++
+	e.info.FineInterval = fi
+	s.entries[key] = e
+	return e.info, nil
+}
+
+// Get returns the merged aggregate and its info.
+func (s *Store) Get(workload, config string) (*profile.Combined, EntryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[storeKey(workload, config)]
+	if e == nil {
+		return nil, EntryInfo{}, fmt.Errorf("server: no profile for workload %q config %q", workload, config)
+	}
+	return e.merged, e.info, nil
+}
+
+// List returns every aggregate's info sorted by (workload, config).
+func (s *Store) List() []EntryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EntryInfo, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Config < out[j].Config
+	})
+	return out
+}

@@ -51,8 +51,8 @@ type runResult struct {
 }
 
 // runProg executes prog (which must define a parameterless main) under cfg.
-func runProg(prog *ir.Program, cfg machine.Config) (runResult, error) {
-	m, err := machine.New(prog, cfg)
+func runProg(prog *ir.Program, opts ...machine.Option) (runResult, error) {
+	m, err := machine.New(prog, opts...)
 	if err != nil {
 		return runResult{}, err
 	}
@@ -76,11 +76,11 @@ func runProg(prog *ir.Program, cfg machine.Config) (runResult, error) {
 func CheckShadowLockstep(seed uint64, cfg irgen.Config) error {
 	prog := irgen.Generate(seed, cfg)
 
-	base, err := runProg(prog, machine.Config{})
+	base, err := runProg(prog)
 	if err != nil {
 		return fmt.Errorf("baseline run: %w", err)
 	}
-	checked, err := runProg(prog, machine.Config{SelfCheck: true})
+	checked, err := runProg(prog, machine.WithSelfCheck())
 	if err != nil {
 		return fmt.Errorf("self-checked run: %w", err)
 	}
@@ -101,7 +101,7 @@ func CheckShadowLockstep(seed uint64, cfg irgen.Config) error {
 	if err != nil {
 		return fmt.Errorf("instrument: %w", err)
 	}
-	m, err := machine.New(res.Prog, machine.Config{SelfCheck: true})
+	m, err := machine.New(res.Prog, machine.WithSelfCheck())
 	if err != nil {
 		return err
 	}
@@ -125,11 +125,11 @@ func CheckShadowLockstep(seed uint64, cfg irgen.Config) error {
 func CheckPrefetchNeutrality(seed uint64, cfg irgen.Config) error {
 	prog := irgen.Generate(seed, cfg)
 
-	on, err := runProg(prog, machine.Config{})
+	on, err := runProg(prog)
 	if err != nil {
 		return fmt.Errorf("prefetch-on run: %w", err)
 	}
-	off, err := runProg(prog, machine.Config{DisablePrefetch: true})
+	off, err := runProg(prog, machine.WithDisablePrefetch())
 	if err != nil {
 		return fmt.Errorf("prefetch-off run: %w", err)
 	}

@@ -282,7 +282,7 @@ func TestRegisterHookOnMachine(t *testing.T) {
 	idx := rt.AddLoad(machine.LoadKey{Func: "main", ID: 999})
 
 	prog := buildHookLoop(int64(idx))
-	m, err := machine.New(prog, machine.Config{})
+	m, err := machine.New(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestHookMisuseCounted(t *testing.T) {
 
 	// Malformed: wrong arg count. Out of range: index past the table.
 	prog := buildMisuseProg(99)
-	m, err := machine.New(prog, machine.Config{})
+	m, err := machine.New(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestHookMisuseFaultsUnderSelfCheck(t *testing.T) {
 	rt := NewRuntime(Config{})
 	rt.AddLoad(key(1))
 	prog := buildMisuseProg(99)
-	m, err := machine.New(prog, machine.Config{SelfCheck: true})
+	m, err := machine.New(prog, machine.WithSelfCheck())
 	if err != nil {
 		t.Fatal(err)
 	}
