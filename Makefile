@@ -11,7 +11,7 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race fuzz-smoke simcheck \
-	bench bench-json figures metrics serve smoke-serve clean
+	bench bench-json figures metrics serve smoke-serve chaos chaos-replay clean
 
 check: vet build test race
 
@@ -19,6 +19,7 @@ check-deep: check
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) simcheck
+	$(MAKE) chaos
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
 	$(MAKE) smoke-serve
 
@@ -34,18 +35,23 @@ test:
 
 # The race run uses -short so it stays fast enough for a pre-commit gate;
 # TestParallelMatchesSerial (the full parallel-vs-serial determinism check)
-# runs race-enabled in full via `make race-full`.
+# runs race-enabled in full via `make race-full`. Shuffled for the same
+# reason as `test`: the server/client/chaos suites must not grow order
+# dependencies.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/machine/... ./internal/server/...
+	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
+		./internal/server/... ./internal/client/... ./internal/chaos/...
 
 race-full:
-	$(GO) test -race ./internal/experiments/... ./internal/machine/... ./internal/server/...
+	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
+		./internal/server/... ./internal/client/... ./internal/chaos/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseProgram -fuzztime 10s ./internal/ir
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./internal/mc
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/profile
 
 # Differential/metamorphic property checks (see TESTING.md).
 simcheck:
@@ -82,6 +88,21 @@ smoke-serve:
 	kill -INT $$pid; wait $$pid; \
 	test $$status -eq 0 && cmp /tmp/stridepf-fig16-cli.txt /tmp/stridepf-fig16-http.txt
 	@echo "smoke-serve: figure endpoint byte-identical to CLI"
+
+# Full-length fault-injection soak (see TESTING.md, "Fault injection"):
+# N concurrent resilient clients push shards through a chaos-wrapped
+# in-process strided under -race; the merged store must end up
+# byte-identical to the fault-free offline profmerge of the same shards.
+# The test prints its seed; reproduce any failure with
+# `make chaos-replay SEED=<seed>`. Pass CHAOS_SEED=N to pick a seed here.
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags soak -run TestChaosSoakFull -v -count=1 ./internal/chaos
+
+# Replay a recorded fault plan: identical per-site fault schedules, so a
+# failure found by `make chaos` reproduces from its printed seed alone.
+chaos-replay:
+	@test -n "$(SEED)" || { echo "usage: make chaos-replay SEED=<seed from a failing run>"; exit 1; }
+	CHAOS_SEED=$(SEED) $(GO) test -race -tags soak -run TestChaosSoakFull -v -count=1 ./internal/chaos
 
 # Figure 16 with the prefetch-effectiveness observer on: per-class
 # accuracy/coverage/timeliness JSON plus the sampled event trace

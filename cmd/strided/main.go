@@ -9,6 +9,7 @@
 //
 //	strided [-addr :8471] [-workloads 181.mcf,197.parser] [-j N]
 //	        [-max-inflight N] [-max-queued N] [-timeout 5m] [-selfcheck]
+//	        [-chaos-seed N] [-chaos-scale F]
 //
 // Endpoints:
 //
@@ -25,6 +26,12 @@
 // gate; when the wait queue is full the daemon answers 429 with a
 // Retry-After hint. SIGINT/SIGTERM starts a graceful shutdown that stops
 // accepting connections and drains in-flight requests.
+//
+// With -chaos-seed N the daemon runs in self-chaos mode: its listener,
+// profile store and worker gate are wrapped with the seeded fault
+// injector from internal/chaos, so resilient clients can be exercised
+// against a deterministically misbehaving daemon. Never use in
+// production; it exists to rehearse failure handling.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"stridepf/internal/chaos"
 	"stridepf/internal/experiments"
 	"stridepf/internal/server"
 )
@@ -53,6 +62,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Minute, "per-request timeout for heavy requests (0 = none)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		selfCheck   = flag.Bool("selfcheck", false, "run shadow-model self-checking in every simulation")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "run in self-chaos mode with this fault-injection seed (0 = off)")
+		chaosScale  = flag.Float64("chaos-scale", 1, "fault-rate multiplier for -chaos-seed mode")
 	)
 	flag.Parse()
 
@@ -69,16 +80,46 @@ func main() {
 		cfg.Experiments.Workloads = strings.Split(*workloadsF, ",")
 	}
 
+	// Self-chaos mode: deterministically misbehave at every seam.
+	var plan *chaos.Plan
+	if *chaosSeed != 0 {
+		plan = chaos.NewPlan(*chaosSeed, chaos.Rule{
+			CutRate: 0.01 * *chaosScale, SlowRate: 0.02 * *chaosScale,
+			PartialRate: 0.01 * *chaosScale, MaxLatency: 2 * time.Millisecond,
+		})
+		plan.SetRule("store", chaos.Rule{
+			StatusRate: 0.08 * *chaosScale, DropRate: 0.08 * *chaosScale,
+			SlowRate: 0.04 * *chaosScale, MaxLatency: time.Millisecond,
+		})
+		plan.SetRule("gate", chaos.Rule{StatusRate: 0.10 * *chaosScale})
+		cfg.Store = &chaos.FlakyStore{Inner: server.NewStore(), In: plan.Injector("store")}
+		gateIn, gateQ := *maxInflight, *maxQueued
+		if gateIn <= 0 {
+			gateIn = 2
+		}
+		if gateQ <= 0 {
+			gateQ = 2 * gateIn
+		}
+		cfg.Gate = &chaos.FlakyGate{Inner: server.NewSlotGate(gateIn, gateQ), In: plan.Injector("gate")}
+		lg.Printf("SELF-CHAOS MODE: seed=%d scale=%g — do not use in production", *chaosSeed, *chaosScale)
+	}
+
 	srv := server.New(cfg)
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		lg.Fatalf("listen: %v", err)
+	}
+	if plan != nil {
+		ln = chaos.WrapListener(ln, plan, "listener")
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	lg.Printf("listening on %s", *addr)
+	go func() { errCh <- hs.Serve(ln) }()
+	lg.Printf("listening on %s", ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -99,6 +140,11 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		lg.Printf("serve: %v", err)
+	}
+	if plan != nil {
+		for _, r := range plan.Report() {
+			lg.Printf("chaos: %-16s %s", r.Site, r.Counts)
+		}
 	}
 	lg.Printf("stopped")
 }

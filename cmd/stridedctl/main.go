@@ -1,0 +1,195 @@
+// Command stridedctl is the operator CLI for a strided daemon, built on
+// the resilient client in internal/client: every request retries with
+// capped exponential backoff and jitter, honours Retry-After, and shard
+// uploads carry idempotency keys so a retried push never double-merges.
+//
+// Usage:
+//
+//	stridedctl [-server http://localhost:8471] [-attempts N] [-timeout D] <command> [args]
+//
+// Commands:
+//
+//	health                              daemon liveness and load counters
+//	push <workload> <config> <file>     upload a profile shard (strideprof output)
+//	pull <workload> <config> [file]     download the merged aggregate
+//	list                                list stored aggregates
+//	figure <name> [-format csv|jsonl] [-workloads a,b]
+//	classify <workload> <config>        per-load classification decisions
+//	metrics                             prefetch-effectiveness roll-up
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stridepf/internal/client"
+	"stridepf/internal/profile"
+)
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stridedctl", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		serverURL  = fs.String("server", "http://localhost:8471", "strided base URL")
+		attempts   = fs.Int("attempts", 8, "max attempts per request")
+		timeout    = fs.Duration("timeout", 2*time.Minute, "overall budget per command")
+		backoff    = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff")
+		backoffCap = fs.Duration("backoff-cap", 10*time.Second, "retry backoff ceiling")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: stridedctl [flags] <health|push|pull|list|figure|classify|metrics> [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
+
+	cl, err := client.New(client.Config{
+		BaseURL:     *serverURL,
+		MaxAttempts: *attempts,
+		BackoffBase: *backoff,
+		BackoffCap:  *backoffCap,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "health":
+		h, err := cl.Health(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "status: %s\nuptime_seconds: %d\nprofiles: %d\nin_flight: %d\nqueued: %d\nserved: %d\nrejected: %d\n",
+			h.Status, h.UptimeSeconds, h.Profiles, h.InFlight, h.Queued, h.Served, h.Rejected)
+		return nil
+
+	case "push":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: stridedctl push <workload> <config> <profile.json>")
+		}
+		prof, err := profile.Load(rest[2])
+		if err != nil {
+			return err
+		}
+		info, err := cl.UploadShard(ctx, rest[0], rest[1], prof)
+		if err != nil {
+			return err
+		}
+		verb := "merged"
+		if info.Deduped {
+			verb = "already merged (idempotent replay)"
+		}
+		fmt.Fprintf(out, "%s/%s: %s, version %d (%d shards)\n",
+			rest[0], rest[1], verb, info.Version, info.Shards)
+		return nil
+
+	case "pull":
+		if len(rest) != 2 && len(rest) != 3 {
+			return fmt.Errorf("usage: stridedctl pull <workload> <config> [out.json]")
+		}
+		prof, version, err := cl.FetchProfile(ctx, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		if len(rest) == 3 {
+			if err := prof.Save(rest[2]); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s: version %d, %d edges, %d stride summaries\n",
+				rest[2], version, prof.Edge.Len(), prof.Stride.Len())
+			return nil
+		}
+		return profile.DefaultCodec.Encode(out, prof)
+
+	case "list":
+		infos, err := cl.ListProfiles(ctx)
+		if err != nil {
+			return err
+		}
+		if len(infos) == 0 {
+			fmt.Fprintln(out, "no profiles stored")
+			return nil
+		}
+		for _, in := range infos {
+			fmt.Fprintf(out, "%-13s %-18s version %-3d %d shards (fine-interval %d)\n",
+				in.Workload, in.Config, in.Version, in.Shards, in.FineInterval)
+		}
+		return nil
+
+	case "figure":
+		ffs := flag.NewFlagSet("figure", flag.ContinueOnError)
+		ffs.SetOutput(out)
+		format := ffs.String("format", "", "output format: csv or jsonl (default: text)")
+		wls := ffs.String("workloads", "", "workload roster override (comma-separated)")
+		if err := ffs.Parse(rest); err != nil {
+			return err
+		}
+		if ffs.NArg() != 1 {
+			return fmt.Errorf("usage: stridedctl figure <name> [-format csv|jsonl] [-workloads a,b]")
+		}
+		var roster []string
+		if *wls != "" {
+			roster = []string{*wls}
+		}
+		text, err := cl.FigureText(ctx, ffs.Arg(0), *format, roster)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, text)
+		return err
+
+	case "classify":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: stridedctl classify <workload> <config>")
+		}
+		rep, err := cl.Classify(ctx, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s/%s: %d loads classified\n", rep.Workload, rep.Config, len(rep.Decisions))
+		for _, d := range rep.Decisions {
+			load := fmt.Sprintf("%s#%d", d.Func, d.ID)
+			extra := ""
+			if d.FilteredBy != "" {
+				extra = " filtered-by=" + d.FilteredBy
+			}
+			fmt.Fprintf(out, "%-24s %-12s stride=%-6d freq=%-8d k=%d%s\n",
+				load, d.Class, d.Stride, d.Freq, d.K, extra)
+		}
+		return nil
+
+	case "metrics":
+		raw, err := cl.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(raw, '\n'))
+		return err
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "stridedctl:", err)
+		}
+		os.Exit(1)
+	}
+}

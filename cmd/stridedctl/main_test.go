@@ -1,0 +1,111 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/server"
+	"stridepf/internal/stride"
+)
+
+func ctlServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Log: log.New(io.Discard, "", 0)}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func ctlShard() *profile.Combined {
+	return &profile.Combined{
+		Edge: profile.NewEdgeProfile(),
+		Stride: profile.NewStrideProfile([]stride.Summary{{
+			Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 12,
+			FineInterval: 1,
+			TopStrides:   []lfu.Entry{{Value: 8, Freq: 12}},
+		}}),
+	}
+}
+
+func ctl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestHealthPushPullList(t *testing.T) {
+	ts := ctlServer(t)
+	shard := filepath.Join(t.TempDir(), "shard.json")
+	if err := ctlShard().Save(shard); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ctl(t, "-server", ts.URL, "health")
+	if err != nil {
+		t.Fatalf("health: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "status: ok") {
+		t.Errorf("health output:\n%s", out)
+	}
+
+	out, err = ctl(t, "-server", ts.URL, "push", "197.parser", "prod", shard)
+	if err != nil {
+		t.Fatalf("push: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "version 1 (1 shards)") {
+		t.Errorf("push output:\n%s", out)
+	}
+	// A second push is a distinct shard (fresh idempotency key per run).
+	if out, err = ctl(t, "-server", ts.URL, "push", "197.parser", "prod", shard); err != nil ||
+		!strings.Contains(out, "version 2 (2 shards)") {
+		t.Errorf("second push: %v\n%s", err, out)
+	}
+
+	pulled := filepath.Join(t.TempDir(), "agg.json")
+	out, err = ctl(t, "-server", ts.URL, "pull", "197.parser", "prod", pulled)
+	if err != nil {
+		t.Fatalf("pull: %v\n%s", err, out)
+	}
+	agg, err := profile.Load(pulled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := agg.Stride.Summaries()
+	if len(sums) != 1 || sums[0].TotalStrides != 24 {
+		t.Errorf("pulled aggregate = %+v, want both shards merged", sums)
+	}
+
+	out, err = ctl(t, "-server", ts.URL, "list")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out, "197.parser") || !strings.Contains(out, "2 shards") {
+		t.Errorf("list output:\n%s", out)
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	ts := ctlServer(t)
+	if _, err := ctl(t, "-server", ts.URL); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, err := ctl(t, "-server", ts.URL, "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := ctl(t, "-server", "not a url", "health"); err == nil {
+		t.Error("bad server URL accepted")
+	}
+	if _, err := ctl(t, "-server", ts.URL, "push", "197.parser", "prod"); err == nil {
+		t.Error("push without file accepted")
+	}
+	if _, err := ctl(t, "-server", ts.URL, "-attempts", "1", "pull", "197.parser", "nope"); err == nil {
+		t.Error("pull of a missing profile succeeded")
+	}
+}

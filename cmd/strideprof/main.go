@@ -6,16 +6,22 @@
 //
 //	strideprof -workload 181.mcf [-method sample-edge-check] [-input train]
 //	           [-o profile.json] [-dump-ir] [-v]
+//	           [-push http://host:8471] [-push-config name] [-push-attempts N]
 //
-// The profile file feeds cmd/prefetchc.
+// The profile file feeds cmd/prefetchc. With -push the shard is also
+// uploaded to a strided daemon through the resilient client (retries with
+// backoff, idempotency-keyed so a retried upload never double-merges).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"stridepf/internal/client"
 	"stridepf/internal/core"
 	"stridepf/internal/instrument"
 	"stridepf/internal/ir"
@@ -37,6 +43,11 @@ func run(argv []string, out io.Writer) error {
 		outF   = fs.String("o", "profile.json", "profile output path")
 		dumpIR = fs.Bool("dump-ir", false, "print the instrumented IR")
 		verb   = fs.Bool("v", false, "print profiling statistics")
+
+		push         = fs.String("push", "", "also upload the shard to a strided daemon at this base URL")
+		pushConfig   = fs.String("push-config", "", "config name for the upload (default: the -method name)")
+		pushAttempts = fs.Int("push-attempts", 8, "max upload attempts before giving up")
+		pushTimeout  = fs.Duration("push-timeout", 2*time.Minute, "overall budget for the upload")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -89,6 +100,25 @@ func run(argv []string, out io.Writer) error {
 				pr.ProcessedRefs, 100*float64(pr.ProcessedRefs)/float64(pr.ProgramLoadRefs),
 				pr.LFUCalls, 100*float64(pr.LFUCalls)/float64(pr.ProgramLoadRefs))
 		}
+	}
+
+	if *push != "" {
+		cname := *pushConfig
+		if cname == "" {
+			cname = *method
+		}
+		cl, err := client.New(client.Config{BaseURL: *push, MaxAttempts: *pushAttempts})
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *pushTimeout)
+		defer cancel()
+		info, err := cl.UploadShard(ctx, *wl, cname, pr.Profiles)
+		if err != nil {
+			return fmt.Errorf("push to %s: %w", *push, err)
+		}
+		fmt.Fprintf(out, "pushed %s/%s to %s: version %d (%d shards)\n",
+			*wl, cname, *push, info.Version, info.Shards)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,5 +51,52 @@ func TestBadArguments(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "181.mcf", "-input", "nope"}, &out); err == nil {
 		t.Error("unknown input accepted")
+	}
+}
+
+// TestPushUploadsShard: -push uploads the freshly collected shard to a
+// strided endpoint with an idempotency key, and reports the merge result.
+func TestPushUploadsShard(t *testing.T) {
+	var gotPath, gotKey string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath, gotKey = r.URL.Path, r.Header.Get("Idempotency-Key")
+		if _, err := profile.DefaultCodec.Decode(r.Body); err != nil {
+			t.Errorf("pushed body does not decode: %v", err)
+		}
+		fmt.Fprintln(w, `{"workload":"181.mcf","config":"prod","version":1,"shards":1,"fineInterval":1}`)
+	}))
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "prof.json")
+	var out strings.Builder
+	err := run([]string{"-workload", "181.mcf", "-method", "naive-loop", "-o", path,
+		"-push", ts.URL, "-push-config", "prod"}, &out)
+	if err != nil {
+		t.Fatalf("run -push: %v\n%s", err, out.String())
+	}
+	if gotPath != "/v1/profiles/181.mcf/prod" {
+		t.Errorf("pushed to %q", gotPath)
+	}
+	if gotKey == "" {
+		t.Error("push carried no Idempotency-Key")
+	}
+	if !strings.Contains(out.String(), "pushed 181.mcf/prod") {
+		t.Errorf("missing push report:\n%s", out.String())
+	}
+}
+
+// TestPushFailureSurfaces: a terminal upload failure fails the command
+// with a "push to <url>" error instead of being swallowed.
+func TestPushFailureSurfaces(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	path := filepath.Join(t.TempDir(), "prof.json")
+	var out strings.Builder
+	err := run([]string{"-workload", "181.mcf", "-method", "naive-loop", "-o", path,
+		"-push", ts.URL, "-push-attempts", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "push to") {
+		t.Fatalf("push failure not surfaced: %v", err)
 	}
 }

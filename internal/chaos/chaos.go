@@ -1,0 +1,311 @@
+// Package chaos implements deterministic fault injection for the strided
+// service stack. A Plan is a seeded, schedulable description of faults —
+// connection resets, latency spikes, partial writes, synthesized 5xx
+// responses, and processed-but-lost responses — and every injection point
+// (a "site") draws its decisions from its own pseudo-random stream derived
+// from (plan seed, site name). The schedule at a site is therefore a pure
+// function of the seed and the operation index, independent of goroutine
+// interleaving: replaying a seed replays the same fault sequence at every
+// site, which is what makes a failing soak run reproducible.
+//
+// The package wraps the four seams of the stack:
+//
+//   - WrapListener / (*Listener): faults on the server's accepted
+//     connections (resets, latency, partial writes mid-response);
+//   - Transport: faults on the client's http.RoundTripper (errors before
+//     the wire, synthesized 5xx/429, truncated bodies, and the nasty
+//     "request processed, response lost" case idempotency keys exist for);
+//   - FlakyStore: transient failures around the daemon's profile store,
+//     including post-commit failures (merge happened, caller sees an
+//     error);
+//   - FlakyGate: artificial admission rejections and latency around the
+//     daemon's worker gate.
+//
+// See TESTING.md ("Fault injection") for the oracle built on top of this.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None means the operation proceeds unharmed.
+	None Kind = iota
+	// Cut aborts the operation with a connection-reset-shaped error.
+	Cut
+	// Slow delays the operation, then lets it proceed.
+	Slow
+	// Partial lets part of the operation happen, then cuts it (a write
+	// delivers a prefix; a response body truncates mid-stream).
+	Partial
+	// Status synthesizes a transient failure status (5xx/429 on the
+	// transport, a Temporary() error at the store or gate).
+	Status
+	// DropResponse performs the real operation, then reports failure — the
+	// crashed-before-replying case that forces idempotent retry handling.
+	DropResponse
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Cut:
+		return "cut"
+	case Slow:
+		return "slow"
+	case Partial:
+		return "partial"
+	case Status:
+		return "status"
+	case DropResponse:
+		return "drop-response"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// Latency is the injected delay for Slow faults.
+	Latency time.Duration
+	// Code is the synthesized HTTP status for Status faults.
+	Code int
+}
+
+// Rule gives the per-operation fault probabilities at a site. Rates are
+// cumulative-checked in field order; their sum should stay below 1.
+type Rule struct {
+	CutRate     float64
+	SlowRate    float64
+	PartialRate float64
+	StatusRate  float64
+	// DropRate is the probability of a DropResponse fault.
+	DropRate float64
+	// MaxLatency bounds Slow faults; zero selects 2ms.
+	MaxLatency time.Duration
+	// StatusCodes are the candidate codes for Status faults; empty selects
+	// 500, 503 and 429.
+	StatusCodes []int
+}
+
+// Scale returns a copy of r with every rate multiplied by f (latency and
+// codes unchanged), for deriving calmer or stormier variants of one plan.
+func (r Rule) Scale(f float64) Rule {
+	r.CutRate *= f
+	r.SlowRate *= f
+	r.PartialRate *= f
+	r.StatusRate *= f
+	r.DropRate *= f
+	return r
+}
+
+// Counts tallies the decisions an Injector has made.
+type Counts struct {
+	Ops, Cuts, Slows, Partials, Statuses, Drops int64
+}
+
+// Faults is the number of non-None decisions.
+func (c Counts) Faults() int64 { return c.Cuts + c.Slows + c.Partials + c.Statuses + c.Drops }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("ops=%d cut=%d slow=%d partial=%d status=%d drop=%d",
+		c.Ops, c.Cuts, c.Slows, c.Partials, c.Statuses, c.Drops)
+}
+
+// Plan is a seeded fault schedule. The zero value is unusable; build with
+// NewPlan. Sites override the default rule by exact name.
+type Plan struct {
+	seed uint64
+	def  Rule
+
+	mu        sync.Mutex
+	sites     map[string]Rule
+	injectors map[string]*Injector
+}
+
+// NewPlan builds a plan with the given seed and default rule.
+func NewPlan(seed uint64, def Rule) *Plan {
+	return &Plan{
+		seed:      seed,
+		def:       def,
+		sites:     make(map[string]Rule),
+		injectors: make(map[string]*Injector),
+	}
+}
+
+// Seed returns the plan's seed (for replay lines).
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// SetRule overrides the rule at one site. It must be called before the
+// site's injector is first used.
+func (p *Plan) SetRule(site string, r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sites[site] = r
+}
+
+// Injector returns the (memoised) injector for a site. Each site owns an
+// independent deterministic decision stream.
+func (p *Plan) Injector(site string) *Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if in, ok := p.injectors[site]; ok {
+		return in
+	}
+	rule, ok := p.sites[site]
+	if !ok {
+		rule = p.def
+	}
+	in := &Injector{site: site, rule: rule, rng: rng{state: siteSeed(p.seed, site)}}
+	p.injectors[site] = in
+	return in
+}
+
+// Rand returns a deterministic float64-in-[0,1) stream for a site, for
+// seeding client-side jitter from the same plan.
+func (p *Plan) Rand(site string) func() float64 {
+	in := p.Injector(site)
+	return func() float64 {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		return in.rng.float()
+	}
+}
+
+// Report snapshots the decision tallies of every site used so far, sorted
+// by site name.
+func (p *Plan) Report() []SiteReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SiteReport, 0, len(p.injectors))
+	for name, in := range p.injectors {
+		out = append(out, SiteReport{Site: name, Counts: in.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// TotalFaults sums injected (non-None) decisions across all sites.
+func (p *Plan) TotalFaults() int64 {
+	var n int64
+	for _, r := range p.Report() {
+		n += r.Counts.Faults()
+	}
+	return n
+}
+
+// SiteReport pairs a site with its tallies.
+type SiteReport struct {
+	Site   string
+	Counts Counts
+}
+
+// Injector makes fault decisions for one site. Safe for concurrent use;
+// decisions are consumed in a deterministic per-site order.
+type Injector struct {
+	site string
+	rule Rule
+
+	mu     sync.Mutex
+	rng    rng
+	counts Counts
+}
+
+// Site returns the injector's site name.
+func (in *Injector) Site() string { return in.site }
+
+// Snapshot returns the current tallies.
+func (in *Injector) Snapshot() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Next draws the next fault decision from the site's stream.
+func (in *Injector) Next() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts.Ops++
+	x := in.rng.float()
+	r := in.rule
+	switch {
+	case x < r.CutRate:
+		in.counts.Cuts++
+		return Fault{Kind: Cut}
+	case x < r.CutRate+r.SlowRate:
+		in.counts.Slows++
+		maxLat := r.MaxLatency
+		if maxLat <= 0 {
+			maxLat = 2 * time.Millisecond
+		}
+		return Fault{Kind: Slow, Latency: time.Duration(1 + in.rng.intn(int64(maxLat)))}
+	case x < r.CutRate+r.SlowRate+r.PartialRate:
+		in.counts.Partials++
+		return Fault{Kind: Partial}
+	case x < r.CutRate+r.SlowRate+r.PartialRate+r.StatusRate:
+		in.counts.Statuses++
+		codes := r.StatusCodes
+		if len(codes) == 0 {
+			codes = []int{500, 503, 429}
+		}
+		return Fault{Kind: Status, Code: codes[in.rng.intn(int64(len(codes)))]}
+	case x < r.CutRate+r.SlowRate+r.PartialRate+r.StatusRate+r.DropRate:
+		in.counts.Drops++
+		return Fault{Kind: DropResponse}
+	}
+	return Fault{Kind: None}
+}
+
+// InjectedError is the error surfaced by injected faults. It reports
+// itself as temporary so retry layers treat it like any transient outage.
+type InjectedError struct {
+	Site string
+	Kind Kind
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault at %s", e.Kind, e.Site)
+}
+
+// Temporary marks the fault as retryable.
+func (e *InjectedError) Temporary() bool { return true }
+
+// Timeout implements net.Error's other half.
+func (e *InjectedError) Timeout() bool { return false }
+
+// rng is a splitmix64 stream: tiny, fast, and good enough to schedule
+// faults. Not for cryptography.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// siteSeed derives the per-site stream state from the plan seed and the
+// site name (FNV-1a), so sites are decorrelated but individually stable.
+func siteSeed(seed uint64, site string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return seed ^ h.Sum64() ^ 0x6a09e667f3bcc909
+}

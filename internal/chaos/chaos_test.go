@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var stormy = Rule{CutRate: 0.1, SlowRate: 0.1, PartialRate: 0.1, StatusRate: 0.1, DropRate: 0.1,
+	MaxLatency: time.Microsecond}
+
+// TestInjectorDeterministicBySeedAndSite is the replay contract: a site's
+// decision stream is a pure function of (seed, site), so re-running a plan
+// with the printed seed re-injects the same faults in the same per-site
+// order.
+func TestInjectorDeterministicBySeedAndSite(t *testing.T) {
+	draw := func(seed uint64, site string, n int) []Fault {
+		in := NewPlan(seed, stormy).Injector(site)
+		out := make([]Fault, n)
+		for i := range out {
+			out[i] = in.Next()
+		}
+		return out
+	}
+	a := draw(42, "client-0/rt", 200)
+	b := draw(42, "client-0/rt", 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, site) produced different fault schedules")
+	}
+	if reflect.DeepEqual(a, draw(43, "client-0/rt", 200)) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if reflect.DeepEqual(a, draw(42, "client-1/rt", 200)) {
+		t.Error("different sites share one schedule")
+	}
+}
+
+func TestInjectorRatesAndCounts(t *testing.T) {
+	in := NewPlan(7, stormy).Injector("x")
+	const n = 10000
+	for i := 0; i < n; i++ {
+		in.Next()
+	}
+	c := in.Snapshot()
+	if c.Ops != n {
+		t.Fatalf("ops = %d", c.Ops)
+	}
+	if c.Faults() != c.Cuts+c.Slows+c.Partials+c.Statuses+c.Drops {
+		t.Fatal("Faults() does not tally")
+	}
+	// Each class is configured at 10%: expect each within [5%, 15%].
+	for name, got := range map[string]int64{
+		"cut": c.Cuts, "slow": c.Slows, "partial": c.Partials, "status": c.Statuses, "drop": c.Drops,
+	} {
+		if got < n/20 || got > 3*n/20 {
+			t.Errorf("%s faults = %d of %d, far from the configured 10%%", name, got, n)
+		}
+	}
+	if none := c.Ops - c.Faults(); none < n/3 {
+		t.Errorf("only %d unharmed ops; rates should leave half untouched", none)
+	}
+}
+
+func TestPlanSiteOverridesAndReport(t *testing.T) {
+	p := NewPlan(1, Rule{})
+	p.SetRule("noisy", Rule{CutRate: 1})
+	if f := p.Injector("noisy").Next(); f.Kind != Cut {
+		t.Errorf("overridden site drew %v, want Cut", f.Kind)
+	}
+	if f := p.Injector("calm").Next(); f.Kind != None {
+		t.Errorf("default (empty) rule drew %v, want None", f.Kind)
+	}
+	if p.Injector("noisy") != p.Injector("noisy") {
+		t.Error("injector not memoised per site")
+	}
+	rep := p.Report()
+	if len(rep) != 2 || rep[0].Site != "calm" || rep[1].Site != "noisy" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if p.TotalFaults() != 1 {
+		t.Errorf("TotalFaults = %d, want 1", p.TotalFaults())
+	}
+}
+
+func TestTransportSynthesizesStatus(t *testing.T) {
+	p := NewPlan(3, Rule{StatusRate: 1, StatusCodes: []int{503}})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request reached the server through a Status fault")
+	}))
+	defer ts.Close()
+	tr := &Transport{In: p.Injector("rt")}
+	req, _ := http.NewRequest("GET", ts.URL, nil)
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 without Retry-After")
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) == 0 {
+		t.Error("injected response has no body")
+	}
+}
+
+func TestTransportCutAndDropResponse(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+
+	p := NewPlan(3, Rule{CutRate: 1})
+	tr := &Transport{In: p.Injector("rt")}
+	req, _ := http.NewRequest("GET", ts.URL, nil)
+	_, err := tr.RoundTrip(req)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Kind != Cut {
+		t.Fatalf("Cut fault err = %v", err)
+	}
+	if served != 0 {
+		t.Fatal("Cut fault reached the server")
+	}
+
+	// DropResponse: the server processes the request, the caller still
+	// sees a failure.
+	p2 := NewPlan(3, Rule{DropRate: 1})
+	tr2 := &Transport{In: p2.Injector("rt")}
+	req2, _ := http.NewRequest("GET", ts.URL, nil)
+	_, err = tr2.RoundTrip(req2)
+	if !errors.As(err, &ie) || ie.Kind != DropResponse {
+		t.Fatalf("DropResponse fault err = %v", err)
+	}
+	if served != 1 {
+		t.Fatalf("served = %d, want exactly 1 (request must be processed, response dropped)", served)
+	}
+	if !ie.Temporary() || ie.Timeout() {
+		t.Error("injected errors must look transient, not timeouts")
+	}
+}
+
+func TestTransportPartialTruncatesBody(t *testing.T) {
+	payload := make([]byte, 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+	p := NewPlan(9, Rule{PartialRate: 1})
+	tr := &Transport{In: p.Injector("rt")}
+	req, _ := http.NewRequest("GET", ts.URL, nil)
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read succeeded")
+	}
+	if len(body) >= len(payload) {
+		t.Errorf("read %d of %d bytes; Partial should deliver a strict prefix", len(body), len(payload))
+	}
+}
+
+func TestListenerCutsConnections(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(5, Rule{CutRate: 1})
+	ln := WrapListener(inner, p, "listener")
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Write([]byte("hello"))
+		done <- err
+	}()
+
+	peer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if err := <-done; err == nil {
+		t.Fatal("write through a CutRate=1 listener succeeded")
+	}
+	rep := p.Report()
+	if len(rep) != 1 || rep[0].Counts.Cuts == 0 {
+		t.Errorf("listener report = %+v, want a recorded cut", rep)
+	}
+}

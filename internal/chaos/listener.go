@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Listener wraps a net.Listener so every accepted connection misbehaves
+// according to the plan. Each connection gets its own injector site
+// ("<site>/conn-<n>" in accept order), so a connection's fault schedule is
+// deterministic in the seed even when many connections interleave.
+type Listener struct {
+	net.Listener
+	plan *Plan
+	site string
+
+	mu       sync.Mutex
+	accepted int
+}
+
+// WrapListener builds a chaos listener over l. Site names the listener in
+// the plan ("listener" is conventional).
+func WrapListener(l net.Listener, plan *Plan, site string) *Listener {
+	return &Listener{Listener: l, plan: plan, site: site}
+}
+
+// Accept accepts the next connection and wraps it with a per-connection
+// fault stream.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	n := l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	in := l.plan.Injector(fmt.Sprintf("%s/conn-%d", l.site, n))
+	return &chaosConn{Conn: c, in: in}, nil
+}
+
+// chaosConn applies the injector's decisions to reads and writes. A Cut
+// (or a Partial on the read side) closes the underlying connection so the
+// peer observes a reset, not a clean close mid-message.
+type chaosConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	switch f := c.in.Next(); f.Kind {
+	case Cut, Partial:
+		c.Conn.Close()
+		return 0, &InjectedError{Site: c.in.Site(), Kind: Cut}
+	case Slow:
+		time.Sleep(f.Latency)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	switch f := c.in.Next(); f.Kind {
+	case Cut:
+		c.Conn.Close()
+		return 0, &InjectedError{Site: c.in.Site(), Kind: Cut}
+	case Partial:
+		// Deliver a prefix, then reset: the peer sees a truncated message.
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, &InjectedError{Site: c.in.Site(), Kind: Partial}
+	case Slow:
+		time.Sleep(f.Latency)
+	}
+	return c.Conn.Write(p)
+}

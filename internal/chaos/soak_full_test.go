@@ -1,0 +1,23 @@
+//go:build soak
+
+package chaos_test
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSoakFull is the long-form soak behind `make chaos`: more
+// clients, more shards per client, and a doubled fault storm. It is
+// excluded from tier-1 by the soak build tag; replay any failure with
+// `make chaos-replay SEED=<printed seed>`.
+func TestChaosSoakFull(t *testing.T) {
+	runChaosSoak(t, soakParams{
+		seed:     soakSeed(t, 20260806),
+		clients:  8,
+		shards:   40,
+		scale:    2,
+		attempts: 40,
+		budget:   5 * time.Minute,
+	})
+}

@@ -1,0 +1,285 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"stridepf/internal/chaos"
+	"stridepf/internal/client"
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/server"
+	"stridepf/internal/stride"
+)
+
+// The chaos soak: N concurrent resilient clients push shards through a
+// fault-injected transport to an in-process strided whose listener, store
+// and worker gate are all chaos-wrapped. The oracle is exact: after every
+// client reports success, the server's merged aggregate must be
+// byte-identical to the fault-free offline `profmerge` of the same shards,
+// and the shard count must equal the number of uploads — zero lost, zero
+// duplicated, no matter which retries were cut, slowed, truncated, starved
+// or silently committed. See TESTING.md ("Fault injection").
+
+const soakWorkload = "197.parser"
+
+// soakSeed resolves the run's seed: CHAOS_SEED wins (the replay knob
+// behind `make chaos-replay SEED=...`), otherwise the given default.
+func soakSeed(t *testing.T, def uint64) uint64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", v, err)
+		}
+		return seed
+	}
+	return def
+}
+
+// soakShard builds the deterministic shard (clientID, shardID) would have
+// collected. The shards stay in profile.Merge's exact regime — at most
+// four distinct stride values per load, zero reference distances — so the
+// merged aggregate is independent of arrival order and the byte-identity
+// oracle holds under any interleaving.
+func soakShard(clientID, shardID int) *profile.Combined {
+	ep := profile.NewEdgeProfile()
+	for b := 0; b < 4; b++ {
+		ep.Set(profile.EdgeKey{Func: "f", From: b, To: b + 1},
+			uint64(1+clientID*7+shardID*13+b))
+	}
+	ep.Set(profile.EdgeKey{Func: "g", From: 0, To: 2}, uint64(100+clientID+shardID))
+	ep.SetEntryCount("f", uint64(1+shardID))
+	ep.SetEntryCount("g", uint64(2+clientID))
+
+	strideValues := []int64{8, 16, 64, 256} // shared pool: merge stays exact
+	var sums []stride.Summary
+	for id := 1; id <= 3; id++ {
+		v := strideValues[(clientID+shardID+id)%len(strideValues)]
+		w := strideValues[(clientID+2*id)%len(strideValues)]
+		tops := []lfu.Entry{{Value: v, Freq: int64(10 + clientID + shardID)}}
+		if w != v {
+			tops = append(tops, lfu.Entry{Value: w, Freq: int64(3 + id)})
+		}
+		sums = append(sums, stride.Summary{
+			Key:          machine.LoadKey{Func: "f", ID: id},
+			TopStrides:   tops,
+			TotalStrides: int64(20 + clientID + shardID + id),
+			ZeroStrides:  int64(2 + id),
+			ZeroDiffs:    int64(1 + clientID),
+			FineInterval: 4,
+		})
+	}
+	return &profile.Combined{Edge: ep, Stride: profile.NewStrideProfile(sums)}
+}
+
+// encodeProfile renders a profile to its canonical codec bytes.
+func encodeProfile(t *testing.T, p *profile.Combined) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.DefaultCodec.Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// soakParams sizes one soak run.
+type soakParams struct {
+	seed     uint64
+	clients  int
+	shards   int     // per client
+	scale    float64 // fault-rate multiplier over the baseline storm
+	attempts int     // client retry budget; scale the storm, scale this too
+	budget   time.Duration
+}
+
+// runChaosSoak executes one seeded soak run and checks the oracle.
+func runChaosSoak(t *testing.T, p soakParams) {
+	t.Helper()
+	t.Logf("chaos soak: seed=%d clients=%d shards=%d scale=%.2f (replay: make chaos-replay SEED=%d)",
+		p.seed, p.clients, p.shards, p.scale, p.seed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.budget)
+	defer cancel()
+
+	// The fault storm. Listener faults fire per read/write syscall, so
+	// their rates sit an order of magnitude below the per-request sites.
+	plan := chaos.NewPlan(p.seed, chaos.Rule{
+		CutRate: 0.01 * p.scale, SlowRate: 0.02 * p.scale, PartialRate: 0.01 * p.scale,
+		MaxLatency: 2 * time.Millisecond,
+	})
+	transportRule := chaos.Rule{
+		CutRate: 0.06 * p.scale, SlowRate: 0.08 * p.scale, PartialRate: 0.04 * p.scale,
+		StatusRate: 0.08 * p.scale, DropRate: 0.05 * p.scale,
+		MaxLatency: 3 * time.Millisecond,
+	}
+	plan.SetRule("store", chaos.Rule{
+		StatusRate: 0.08 * p.scale, DropRate: 0.08 * p.scale, SlowRate: 0.04 * p.scale,
+		MaxLatency: time.Millisecond,
+	})
+	plan.SetRule("gate", chaos.Rule{StatusRate: 0.10 * p.scale})
+
+	// Fault-free offline reference: profmerge over every shard.
+	var shards []*profile.Combined
+	for ci := 0; ci < p.clients; ci++ {
+		for si := 0; si < p.shards; si++ {
+			shards = append(shards, soakShard(ci, si))
+		}
+	}
+	offline, err := profile.Merge(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := encodeProfile(t, offline)
+
+	// In-process strided with every seam chaos-wrapped.
+	store := server.NewStore()
+	srv := server.New(server.Config{
+		Store: &chaos.FlakyStore{Inner: store, In: plan.Injector("store")},
+		Gate:  &chaos.FlakyGate{Inner: server.NewSlotGate(2, 4), In: plan.Injector("gate")},
+		Log:   log.New(io.Discard, "", 0),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv, ErrorLog: log.New(io.Discard, "", 0)}
+	go hs.Serve(chaos.WrapListener(ln, plan, "listener"))
+	defer hs.Close()
+
+	// N resilient clients, each with its own chaos transport and its own
+	// deterministic jitter stream.
+	var wg sync.WaitGroup
+	errs := make(chan error, p.clients)
+	for ci := 0; ci < p.clients; ci++ {
+		site := fmt.Sprintf("client-%d/rt", ci)
+		plan.SetRule(site, transportRule)
+		cl, err := client.New(client.Config{
+			BaseURL:        "http://" + ln.Addr().String(),
+			HTTP:           &http.Client{Transport: &chaos.Transport{In: plan.Injector(site)}},
+			MaxAttempts:    p.attempts,
+			BackoffBase:    2 * time.Millisecond,
+			BackoffCap:     40 * time.Millisecond,
+			RetryAfterCap:  30 * time.Millisecond,
+			AttemptTimeout: 2 * time.Second,
+			Breaker:        client.BreakerConfig{FailureThreshold: 8, Cooldown: 20 * time.Millisecond},
+			Rand:           plan.Rand(fmt.Sprintf("client-%d/jitter", ci)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ci int, cl *client.Client) {
+			defer wg.Done()
+			for si := 0; si < p.shards; si++ {
+				key := fmt.Sprintf("soak-c%d-s%d", ci, si)
+				if _, err := cl.UploadShardKeyed(ctx, soakWorkload, "chaos", soakShard(ci, si), key); err != nil {
+					errs <- fmt.Errorf("client %d shard %d: %w", ci, si, err)
+					return
+				}
+				// Interleave reads so GET retries share the storm, and
+				// classify calls so the chaos-wrapped worker gate sees
+				// admission traffic too.
+				switch si % 3 {
+				case 1:
+					if _, err := cl.Health(ctx); err != nil {
+						errs <- fmt.Errorf("client %d health: %w", ci, err)
+						return
+					}
+				case 2:
+					if _, err := cl.Classify(ctx, soakWorkload, "chaos"); err != nil {
+						errs <- fmt.Errorf("client %d classify: %w", ci, err)
+						return
+					}
+				}
+			}
+		}(ci, cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.Fatalf("clients failed; replay with CHAOS_SEED=%d", p.seed)
+	}
+
+	// Oracle 1: exact shard accounting — every upload merged exactly once.
+	merged, info, err := store.Get(soakWorkload, "chaos")
+	if err != nil {
+		t.Fatalf("aggregate missing after soak: %v", err)
+	}
+	wantShards := p.clients * p.shards
+	if info.Shards != wantShards || info.Version != wantShards {
+		t.Errorf("shards=%d version=%d, want both %d: shards were lost or double-merged (seed %d)",
+			info.Shards, info.Version, wantShards, p.seed)
+	}
+
+	// Oracle 2: the chaos-run aggregate is byte-identical to the
+	// fault-free offline merge.
+	if got := encodeProfile(t, merged); !bytes.Equal(got, wantBytes) {
+		t.Errorf("chaos-run aggregate diverges from offline profmerge (%d vs %d bytes, seed %d)",
+			len(got), len(wantBytes), p.seed)
+	}
+
+	// Oracle 3: a client-side fetch through the chaos transport returns
+	// the same bytes.
+	fetchCl, err := client.New(client.Config{
+		BaseURL:        "http://" + ln.Addr().String(),
+		HTTP:           &http.Client{Transport: &chaos.Transport{In: plan.Injector("fetcher/rt")}},
+		MaxAttempts:    p.attempts,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     40 * time.Millisecond,
+		RetryAfterCap:  30 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Rand:           plan.Rand("fetcher/jitter"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetRule("fetcher/rt", transportRule)
+	fetched, version, err := fetchCl.FetchProfile(ctx, soakWorkload, "chaos")
+	if err != nil {
+		t.Fatalf("fetch through chaos transport: %v", err)
+	}
+	if version != wantShards {
+		t.Errorf("fetched version = %d, want %d", version, wantShards)
+	}
+	if !bytes.Equal(encodeProfile(t, fetched), wantBytes) {
+		t.Errorf("fetched aggregate diverges from offline merge (seed %d)", p.seed)
+	}
+
+	// The storm must actually have stormed, or the oracle proved nothing.
+	if n := plan.TotalFaults(); n == 0 {
+		t.Errorf("zero faults injected: the soak did not test anything (seed %d)", p.seed)
+	}
+	for _, r := range plan.Report() {
+		t.Logf("  %-16s %s", r.Site, r.Counts)
+	}
+}
+
+// TestChaosSoakShortened is the tier-1 soak: small enough to stay well
+// under ~5s even with -race, stormy enough that uploads routinely retry
+// through resets, 5xx, truncations, admission rejections and
+// committed-but-dropped responses.
+func TestChaosSoakShortened(t *testing.T) {
+	runChaosSoak(t, soakParams{
+		seed:     soakSeed(t, 1),
+		clients:  3,
+		shards:   4,
+		scale:    1,
+		attempts: 14,
+		budget:   2 * time.Minute, // safety net only; normal runtime is ~1s
+	})
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects client-visible faults in
+// front of a real transport:
+//
+//   - Cut: the request fails before reaching the wire;
+//   - Slow: the request is delayed, then sent;
+//   - Status: a 5xx/429 response is synthesized without sending (429/503
+//     carry a Retry-After header so clients exercise their honoring path);
+//   - Partial: the real response's body truncates mid-stream;
+//   - DropResponse: the real request is fully processed by the server, but
+//     the caller sees a transport error — the case that double-applies
+//     non-idempotent requests unless the server deduplicates.
+type Transport struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// In supplies the fault schedule.
+	In *Injector
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.In.Next()
+	switch f.Kind {
+	case Cut:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &InjectedError{Site: t.In.Site(), Kind: Cut}
+	case Slow:
+		select {
+		case <-time.After(f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case Status:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := fmt.Sprintf("chaos: injected %d at %s", f.Code, t.In.Site())
+		hdr := make(http.Header)
+		hdr.Set("Content-Type", "text/plain; charset=utf-8")
+		if f.Code == http.StatusTooManyRequests || f.Code == http.StatusServiceUnavailable {
+			hdr.Set("Retry-After", "0")
+		}
+		return &http.Response{
+			Status:        strconv.Itoa(f.Code) + " " + http.StatusText(f.Code),
+			StatusCode:    f.Code,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        hdr,
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case DropResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &InjectedError{Site: t.In.Site(), Kind: DropResponse}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil || f.Kind != Partial {
+		return resp, err
+	}
+	// Partial: let the caller read half the body, then fail the stream.
+	resp.Body = &truncatingBody{rc: resp.Body, remain: resp.ContentLength / 2, in: t.In}
+	return resp, nil
+}
+
+// truncatingBody delivers at most remain bytes, then errors. When the
+// response length is unknown (remain <= 0 from a chunked response), it
+// fails after the first read.
+type truncatingBody struct {
+	rc     io.ReadCloser
+	remain int64
+	in     *Injector
+	read   bool
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 && b.read {
+		return 0, &InjectedError{Site: b.in.Site(), Kind: Partial}
+	}
+	if b.remain > 0 && int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.read = true
+	b.remain -= int64(n)
+	if err == nil && b.remain <= 0 {
+		err = &InjectedError{Site: b.in.Site(), Kind: Partial}
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"stridepf/internal/profile"
+	"stridepf/internal/server"
+)
+
+// FlakyStore wraps a server.ProfileStore with injected transient failures.
+// The interesting decision is *when* a failure happens relative to the
+// commit: Cut/Status faults fail before touching the store (the retry must
+// re-merge), while DropResponse faults commit the merge and then fail (the
+// retry must NOT re-merge — the server's idempotency table is what keeps a
+// retried shard from double-counting).
+type FlakyStore struct {
+	Inner server.ProfileStore
+	In    *Injector
+}
+
+var _ server.ProfileStore = (*FlakyStore)(nil)
+
+// Upload applies the site's next fault around the inner upload.
+func (s *FlakyStore) Upload(workload, config string, prof *profile.Combined, idemKey string) (server.EntryInfo, bool, error) {
+	switch f := s.In.Next(); f.Kind {
+	case Cut, Status, Partial:
+		return server.EntryInfo{}, false, &InjectedError{Site: s.In.Site(), Kind: f.Kind}
+	case Slow:
+		time.Sleep(f.Latency)
+	case DropResponse:
+		info, replayed, err := s.Inner.Upload(workload, config, prof, idemKey)
+		if err != nil {
+			return info, replayed, err
+		}
+		return server.EntryInfo{}, false, &InjectedError{Site: s.In.Site(), Kind: DropResponse}
+	}
+	return s.Inner.Upload(workload, config, prof, idemKey)
+}
+
+// Get applies the site's next fault before the inner read.
+func (s *FlakyStore) Get(workload, config string) (*profile.Combined, server.EntryInfo, error) {
+	switch f := s.In.Next(); f.Kind {
+	case Cut, Status, Partial, DropResponse:
+		return nil, server.EntryInfo{}, &InjectedError{Site: s.In.Site(), Kind: f.Kind}
+	case Slow:
+		time.Sleep(f.Latency)
+	}
+	return s.Inner.Get(workload, config)
+}
+
+// List never fails: the daemon's healthz calls it and soak tests use it as
+// an unconditional liveness probe.
+func (s *FlakyStore) List() []server.EntryInfo { return s.Inner.List() }
+
+// FlakyGate wraps a server.Gate with artificial admission failures:
+// Cut/Status/Partial/DropResponse decisions reject the caller as if the
+// queue were full (a *server.BusyError → 429 + Retry-After), Slow delays
+// admission. Release always reaches the inner gate.
+type FlakyGate struct {
+	Inner server.Gate
+	In    *Injector
+}
+
+var _ server.Gate = (*FlakyGate)(nil)
+
+// Acquire applies the site's next fault before the inner acquire.
+func (g *FlakyGate) Acquire(ctx context.Context) error {
+	switch f := g.In.Next(); f.Kind {
+	case Cut, Status, Partial, DropResponse:
+		return &server.BusyError{RetryAfter: 1}
+	case Slow:
+		select {
+		case <-time.After(f.Latency):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return g.Inner.Acquire(ctx)
+}
+
+// Release releases the inner gate.
+func (g *FlakyGate) Release() { g.Inner.Release() }
+
+// Stats delegates to the inner gate when it can report load.
+func (g *FlakyGate) Stats() (int, int) {
+	if st, ok := g.Inner.(server.GateStats); ok {
+		return st.Stats()
+	}
+	return -1, -1
+}

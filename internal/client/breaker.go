@@ -1,0 +1,143 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Breaker.Allow while the breaker rejects
+// calls. The client treats it as retryable and waits out the cooldown.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig parameterises the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the circuit. Zero selects 5; negative disables the breaker.
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before a single
+	// half-open probe is allowed through. Zero selects 5s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) threshold() int {
+	if c.FailureThreshold == 0 {
+		return 5
+	}
+	return c.FailureThreshold
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return c.Cooldown
+}
+
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker with half-open probing:
+// after FailureThreshold consecutive failures it fails fast for Cooldown,
+// then lets exactly one probe through; the probe's outcome re-opens or
+// closes the circuit.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker. now is the clock (nil means time.Now).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// Allow reports whether a call may proceed. While open within the
+// cooldown, and while a half-open probe is already in flight, it returns
+// ErrCircuitOpen.
+func (b *Breaker) Allow() error {
+	if b.cfg.threshold() < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+			b.state = stateHalfOpen // this caller is the probe
+			return nil
+		}
+		return ErrCircuitOpen
+	default: // half-open, probe in flight
+		return ErrCircuitOpen
+	}
+}
+
+// OnSuccess records a successful call, closing the circuit.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+}
+
+// OnFailure records a failed call: a failed half-open probe re-opens the
+// circuit immediately; in the closed state the consecutive-failure counter
+// advances and opens the circuit at the threshold.
+func (b *Breaker) OnFailure() {
+	if b.cfg.threshold() < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.failures++
+	if b.state == stateClosed && b.failures >= b.cfg.threshold() {
+		b.state = stateOpen
+		b.openedAt = b.now()
+	}
+}
+
+// RetryIn returns how long until the breaker will next admit a probe
+// (zero when it already would).
+func (b *Breaker) RetryIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateOpen {
+		return 0
+	}
+	d := b.cfg.cooldown() - b.now().Sub(b.openedAt)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// State reports the breaker state as a string (for logs and tests).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensHalfOpensAndRecovers(t *testing.T) {
+	clk := &fakeClock{t: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second}, clk.now)
+
+	// Closed: calls flow, failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow() = %v", err)
+		}
+		b.OnFailure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2 failures = %s", b.State())
+	}
+
+	// Third consecutive failure opens the circuit.
+	b.OnFailure()
+	if b.State() != "open" {
+		t.Fatalf("state after 3 failures = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open Allow() = %v, want ErrCircuitOpen", err)
+	}
+	if got := b.RetryIn(); got != time.Second {
+		t.Errorf("RetryIn() = %v, want 1s", got)
+	}
+
+	// Cooldown elapsed: exactly one probe passes, concurrent callers
+	// still fail fast.
+	clk.advance(time.Second)
+	if b.RetryIn() != 0 {
+		t.Errorf("RetryIn() after cooldown = %v, want 0", b.RetryIn())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe Allow() = %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state during probe = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second caller during probe got %v, want ErrCircuitOpen", err)
+	}
+
+	// A failed probe re-opens for a fresh cooldown.
+	b.OnFailure()
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow() right after failed probe = %v", err)
+	}
+
+	// Next probe succeeds: circuit closes and the failure count resets,
+	// so it takes a full threshold of new failures to open again.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow() = %v", err)
+	}
+	b.OnSuccess()
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s", b.State())
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != "closed" {
+		t.Fatalf("failure count survived recovery: state = %s", b.State())
+	}
+	b.OnFailure()
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures post-recovery = %s", b.State())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: -1}, nil)
+	for i := 0; i < 100; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("disabled breaker rejected call: %v", err)
+		}
+		b.OnFailure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("disabled breaker state = %s", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsCounter(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second}, nil)
+	// Interleaved successes keep a flaky-but-working server's circuit
+	// closed: only *consecutive* failures open it.
+	for i := 0; i < 10; i++ {
+		b.OnFailure()
+		b.OnFailure()
+		b.OnSuccess()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+}

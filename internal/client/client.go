@@ -1,0 +1,453 @@
+// Package client is the resilient Go client for the strided daemon: a
+// typed API over its HTTP endpoints (shard upload, merged-profile fetch,
+// figure tables, classification, effectiveness metrics) built for the
+// failure modes a production profile-collection loop actually sees.
+//
+// Every call retries transient failures (transport errors, truncated
+// bodies, 429 and 5xx responses) with exponential backoff, full jitter and
+// an overflow-safe cap, honours Retry-After hints (seconds and HTTP-date
+// forms), bounds each attempt with its own timeout, and flows through a
+// circuit breaker with half-open probing so a dead server costs callers
+// microseconds, not timeouts. Shard uploads carry idempotency keys that
+// stay fixed across retries; paired with the server's dedup table, a
+// retried upload whose first attempt actually committed can never merge
+// the shard twice.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"stridepf/internal/profile"
+)
+
+// Config parameterises a Client. The zero value of every field selects a
+// production-shaped default; tests and the chaos soak override the clocks,
+// sleeps and randomness to stay fast and deterministic.
+type Config struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8471".
+	BaseURL string
+	// HTTP performs the requests; nil uses http.DefaultClient. Inject a
+	// client whose Transport is a chaos.Transport to test against faults.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per call (first attempt included). Zero
+	// selects 8; 1 disables retries.
+	MaxAttempts int
+	// BackoffBase is the first retry delay; zero selects 100ms.
+	BackoffBase time.Duration
+	// BackoffCap bounds the exponential delay; zero selects 10s.
+	BackoffCap time.Duration
+	// RetryAfterCap bounds how long a server-sent Retry-After is honoured;
+	// zero selects 30s.
+	RetryAfterCap time.Duration
+	// AttemptTimeout bounds each individual attempt; zero means only the
+	// call's context bounds it.
+	AttemptTimeout time.Duration
+	// Breaker configures the circuit breaker shared by all calls.
+	Breaker BreakerConfig
+	// Rand supplies the jitter factor in [0,1); nil selects a fixed 0.5 so
+	// delays stay deterministic by default (inject math/rand.Float64 for
+	// real full jitter, or a seeded stream in tests).
+	Rand func() float64
+	// Sleep waits between attempts; nil sleeps on the real clock,
+	// respecting ctx. Tests inject a recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the clock for Retry-After dates and the breaker; nil selects
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 8
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) retryAfterCap() time.Duration {
+	if c.RetryAfterCap <= 0 {
+		return 30 * time.Second
+	}
+	return c.RetryAfterCap
+}
+
+// Client talks to one strided daemon. Safe for concurrent use.
+type Client struct {
+	cfg     Config
+	base    *url.URL
+	httpc   *http.Client
+	breaker *Breaker
+	sleep   func(context.Context, time.Duration) error
+	now     func() time.Time
+}
+
+// New builds a Client for the daemon at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", cfg.BaseURL)
+	}
+	c := &Client{cfg: cfg, base: u, httpc: cfg.HTTP, sleep: cfg.Sleep, now: cfg.Now}
+	if c.httpc == nil {
+		c.httpc = http.DefaultClient
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.breaker = NewBreaker(cfg.Breaker, c.now)
+	return c, nil
+}
+
+// Breaker exposes the client's circuit breaker (tests, dashboards).
+func (c *Client) Breaker() *Breaker { return c.breaker }
+
+// StatusError is a non-2xx response. Temporary reports whether the status
+// is worth retrying (429 and all 5xx).
+type StatusError struct {
+	Code int
+	Body string
+	// RetryAfter is the parsed Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	body := e.Body
+	if len(body) > 200 {
+		body = body[:200] + "..."
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(body))
+}
+
+// Temporary reports whether retrying can help.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code >= 500
+}
+
+// bodyError marks a 2xx response whose body could not be read or decoded —
+// with fault injection that usually means a truncated stream, so it is
+// retryable.
+type bodyError struct{ err error }
+
+func (e *bodyError) Error() string   { return "client: reading response: " + e.err.Error() }
+func (e *bodyError) Unwrap() error   { return e.err }
+func (e *bodyError) Temporary() bool { return true }
+
+// retryable reports whether another attempt can change the outcome.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	// Transport errors, attempt timeouts, truncated bodies.
+	return true
+}
+
+// do runs one call with retries: build request from (method, path, query,
+// body, header), call sink on the 2xx response. sink errors count as
+// retryable corrupted responses.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, header http.Header, sink func(http.Header, []byte) error) error {
+	max := c.cfg.maxAttempts()
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.delayFor(lastErr, attempt-1)); err != nil {
+				return fmt.Errorf("client: %s %s: %w (after %v)", method, path, err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if err := c.breaker.Allow(); err != nil {
+			lastErr = err
+			continue
+		}
+		err := c.attempt(ctx, method, path, query, body, header, sink)
+		if err == nil {
+			c.breaker.OnSuccess()
+			return nil
+		}
+		// Non-retryable statuses mean the server is alive and answering;
+		// they must not push the breaker toward open.
+		if retryable(err) && !errors.Is(err, context.Canceled) {
+			c.breaker.OnFailure()
+		} else {
+			c.breaker.OnSuccess()
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: %s %s: giving up after %d attempts: %w", method, path, max, lastErr)
+}
+
+// delayFor picks the wait before the retry following err: a Retry-After
+// hint wins (clamped), an open breaker waits for its probe window, and
+// everything else gets capped exponential backoff with full jitter.
+func (c *Client) delayFor(err error, attempt int) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		return min(se.RetryAfter, c.cfg.retryAfterCap())
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return min(c.breaker.RetryIn(), c.cfg.retryAfterCap())
+	}
+	d := Backoff(c.cfg.BackoffBase, c.cfg.BackoffCap, attempt)
+	f := 0.5
+	if c.cfg.Rand != nil {
+		f = c.cfg.Rand()
+	}
+	return time.Duration(f * float64(d))
+}
+
+// attempt performs one HTTP exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, query url.Values, body []byte, header http.Header, sink func(http.Header, []byte) error) error {
+	actx := ctx
+	if t := c.cfg.AttemptTimeout; t > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	if len(query) > 0 {
+		u.RawQuery = query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, u.String(), rd)
+	if err != nil {
+		return err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return &bodyError{err: err}
+	}
+	if resp.StatusCode >= 400 {
+		se := &StatusError{Code: resp.StatusCode, Body: string(data)}
+		if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), c.now()); ok {
+			se.RetryAfter = ra
+		}
+		return se
+	}
+	if sink != nil {
+		if err := sink(resp.Header, data); err != nil {
+			return &bodyError{err: err}
+		}
+	}
+	return nil
+}
+
+// ---- typed API ----
+
+// Health mirrors GET /healthz.
+type Health struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	InFlight      int    `json:"in_flight"`
+	Queued        int    `json:"queued"`
+	Served        int64  `json:"served"`
+	Rejected      int64  `json:"rejected"`
+	Profiles      int    `json:"profiles"`
+}
+
+// Health fetches the daemon's liveness and load counters.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil,
+		func(_ http.Header, body []byte) error { return json.Unmarshal(body, &h) })
+	return h, err
+}
+
+// ProfileInfo mirrors the server's per-aggregate entry info.
+type ProfileInfo struct {
+	Workload     string `json:"workload"`
+	Config       string `json:"config"`
+	Version      int    `json:"version"`
+	Shards       int    `json:"shards"`
+	FineInterval int    `json:"fineInterval"`
+	// Deduped reports that the server replayed a previously committed
+	// upload with the same idempotency key instead of merging again.
+	Deduped bool `json:"-"`
+}
+
+// NewIdempotencyKey returns a fresh random upload key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("client: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// UploadShard uploads one profile shard under a fresh idempotency key.
+func (c *Client) UploadShard(ctx context.Context, workload, config string, prof *profile.Combined) (ProfileInfo, error) {
+	return c.UploadShardKeyed(ctx, workload, config, prof, NewIdempotencyKey())
+}
+
+// UploadShardKeyed uploads one profile shard under the caller's
+// idempotency key. The key is constant across this call's retries, so a
+// shard whose first attempt committed server-side but whose response was
+// lost is replayed, never double-merged. Reusing a key across *different*
+// shards replays the first result and silently drops the second shard —
+// keys identify upload operations, not shard content.
+func (c *Client) UploadShardKeyed(ctx context.Context, workload, config string, prof *profile.Combined, key string) (ProfileInfo, error) {
+	var buf bytes.Buffer
+	if err := profile.DefaultCodec.Encode(&buf, prof); err != nil {
+		return ProfileInfo{}, fmt.Errorf("client: encode shard: %w", err)
+	}
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	if key != "" {
+		hdr.Set("Idempotency-Key", key)
+	}
+	var info ProfileInfo
+	err := c.do(ctx, http.MethodPost,
+		"/v1/profiles/"+url.PathEscape(workload)+"/"+url.PathEscape(config),
+		nil, buf.Bytes(), hdr,
+		func(h http.Header, body []byte) error {
+			if err := json.Unmarshal(body, &info); err != nil {
+				return err
+			}
+			info.Deduped = h.Get("X-Idempotent-Replay") == "true"
+			return nil
+		})
+	return info, err
+}
+
+// FetchProfile downloads the merged (workload, config) aggregate and its
+// version.
+func (c *Client) FetchProfile(ctx context.Context, workload, config string) (*profile.Combined, int, error) {
+	var (
+		merged  *profile.Combined
+		version int
+	)
+	err := c.do(ctx, http.MethodGet,
+		"/v1/profiles/"+url.PathEscape(workload)+"/"+url.PathEscape(config),
+		nil, nil, nil,
+		func(h http.Header, body []byte) error {
+			p, err := profile.DefaultCodec.Decode(bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			merged = p
+			version, _ = strconv.Atoi(h.Get("X-Profile-Version"))
+			return nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, version, nil
+}
+
+// ListProfiles fetches the stored aggregate listing.
+func (c *Client) ListProfiles(ctx context.Context) ([]ProfileInfo, error) {
+	var doc struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/profiles", nil, nil, nil,
+		func(_ http.Header, body []byte) error { return json.Unmarshal(body, &doc) })
+	return doc.Profiles, err
+}
+
+// FigureText fetches one figure table. format is "", "text", "csv" or
+// "jsonl"; a non-empty workloads selection narrows the roster. The text
+// form is byte-identical to `experiments -figure <name>`.
+func (c *Client) FigureText(ctx context.Context, name, format string, workloads []string) (string, error) {
+	q := url.Values{}
+	if format != "" {
+		q.Set("format", format)
+	}
+	if len(workloads) > 0 {
+		q.Set("workloads", strings.Join(workloads, ","))
+	}
+	var text string
+	err := c.do(ctx, http.MethodGet, "/v1/figure/"+url.PathEscape(name), q, nil, nil,
+		func(_ http.Header, body []byte) error { text = string(body); return nil })
+	return text, err
+}
+
+// Decision mirrors one classification decision of GET /v1/classify.
+type Decision struct {
+	Func       string  `json:"func"`
+	ID         int     `json:"id"`
+	Class      string  `json:"class"`
+	InLoop     bool    `json:"inLoop"`
+	Freq       uint64  `json:"freq"`
+	Trip       float64 `json:"trip"`
+	Stride     int64   `json:"stride"`
+	K          int     `json:"k"`
+	CoverLines int     `json:"coverLines"`
+	FilteredBy string  `json:"filteredBy,omitempty"`
+}
+
+// ClassifyReport is the response of GET /v1/classify/{workload}/{config}.
+type ClassifyReport struct {
+	Workload  string     `json:"workload"`
+	Config    string     `json:"config"`
+	Version   int        `json:"version"`
+	Shards    int        `json:"shards"`
+	Inserted  int        `json:"inserted"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// Classify runs the server-side classification of a workload against its
+// stored profile aggregate.
+func (c *Client) Classify(ctx context.Context, workload, config string) (*ClassifyReport, error) {
+	var rep ClassifyReport
+	err := c.do(ctx, http.MethodGet,
+		"/v1/classify/"+url.PathEscape(workload)+"/"+url.PathEscape(config),
+		nil, nil, nil,
+		func(_ http.Header, body []byte) error { return json.Unmarshal(body, &rep) })
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Metrics fetches the raw prefetch-effectiveness roll-up document.
+func (c *Client) Metrics(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/obs/metrics", nil, nil, nil,
+		func(_ http.Header, body []byte) error {
+			if !json.Valid(body) {
+				return errors.New("invalid metrics JSON")
+			}
+			raw = json.RawMessage(bytes.Clone(body))
+			return nil
+		})
+	return raw, err
+}

@@ -1,0 +1,351 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+// sleepRecorder captures the delays the client would have waited without
+// actually sleeping, keeping retry tests instant.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (r *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	r.mu.Lock()
+	r.sleeps = append(r.sleeps, d)
+	r.mu.Unlock()
+	return ctx.Err()
+}
+
+func (r *sleepRecorder) all() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.sleeps...)
+}
+
+func testClient(t *testing.T, ts *httptest.Server, mod func(*Config)) (*Client, *sleepRecorder) {
+	t.Helper()
+	rec := &sleepRecorder{}
+	cfg := Config{
+		BaseURL:     ts.URL,
+		HTTP:        ts.Client(),
+		MaxAttempts: 5,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  80 * time.Millisecond,
+		Sleep:       rec.sleep,
+		Rand:        func() float64 { return 1 }, // undamped delays: assertable
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rec
+}
+
+func testShard() *profile.Combined {
+	ep := profile.NewEdgeProfile()
+	ep.Set(profile.EdgeKey{Func: "f", From: 0, To: 1}, 7)
+	ep.SetEntryCount("f", 1)
+	return &profile.Combined{
+		Edge: ep,
+		Stride: profile.NewStrideProfile([]stride.Summary{{
+			Key: machine.LoadKey{Func: "f", ID: 1}, TotalStrides: 10, FineInterval: 4,
+			TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+		}}),
+	}
+}
+
+func TestRetriesTransientStatusThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok"})
+	}))
+	defer ts.Close()
+	c, rec := testClient(t, ts, nil)
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Errorf("status %q after %d calls", h.Status, calls.Load())
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if got := rec.all(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("backoff sleeps = %v, want %v", got, want)
+	}
+}
+
+func TestHonoursRetryAfterSecondsAndDate(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", now.Add(5*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		default:
+			json.NewEncoder(w).Encode(Health{Status: "ok"})
+		}
+	}))
+	defer ts.Close()
+	c, rec := testClient(t, ts, func(cfg *Config) { cfg.Now = func() time.Time { return now } })
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	want := []time.Duration{2 * time.Second, 5 * time.Second}
+	if got := rec.all(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v (Retry-After must beat backoff)", rec.all(), want)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok"})
+	}))
+	defer ts.Close()
+	c, rec := testClient(t, ts, func(cfg *Config) { cfg.RetryAfterCap = 250 * time.Millisecond })
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.all(); len(got) != 1 || got[0] != 250*time.Millisecond {
+		t.Errorf("sleeps = %v, want the hour-long hint clamped to 250ms", got)
+	}
+}
+
+func TestPermanentStatusDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such figure", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, nil)
+
+	_, err := c.FigureText(context.Background(), "99", "", nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("404 was retried %d times", calls.Load()-1)
+	}
+}
+
+func TestIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		keys []string
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		n := len(keys)
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Idempotent-Replay", "true")
+		json.NewEncoder(w).Encode(ProfileInfo{Workload: "197.parser", Config: "c", Version: 1, Shards: 1})
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, nil)
+
+	info, err := c.UploadShardKeyed(context.Background(), "197.parser", "c", testShard(), "key-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 || keys[0] != "key-123" || keys[1] != "key-123" {
+		t.Errorf("keys across retries = %v, want key-123 twice", keys)
+	}
+	if !info.Deduped {
+		t.Error("X-Idempotent-Replay header not surfaced as Deduped")
+	}
+}
+
+func TestAutoIdempotencyKeysAreFreshPerCall(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		keys []string
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		json.NewEncoder(w).Encode(ProfileInfo{Version: 1, Shards: 1})
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, nil)
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.UploadShard(context.Background(), "197.parser", "c", testShard()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 || keys[0] == "" || keys[1] == "" || keys[0] == keys[1] {
+		t.Errorf("auto keys = %v, want two distinct non-empty keys", keys)
+	}
+}
+
+func TestPerAttemptTimeoutRecovers(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt hangs past the attempt budget; the retry is
+			// instant. Wait on the request context so the handler exits as
+			// soon as the client gives up on the attempt.
+			<-r.Context().Done()
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok"})
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, func(cfg *Config) { cfg.AttemptTimeout = 50 * time.Millisecond })
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after hung attempt: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 2 {
+		t.Errorf("status %q after %d calls", h.Status, calls.Load())
+	}
+}
+
+func TestParentCancellationStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "transient", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 1000
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller goes away mid-backoff
+			return ctx.Err()
+		}
+	})
+	_, err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTruncatedBodyRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Claim more bytes than are sent: the client's read fails with
+			// an unexpected EOF, which must be treated as transient.
+			w.Header().Set("Content-Length", "1000")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"status":`))
+			return
+		}
+		json.NewEncoder(w).Encode(Health{Status: "ok"})
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, nil)
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after truncated body: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 2 {
+		t.Errorf("status %q after %d calls", h.Status, calls.Load())
+	}
+}
+
+func TestBreakerFailsFastAgainstDeadServer(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, func(cfg *Config) {
+		cfg.MaxAttempts = 10
+		cfg.Breaker = BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour}
+	})
+
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected failure against all-503 server")
+	}
+	// Three real attempts trip the breaker; the remaining budget fails
+	// fast without touching the wire.
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (breaker should eat the rest)", calls.Load())
+	}
+	if c.Breaker().State() != "open" {
+		t.Errorf("breaker state = %s, want open", c.Breaker().State())
+	}
+	if _, err := c.Health(context.Background()); !errors.Is(err, ErrCircuitOpen) && calls.Load() != 3 {
+		t.Errorf("follow-up call reached the server through an open breaker (calls=%d, err=%v)", calls.Load(), err)
+	}
+}
+
+func TestFetchProfileRoundTrip(t *testing.T) {
+	shard := testShard()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Profile-Version", "3")
+		profile.DefaultCodec.Encode(w, shard)
+	}))
+	defer ts.Close()
+	c, _ := testClient(t, ts, nil)
+
+	got, version, err := c.FetchProfile(context.Background(), "197.parser", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Errorf("version = %d, want 3", version)
+	}
+	if got.Edge.Count(profile.EdgeKey{Func: "f", From: 0, To: 1}) != 7 || got.Stride.Len() != 1 {
+		t.Errorf("fetched profile lost data: %d edges, %d strides", got.Edge.Len(), got.Stride.Len())
+	}
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, u := range []string{"", "not a url", "/just/a/path"} {
+		if _, err := New(Config{BaseURL: u}); err == nil {
+			t.Errorf("New(%q) succeeded, want error", u)
+		}
+	}
+}

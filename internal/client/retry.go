@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Backoff returns the exponential delay for a retry: base·2^attempt,
+// capped at cap. Attempt 0 is the first retry. The doubling loop stops as
+// soon as the next step would pass the cap, so the arithmetic cannot
+// overflow no matter how large attempt grows (a naive base<<attempt turns
+// negative past attempt ~33 for a 100ms base, which disables backoff
+// exactly when a long outage needs it most).
+func Backoff(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 10 * time.Second
+	}
+	if base >= cap {
+		return cap
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		if d > cap/2 {
+			return cap
+		}
+		d *= 2
+	}
+	return d
+}
+
+// ParseRetryAfter parses an HTTP Retry-After header value, which is either
+// a non-negative decimal number of seconds or an HTTP-date. A date in the
+// past yields zero. The second return is false when the value is absent or
+// malformed (callers then fall back to their own backoff).
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx's error in the
+// latter case. It is the default Config.Sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

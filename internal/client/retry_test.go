@@ -1,0 +1,98 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffTable(t *testing.T) {
+	const (
+		base = 100 * time.Millisecond
+		cap  = 10 * time.Second
+	)
+	tests := []struct {
+		name      string
+		base, cap time.Duration
+		attempt   int
+		want      time.Duration
+	}{
+		{"first retry", base, cap, 0, 100 * time.Millisecond},
+		{"second retry", base, cap, 1, 200 * time.Millisecond},
+		{"third retry", base, cap, 2, 400 * time.Millisecond},
+		{"sixth retry", base, cap, 5, 3200 * time.Millisecond},
+		{"hits cap", base, cap, 7, cap},
+		{"well past cap", base, cap, 20, cap},
+		// The overflow regime: base<<attempt is garbage from attempt ~33
+		// on; the capped loop must keep returning exactly cap.
+		{"attempt 33", base, cap, 33, cap},
+		{"attempt 63", base, cap, 63, cap},
+		{"attempt 64", base, cap, 64, cap},
+		{"attempt 100", base, cap, 100, cap},
+		{"attempt 1<<20", base, cap, 1 << 20, cap},
+		{"defaults on zero base", 0, cap, 0, 100 * time.Millisecond},
+		{"defaults on zero cap", base, 0, 30, 10 * time.Second},
+		{"base above cap", time.Minute, time.Second, 0, time.Second},
+		{"negative base", -time.Second, cap, 3, 800 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Backoff(tt.base, tt.cap, tt.attempt)
+			if got != tt.want {
+				t.Errorf("Backoff(%v, %v, %d) = %v, want %v", tt.base, tt.cap, tt.attempt, got, tt.want)
+			}
+			if got <= 0 {
+				t.Errorf("Backoff(%v, %v, %d) = %v, not positive (overflow?)", tt.base, tt.cap, tt.attempt, got)
+			}
+		})
+	}
+}
+
+// TestBackoffNeverNegative sweeps the attempt space: the delay must be
+// positive and monotonically non-decreasing everywhere. The naive
+// base<<attempt implementation fails this from attempt 27 on (for a 100ms
+// base) by going negative, which turns backoff off during long outages.
+func TestBackoffNeverNegative(t *testing.T) {
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 2000; attempt++ {
+		d := Backoff(100*time.Millisecond, 10*time.Second, attempt)
+		if d <= 0 {
+			t.Fatalf("Backoff attempt %d = %v", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("Backoff attempt %d = %v < previous %v (not monotone)", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestParseRetryAfterTable(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tests := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"zero seconds", "0", 0, true},
+		{"seconds", "7", 7 * time.Second, true},
+		{"padded seconds", "  7 ", 7 * time.Second, true},
+		{"large seconds", "86400", 24 * time.Hour, true},
+		{"negative seconds", "-3", 0, false},
+		{"empty", "", 0, false},
+		{"garbage", "soon", 0, false},
+		{"float not allowed", "1.5", 0, false},
+		{"http date future", now.Add(90 * time.Second).UTC().Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past clamps to zero", now.Add(-time.Hour).UTC().Format(http.TimeFormat), 0, true},
+		{"ansi c date", now.Add(2 * time.Minute).UTC().Format(time.ANSIC), 2 * time.Minute, true},
+		{"malformed date", "Wed, 99 Oct 2015", 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tt.in, now)
+			if ok != tt.ok || got != tt.want {
+				t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tt.in, got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}

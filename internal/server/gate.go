@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Gate admits simulation-heavy requests. The daemon acquires a slot before
+// running a figure or classification and releases it when done. It is an
+// interface so tests and the chaos harness (internal/chaos) can wrap the
+// default implementation with injected failures and latency.
+type Gate interface {
+	// Acquire blocks until an execution slot is free, the wait queue is
+	// full (a *BusyError), or ctx is done (ctx.Err()).
+	Acquire(ctx context.Context) error
+	// Release returns the slot taken by a successful Acquire.
+	Release()
+}
+
+// GateStats is optionally implemented by gates that can report load; the
+// daemon's /healthz uses it when available.
+type GateStats interface {
+	// Stats returns the number of held slots and of waiting acquirers.
+	Stats() (inFlight, queued int)
+}
+
+// BusyError reports an Acquire refused because the wait queue is full. The
+// daemon maps it to 429 with the embedded Retry-After hint.
+type BusyError struct {
+	// RetryAfter is the suggested wait in seconds before retrying.
+	RetryAfter int
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy: execution queue full (retry after %ds)", e.RetryAfter)
+}
+
+// Temporary marks the error as transient so generic handlers retry it.
+func (e *BusyError) Temporary() bool { return true }
+
+// slotGate is the default Gate: maxInFlight execution slots fronted by a
+// bounded wait queue.
+type slotGate struct {
+	slots       chan struct{}
+	queued      atomic.Int64
+	maxInFlight int
+	maxQueued   int
+}
+
+// NewSlotGate builds the default bounded gate (the one strided uses when
+// Config.Gate is nil).
+func NewSlotGate(maxInFlight, maxQueued int) Gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueued < 1 {
+		maxQueued = 2 * maxInFlight
+	}
+	return &slotGate{
+		slots:       make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxQueued:   maxQueued,
+	}
+}
+
+func (g *slotGate) Acquire(ctx context.Context) error {
+	if n := g.queued.Add(1); int(n) > g.maxQueued {
+		g.queued.Add(-1)
+		// Retry-After estimates one slot turnover per queued request ahead
+		// of the caller, floored to a second.
+		return &BusyError{RetryAfter: 1 + int(n)/g.maxInFlight}
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.queued.Add(-1)
+		return nil
+	case <-ctx.Done():
+		g.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (g *slotGate) Release() { <-g.slots }
+
+func (g *slotGate) Stats() (int, int) { return len(g.slots), int(g.queued.Load()) }

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+func idemShard(freq int64) *profile.Combined {
+	return &profile.Combined{
+		Edge: profile.NewEdgeProfile(),
+		Stride: profile.NewStrideProfile([]stride.Summary{{
+			Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: freq,
+			FineInterval: 1,
+			TopStrides:   []lfu.Entry{{Value: 8, Freq: freq}},
+		}}),
+	}
+}
+
+// uploadKeyed POSTs a shard with an Idempotency-Key header and returns the
+// status, the decoded info, and whether the server flagged a replay.
+func uploadKeyed(t *testing.T, url, key string, prof *profile.Combined) (int, EntryInfo, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.DefaultCodec.Encode(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info EntryInfo
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, info, resp.Header.Get("X-Idempotent-Replay") == "true"
+}
+
+// TestUploadIdempotencyReplay is the retry-safety contract behind the
+// resilient client: re-POSTing a shard with the same Idempotency-Key (as a
+// client does when the response to a committed upload was lost) must not
+// merge the shard twice — the server replays the recorded result instead.
+func TestUploadIdempotencyReplay(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	url := ts.URL + "/v1/profiles/197.parser/idem"
+
+	code, info, replayed := uploadKeyed(t, url, "key-1", idemShard(10))
+	if code != http.StatusOK || replayed {
+		t.Fatalf("first upload: code=%d replayed=%v", code, replayed)
+	}
+	if info.Version != 1 || info.Shards != 1 {
+		t.Fatalf("first upload info = %+v", info)
+	}
+
+	// Same key again: replayed, not re-merged.
+	code, info, replayed = uploadKeyed(t, url, "key-1", idemShard(10))
+	if code != http.StatusOK || !replayed {
+		t.Fatalf("retried upload: code=%d replayed=%v, want 200 replay", code, replayed)
+	}
+	if info.Version != 1 || info.Shards != 1 {
+		t.Errorf("replayed info = %+v, want the original version 1", info)
+	}
+	if _, got, err := srv.Store().Get("197.parser", "idem"); err != nil || got.Shards != 1 {
+		t.Fatalf("store after replay: shards=%d err=%v, want 1 shard", got.Shards, err)
+	}
+
+	// A different key is a genuinely new shard.
+	code, info, replayed = uploadKeyed(t, url, "key-2", idemShard(5))
+	if code != http.StatusOK || replayed || info.Version != 2 || info.Shards != 2 {
+		t.Fatalf("new-key upload: code=%d replayed=%v info=%+v", code, replayed, info)
+	}
+
+	// No key: never deduplicated, even for identical payloads.
+	for want := 3; want <= 4; want++ {
+		code, info, replayed = uploadKeyed(t, url, "", idemShard(1))
+		if code != http.StatusOK || replayed || info.Version != want {
+			t.Fatalf("keyless upload: code=%d replayed=%v info=%+v, want version %d", code, replayed, info, want)
+		}
+	}
+}
+
+// TestIdempotencyKeysScopedPerProfile: the same key against a different
+// (workload, config) pair is a distinct operation, not a replay.
+func TestIdempotencyKeysScopedPerProfile(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	codeA, _, replayedA := uploadKeyed(t, ts.URL+"/v1/profiles/197.parser/a", "shared", idemShard(3))
+	codeB, infoB, replayedB := uploadKeyed(t, ts.URL+"/v1/profiles/197.parser/b", "shared", idemShard(3))
+	if codeA != http.StatusOK || codeB != http.StatusOK || replayedA || replayedB {
+		t.Fatalf("cross-profile key treated as replay: a=(%d,%v) b=(%d,%v)", codeA, replayedA, codeB, replayedB)
+	}
+	if infoB.Version != 1 {
+		t.Errorf("config b version = %d, want its own counter", infoB.Version)
+	}
+}
+
+// TestIdempotencyFailedMergeNotRecorded: only committed merges are
+// memoised. A shard rejected with 409 must stay retryable under its key —
+// recording failures would wedge a client that fixes its shard and
+// retries.
+func TestIdempotencyFailedMergeNotRecorded(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	url := ts.URL + "/v1/profiles/197.parser/fix"
+	if code, _, _ := uploadKeyed(t, url, "base", idemShard(2)); code != http.StatusOK {
+		t.Fatalf("seed upload: %d", code)
+	}
+	bad := idemShard(2)
+	bad.Stride = profile.NewStrideProfile([]stride.Summary{{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 2,
+		FineInterval: 4, // mismatched interval → 409
+		TopStrides:   []lfu.Entry{{Value: 8, Freq: 2}},
+	}})
+	if code, _, _ := uploadKeyed(t, url, "retry-me", bad); code != http.StatusConflict {
+		t.Fatalf("mismatched shard status = %d, want 409", code)
+	}
+	// Same key, corrected shard: a real merge this time, not a replay of
+	// the failure.
+	code, info, replayed := uploadKeyed(t, url, "retry-me", idemShard(7))
+	if code != http.StatusOK || replayed || info.Shards != 2 {
+		t.Fatalf("corrected retry: code=%d replayed=%v info=%+v", code, replayed, info)
+	}
+}
+
+// flakyOnceStore fails every Upload/Get with a transient error until
+// cleared; it stands in for chaos.FlakyStore, which the server package
+// cannot import (chaos imports server).
+type flakyOnceStore struct {
+	*Store
+	failing bool
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "store briefly unavailable" }
+func (tempErr) Temporary() bool { return true }
+
+func (f *flakyOnceStore) Upload(w, c string, p *profile.Combined, key string) (EntryInfo, bool, error) {
+	if f.failing {
+		return EntryInfo{}, false, tempErr{}
+	}
+	return f.Store.Upload(w, c, p, key)
+}
+
+func (f *flakyOnceStore) Get(w, c string) (*profile.Combined, EntryInfo, error) {
+	if f.failing {
+		return nil, EntryInfo{}, tempErr{}
+	}
+	return f.Store.Get(w, c)
+}
+
+// TestTransientStoreErrorsMapTo503: a store error that reports
+// Temporary() surfaces as 503 + Retry-After (a retryable signal for the
+// client), not as a terminal 4xx/500.
+func TestTransientStoreErrorsMapTo503(t *testing.T) {
+	fs := &flakyOnceStore{Store: NewStore(), failing: true}
+	_, ts := testServer(t, Config{Store: fs})
+	url := ts.URL + "/v1/profiles/197.parser/flaky"
+
+	code, body := uploadShard(t, url, idemShard(4))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("upload during outage: %d %s, want 503", code, body)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("get during outage: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	fs.failing = false
+	if code, body := uploadShard(t, url, idemShard(4)); code != http.StatusOK {
+		t.Fatalf("upload after recovery: %d %s", code, body)
+	}
+}
+
+// TestBusyErrorIsTemporary pins the duck-typing contract the chaos layer
+// and client retry logic rely on.
+func TestBusyErrorIsTemporary(t *testing.T) {
+	var err error = &BusyError{RetryAfter: 2}
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Fatal("BusyError must report Temporary() == true")
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.RetryAfter != 2 {
+		t.Fatal("BusyError lost its Retry-After hint")
+	}
+}

@@ -57,6 +57,14 @@ type Config struct {
 	// registry (set Experiments.Metrics to the same registry to observe
 	// figure cells; New does this automatically when both are nil).
 	Metrics *obs.Registry
+	// Store backs the profile upload/download/classify endpoints; nil
+	// creates an empty in-memory Store. The chaos harness injects a
+	// fault-wrapped store here.
+	Store ProfileStore
+	// Gate admits simulation-heavy requests; nil creates the default
+	// bounded slot gate sized by MaxInFlight/MaxQueued. The chaos harness
+	// injects a fault-wrapped gate here.
+	Gate Gate
 	// Log receives request and lifecycle lines; nil uses log.Default().
 	Log *log.Logger
 }
@@ -79,14 +87,13 @@ func (c *Config) maxQueued() int {
 // http.Server (it implements http.Handler); drain with Drain before exit.
 type Server struct {
 	cfg   Config
-	store *Store
+	store ProfileStore
 	log   *log.Logger
 	mux   *http.ServeMux
 	start time.Time
 
-	gate   chan struct{} // execution slots for heavy requests
-	queued atomic.Int64  // requests waiting for a slot
-	wg     sync.WaitGroup
+	gate Gate // admission for heavy requests
+	wg   sync.WaitGroup
 
 	mu       sync.Mutex
 	sessions map[string]*experiments.Session
@@ -103,17 +110,23 @@ func New(cfg Config) *Server {
 	if cfg.Experiments.Metrics == nil {
 		cfg.Experiments.Metrics = cfg.Metrics
 	}
+	if cfg.Store == nil {
+		cfg.Store = NewStore()
+	}
+	if cfg.Gate == nil {
+		cfg.Gate = NewSlotGate(cfg.maxInFlight(), cfg.maxQueued())
+	}
 	lg := cfg.Log
 	if lg == nil {
 		lg = log.Default()
 	}
 	s := &Server{
 		cfg:      cfg,
-		store:    NewStore(),
+		store:    cfg.Store,
 		log:      lg,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
-		gate:     make(chan struct{}, cfg.maxInFlight()),
+		gate:     cfg.Gate,
 		sessions: make(map[string]*experiments.Session),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -131,7 +144,7 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Store exposes the profile aggregate store (tests and embedding).
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() ProfileStore { return s.store }
 
 // Drain blocks until every in-flight heavy request finished or ctx
 // expires. http.Server.Shutdown already waits for open connections; Drain
@@ -150,30 +163,27 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// heavy wraps a simulation-heavy handler with the bounded worker gate,
-// the wait-queue bound, the request timeout, and in-flight tracking.
+// heavy wraps a simulation-heavy handler with the worker gate (admission,
+// wait-queue bound), the request timeout, and in-flight tracking.
 func (s *Server) heavy(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if n := s.queued.Add(1); int(n) > s.cfg.maxQueued() {
-			s.queued.Add(-1)
-			s.rejected.Add(1)
-			// Retry-After estimates one slot turnover per queued request
-			// ahead of the caller, floored to a second.
-			retry := 1 + int(n)/s.cfg.maxInFlight()
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
-			http.Error(w, "server busy: execution queue full", http.StatusTooManyRequests)
-			return
-		}
-		select {
-		case s.gate <- struct{}{}:
-			s.queued.Add(-1)
-		case <-r.Context().Done():
-			s.queued.Add(-1)
-			return // client went away while queued
+		if err := s.gate.Acquire(r.Context()); err != nil {
+			var busy *BusyError
+			switch {
+			case errors.As(err, &busy):
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(busy.RetryAfter))
+				http.Error(w, "server busy: execution queue full", http.StatusTooManyRequests)
+			case isTemporary(err):
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return // otherwise: client went away while queued
 		}
 		s.wg.Add(1)
 		defer func() {
-			<-s.gate
+			s.gate.Release()
 			s.wg.Done()
 			s.served.Add(1)
 		}()
@@ -185,6 +195,13 @@ func (s *Server) heavy(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 		}
 		h(w, r)
 	}
+}
+
+// isTemporary reports whether err advertises itself as transient (the
+// convention the chaos harness's injected faults follow).
+func isTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
 }
 
 // session returns the memoised experiment session for a workload roster,
@@ -267,11 +284,15 @@ func errStatus(err error) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inFlight, queued := -1, -1
+	if st, ok := s.gate.(GateStats); ok {
+		inFlight, queued = st.Stats()
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
-		"in_flight":      len(s.gate),
-		"queued":         s.queued.Load(),
+		"in_flight":      inFlight,
+		"queued":         queued,
 		"served":         s.served.Load(),
 		"rejected":       s.rejected.Load(),
 		"profiles":       len(s.store.List()),
@@ -388,7 +409,10 @@ func (s *Server) handleProfileList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleProfileUpload accepts one codec-encoded profile shard and merges
-// it into the (workload, config) aggregate.
+// it into the (workload, config) aggregate. A non-empty Idempotency-Key
+// header makes the upload safely retryable: if a previous attempt with the
+// same key already merged, the recorded result is replayed (with an
+// X-Idempotent-Replay: true header) instead of double-merging the shard.
 func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
 	wname, cname := r.PathValue("workload"), r.PathValue("config")
 	if workloads.Get(wname) == nil {
@@ -400,20 +424,37 @@ func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.store.Upload(wname, cname, prof)
+	idemKey := r.Header.Get("Idempotency-Key")
+	info, replayed, err := s.store.Upload(wname, cname, prof, idemKey)
 	if err != nil {
+		if isTemporary(err) {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		// The shard is well-formed but incompatible with the aggregate.
 		s.writeError(w, http.StatusConflict, err)
 		return
 	}
-	s.log.Printf("server: profile %s/%s now at version %d (%d shards)",
-		wname, cname, info.Version, info.Shards)
+	if replayed {
+		w.Header().Set("X-Idempotent-Replay", "true")
+		s.log.Printf("server: profile %s/%s replayed idempotent upload (version %d)",
+			wname, cname, info.Version)
+	} else {
+		s.log.Printf("server: profile %s/%s now at version %d (%d shards)",
+			wname, cname, info.Version, info.Shards)
+	}
 	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 	merged, info, err := s.store.Get(r.PathValue("workload"), r.PathValue("config"))
 	if err != nil {
+		if isTemporary(err) {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -451,6 +492,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	merged, info, err := s.store.Get(wname, cname)
 	if err != nil {
+		if isTemporary(err) {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}

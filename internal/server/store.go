@@ -25,10 +25,39 @@ type EntryInfo struct {
 	FineInterval int `json:"fineInterval"`
 }
 
+// ProfileStore is the aggregate store behind the upload/download/classify
+// endpoints. It is an interface so the chaos harness (internal/chaos) can
+// wrap the real store with injected transient failures; Store is the real
+// implementation. An error whose Temporary() method reports true is served
+// as 503 + Retry-After instead of a terminal status.
+type ProfileStore interface {
+	// Upload merges prof into the (workload, config) aggregate. A non-empty
+	// idemKey identifies the upload attempt: retrying a key whose merge
+	// already committed replays the recorded result (replayed == true)
+	// instead of double-merging the shard.
+	Upload(workload, config string, prof *profile.Combined, idemKey string) (info EntryInfo, replayed bool, err error)
+	// Get returns the merged aggregate and its info.
+	Get(workload, config string) (*profile.Combined, EntryInfo, error)
+	// List returns every aggregate's info sorted by (workload, config).
+	List() []EntryInfo
+}
+
+// maxIdemKeys bounds the per-aggregate idempotency table; the oldest keys
+// fall off first. A retry storm long enough to recycle 4096 keys has long
+// since exhausted any sane client's retry budget.
+const maxIdemKeys = 4096
+
 // entry is one (workload, config) aggregate.
 type entry struct {
 	info   EntryInfo
 	merged *profile.Combined
+
+	// idem records the entry info returned for each committed idempotency
+	// key, so a client that lost the response to a successful upload can
+	// retry without the shard merging twice. idemOrder is the FIFO
+	// eviction order.
+	idem      map[string]EntryInfo
+	idemOrder []string
 }
 
 // Store aggregates uploaded stride profiles per (workload, config), the
@@ -41,6 +70,8 @@ type Store struct {
 	entries map[string]*entry
 }
 
+var _ ProfileStore = (*Store)(nil)
+
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{entries: make(map[string]*entry)}
@@ -50,29 +81,48 @@ func storeKey(workload, config string) string { return workload + "|" + config }
 
 // Upload merges prof into the (workload, config) aggregate and returns the
 // updated entry info. A merge failure (fine-interval mismatch) leaves the
-// aggregate unchanged.
-func (s *Store) Upload(workload, config string, prof *profile.Combined) (EntryInfo, error) {
+// aggregate unchanged. A repeated non-empty idemKey replays the result of
+// the first successful upload with that key.
+func (s *Store) Upload(workload, config string, prof *profile.Combined, idemKey string) (EntryInfo, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := storeKey(workload, config)
 	e := s.entries[key]
 	if e == nil {
-		e = &entry{info: EntryInfo{Workload: workload, Config: config}}
+		e = &entry{
+			info: EntryInfo{Workload: workload, Config: config},
+			idem: make(map[string]EntryInfo),
+		}
+	}
+	if idemKey != "" {
+		if rec, ok := e.idem[idemKey]; ok {
+			return rec, true, nil
+		}
 	}
 	merged, err := profile.Merge(e.merged, prof)
 	if err != nil {
-		return EntryInfo{}, err
+		return EntryInfo{}, false, err
 	}
 	fi, err := merged.FineInterval()
 	if err != nil {
-		return EntryInfo{}, err
+		return EntryInfo{}, false, err
 	}
 	e.merged = merged
 	e.info.Version++
 	e.info.Shards++
 	e.info.FineInterval = fi
+	if idemKey != "" {
+		// Only committed merges are recorded: a failed attempt must stay
+		// retryable under the same key.
+		e.idem[idemKey] = e.info
+		e.idemOrder = append(e.idemOrder, idemKey)
+		if len(e.idemOrder) > maxIdemKeys {
+			delete(e.idem, e.idemOrder[0])
+			e.idemOrder = e.idemOrder[1:]
+		}
+	}
 	s.entries[key] = e
-	return e.info, nil
+	return e.info, false, nil
 }
 
 // Get returns the merged aggregate and its info.
