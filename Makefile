@@ -11,7 +11,7 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race fuzz-smoke simcheck \
-	bench bench-json figures metrics serve smoke-serve chaos chaos-replay clean
+	bench bench-json bench-pairs figures metrics serve smoke-serve chaos chaos-replay clean
 
 check: vet build test race
 
@@ -40,11 +40,13 @@ test:
 # dependencies.
 race:
 	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
-		./internal/server/... ./internal/client/... ./internal/chaos/...
+		./internal/server/... ./internal/client/... ./internal/chaos/... \
+		./internal/simcheck/... ./internal/cache/...
 
 race-full:
 	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
-		./internal/server/... ./internal/client/... ./internal/chaos/...
+		./internal/server/... ./internal/client/... ./internal/chaos/... \
+		./internal/simcheck/... ./internal/cache/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -57,13 +59,20 @@ fuzz-smoke:
 simcheck:
 	$(GO) run ./cmd/simcheck -n 8
 
-# Interpreter micro-benchmarks (instrs/s throughput and friends).
+# Interpreter micro-benchmarks, diffed against the committed baseline:
+# fails on a >10% ns/op regression. Appends to BENCH_history.jsonl but
+# leaves BENCH_interp.json alone (refresh that with bench-json).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 2s ./internal/machine/
+	$(GO) run ./cmd/interpbench -o /tmp/stridepf-bench.json -compare BENCH_interp.json
 
-# Refresh BENCH_interp.json with current numbers.
+# Refresh BENCH_interp.json with current numbers (history appended too).
 bench-json:
 	$(GO) run ./cmd/interpbench -o BENCH_interp.json
+
+# Dynamic instruction-pair frequencies over the workloads: the profile pass
+# the fused interpreter's superinstruction set is selected from.
+bench-pairs:
+	$(GO) run ./cmd/interpbench -pairs
 
 # Regenerate all paper figures (parallel across GOMAXPROCS workers).
 figures:

@@ -5,10 +5,23 @@
 // Usage:
 //
 //	interpbench [-o BENCH_interp.json] [-bench regexp] [-benchtime 2s] [-pkg ./internal/machine/]
+//	           [-history BENCH_history.jsonl] [-compare old.json] [-pairs]
 //
 // It shells out to `go test -bench` (so the numbers are exactly what a
 // developer sees) and parses the standard benchmark output, including custom
 // metrics such as instrs/s reported by BenchmarkMachineThroughput.
+//
+// Besides overwriting -o, every run appends one compact JSON line to the
+// -history file (default BENCH_history.jsonl; empty disables), so the full
+// perf trajectory survives baseline refreshes. With -compare old.json the
+// new results are diffed per benchmark against a previous report and the
+// command exits nonzero when any benchmark's ns/op regresses by more than
+// 10% — the Makefile bench target runs this against the committed baseline.
+//
+// With -pairs the command skips benchmarking and instead runs the dynamic
+// instruction-pair profile pass over the paper workloads (clean and
+// NaiveAll-instrumented): the measured pair frequencies are the selection
+// input for the interpreter's superinstruction set (see DESIGN.md).
 package main
 
 import (
@@ -23,6 +36,10 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/workloads"
 )
 
 // Result is one parsed benchmark line.
@@ -33,7 +50,8 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the JSON document written to -o.
+// Report is the JSON document written to -o and the JSONL record appended
+// to -history.
 type Report struct {
 	Date      string   `json:"date"`
 	GoVersion string   `json:"go_version"`
@@ -45,14 +63,28 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
+// regressionLimit is the relative ns/op increase -compare tolerates before
+// failing the run.
+const regressionLimit = 0.10
+
 func main() {
 	var (
-		outFlag   = flag.String("o", "BENCH_interp.json", "output JSON file (- for stdout)")
-		benchFlag = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
-		timeFlag  = flag.String("benchtime", "2s", "value passed to go test -benchtime")
-		pkgFlag   = flag.String("pkg", "./internal/machine/", "package to benchmark")
+		outFlag     = flag.String("o", "BENCH_interp.json", "output JSON file (- for stdout)")
+		benchFlag   = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		timeFlag    = flag.String("benchtime", "2s", "value passed to go test -benchtime")
+		pkgFlag     = flag.String("pkg", "./internal/machine/", "package to benchmark")
+		historyFlag = flag.String("history", "BENCH_history.jsonl", "history file to append each report to (empty disables)")
+		compareFlag = flag.String("compare", "", "previous report to diff against; exits nonzero on >10% ns/op regression")
+		pairsFlag   = flag.Bool("pairs", false, "run the dynamic instruction-pair profile over the workloads instead of benchmarking")
 	)
 	flag.Parse()
+
+	if *pairsFlag {
+		if err := runPairProfile(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *benchFlag, "-benchtime", *timeFlag, *pkgFlag}
 	cmd := exec.Command("go", args...)
@@ -92,12 +124,143 @@ func main() {
 	enc = append(enc, '\n')
 	if *outFlag == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("interpbench: wrote %d result(s) to %s\n", len(rep.Results), *outFlag)
 	}
-	if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
-		fatal(err)
+
+	if *historyFlag != "" {
+		if err := appendHistory(*historyFlag, &rep); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("interpbench: wrote %d result(s) to %s\n", len(rep.Results), *outFlag)
+
+	if *compareFlag != "" {
+		regressed, err := compareReports(os.Stdout, *compareFlag, &rep)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// appendHistory appends rep as one compact JSON line.
+func appendHistory(path string, rep *Report) error {
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("interpbench: appended to %s\n", path)
+	return nil
+}
+
+// compareReports prints per-benchmark deltas between the old report at path
+// and the new one, and reports whether any benchmark regressed by more than
+// regressionLimit in ns/op. Benchmarks present on only one side are noted
+// but never fail the comparison.
+func compareReports(w *os.File, path string, cur *Report) (regressed bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var old Report
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	olds := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		olds[r.Name] = r
+	}
+	fmt.Fprintf(w, "interpbench: comparing against %s (%s)\n", path, old.Date)
+	for _, r := range cur.Results {
+		o, ok := olds[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-34s %10.2f ns/op  (new benchmark)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delete(olds, r.Name)
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (r.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		verdict := ""
+		if delta > regressionLimit {
+			verdict = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-34s %10.2f -> %10.2f ns/op  (%+.1f%%)%s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, 100*delta, verdict)
+		if is, ok := r.Metrics["instrs/s"]; ok {
+			if was, ok := o.Metrics["instrs/s"]; ok && was > 0 {
+				fmt.Fprintf(w, "  %-34s %10.0f -> %10.0f instrs/s  (%.2fx)\n",
+					"", was, is, is/was)
+			}
+		}
+	}
+	for name := range olds {
+		fmt.Fprintf(w, "  %-34s (dropped from suite)\n", name)
+	}
+	if regressed {
+		fmt.Fprintf(w, "interpbench: ns/op regression beyond %.0f%% detected\n", 100*regressionLimit)
+	}
+	return regressed, nil
+}
+
+// runPairProfile executes every registered workload on its train input —
+// clean and NaiveAll-instrumented — under the machine's dynamic
+// instruction-pair profiler and prints the top pairs. This is the profile
+// pass the interpreter's superinstruction set was selected from.
+func runPairProfile(w *os.File) error {
+	pp := machine.NewPairProfile()
+	for _, wl := range workloads.All() {
+		prog := wl.Program()
+		in := wl.Train()
+
+		m, err := machine.New(prog, machine.WithPairProfile(pp))
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.Name(), err)
+		}
+		wl.Setup(m, in)
+		if _, err := m.Run(); err != nil {
+			return fmt.Errorf("%s/%s: %w", wl.Name(), in.Name, err)
+		}
+
+		res, err := instrument.Instrument(prog, instrument.Options{Method: instrument.NaiveAll})
+		if err != nil {
+			return fmt.Errorf("%s: instrument: %w", wl.Name(), err)
+		}
+		mi, err := machine.New(res.Prog, machine.WithPairProfile(pp))
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.Name(), err)
+		}
+		if res.Runtime != nil {
+			res.Runtime.Register(mi)
+		}
+		wl.Setup(mi, in)
+		if _, err := mi.Run(); err != nil {
+			return fmt.Errorf("%s/%s instrumented: %w", wl.Name(), in.Name, err)
+		}
+	}
+
+	fmt.Fprintf(w, "dynamic instruction pairs over %d workloads (clean + NaiveAll), %d instrs, %d intra-block pairs\n",
+		len(workloads.All()), pp.Total(), pp.Pairs())
+	for i, pc := range pp.Top(15) {
+		fmt.Fprintf(w, "  %2d. %-12s -> %-12s %12d  (%.2f%% of pairs)\n",
+			i+1, pc.Prev, pc.Next, pc.Count, 100*float64(pc.Count)/float64(pp.Pairs()))
+	}
+	return nil
 }
 
 // parseBenchLine parses a standard `go test -bench` result line:

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	simcheck [-prop all|lockstep|neutrality|metrics|sampling|merge|lfu] [-n 20] [-seed 1]
+//	simcheck [-prop all|lockstep|neutrality|metrics|fused|sampling|merge|lfu] [-n 20] [-seed 1]
 //	         [-funcs N] [-blocks N] [-trip N] [-depth N] [-no-reduce]
 //
 // Exit status is 1 when any property fails, so the command slots into CI
@@ -38,6 +38,7 @@ func properties() []property {
 		{"lockstep", simcheck.CheckShadowLockstep, true},
 		{"neutrality", simcheck.CheckPrefetchNeutrality, true},
 		{"metrics", simcheck.CheckMetricsNeutrality, true},
+		{"fused", simcheck.CheckFusedDifferential, true},
 		{"sampling", func(seed uint64, _ irgen.Config) error {
 			return simcheck.CheckSamplingInvariance(seed)
 		}, false},
@@ -57,7 +58,7 @@ func run(argv []string, out io.Writer) error {
 	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		propFlag = fs.String("prop", "all", "property to check: all, lockstep, neutrality, metrics, sampling, merge, lfu")
+		propFlag = fs.String("prop", "all", "property to check: all, lockstep, neutrality, metrics, fused, sampling, merge, lfu")
 		nFlag    = fs.Int("n", 20, "number of consecutive seeds per property")
 		seedFlag = fs.Uint64("seed", 1, "first seed")
 		funcs    = fs.Int("funcs", 0, "irgen MaxFuncs bound (0 = default)")

@@ -1,0 +1,65 @@
+package cache
+
+// RefKind discriminates the members of a batched reference sequence.
+type RefKind uint8
+
+const (
+	// RefLoad is a demand load.
+	RefLoad RefKind = iota
+	// RefStore is a store.
+	RefStore
+)
+
+// Ref is one memory reference within a batch: its kind, its byte address,
+// and the fixed occupancy the issuing core charges before the access leaves
+// the pipeline (the interpreter's OpCost for the instruction).
+type Ref struct {
+	Kind RefKind
+	Addr uint64
+	Cost uint32
+}
+
+// Batch presents a short in-order reference sequence to the hierarchy in
+// one call and returns the total elapsed cycles: for each ref, its fixed
+// Cost elapses first, then the access issues at the accumulated time and
+// its latency elapses. The accounting is therefore identical, cycle for
+// cycle, to charging each ref's cost and calling Load/Store individually —
+// Batch exists so the interpreter's fused memory superinstructions cross
+// the machine/cache boundary once per group instead of once per reference.
+// It delegates to Load and Store whenever a TLB or self-check observer is
+// attached, so those side channels see the exact per-reference sequence;
+// otherwise it performs the same counter updates and access calls inline,
+// which saves one call layer per reference on the interpreter's hot path.
+func (h *Hierarchy) Batch(refs []Ref, now uint64) uint64 {
+	start := now
+	if h.tlb != nil || h.check != nil {
+		for i := range refs {
+			r := &refs[i]
+			now += uint64(r.Cost)
+			var lat int
+			if r.Kind == RefLoad {
+				lat = h.Load(r.Addr, now)
+			} else {
+				lat = h.Store(r.Addr, now)
+			}
+			now += uint64(lat)
+		}
+		return now - start
+	}
+	for i := range refs {
+		r := &refs[i]
+		now += uint64(r.Cost)
+		if r.Kind == RefLoad {
+			h.Loads++
+			now += uint64(h.access(r.Addr, now))
+		} else {
+			h.Stores++
+			lat := h.access(r.Addr, now)
+			if h.cfg.StoreLatency > 0 && lat > h.cfg.StoreLatency {
+				lat = h.cfg.StoreLatency
+			}
+			now += uint64(lat)
+		}
+	}
+	return now - start
+}

@@ -1,0 +1,103 @@
+package cache
+
+import "testing"
+
+// batchAddrs is a deterministic reference pattern mixing L1 hits, capacity
+// misses and page-crossing strides.
+func batchAddrs(n int) []Ref {
+	refs := make([]Ref, 0, 2*n)
+	for k := 0; k < n; k++ {
+		a := uint64(0x4000_0000 + (k*2654435761)%4096*64)
+		refs = append(refs,
+			Ref{Kind: RefLoad, Addr: a, Cost: 1},
+			Ref{Kind: RefStore, Addr: a + 8, Cost: 1},
+		)
+	}
+	return refs
+}
+
+// TestBatchMatchesSequential requires Batch to be cycle- and
+// counter-identical to charging each ref's cost and calling Load/Store
+// individually, on twin hierarchies — with and without the side channels
+// (TLB, shadow self-check) that force Batch onto its delegating path.
+func TestBatchMatchesSequential(t *testing.T) {
+	configs := map[string]func() *Hierarchy{
+		"plain": func() *Hierarchy { return NewHierarchy(ItaniumConfig()) },
+		"tlb": func() *Hierarchy {
+			cfg := ItaniumConfig()
+			tcfg := ItaniumTLBConfig()
+			cfg.TLB = &tcfg
+			return NewHierarchy(cfg)
+		},
+		"selfcheck": func() *Hierarchy {
+			h := NewHierarchy(ItaniumConfig())
+			h.EnableSelfCheck()
+			return h
+		},
+	}
+	for name, mk := range configs {
+		t.Run(name, func(t *testing.T) {
+			refs := batchAddrs(300)
+
+			hb := mk()
+			var batched uint64
+			now := uint64(1000)
+			for i := 0; i < len(refs); i += 2 {
+				el := hb.Batch(refs[i:i+2], now)
+				now += el
+				batched += el
+			}
+
+			hs := mk()
+			var seq uint64
+			now = uint64(1000)
+			for i := range refs {
+				r := refs[i]
+				now += uint64(r.Cost)
+				seq += uint64(r.Cost)
+				var lat int
+				if r.Kind == RefLoad {
+					lat = hs.Load(r.Addr, now)
+				} else {
+					lat = hs.Store(r.Addr, now)
+				}
+				now += uint64(lat)
+				seq += uint64(lat)
+			}
+
+			if batched != seq {
+				t.Errorf("elapsed cycles: batch=%d sequential=%d", batched, seq)
+			}
+			if hb.Loads != hs.Loads || hb.Stores != hs.Stores {
+				t.Errorf("refs: batch loads=%d stores=%d, sequential loads=%d stores=%d",
+					hb.Loads, hb.Stores, hs.Loads, hs.Stores)
+			}
+			if hb.DemandMissCycles != hs.DemandMissCycles {
+				t.Errorf("miss cycles: batch=%d sequential=%d", hb.DemandMissCycles, hs.DemandMissCycles)
+			}
+			for i := range hb.Config().Levels {
+				lb, ls := hb.Level(i), hs.Level(i)
+				if lb.Hits != ls.Hits || lb.Misses != ls.Misses {
+					t.Errorf("level %d: batch hits=%d misses=%d, sequential hits=%d misses=%d",
+						i, lb.Hits, lb.Misses, ls.Hits, ls.Misses)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStoreLatencyCap pins the store-latency cap on Batch's inline
+// path: a store missing every level must charge at most StoreLatency, just
+// as Hierarchy.Store does.
+func TestBatchStoreLatencyCap(t *testing.T) {
+	cfg := ItaniumConfig()
+	if cfg.StoreLatency <= 0 {
+		t.Skip("config has no store-latency cap")
+	}
+	h := NewHierarchy(cfg)
+	// A cold store misses all the way to memory.
+	el := h.Batch([]Ref{{Kind: RefStore, Addr: 0x7000_0000, Cost: 1}}, 0)
+	if want := uint64(1 + cfg.StoreLatency); el != want {
+		t.Errorf("cold store elapsed = %d, want cost+cap = %d", el, want)
+	}
+}

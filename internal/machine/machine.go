@@ -85,6 +85,18 @@ type Config struct {
 	// return ErrInterrupted. Long-running servers use it to thread request
 	// cancellation into figure simulations.
 	Interrupt <-chan struct{}
+	// DisableBlockCache forces the per-instruction reference interpreter
+	// even when the fused block-cache fast path (bbcache.go) would apply.
+	// The two must be observably identical — simcheck's fused-differential
+	// property and the tests in fused_test.go run both and compare — so this
+	// knob exists for those checkers and for debugging, not for users.
+	DisableBlockCache bool
+	// PairProfile, when non-nil, records the dynamic frequency of adjacent
+	// opcode pairs executed within basic blocks. It implies
+	// DisableBlockCache: pair profiling is the measurement pass that decides
+	// which superinstructions the fused fast path should provide, so it runs
+	// on the unfused reference interpreter (see cmd/interpbench -pairs).
+	PairProfile *PairProfile
 }
 
 func (c *Config) fill() {
@@ -206,6 +218,16 @@ type code struct {
 	params     []int32
 	loadIDs    []int    // loadSlot -> instruction ID
 	loadCount  []uint64 // per-static-load dynamic reference counts
+
+	// xb caches the fused execution form of each block, translated on first
+	// fused entry (see bbcache.go). It is invalidated whenever resolveHooks
+	// rebinds hook sites, so a translation can never outlive the hook table
+	// it captured.
+	xb []*xblock
+	// regReads counts, per register, the static read sites across the whole
+	// function; the translator's constant folding may elide a constant's
+	// register write only when its sole reader absorbed the immediate.
+	regReads []int32
 }
 
 // Machine executes one program. A machine is single-use per program but may
@@ -226,13 +248,24 @@ type Machine struct {
 	// hooksDirty marks that Register calls since the last Run have not yet
 	// been resolved into the decoded instruction stream.
 	hooksDirty bool
-	// fast selects the specialized step loop with no tracing and no hardware
-	// prefetcher observation.
+	// fast selects the fused block-cache step loop (stepfused.go); when
+	// false every instruction goes through the per-instruction reference
+	// interpreter. Set per Run from the configuration (see Run).
 	fast bool
 	// noPf caches Config.DisablePrefetch for the step loops.
 	noPf bool
 	// intr caches Config.Interrupt for the step loops.
 	intr <-chan struct{}
+	// pairs caches Config.PairProfile for the reference loop.
+	pairs *PairProfile
+	// pollMark is the last Instrs>>16 epoch at which the fused loop polled
+	// Interrupt; the reference loop polls on exact 64Ki boundaries instead.
+	pollMark uint64
+	// refBuf is the scratch reference batch the fused load+store
+	// superinstruction hands to cache.Hierarchy.Batch (reused to keep the
+	// hot path allocation-free; the machine is single-threaded and the
+	// buffer is consumed before any nested call can run).
+	refBuf [2]cache.Ref
 
 	cycles uint64
 	stats  Stats
@@ -289,6 +322,7 @@ func New(prog *ir.Program, opts ...Option) (*Machine, error) {
 		rng:        cfg.Seed,
 		noPf:       cfg.DisablePrefetch,
 		intr:       cfg.Interrupt,
+		pairs:      cfg.PairProfile,
 	}
 	if cfg.SelfCheck {
 		// Attach the shadows before any memory is touched (the heap and the
@@ -382,6 +416,18 @@ func (m *Machine) decodeBody(f *ir.Function) {
 // Register installs hook fn under id. Registering id twice replaces the
 // hook (tests rely on this to stub runtimes). Registration takes effect at
 // the next Run, which resolves every OpHook site against the hook table.
+//
+// The next-Run boundary is a hard contract, pinned by a regression test: a
+// Register call made while a Run is in progress (for example from inside
+// another hook) has NO effect on the current run — not even for blocks the
+// run has not yet entered. Both step loops depend on this. The reference
+// interpreter executes the hook pointers resolveHooks bound before the run
+// started; the fused fast path additionally translates blocks lazily on
+// first entry and copies those same bound pointers into its block cache, so
+// a mid-run rebinding that took effect for not-yet-entered blocks would make
+// the two loops diverge on which hook a site calls. Deferring to the next
+// Run keeps both loops sound: resolveHooks rebinds every site and
+// invalidates every cached block translation before the program restarts.
 func (m *Machine) Register(id int64, fn HookFunc) {
 	m.hooks[id] = fn
 	m.hooksDirty = true
@@ -414,6 +460,12 @@ func (m *Machine) resolveHooks() error {
 				d.hook = fn
 			}
 		}
+	}
+	// Rebinding orphans any cached block translations: they hold the hook
+	// pointers captured at translation time. Drop them so the fused loop
+	// retranslates against the new bindings on first entry.
+	for _, name := range names {
+		m.codes[name].xb = nil
 	}
 	m.hooksDirty = false
 	return nil
@@ -502,7 +554,18 @@ func (m *Machine) Run() (ret int64, err error) {
 			}
 		}()
 	}
-	m.fast = m.cfg.Trace == nil && m.cfg.HWPrefetch == nil
+	// The fused block-cache loop applies whenever nothing demands exact
+	// per-instruction sequencing at an observation point outside the
+	// machine: instruction tracing and hardware-prefetcher observation see
+	// individual instructions, the shadow models and the effectiveness
+	// collector want the reference access ordering, and pair profiling
+	// measures the unfused instruction stream by definition. Interrupt
+	// delivery stays on the fast path — the fused loop polls at basic-block
+	// granularity, which is well inside the "few tens of thousands of
+	// instructions" promptness the Interrupt contract promises.
+	m.fast = m.cfg.Trace == nil && m.cfg.HWPrefetch == nil && !m.cfg.SelfCheck &&
+		m.cfg.Obs == nil && m.pairs == nil && !m.cfg.DisableBlockCache
+	m.pollMark = m.stats.Instrs >> 16
 	ret, err = m.call(entry, nil, 0)
 	if err == nil && m.fault != nil {
 		err = m.fault
@@ -570,40 +633,72 @@ func (m *Machine) call(c *code, args []int64, depth int) (int64, error) {
 		}
 	}
 	if m.fast {
-		return m.stepFast(c, regs, depth)
+		return m.stepFused(c, regs, depth)
 	}
 	return m.stepSlow(c, regs, depth)
 }
 
-// stepFast is the hot interpreter loop used when neither tracing nor a
-// hardware prefetcher is configured: the per-instruction trace test and the
-// per-load HWPrefetch test are hoisted out entirely. It must stay
-// semantically in sync with stepSlow (which adds only those two
-// observation points).
-func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
+// stepSlow is the fully observed, per-instruction interpreter: block by
+// block through refBlock, which emits a trace line per instruction (when
+// Config.Trace is set), feeds demand loads to the hardware prefetcher (when
+// Config.HWPrefetch is set) and records dynamic opcode pairs (when
+// Config.PairProfile is set). It is the semantic reference the fused fast
+// path (stepfused.go) escapes to and is differentially tested against.
+func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
 	bi := int32(0)
-	ii := 0
 	for {
 		if int(bi) >= len(c.blocks) {
 			return 0, fmt.Errorf("machine: %s: fell off block list", c.name)
 		}
-		blk := c.blocks[bi]
+		next, ret, done, err := m.refBlock(c, bi, regs, depth)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return ret, nil
+		}
+		bi = next
+	}
+}
+
+// refBlock executes block bi of c one instruction at a time until control
+// leaves the block: a branch yields the next block index, a return yields
+// the function result with done set. Its per-instruction semantics — cost
+// charged before the predicate test, budget checked before execution,
+// interrupt polled on exact 64Ki instruction boundaries — define the
+// simulator; the fused fast path must match it bit for bit and uses it
+// directly as the exact-execution escape hatch (blocks it cannot translate,
+// instruction budget nearly exhausted).
+func (m *Machine) refBlock(c *code, bi int32, regs []int64, depth int) (next int32, ret int64, done bool, err error) {
+	blk := c.blocks[bi]
+	ii := 0
+	// prev is the previous opcode dispatched in this block (-1 at entry),
+	// feeding the superinstruction-selection pair profile.
+	prev := int32(-1)
+	for {
 		if ii >= len(blk) {
-			return 0, fmt.Errorf("machine: %s: block %d has no terminator", c.name, bi)
+			return 0, 0, false, fmt.Errorf("machine: %s: block %d has no terminator", c.name, bi)
 		}
 		d := &blk[ii]
 		ii++
 
 		m.stats.Instrs++
 		if m.stats.Instrs > m.cfg.MaxSteps {
-			return 0, ErrMaxSteps
+			return 0, 0, false, ErrMaxSteps
 		}
 		if m.stats.Instrs&interruptMask == 0 && m.intr != nil {
 			select {
 			case <-m.intr:
-				return 0, ErrInterrupted
+				return 0, 0, false, ErrInterrupted
 			default:
 			}
+		}
+		if m.pairs != nil {
+			m.pairs.record(prev, d.op)
+			prev = int32(d.op)
+		}
+		if d.src != nil {
+			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)
 		}
 		m.cycles += uint64(d.cost)
 
@@ -678,6 +773,9 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 			regs[d.dst] = m.Mem.Load(addr)
 			m.stats.LoadRefs++
 			c.loadCount[d.loadSlot]++
+			if m.cfg.HWPrefetch != nil {
+				m.cfg.HWPrefetch.Observe(d.pc, addr, m.Hier, m.cycles)
+			}
 		case ir.OpSpecLoad:
 			// Speculative load: non-faulting and excluded from per-load
 			// reference statistics (it is inserted machinery, not a program
@@ -712,28 +810,27 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 			}
 
 		case ir.OpBr:
-			bi, ii = d.t0, 0
+			return d.t0, 0, false, nil
 		case ir.OpCondBr:
 			if regs[d.s0] != 0 {
-				bi, ii = d.t0, 0
-			} else {
-				bi, ii = d.t1, 0
+				return d.t0, 0, false, nil
 			}
+			return d.t1, 0, false, nil
 		case ir.OpRet:
 			if d.s0 >= 0 {
-				return regs[d.s0], nil
+				return 0, regs[d.s0], true, nil
 			}
-			return 0, nil
+			return 0, 0, true, nil
 
 		case ir.OpCall:
 			if d.callee == nil {
-				return 0, fmt.Errorf("machine: call to unknown function")
+				return 0, 0, false, fmt.Errorf("machine: call to unknown function")
 			}
 			argv := m.argValues(regs, d.args)
 			rv, err := m.call(d.callee, argv, depth+1)
 			m.releaseArgs(argv)
 			if err != nil {
-				return 0, err
+				return 0, 0, false, err
 			}
 			if d.dst >= 0 {
 				regs[d.dst] = rv
@@ -746,179 +843,7 @@ func (m *Machine) stepFast(c *code, regs []int64, depth int) (int64, error) {
 			m.releaseArgs(argv)
 
 		default:
-			return 0, fmt.Errorf("machine: unimplemented opcode %s", d.op)
-		}
-	}
-}
-
-// stepSlow is the fully observed interpreter loop: it additionally emits a
-// trace line per instruction (when Config.Trace is set) and feeds demand
-// loads to the hardware prefetcher (when Config.HWPrefetch is set). Keep in
-// sync with stepFast.
-func (m *Machine) stepSlow(c *code, regs []int64, depth int) (int64, error) {
-	bi := int32(0)
-	ii := 0
-	for {
-		if int(bi) >= len(c.blocks) {
-			return 0, fmt.Errorf("machine: %s: fell off block list", c.name)
-		}
-		blk := c.blocks[bi]
-		if ii >= len(blk) {
-			return 0, fmt.Errorf("machine: %s: block %d has no terminator", c.name, bi)
-		}
-		d := &blk[ii]
-		ii++
-
-		m.stats.Instrs++
-		if m.stats.Instrs > m.cfg.MaxSteps {
-			return 0, ErrMaxSteps
-		}
-		if m.stats.Instrs&interruptMask == 0 && m.intr != nil {
-			select {
-			case <-m.intr:
-				return 0, ErrInterrupted
-			default:
-			}
-		}
-		if d.src != nil {
-			fmt.Fprintf(m.cfg.Trace, "%10d %s/%s: %s\n", m.cycles, c.name, c.blockNames[bi], d.src)
-		}
-		m.cycles += uint64(d.cost)
-
-		// Itanium-style predication: a false qualifying predicate squashes
-		// the instruction but it still occupies its slot (charged above).
-		if d.pred >= 0 && regs[d.pred] == 0 {
-			continue
-		}
-
-		switch d.op {
-		case ir.OpNop:
-		case ir.OpConst:
-			regs[d.dst] = d.imm
-		case ir.OpMov:
-			regs[d.dst] = regs[d.s0]
-		case ir.OpAdd:
-			regs[d.dst] = regs[d.s0] + regs[d.s1]
-		case ir.OpSub:
-			regs[d.dst] = regs[d.s0] - regs[d.s1]
-		case ir.OpMul:
-			regs[d.dst] = regs[d.s0] * regs[d.s1]
-		case ir.OpDiv:
-			if regs[d.s1] == 0 {
-				regs[d.dst] = 0
-			} else {
-				regs[d.dst] = regs[d.s0] / regs[d.s1]
-			}
-		case ir.OpRem:
-			if regs[d.s1] == 0 {
-				regs[d.dst] = 0
-			} else {
-				regs[d.dst] = regs[d.s0] % regs[d.s1]
-			}
-		case ir.OpAnd:
-			regs[d.dst] = regs[d.s0] & regs[d.s1]
-		case ir.OpOr:
-			regs[d.dst] = regs[d.s0] | regs[d.s1]
-		case ir.OpXor:
-			regs[d.dst] = regs[d.s0] ^ regs[d.s1]
-		case ir.OpShl:
-			regs[d.dst] = regs[d.s0] << (uint64(regs[d.s1]) & 63)
-		case ir.OpShr:
-			regs[d.dst] = regs[d.s0] >> (uint64(regs[d.s1]) & 63)
-		case ir.OpAddI:
-			regs[d.dst] = regs[d.s0] + d.imm
-		case ir.OpShlI:
-			regs[d.dst] = regs[d.s0] << (uint64(d.imm) & 63)
-		case ir.OpShrI:
-			regs[d.dst] = regs[d.s0] >> (uint64(d.imm) & 63)
-		case ir.OpAndI:
-			regs[d.dst] = regs[d.s0] & d.imm
-		case ir.OpCmpEQ:
-			regs[d.dst] = b2i(regs[d.s0] == regs[d.s1])
-		case ir.OpCmpNE:
-			regs[d.dst] = b2i(regs[d.s0] != regs[d.s1])
-		case ir.OpCmpLT:
-			regs[d.dst] = b2i(regs[d.s0] < regs[d.s1])
-		case ir.OpCmpLE:
-			regs[d.dst] = b2i(regs[d.s0] <= regs[d.s1])
-		case ir.OpCmpGT:
-			regs[d.dst] = b2i(regs[d.s0] > regs[d.s1])
-		case ir.OpCmpGE:
-			regs[d.dst] = b2i(regs[d.s0] >= regs[d.s1])
-
-		case ir.OpLoad:
-			addr := uint64(regs[d.s0] + d.imm)
-			lat := m.Hier.Load(addr, m.cycles)
-			m.cycles += uint64(lat)
-			regs[d.dst] = m.Mem.Load(addr)
-			m.stats.LoadRefs++
-			c.loadCount[d.loadSlot]++
-			if m.cfg.HWPrefetch != nil {
-				m.cfg.HWPrefetch.Observe(d.pc, addr, m.Hier, m.cycles)
-			}
-		case ir.OpSpecLoad:
-			addr := uint64(regs[d.s0] + d.imm)
-			lat := m.Hier.Load(addr, m.cycles)
-			m.cycles += uint64(lat)
-			regs[d.dst] = m.Mem.Load(addr)
-		case ir.OpStore:
-			addr := uint64(regs[d.s0] + d.imm)
-			lat := m.Hier.Store(addr, m.cycles)
-			m.cycles += uint64(lat)
-			m.Mem.Store(addr, regs[d.s1])
-			m.stats.StoreRefs++
-		case ir.OpPrefetch:
-			addr := uint64(regs[d.s0] + d.imm)
-			m.stats.PrefetchRefs++
-			if !m.noPf && m.Mem.Mapped(addr) {
-				m.Hier.PrefetchClass(addr, m.cycles, obs.Class(d.pfClass))
-			}
-
-		case ir.OpAlloc:
-			regs[d.dst] = int64(m.Heap.Alloc(regs[d.s0]))
-		case ir.OpRand:
-			bound := regs[d.s0]
-			if bound <= 0 {
-				regs[d.dst] = 0
-			} else {
-				regs[d.dst] = int64(m.nextRand() % uint64(bound))
-			}
-
-		case ir.OpBr:
-			bi, ii = d.t0, 0
-		case ir.OpCondBr:
-			if regs[d.s0] != 0 {
-				bi, ii = d.t0, 0
-			} else {
-				bi, ii = d.t1, 0
-			}
-		case ir.OpRet:
-			if d.s0 >= 0 {
-				return regs[d.s0], nil
-			}
-			return 0, nil
-
-		case ir.OpCall:
-			if d.callee == nil {
-				return 0, fmt.Errorf("machine: call to unknown function")
-			}
-			argv := m.argValues(regs, d.args)
-			rv, err := m.call(d.callee, argv, depth+1)
-			m.releaseArgs(argv)
-			if err != nil {
-				return 0, err
-			}
-			if d.dst >= 0 {
-				regs[d.dst] = rv
-			}
-		case ir.OpHook:
-			argv := m.argValues(regs, d.args)
-			m.stats.HookCalls++
-			d.hook(m, argv)
-			m.releaseArgs(argv)
-
-		default:
-			return 0, fmt.Errorf("machine: unimplemented opcode %s", d.op)
+			return 0, 0, false, fmt.Errorf("machine: unimplemented opcode %s", d.op)
 		}
 	}
 }

@@ -1,0 +1,454 @@
+package machine
+
+import (
+	"fmt"
+
+	"stridepf/internal/cache"
+	"stridepf/internal/obs"
+)
+
+// stepFused is the block-cache fast path: the function is translated on
+// first entry (bbcache.go) and then executes as pointer-linked fused-form
+// blocks, with the per-instruction overheads charged once per xinstr and
+// the dominant dynamic pairs running as superinstructions. It is selected
+// by Run only when no configuration demands exact per-instruction
+// sequencing at an external observation point (see Run); everything
+// observable — cycles, statistics, registers, memory, per-load counts,
+// error identity — must match the reference interpreter bit for bit, which
+// the tests in fused_test.go and simcheck's fused-differential property
+// enforce.
+//
+// The instruction and cycle counters accumulate in locals and are written
+// back to the machine only where something else could read or change them:
+// before a hook runs, before a nested call, around the refBlock escape, and
+// on every return path. The cache hierarchy, flat memory, heap and RNG
+// never read them, so plain memory traffic needs no synchronisation.
+func (m *Machine) stepFused(c *code, regs []int64, depth int) (int64, error) {
+	if c.xb == nil {
+		m.translateCode(c)
+	}
+	if len(c.xb) == 0 {
+		return 0, fmt.Errorf("machine: %s: fell off block list", c.name)
+	}
+	xb := c.xb[0]
+	instrs := m.stats.Instrs
+	cycles := m.cycles
+blocks:
+	for {
+		// Interrupt delivery at block granularity: poll whenever the 64Ki
+		// instruction epoch has advanced since the last poll (the reference
+		// loop polls on the exact boundary instead; both honour the "few
+		// tens of thousands of instructions" promptness contract).
+		if m.intr != nil {
+			if epoch := instrs >> 16; epoch != m.pollMark {
+				m.pollMark = epoch
+				select {
+				case <-m.intr:
+					m.stats.Instrs, m.cycles = instrs, cycles
+					return 0, ErrInterrupted
+				default:
+				}
+			}
+		}
+		// Escape to the reference interpreter for untranslatable blocks, and
+		// for any block that could cross the instruction budget mid-way —
+		// refBlock delivers ErrMaxSteps on the exact instruction.
+		if xb.interp || instrs > xb.limit {
+			m.stats.Instrs, m.cycles = instrs, cycles
+			next, ret, done, err := m.refBlock(c, xb.bi, regs, depth)
+			instrs, cycles = m.stats.Instrs, m.cycles
+			if err != nil {
+				return 0, err
+			}
+			if done {
+				return ret, nil
+			}
+			xb = c.xb[next]
+			continue
+		}
+
+		ins := xb.ins
+		for i := 0; i < len(ins); i++ {
+			x := &ins[i]
+			instrs += uint64(x.nsrc)
+			cycles += uint64(x.cost)
+
+			switch x.kind {
+			case xALU:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				for k := uint8(0); k < x.nm; k++ {
+					u := &x.mi[k]
+					switch u.kind {
+					case uNop:
+					case uConst:
+						regs[u.dst] = u.imm
+					case uMov:
+						regs[u.dst] = regs[u.s0]
+					case uAdd:
+						regs[u.dst] = regs[u.s0] + regs[u.s1]
+					case uSub:
+						regs[u.dst] = regs[u.s0] - regs[u.s1]
+					case uMul:
+						regs[u.dst] = regs[u.s0] * regs[u.s1]
+					case uDiv:
+						if regs[u.s1] == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = regs[u.s0] / regs[u.s1]
+						}
+					case uRem:
+						if regs[u.s1] == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = regs[u.s0] % regs[u.s1]
+						}
+					case uAnd:
+						regs[u.dst] = regs[u.s0] & regs[u.s1]
+					case uOr:
+						regs[u.dst] = regs[u.s0] | regs[u.s1]
+					case uXor:
+						regs[u.dst] = regs[u.s0] ^ regs[u.s1]
+					case uShl:
+						regs[u.dst] = regs[u.s0] << (uint64(regs[u.s1]) & 63)
+					case uShr:
+						regs[u.dst] = regs[u.s0] >> (uint64(regs[u.s1]) & 63)
+					case uAddI:
+						regs[u.dst] = regs[u.s0] + u.imm
+					case uShlI:
+						regs[u.dst] = regs[u.s0] << (uint64(u.imm) & 63)
+					case uShrI:
+						regs[u.dst] = regs[u.s0] >> (uint64(u.imm) & 63)
+					case uAndI:
+						regs[u.dst] = regs[u.s0] & u.imm
+					case uMulI:
+						regs[u.dst] = regs[u.s0] * u.imm
+					case uOrI:
+						regs[u.dst] = regs[u.s0] | u.imm
+					case uXorI:
+						regs[u.dst] = regs[u.s0] ^ u.imm
+					case uCmpEQ:
+						regs[u.dst] = b2i(regs[u.s0] == regs[u.s1])
+					case uCmpNE:
+						regs[u.dst] = b2i(regs[u.s0] != regs[u.s1])
+					case uCmpLT:
+						regs[u.dst] = b2i(regs[u.s0] < regs[u.s1])
+					case uCmpLE:
+						regs[u.dst] = b2i(regs[u.s0] <= regs[u.s1])
+					case uCmpGT:
+						regs[u.dst] = b2i(regs[u.s0] > regs[u.s1])
+					case uCmpGE:
+						regs[u.dst] = b2i(regs[u.s0] >= regs[u.s1])
+					}
+				}
+			case xALUBr:
+				for k := uint8(0); k < x.nm; k++ {
+					u := &x.mi[k]
+					switch u.kind {
+					case uNop:
+					case uConst:
+						regs[u.dst] = u.imm
+					case uMov:
+						regs[u.dst] = regs[u.s0]
+					case uAdd:
+						regs[u.dst] = regs[u.s0] + regs[u.s1]
+					case uSub:
+						regs[u.dst] = regs[u.s0] - regs[u.s1]
+					case uMul:
+						regs[u.dst] = regs[u.s0] * regs[u.s1]
+					case uDiv:
+						if regs[u.s1] == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = regs[u.s0] / regs[u.s1]
+						}
+					case uRem:
+						if regs[u.s1] == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = regs[u.s0] % regs[u.s1]
+						}
+					case uAnd:
+						regs[u.dst] = regs[u.s0] & regs[u.s1]
+					case uOr:
+						regs[u.dst] = regs[u.s0] | regs[u.s1]
+					case uXor:
+						regs[u.dst] = regs[u.s0] ^ regs[u.s1]
+					case uShl:
+						regs[u.dst] = regs[u.s0] << (uint64(regs[u.s1]) & 63)
+					case uShr:
+						regs[u.dst] = regs[u.s0] >> (uint64(regs[u.s1]) & 63)
+					case uAddI:
+						regs[u.dst] = regs[u.s0] + u.imm
+					case uShlI:
+						regs[u.dst] = regs[u.s0] << (uint64(u.imm) & 63)
+					case uShrI:
+						regs[u.dst] = regs[u.s0] >> (uint64(u.imm) & 63)
+					case uAndI:
+						regs[u.dst] = regs[u.s0] & u.imm
+					case uMulI:
+						regs[u.dst] = regs[u.s0] * u.imm
+					case uOrI:
+						regs[u.dst] = regs[u.s0] | u.imm
+					case uXorI:
+						regs[u.dst] = regs[u.s0] ^ u.imm
+					case uCmpEQ:
+						regs[u.dst] = b2i(regs[u.s0] == regs[u.s1])
+					case uCmpNE:
+						regs[u.dst] = b2i(regs[u.s0] != regs[u.s1])
+					case uCmpLT:
+						regs[u.dst] = b2i(regs[u.s0] < regs[u.s1])
+					case uCmpLE:
+						regs[u.dst] = b2i(regs[u.s0] <= regs[u.s1])
+					case uCmpGT:
+						regs[u.dst] = b2i(regs[u.s0] > regs[u.s1])
+					case uCmpGE:
+						regs[u.dst] = b2i(regs[u.s0] >= regs[u.s1])
+					}
+				}
+				xb = x.xb0
+				continue blocks
+
+			case xEqBr:
+				f := regs[x.s0] == regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xNeBr:
+				f := regs[x.s0] != regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xLtBr:
+				f := regs[x.s0] < regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xLeBr:
+				f := regs[x.s0] <= regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xGtBr:
+				f := regs[x.s0] > regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xGeBr:
+				f := regs[x.s0] >= regs[x.s1]
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+
+			case xEqBrI:
+				f := regs[x.s0] == x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xNeBrI:
+				f := regs[x.s0] != x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xLtBrI:
+				f := regs[x.s0] < x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xLeBrI:
+				f := regs[x.s0] <= x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xGtBrI:
+				f := regs[x.s0] > x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xGeBrI:
+				f := regs[x.s0] >= x.imm
+				regs[x.dst] = b2i(f)
+				if f {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+
+			case xBr:
+				xb = x.xb0
+				continue blocks
+			case xCondBr:
+				if regs[x.s0] != 0 {
+					xb = x.xb0
+				} else {
+					xb = x.xb1
+				}
+				continue blocks
+			case xRet:
+				m.stats.Instrs, m.cycles = instrs, cycles
+				if x.s0 >= 0 {
+					return regs[x.s0], nil
+				}
+				return 0, nil
+
+			case xLoad:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				addr := uint64(regs[x.s0] + x.imm)
+				cycles += uint64(m.Hier.Load(addr, cycles))
+				regs[x.dst] = m.Mem.Load(addr)
+				m.stats.LoadRefs++
+				c.loadCount[x.loadSlot]++
+			case xSpecLoad:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				addr := uint64(regs[x.s0] + x.imm)
+				cycles += uint64(m.Hier.Load(addr, cycles))
+				regs[x.dst] = m.Mem.Load(addr)
+			case xStore:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				addr := uint64(regs[x.s0] + x.imm)
+				cycles += uint64(m.Hier.Store(addr, cycles))
+				m.Mem.Store(addr, regs[x.s1])
+				m.stats.StoreRefs++
+			case xPrefetch:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				addr := uint64(regs[x.s0] + x.imm)
+				m.stats.PrefetchRefs++
+				if !m.noPf && m.Mem.Mapped(addr) {
+					m.Hier.PrefetchClass(addr, cycles, obs.Class(x.pfClass))
+				}
+
+			case xLoadStore:
+				// The fusion rule guarantees the store operands (s2, s3) do
+				// not read the load destination, so both addresses and the
+				// stored value are computable up front; the batch interleaves
+				// the two fixed costs with the accesses exactly as the
+				// reference loop charges them.
+				la := uint64(regs[x.s0] + x.imm)
+				sa := uint64(regs[x.s2] + x.imm2)
+				sv := regs[x.s3]
+				m.refBuf[0] = cache.Ref{Kind: cache.RefLoad, Addr: la, Cost: 1}
+				m.refBuf[1] = cache.Ref{Kind: cache.RefStore, Addr: sa, Cost: 1}
+				cycles += m.Hier.Batch(m.refBuf[:], cycles)
+				regs[x.dst] = m.Mem.LoadStore(la, sa, sv)
+				m.stats.LoadRefs++
+				m.stats.StoreRefs++
+				c.loadCount[x.loadSlot]++
+
+			case xLoadHook:
+				addr := uint64(regs[x.s0] + x.imm)
+				cycles++ // load slot
+				cycles += uint64(m.Hier.Load(addr, cycles))
+				regs[x.dst] = m.Mem.Load(addr)
+				m.stats.LoadRefs++
+				c.loadCount[x.loadSlot]++
+				cycles++ // hook slot, charged before the hook runs
+				m.stats.Instrs, m.cycles = instrs, cycles
+				argv := m.argValues(regs, x.args)
+				m.stats.HookCalls++
+				x.hook(m, argv)
+				m.releaseArgs(argv)
+				instrs, cycles = m.stats.Instrs, m.cycles
+
+			case xHook:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				m.stats.Instrs, m.cycles = instrs, cycles
+				argv := m.argValues(regs, x.args)
+				m.stats.HookCalls++
+				x.hook(m, argv)
+				m.releaseArgs(argv)
+				instrs, cycles = m.stats.Instrs, m.cycles
+			case xCall:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				m.stats.Instrs, m.cycles = instrs, cycles
+				if x.callee == nil {
+					return 0, fmt.Errorf("machine: call to unknown function")
+				}
+				argv := m.argValues(regs, x.args)
+				rv, err := m.call(x.callee, argv, depth+1)
+				m.releaseArgs(argv)
+				instrs, cycles = m.stats.Instrs, m.cycles
+				if err != nil {
+					return 0, err
+				}
+				if x.dst >= 0 {
+					regs[x.dst] = rv
+				}
+			case xAlloc:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				regs[x.dst] = int64(m.Heap.Alloc(regs[x.s0]))
+			case xRand:
+				if x.pred >= 0 && regs[x.pred] == 0 {
+					continue
+				}
+				bound := regs[x.s0]
+				if bound <= 0 {
+					regs[x.dst] = 0
+				} else {
+					regs[x.dst] = int64(m.nextRand() % uint64(bound))
+				}
+			}
+		}
+		m.stats.Instrs, m.cycles = instrs, cycles
+		return 0, fmt.Errorf("machine: %s: block %d has no terminator", c.name, xb.bi)
+	}
+}

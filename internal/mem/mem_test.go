@@ -97,3 +97,64 @@ func TestHeapExhaustionPanics(t *testing.T) {
 	}()
 	h.Alloc(64)
 }
+
+// TestFusedLoadStoreEquivalence pins Memory.LoadStore against Load-then-
+// Store on a twin memory across the interesting address relations:
+// same page, different pages, exact aliasing, partial-word aliasing, and
+// unmapped pages (the load must still read zero while the store maps).
+func TestFusedLoadStoreEquivalence(t *testing.T) {
+	cases := []struct {
+		name         string
+		laddr, saddr uint64
+	}{
+		{"same-page", 0x4000_0000, 0x4000_0008},
+		{"cross-page", 0x4000_0000, 0x5000_0000},
+		{"alias-exact", 0x4000_0100, 0x4000_0100},
+		{"alias-word", 0x4000_0104, 0x4000_0101},
+		{"unmapped-same-page", 0x6000_0000, 0x6000_0040},
+		{"unmapped-cross-page", 0x6000_0000, 0x7000_0000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seed := func() *Memory {
+				m := NewMemory()
+				m.Store(0x4000_0000, 111)
+				m.Store(0x4000_0008, 222)
+				m.Store(0x4000_0100, 333)
+				m.Store(0x5000_0000, 444)
+				return m
+			}
+			a, b := seed(), seed()
+			rv := a.LoadStore(tc.laddr, tc.saddr, 999)
+			want := b.Load(tc.laddr)
+			b.Store(tc.saddr, 999)
+			if rv != want {
+				t.Errorf("LoadStore returned %d, Load-then-Store loads %d (load must see the pre-store word)", rv, want)
+			}
+			if af, bf := a.Fingerprint(), b.Fingerprint(); af != bf {
+				t.Errorf("memory images diverge: LoadStore=%#x sequential=%#x", af, bf)
+			}
+			if ap, bp := a.Pages(), b.Pages(); ap != bp {
+				t.Errorf("mapped pages diverge: LoadStore=%d sequential=%d", ap, bp)
+			}
+		})
+	}
+}
+
+// TestFusedLoadStoreSelfCheck runs LoadStore under the shadow model, which
+// replays every access against a naive map: the fused form must present the
+// same load-then-store event order the shadow expects.
+func TestFusedLoadStoreSelfCheck(t *testing.T) {
+	m := NewMemory()
+	m.EnableSelfCheck()
+	m.Store(0x4000_0000, 7)
+	if got := m.LoadStore(0x4000_0000, 0x4000_0008, 8); got != 7 {
+		t.Errorf("LoadStore = %d, want 7", got)
+	}
+	if got := m.LoadStore(0x4000_0008, 0x4000_0008, 9); got != 8 {
+		t.Errorf("aliasing LoadStore = %d, want 8 (pre-store word)", got)
+	}
+	if got := m.LoadStore(0x9000_0000, 0x9000_0000, 1); got != 0 {
+		t.Errorf("unmapped LoadStore = %d, want 0", got)
+	}
+}

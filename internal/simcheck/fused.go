@@ -1,0 +1,107 @@
+package simcheck
+
+import (
+	"fmt"
+	"reflect"
+
+	"stridepf/internal/instrument"
+	"stridepf/internal/irgen"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+// CheckFusedDifferential generates a program from (seed, cfg) and executes
+// it through the interpreter's fused block-cache fast path and through the
+// per-instruction reference interpreter (WithDisableBlockCache). The fused
+// path — block translation, superinstruction fusion, constant folding,
+// batched cache refs — must be observably identical: same result, same
+// statistics (including exact instruction and cycle counts), same final
+// memory image, same per-load reference counts.
+//
+// The check then repeats the comparison on the NaiveAll-instrumented
+// program, where the load+hook superinstruction and the profiling runtime's
+// counter traffic dominate, and additionally requires the collected stride
+// profiles to match record for record.
+func CheckFusedDifferential(seed uint64, cfg irgen.Config) error {
+	prog := irgen.Generate(seed, cfg)
+
+	fused, err := runProg(prog)
+	if err != nil {
+		return fmt.Errorf("fused run: %w", err)
+	}
+	ref, err := runProg(prog, machine.WithDisableBlockCache())
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	if err := diffRuns("clean", fused, ref); err != nil {
+		return err
+	}
+
+	// Instrumented: each side gets its own runtime so the profiles are
+	// independently collected, then compared.
+	runInstr := func(opts ...machine.Option) (runResult, []stride.Summary, error) {
+		res, err := instrument.Instrument(prog, instrument.Options{Method: instrument.NaiveAll})
+		if err != nil {
+			return runResult{}, nil, fmt.Errorf("instrument: %w", err)
+		}
+		m, err := machine.New(res.Prog, opts...)
+		if err != nil {
+			return runResult{}, nil, err
+		}
+		if res.Runtime != nil {
+			res.Runtime.Register(m)
+		}
+		ret, err := m.Run()
+		if err != nil {
+			return runResult{}, nil, err
+		}
+		return runResult{
+			Ret:         ret,
+			Stats:       m.Stats(),
+			Fingerprint: m.Mem.Fingerprint(),
+			LoadCounts:  m.LoadCounts(),
+		}, res.StrideSummaries(), nil
+	}
+	ifused, pfused, err := runInstr()
+	if err != nil {
+		return fmt.Errorf("fused instrumented run: %w", err)
+	}
+	iref, pref, err := runInstr(machine.WithDisableBlockCache())
+	if err != nil {
+		return fmt.Errorf("reference instrumented run: %w", err)
+	}
+	if err := diffRuns("instrumented", ifused, iref); err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(pfused, pref) {
+		return fmt.Errorf("fused path changed stride profile: fused %d summaries %+v, reference %d summaries %+v",
+			len(pfused), pfused, len(pref), pref)
+	}
+	return nil
+}
+
+// diffRuns reports the first observable difference between a fused-path run
+// and its reference-path twin.
+func diffRuns(label string, fused, ref runResult) error {
+	if fused.Ret != ref.Ret {
+		return fmt.Errorf("%s: fused path changed result: fused=%d reference=%d", label, fused.Ret, ref.Ret)
+	}
+	if fused.Stats != ref.Stats {
+		return fmt.Errorf("%s: fused path changed statistics: fused=%+v reference=%+v", label, fused.Stats, ref.Stats)
+	}
+	if fused.Fingerprint != ref.Fingerprint {
+		return fmt.Errorf("%s: fused path changed memory: fused=%#x reference=%#x",
+			label, fused.Fingerprint, ref.Fingerprint)
+	}
+	if len(fused.LoadCounts) != len(ref.LoadCounts) {
+		return fmt.Errorf("%s: fused path changed load set: fused=%d loads, reference=%d loads",
+			label, len(fused.LoadCounts), len(ref.LoadCounts))
+	}
+	for k, c := range fused.LoadCounts {
+		if ref.LoadCounts[k] != c {
+			return fmt.Errorf("%s: fused path changed load count of %s#%d: fused=%d reference=%d",
+				label, k.Func, k.ID, c, ref.LoadCounts[k])
+		}
+	}
+	return nil
+}

@@ -16,6 +16,14 @@ func TestShadowLockstepHolds(t *testing.T) {
 	}
 }
 
+func TestFusedDifferentialHolds(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		if err := CheckFusedDifferential(seed, irgen.Config{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestPrefetchNeutralityHolds(t *testing.T) {
 	for seed := uint64(1); seed <= 8; seed++ {
 		if err := CheckPrefetchNeutrality(seed, irgen.Config{}); err != nil {
