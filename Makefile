@@ -10,8 +10,8 @@
 
 GO ?= go
 
-.PHONY: check check-deep vet build test race fuzz-smoke simcheck \
-	bench bench-json bench-pairs figures metrics serve smoke-serve chaos chaos-replay clean
+.PHONY: check check-deep vet build test race race-full fuzz-smoke simcheck \
+	arena bench bench-json bench-pairs figures metrics serve smoke-serve chaos chaos-replay clean
 
 check: vet build test race
 
@@ -21,6 +21,7 @@ check-deep: check
 	$(MAKE) simcheck
 	$(MAKE) chaos
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
+	$(MAKE) arena
 	$(MAKE) smoke-serve
 
 vet:
@@ -41,12 +42,12 @@ test:
 race:
 	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
-		./internal/simcheck/... ./internal/cache/...
+		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/...
 
 race-full:
 	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
-		./internal/simcheck/... ./internal/cache/...
+		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -77,6 +78,11 @@ bench-pairs:
 # Regenerate all paper figures (parallel across GOMAXPROCS workers).
 figures:
 	$(GO) run ./cmd/experiments -figure all
+
+# The prefetcher-arena cross product (hardware scheme x workload x cache
+# config) on the short workload set; see EXPERIMENTS.md, "Prefetcher arena".
+arena:
+	$(GO) run ./cmd/experiments -figure arena -workloads 181.mcf,197.parser
 
 # Run the stride-profiling service daemon (see cmd/strided and DESIGN.md §9).
 serve:

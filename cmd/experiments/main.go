@@ -1,13 +1,23 @@
 // Command experiments regenerates the paper's evaluation figures (15-25)
-// as text tables.
+// as text tables, plus the repo's own prefetcher-arena cross product
+// (-figure arena).
 //
 // Usage:
 //
-//	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25]
-//	            [-j N] [-o out.txt] [-selfcheck]
+//	experiments [-workloads 181.mcf,197.parser] [-figure all|15|16|...|25|arena]
+//	            [-j N] [-o out.txt] [-selfcheck] [-hwpf scheme]
 //	            [-metrics metrics.json]
 //	            [-trace trace.jsonl] [-trace-sample N] [-trace-max N]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -hwpf attaches a hardware prefetcher of the named scheme (rpt,
+// baer-chen, tracker, multi-stride; see internal/hwpf) to every simulated
+// machine, so any paper figure can be regenerated "with hardware
+// prefetching on". The default is no hardware prefetcher, which keeps the
+// paper figures byte-identical to the software-only harness. -figure arena
+// ignores -hwpf and sweeps every registered scheme against a no-prefetcher
+// baseline across the arena cache configurations (EXPERIMENTS.md,
+// "Prefetcher arena").
 //
 // -selfcheck runs every simulation with the naive shadow models of the
 // cache hierarchy and flat memory attached (see internal/simcheck and
@@ -43,13 +53,15 @@ import (
 	"strings"
 
 	"stridepf/internal/experiments"
+	"stridepf/internal/hwpf"
 	"stridepf/internal/obs"
 )
 
 func main() {
 	var (
 		workloadsFlag = flag.String("workloads", "", "comma-separated benchmark names (default: all)")
-		figureFlag    = flag.String("figure", "all", "figure to regenerate: all, 15..25")
+		figureFlag    = flag.String("figure", "all", "figure to regenerate: all, 15..25, arena")
+		hwpfFlag      = flag.String("hwpf", "", "attach a hardware prefetcher to every simulation: "+strings.Join(hwpf.Schemes(), ", ")+" (default: none)")
 		outFlag       = flag.String("o", "", "output file (default: stdout)")
 		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned text (single figures only)")
 		jFlag         = flag.Int("j", 0, "number of parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
@@ -102,6 +114,12 @@ func main() {
 	cfg.Machine.SelfCheck = *selfCheck
 	if *workloadsFlag != "" {
 		cfg.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	if *hwpfFlag != "" {
+		if _, err := hwpf.NewScheme(*hwpfFlag, hwpf.Config{}); err != nil {
+			fatal(err)
+		}
+		cfg.HWPF = *hwpfFlag
 	}
 
 	// finish flushes the observability sinks; every successful exit path
@@ -166,8 +184,11 @@ func main() {
 	for _, name := range experiments.FigureNames() {
 		known = known || name == *figureFlag
 	}
+	for _, name := range experiments.ExtraFigureNames() {
+		known = known || name == *figureFlag
+	}
 	if !known {
-		fatal(fmt.Errorf("unknown figure %q (want all or 15..25)", *figureFlag))
+		fatal(fmt.Errorf("unknown figure %q (want all, 15..25 or arena)", *figureFlag))
 	}
 	if n := cfg.Jobs; n != 1 && *figureFlag != "15" {
 		s.Warm(ctx, n, *figureFlag)

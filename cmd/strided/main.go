@@ -9,7 +9,7 @@
 //
 //	strided [-addr :8471] [-workloads 181.mcf,197.parser] [-j N]
 //	        [-max-inflight N] [-max-queued N] [-timeout 5m] [-selfcheck]
-//	        [-chaos-seed N] [-chaos-scale F]
+//	        [-hwpf scheme] [-chaos-seed N] [-chaos-scale F]
 //
 // Endpoints:
 //
@@ -17,6 +17,8 @@
 //	GET  /obs/metrics                         prefetch-effectiveness roll-up
 //	GET  /v1/figures                          figure and format listing
 //	GET  /v1/figure/{n}[?format=csv|jsonl][&workloads=a,b]
+//	                                          n: 15..25 or "arena" (the
+//	                                          prefetcher-arena cross product)
 //	GET  /v1/profiles                         stored aggregate listing
 //	POST /v1/profiles/{workload}/{config}     upload one profile shard
 //	GET  /v1/profiles/{workload}/{config}     download merged aggregate
@@ -49,6 +51,7 @@ import (
 
 	"stridepf/internal/chaos"
 	"stridepf/internal/experiments"
+	"stridepf/internal/hwpf"
 	"stridepf/internal/server"
 )
 
@@ -62,6 +65,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Minute, "per-request timeout for heavy requests (0 = none)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		selfCheck   = flag.Bool("selfcheck", false, "run shadow-model self-checking in every simulation")
+		hwpfFlag    = flag.String("hwpf", "", "attach a hardware prefetcher to every simulation: "+strings.Join(hwpf.Schemes(), ", ")+" (default: none)")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "run in self-chaos mode with this fault-injection seed (0 = off)")
 		chaosScale  = flag.Float64("chaos-scale", 1, "fault-rate multiplier for -chaos-seed mode")
 	)
@@ -78,6 +82,12 @@ func main() {
 	cfg.Experiments.Machine.SelfCheck = *selfCheck
 	if *workloadsF != "" {
 		cfg.Experiments.Workloads = strings.Split(*workloadsF, ",")
+	}
+	if *hwpfFlag != "" {
+		if _, err := hwpf.NewScheme(*hwpfFlag, hwpf.Config{}); err != nil {
+			lg.Fatalf("%v", err)
+		}
+		cfg.Experiments.HWPF = *hwpfFlag
 	}
 
 	// Self-chaos mode: deterministically misbehave at every seam.

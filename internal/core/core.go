@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"stridepf/internal/hwpf"
 	"stridepf/internal/instrument"
 	"stridepf/internal/ir"
 	"stridepf/internal/machine"
@@ -70,6 +71,10 @@ type RunStats struct {
 	// Ret is the program's return value (workloads return a checksum so
 	// transformed binaries can be checked for semantic equivalence).
 	Ret int64
+	// HWPFScheme and HWPF record the hardware prefetcher attached to the
+	// run, when it implemented hwpf.Prefetcher (empty and zero otherwise).
+	HWPFScheme string
+	HWPF       hwpf.Counters
 }
 
 // Execute runs prog against the given workload input and returns its stats.
@@ -95,7 +100,7 @@ func Execute(prog *ir.Program, w Workload, in Input, mcfg machine.Config) (RunSt
 }
 
 func snapshot(m *machine.Machine, ret int64) RunStats {
-	return RunStats{
+	rs := RunStats{
 		Stats:            m.Stats(),
 		DemandMissCycles: m.Hier.DemandMissCycles,
 		PrefetchUseful:   m.Hier.PrefetchUseful,
@@ -104,6 +109,11 @@ func snapshot(m *machine.Machine, ret int64) RunStats {
 		LoadCounts:       m.LoadCounts(),
 		Ret:              ret,
 	}
+	if p, ok := m.HWPrefetch().(hwpf.Prefetcher); ok {
+		rs.HWPFScheme = p.Name()
+		rs.HWPF = p.Counters()
+	}
+	return rs
 }
 
 // ProfileRun is the outcome of an instrumented (profiling) execution.

@@ -5,10 +5,19 @@ import (
 	"fmt"
 )
 
-// FigureNames lists every figure the session can produce, in presentation
-// order. "15" is preformatted text (see Fig15); the rest are tables.
+// FigureNames lists every paper figure the session can produce, in
+// presentation order. "15" is preformatted text (see Fig15); the rest are
+// tables. The list is deliberately frozen at the paper's figures — `-figure
+// all` and RunAll render exactly these — with the repo's own additions
+// listed separately by ExtraFigureNames.
 func FigureNames() []string {
 	return []string{"15", "16", "17", "18", "19", "20", "21", "22", "23", "24", "25"}
+}
+
+// ExtraFigureNames lists the non-paper figures the session can produce on
+// request: currently the prefetcher-arena cross product (see Arena).
+func ExtraFigureNames() []string {
+	return []string{"arena"}
 }
 
 // Figure computes the named figure's table by name, the string-keyed
@@ -36,10 +45,12 @@ func (s *Session) Figure(ctx context.Context, name string) (*Table, error) {
 		return s.Fig24(ctx)
 	case "25":
 		return s.Fig25(ctx)
+	case "arena":
+		return s.Arena(ctx)
 	case "15":
 		return nil, fmt.Errorf("experiments: figure 15 is preformatted text; use FigureText")
 	}
-	return nil, fmt.Errorf("experiments: unknown figure %q (want 15..25)", name)
+	return nil, fmt.Errorf("experiments: unknown figure %q (want 15..25 or arena)", name)
 }
 
 // FigureText returns the exact bytes the experiments CLI writes for

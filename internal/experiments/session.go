@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"stridepf/internal/core"
+	"stridepf/internal/hwpf"
 	"stridepf/internal/instrument"
 	"stridepf/internal/machine"
 	"stridepf/internal/obs"
@@ -55,6 +56,16 @@ type Config struct {
 	Machine machine.Config
 	// Prefetch configures the feedback pass.
 	Prefetch prefetch.Options
+	// HWPF, when non-empty, attaches a fresh hardware prefetcher of the
+	// named scheme (see hwpf.Schemes) to every machine the session builds.
+	// Empty runs without one — the default, matching the paper's software-
+	// only evaluation and keeping figures 15–25 byte-identical to the
+	// pre-arena harness. The arena figure ignores this field: it always
+	// sweeps every registered scheme against a no-prefetcher baseline.
+	HWPF string
+	// HWPFConfig sizes the hardware prefetchers (both the HWPF scheme and
+	// the arena sweep); the zero value selects the hwpf defaults.
+	HWPFConfig hwpf.Config
 	// Jobs bounds the worker pool used when the session precomputes cells
 	// in parallel (see Warm and RunAll). Zero selects GOMAXPROCS; one runs
 	// strictly serially.
@@ -97,6 +108,12 @@ func (c *Config) jobs() int {
 type Session struct {
 	cfg Config
 
+	// hwpfFactory builds the per-machine prefetcher when cfg.HWPF is set;
+	// hwpfErr holds the scheme-resolution error reported by every cell
+	// computation (NewSession cannot fail, so validation is deferred).
+	hwpfFactory func() machine.HWPrefetcher
+	hwpfErr     error
+
 	mu       sync.Mutex
 	inflight map[string]*flight
 
@@ -104,6 +121,8 @@ type Session struct {
 	cleans   map[string]core.RunStats
 	speedups map[string]*speedupEntry
 	classes  map[string]*classBuckets
+	arenas   map[string]*ArenaCell
+	arenaRef map[string]core.RunStats
 }
 
 type speedupEntry struct {
@@ -122,14 +141,28 @@ type flight struct {
 
 // NewSession returns an empty session.
 func NewSession(cfg Config) *Session {
-	return &Session{
+	s := &Session{
 		cfg:      cfg,
 		inflight: make(map[string]*flight),
 		profiles: make(map[string]*core.ProfileRun),
 		cleans:   make(map[string]core.RunStats),
 		speedups: make(map[string]*speedupEntry),
 		classes:  make(map[string]*classBuckets),
+		arenas:   make(map[string]*ArenaCell),
+		arenaRef: make(map[string]core.RunStats),
 	}
+	if cfg.HWPF != "" {
+		if _, err := hwpf.NewScheme(cfg.HWPF, cfg.HWPFConfig); err != nil {
+			s.hwpfErr = err
+		} else {
+			scheme, hcfg := cfg.HWPF, cfg.HWPFConfig
+			s.hwpfFactory = func() machine.HWPrefetcher {
+				p, _ := hwpf.NewScheme(scheme, hcfg)
+				return p
+			}
+		}
+	}
+	return s
 }
 
 // do memoises compute under key with per-key singleflight: concurrent
@@ -144,6 +177,9 @@ func NewSession(cfg Config) *Session {
 // that receives a cancellation error from someone else's flight retries
 // the computation under its own, still-live ctx.
 func (s *Session) do(ctx context.Context, key string, lookup func() (any, bool), store func(any), compute func() (any, error)) (any, error) {
+	if s.hwpfErr != nil {
+		return nil, s.hwpfErr
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -197,6 +233,9 @@ func isCancellation(err error) bool {
 func (s *Session) mcfg(ctx context.Context) machine.Config {
 	c := s.cfg.Machine
 	c.Interrupt = ctx.Done()
+	if s.hwpfFactory != nil {
+		c.NewHWPrefetch = s.hwpfFactory
+	}
 	return c
 }
 
@@ -358,6 +397,18 @@ func (s *Session) warmTasks(ctx context.Context, figs map[string]bool) []func() 
 		}
 		if want("18", "19") {
 			tasks = append(tasks, func() { _, _ = s.classify(ctx, name) })
+		}
+		// The arena is opt-in only: it is not part of the paper's figure
+		// set, so the empty-figs "warm everything" default must not compute
+		// it (RunAll and `-figure all` stay byte-identical to pre-arena).
+		if figs["arena"] {
+			for _, h := range ArenaHierarchies() {
+				h := h
+				for _, scheme := range hwpf.Schemes() {
+					scheme := scheme
+					tasks = append(tasks, func() { _, _ = s.ArenaCell(ctx, name, h.Name, scheme) })
+				}
+			}
 		}
 		if want("23", "24", "25") {
 			tasks = append(tasks, func() {

@@ -1,0 +1,161 @@
+package hwpf
+
+import (
+	"stridepf/internal/cache"
+	"stridepf/internal/obs"
+)
+
+// msEntry is one multi-stride table entry: the load's previous address and
+// a ring of its most recent deltas (2×MaxPeriod of them, enough to confirm
+// any period up to MaxPeriod twice over).
+type msEntry struct {
+	valid bool
+	tag   uint64
+	prev  uint64
+	lru   uint64
+	hist  []int64
+	n     uint64
+}
+
+// push appends a delta to the ring.
+func (e *msEntry) push(d int64) {
+	e.hist[e.n%uint64(len(e.hist))] = d
+	e.n++
+}
+
+// at returns the delta i positions back from the latest (at(0) is the most
+// recent). Callers must ensure i < min(n, len(hist)).
+func (e *msEntry) at(i int) int64 {
+	return e.hist[(e.n-1-uint64(i))%uint64(len(e.hist))]
+}
+
+// period returns the smallest period p <= max such that the last p deltas
+// equal the p before them with at least one non-zero, or 0 when no such
+// period has been confirmed yet.
+func (e *msEntry) period(max int) int {
+	for p := 1; p <= max; p++ {
+		if e.n < uint64(2*p) {
+			return 0
+		}
+		ok, nonzero := true, false
+		for i := 0; i < p; i++ {
+			d := e.at(i)
+			if d != e.at(i+p) {
+				ok = false
+				break
+			}
+			if d != 0 {
+				nonzero = true
+			}
+		}
+		if ok && nonzero {
+			return p
+		}
+	}
+	return 0
+}
+
+// MultiStride is a stride-sequence prefetcher covering the interleaved
+// multi-strided access patterns of Blom et al.: loads that walk memory with
+// a short repeating *sequence* of strides (e.g. +64, +192, +64, +192 from a
+// row-of-structs traversal) rather than one constant stride. Each PC's
+// entry keeps a ring of recent deltas; once the last p deltas repeat the p
+// before them (the smallest such p <= MaxPeriod wins), the entry predicts
+// forward by replaying the periodic delta sequence cumulatively, issuing
+// the targets Distance .. Distance+Degree-1 steps ahead.
+//
+// A period-1 pattern degenerates to the plain stride case, so on constant-
+// stride streams MultiStride issues the same targets as the RPT; its value
+// is the p > 1 coverage the single-stride automatons can never reach (they
+// flap between TRANSIENT and NO_PRED on alternating deltas).
+type MultiStride struct {
+	cfg  Config
+	sets int
+	tab  []msEntry
+	tick uint64
+
+	// Issued, Replaced and Wrapped mirror the RPT's counters; Detected
+	// counts Observe calls that confirmed some period.
+	Issued, Replaced, Wrapped, Detected uint64
+}
+
+// NewMultiStride returns an empty table.
+func NewMultiStride(cfg Config) *MultiStride {
+	cfg.fill()
+	if cfg.Entries%cfg.Ways != 0 {
+		panic("hwpf: entries must divide by ways")
+	}
+	return &MultiStride{cfg: cfg, sets: cfg.Entries / cfg.Ways, tab: make([]msEntry, cfg.Entries)}
+}
+
+// Name returns the scheme's registry name.
+func (p *MultiStride) Name() string { return "multi-stride" }
+
+// Counters returns the table's lifetime counters.
+func (p *MultiStride) Counters() Counters {
+	return Counters{Issued: p.Issued, Replaced: p.Replaced, Wrapped: p.Wrapped}
+}
+
+// Observe records one execution of the static load identified by pc at
+// address addr, updating the delta history and possibly issuing prefetches.
+func (p *MultiStride) Observe(pc uint64, addr uint64, hier *cache.Hierarchy, now uint64) {
+	set := int(pc % uint64(p.sets))
+	base := set * p.cfg.Ways
+	p.tick++
+
+	victim := base
+	for w := 0; w < p.cfg.Ways; w++ {
+		i := base + w
+		e := &p.tab[i]
+		if e.valid && e.tag == pc {
+			e.push(int64(addr) - int64(e.prev))
+			e.prev = addr
+			e.lru = p.tick
+			p.predict(e, addr, hier, now)
+			return
+		}
+		if !e.valid {
+			victim = i
+			continue
+		}
+		if p.tab[victim].valid && e.lru < p.tab[victim].lru {
+			victim = i
+		}
+	}
+	if p.tab[victim].valid {
+		p.Replaced++
+	}
+	p.tab[victim] = msEntry{
+		valid: true, tag: pc, prev: addr, lru: p.tick,
+		hist: make([]int64, 2*p.cfg.MaxPeriod),
+	}
+}
+
+// predict issues the periodic-sequence predictions for a just-updated
+// entry. The delta j steps ahead of the latest equals the recorded delta
+// period-1-((j-1) mod period) back from it, so the cumulative offsets walk
+// the repeating sequence exactly.
+func (p *MultiStride) predict(e *msEntry, addr uint64, hier *cache.Hierarchy, now uint64) {
+	per := e.period(p.cfg.MaxPeriod)
+	if per == 0 {
+		return
+	}
+	p.Detected++
+	steps := p.cfg.Distance + p.cfg.Degree - 1
+	cum := int64(0)
+	for j := 1; j <= steps; j++ {
+		cum += e.at(per - 1 - ((j - 1) % per))
+		if j < p.cfg.Distance {
+			continue
+		}
+		target, ok := predictTarget(addr, cum)
+		if !ok {
+			p.Wrapped++
+			continue
+		}
+		if !p.cfg.Disabled {
+			hier.PrefetchClass(target, now, obs.ClassHW)
+		}
+		p.Issued++
+	}
+}

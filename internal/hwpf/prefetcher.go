@@ -1,0 +1,96 @@
+package hwpf
+
+import (
+	"fmt"
+	"sort"
+
+	"stridepf/internal/cache"
+)
+
+// Prefetcher is the contract every hardware-prefetcher scheme implements.
+// A prefetcher observes the demand-load stream — one Observe call per
+// executed load, identified by a stable per-static-load pc — and may issue
+// prefetches into the cache hierarchy under obs.ClassHW, so the obs layer
+// rolls every scheme up through the same accuracy / coverage / timeliness
+// axes.
+//
+// Prefetchers are stateful and single-machine: attach a fresh instance to
+// each machine (machine.Config.NewHWPrefetch takes a factory for exactly
+// this reason — a table shared across concurrent runs would contaminate
+// their predictions). Observe must never mutate architectural state; it may
+// only read the access stream and call Hierarchy.PrefetchClass. The simcheck
+// property CheckHWPFNeutrality pins that contract for every registered
+// scheme.
+type Prefetcher interface {
+	// Name returns the scheme's registry name ("rpt", "baer-chen", ...).
+	Name() string
+	// Observe records one execution of the static load identified by pc at
+	// address addr, updating predictor state and possibly issuing a
+	// prefetch into hier at cycle now.
+	Observe(pc uint64, addr uint64, hier *cache.Hierarchy, now uint64)
+	// Counters returns the scheme's lifetime issue-side counters.
+	Counters() Counters
+}
+
+// Counters is the scheme-side account of a prefetcher's activity. The obs
+// layer tracks what became of each prefetch; these counters describe what
+// the predictor did, so Issued+Wrapped here reconciles against the obs
+// layer's per-class attempt count (see TestRPTCountersReconcile).
+type Counters struct {
+	// Issued counts predictions handed to the hierarchy (the obs layer
+	// splits them into issued / redundant / dropped on its side).
+	Issued uint64
+	// Useful counts issued prefetches whose target the scheme later saw
+	// demanded. Only schemes with local feedback (tracker) maintain it;
+	// table-automaton schemes leave it zero and rely on the obs roll-ups.
+	Useful uint64
+	// Replaced counts predictor-table evictions (the capacity pressure the
+	// paper warns hardware tables suffer under).
+	Replaced uint64
+	// Wrapped counts predictions discarded because the target address
+	// wrapped past either end of the address space (the PR 3 RPT wrap
+	// regression applies to every scheme).
+	Wrapped uint64
+}
+
+// DefaultScheme is the scheme the CLI flags select when none is named.
+const DefaultScheme = "rpt"
+
+// builders maps scheme names to constructors. Registration is static: the
+// arena figure, the simcheck property and the CLI flag all enumerate the
+// same set.
+var builders = map[string]func(Config) Prefetcher{
+	"rpt":          func(cfg Config) Prefetcher { return New(cfg) },
+	"baer-chen":    func(cfg Config) Prefetcher { return NewBaerChen(cfg) },
+	"tracker":      func(cfg Config) Prefetcher { return NewTracker(cfg) },
+	"multi-stride": func(cfg Config) Prefetcher { return NewMultiStride(cfg) },
+}
+
+// Schemes lists every registered scheme name in sorted order.
+func Schemes() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewScheme constructs a fresh prefetcher of the named scheme.
+func NewScheme(name string, cfg Config) (Prefetcher, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("hwpf: unknown scheme %q (want one of %v)", name, Schemes())
+	}
+	return b(cfg), nil
+}
+
+// predictTarget computes addr+delta with explicit unsigned wrap detection.
+// The ok result is false when the target wrapped past either end of the
+// address space and must be discarded (counted, never silently dropped).
+func predictTarget(addr uint64, delta int64) (target uint64, ok bool) {
+	target = addr + uint64(delta)
+	wrapped := target == 0 ||
+		(delta >= 0 && target < addr) || (delta < 0 && target > addr)
+	return target, !wrapped
+}

@@ -1,15 +1,27 @@
-// Package hwpf implements a hardware stride prefetcher based on a
-// reference prediction table (RPT), in the style the paper's Related Work
-// cites as the hardware alternative (Chen & Baer; Dahlgren & Stenström):
-// a PC-indexed table records each load's last address and stride and walks
-// a four-state automaton; loads in the steady state trigger prefetches of
-// the predicted next lines.
+// Package hwpf implements the hardware stride prefetchers the simulator
+// can attach to its demand-load stream, behind the pluggable Prefetcher
+// interface (see prefetcher.go):
+//
+//   - rpt: a reference prediction table in the style the paper's Related
+//     Work cites as the hardware alternative (Chen & Baer; Dahlgren &
+//     Stenström) — a PC-indexed table records each load's last address and
+//     stride and walks a four-state automaton; loads in the steady state
+//     trigger prefetches of the predicted next lines. This file.
+//   - baer-chen: the textbook INIT/TRANSIENT/STEADY/NO_PRED automaton with
+//     raw stride comparison and a degree/distance aggressiveness knob
+//     (baerchen.go).
+//   - tracker: a Hermes-style bounded tracker deque matching line-granular
+//     strides, with local issued/useful feedback counters (tracker.go).
+//   - multi-stride: periodic stride-sequence detection covering the
+//     interleaved multi-strided access patterns of Blom et al.
+//     (multistride.go).
 //
 // The paper argues software profile-guided prefetching is a viable
 // alternative that avoids the hardware table's capacity pressure ("for a
 // program with many loads that miss cache, the hardware tables may
 // overflow and cause useful strides to be thrown away"); the benchmark
-// harness compares both on the same workloads.
+// harness compares every scheme on the same workloads through the arena
+// figure (package experiments).
 package hwpf
 
 import (
@@ -27,16 +39,33 @@ const (
 	noPred
 )
 
-// Config sizes the table.
+// Config sizes a prefetcher. Every scheme draws from the same knob set;
+// fields a scheme has no use for are ignored (the RPT, for example, always
+// issues one prefetch per trigger and ignores Degree).
 type Config struct {
-	// Entries is the total entry count; zero selects 64 (a typical small
-	// hardware budget).
+	// Entries is the total entry count of table-based schemes; zero selects
+	// 64 (a typical small hardware budget).
 	Entries int
-	// Ways is the associativity; zero selects 4.
+	// Ways is the associativity of table-based schemes; zero selects 4.
 	Ways int
-	// Distance is how many strides ahead to prefetch in steady state; zero
-	// selects 4.
+	// Distance is how many strides ahead to prefetch once a pattern is
+	// confirmed; zero selects 4.
 	Distance int
+	// Degree is the aggressiveness knob: how many consecutive predictions
+	// to issue per confirmed trigger (Baer–Chen, tracker and multi-stride;
+	// the RPT predates the knob and always issues one). Zero selects 1.
+	Degree int
+	// Trackers bounds the tracker scheme's deque; zero selects 16.
+	Trackers int
+	// MaxPeriod bounds the stride-sequence period the multi-stride scheme
+	// detects; zero selects 4.
+	MaxPeriod int
+	// Disabled suppresses the hierarchy call of every issued prediction
+	// while leaving the predictor state machines and counters running.
+	// The hwpfneutral simcheck property uses it to assert that observing
+	// the load stream is free: a disabled prefetcher must be cycle-exact
+	// with no prefetcher at all.
+	Disabled bool
 }
 
 func (c *Config) fill() {
@@ -49,6 +78,15 @@ func (c *Config) fill() {
 	if c.Distance == 0 {
 		c.Distance = 4
 	}
+	if c.Degree == 0 {
+		c.Degree = 1
+	}
+	if c.Trackers == 0 {
+		c.Trackers = 16
+	}
+	if c.MaxPeriod == 0 {
+		c.MaxPeriod = 4
+	}
 }
 
 type entry struct {
@@ -60,8 +98,8 @@ type entry struct {
 	lru      uint64
 }
 
-// RPT is the reference prediction table. It implements
-// machine.HWPrefetcher.
+// RPT is the reference prediction table. It implements Prefetcher (and
+// therefore machine.HWPrefetcher).
 type RPT struct {
 	cfg  Config
 	sets int
@@ -85,6 +123,14 @@ func New(cfg Config) *RPT {
 		panic("hwpf: entries must divide by ways")
 	}
 	return &RPT{cfg: cfg, sets: cfg.Entries / cfg.Ways, tab: make([]entry, cfg.Entries)}
+}
+
+// Name returns the scheme's registry name.
+func (r *RPT) Name() string { return "rpt" }
+
+// Counters returns the table's lifetime counters.
+func (r *RPT) Counters() Counters {
+	return Counters{Issued: r.Issued, Replaced: r.Replaced, Wrapped: r.Wrapped}
 }
 
 // Observe records one execution of the static load identified by pc at
@@ -158,14 +204,14 @@ func (r *RPT) update(e *entry, addr uint64, hier *cache.Hierarchy, now uint64) {
 		// prediction of loads walking the upper half of the address space,
 		// and discarding downward-stride predictions without a trace.
 		delta := e.stride * int64(r.cfg.Distance)
-		target := addr + uint64(delta)
-		wrapped := target == 0 ||
-			(delta >= 0 && target < addr) || (delta < 0 && target > addr)
-		if wrapped {
+		target, ok := predictTarget(addr, delta)
+		if !ok {
 			r.Wrapped++
 			return
 		}
-		hier.PrefetchClass(target, now, obs.ClassHW)
+		if !r.cfg.Disabled {
+			hier.PrefetchClass(target, now, obs.ClassHW)
+		}
 		r.Issued++
 	}
 }

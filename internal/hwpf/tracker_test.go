@@ -1,0 +1,130 @@
+package hwpf
+
+import "testing"
+
+// TestTrackerStrideMatchIssues pins the tracker's reaction time: a single
+// stride confirmation (two equal consecutive line deltas) issues, so a
+// constant-stride stream first issues on its third access.
+func TestTrackerStrideMatchIssues(t *testing.T) {
+	p := NewTracker(Config{})
+	h := newHier()
+	base := uint64(0x40_000)
+	for i := 0; i < 3; i++ {
+		p.Observe(5, base+uint64(i)*64, h, uint64(i*10))
+		if i < 2 && p.Issued != 0 {
+			t.Fatalf("issued %d before the stride was confirmed", p.Issued)
+		}
+	}
+	if p.Issued != 1 {
+		t.Fatalf("issued %d after the first stride match, want 1", p.Issued)
+	}
+	if p.StrideMatches != 1 {
+		t.Errorf("StrideMatches = %d, want 1", p.StrideMatches)
+	}
+	// The prediction is line-granular: Distance lines ahead of access 3.
+	want := base + 2*64 + 4*64
+	if lat := h.Load(want, 1_000_000); lat >= h.Config().MemLatency {
+		t.Errorf("predicted line %#x not prefetched (latency %d)", want, lat)
+	}
+}
+
+// TestTrackerUsefulFeedback pins the local issued/useful accounting: on an
+// N-access stride stream, issues run from access 3 (N-2 of them) and the
+// demands at accesses 7..N credit exactly N-6 of them as Useful.
+func TestTrackerUsefulFeedback(t *testing.T) {
+	const n = 50
+	p := NewTracker(Config{})
+	h := newHier()
+	base := uint64(0x50_000)
+	for i := 0; i < n; i++ {
+		p.Observe(5, base+uint64(i)*64, h, uint64(i*10))
+	}
+	if p.Issued != n-2 {
+		t.Errorf("Issued = %d, want %d", p.Issued, n-2)
+	}
+	if p.Useful != n-6 {
+		t.Errorf("Useful = %d, want %d", p.Useful, n-6)
+	}
+	c := p.Counters()
+	if c.Issued != p.Issued || c.Useful != p.Useful || c.Replaced != p.Evictions {
+		t.Errorf("Counters() = %+v does not mirror the tracker statistics", c)
+	}
+}
+
+// TestTrackerSubLineStrideNeverTriggers pins the line granularity: a stride
+// smaller than a cache line produces line deltas of mostly zero with an
+// occasional one, never two equal non-zero deltas in a row, so the demand
+// stream (which already fetches each line) is left alone.
+func TestTrackerSubLineStrideNeverTriggers(t *testing.T) {
+	p := NewTracker(Config{})
+	h := newHier()
+	base := uint64(0x60_000)
+	for i := 0; i < 100; i++ {
+		p.Observe(5, base+uint64(i)*8, h, uint64(i*10))
+	}
+	if p.Issued != 0 {
+		t.Errorf("issued %d prefetches for a sub-line (8-byte) stride", p.Issued)
+	}
+	if p.StrideMatches != 0 {
+		t.Errorf("StrideMatches = %d for a sub-line stride, want 0", p.StrideMatches)
+	}
+}
+
+// TestTrackerDequeEviction pins the bounded-deque behaviour: more live pcs
+// than trackers thrash the deque, every access misses, and evictions are
+// counted.
+func TestTrackerDequeEviction(t *testing.T) {
+	p := NewTracker(Config{Trackers: 4})
+	h := newHier()
+	for round := 0; round < 3; round++ {
+		for pc := uint64(0); pc < 8; pc++ {
+			p.Observe(pc, 0x1000*(pc+1), h, pc)
+		}
+	}
+	if p.Hits != 0 {
+		t.Errorf("Hits = %d while 8 pcs thrash 4 trackers, want 0", p.Hits)
+	}
+	if p.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if len(p.deq) != 4 {
+		t.Errorf("deque grew to %d entries, bound is 4", len(p.deq))
+	}
+}
+
+// TestTrackerMRUOrderSurvivesPressure pins the deque policy: a pc touched
+// every round stays resident (hits) while colder pcs churn the back.
+func TestTrackerMRUOrderSurvivesPressure(t *testing.T) {
+	p := NewTracker(Config{Trackers: 4})
+	h := newHier()
+	for round := uint64(0); round < 6; round++ {
+		p.Observe(99, 0x9_0000+round*64, h, round)
+		// Three cold pcs per round, fresh each time, fill the other slots.
+		for j := uint64(0); j < 3; j++ {
+			p.Observe(100+round*3+j, 0x1000, h, round)
+		}
+	}
+	// The hot pc hits every round after its insert, confirms its stride and
+	// issues from its third access on.
+	if p.Issued == 0 {
+		t.Error("hot pc was evicted by cold pcs despite MRU ordering")
+	}
+}
+
+// TestTrackerWrapNearZeroCountedNotIssued is the wrap boundary at line
+// granularity: a downward walk whose line-granular prediction crosses zero
+// must count Wrapped and issue nothing.
+func TestTrackerWrapNearZeroCountedNotIssued(t *testing.T) {
+	p := NewTracker(Config{})
+	h := newHier()
+	// Lines 4, 3, 2: the match at line 2 predicts line 2-4, past zero.
+	for i, a := range []uint64{0x100, 0xc0, 0x80} {
+		p.Observe(1, a, h, uint64(i*10))
+	}
+	if p.Wrapped != 1 {
+		t.Errorf("Wrapped = %d, want 1", p.Wrapped)
+	}
+	if p.Issued != 0 {
+		t.Errorf("Issued = %d, want 0 (the only prediction wrapped)", p.Issued)
+	}
+}

@@ -53,6 +53,13 @@ type Config struct {
 	// HWPrefetch, when non-nil, observes every demand load (a hardware
 	// prefetcher model such as hwpf.RPT).
 	HWPrefetch HWPrefetcher
+	// NewHWPrefetch, when non-nil, constructs a fresh hardware prefetcher
+	// at New time and installs it as HWPrefetch (overriding any instance
+	// set there). It is a factory rather than an instance because predictor
+	// state is per-run: the experiment session hands one shared Config to
+	// many concurrently built machines, and a stateful table shared across
+	// them would let runs contaminate each other's predictions.
+	NewHWPrefetch func() HWPrefetcher
 	// SelfCheck runs naive shadow models of the cache hierarchy and the
 	// flat memory in lockstep with the optimized ones, cross-checking every
 	// access (latency, hit/miss counters, loaded values, page mapping). On
@@ -308,6 +315,9 @@ func New(prog *ir.Program, opts ...Option) (*Machine, error) {
 		o(&cfg)
 	}
 	cfg.fill()
+	if cfg.NewHWPrefetch != nil {
+		cfg.HWPrefetch = cfg.NewHWPrefetch()
+	}
 	if err := ir.VerifyProgram(prog); err != nil {
 		return nil, err
 	}
@@ -501,6 +511,10 @@ func (m *Machine) FinishObs() { m.Hier.FinishObs(m.cycles) }
 
 // Now returns the current simulated cycle.
 func (m *Machine) Now() uint64 { return m.cycles }
+
+// HWPrefetch returns the machine's hardware prefetcher (the configured
+// instance, or the one its factory built at New time), or nil.
+func (m *Machine) HWPrefetch() HWPrefetcher { return m.cfg.HWPrefetch }
 
 // Stats returns execution statistics accumulated so far.
 func (m *Machine) Stats() Stats {

@@ -55,6 +55,14 @@ func WithHWPrefetch(p HWPrefetcher) Option {
 	return func(c *Config) { c.HWPrefetch = p }
 }
 
+// WithHWPrefetchFactory installs a constructor that builds this machine's
+// hardware prefetcher at New time. Use it instead of WithHWPrefetch when
+// one configuration fans out to many machines: every machine gets its own
+// predictor state.
+func WithHWPrefetchFactory(f func() HWPrefetcher) Option {
+	return func(c *Config) { c.NewHWPrefetch = f }
+}
+
 // WithSelfCheck runs the naive shadow models of the cache hierarchy and
 // flat memory in lockstep, cross-checking every access.
 func WithSelfCheck() Option {

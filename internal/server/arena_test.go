@@ -1,0 +1,45 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stridepf/internal/experiments"
+)
+
+// TestArenaEndpointMatchesExperiments asserts the daemon serves the
+// prefetcher-arena figure byte-identical to `experiments -figure arena`
+// (an independent session is the golden reference, like TestFigureGolden),
+// and that the figure listing advertises it.
+func TestArenaEndpointMatchesExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	roster := []string{"197.parser"}
+	_, ts := testServer(t, Config{Experiments: experiments.Config{Workloads: roster}})
+
+	golden := experiments.NewSession(experiments.Config{Workloads: roster})
+	want, err := golden.FigureText(context.Background(), "arena", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, hdr, body := get(t, ts.URL+"/v1/figure/arena")
+	if code != http.StatusOK {
+		t.Fatalf("arena status = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("arena content type = %q", ct)
+	}
+	if !bytes.Equal(body, []byte(want)) {
+		t.Errorf("arena response diverges from CLI bytes\n--- server ---\n%s\n--- cli ---\n%s", body, want)
+	}
+
+	code, _, body = get(t, ts.URL+"/v1/figures")
+	if code != http.StatusOK || !strings.Contains(string(body), `"arena"`) {
+		t.Errorf("figures listing misses arena: %d %s", code, body)
+	}
+}

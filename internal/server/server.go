@@ -307,8 +307,10 @@ func (s *Server) handleObsMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	names := experiments.FigureNames()
+	names = append(names[:len(names):len(names)], experiments.ExtraFigureNames()...)
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"figures": experiments.FigureNames(),
+		"figures": names,
 		"formats": []string{"text", "csv", "jsonl"},
 	})
 }
