@@ -11,7 +11,8 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race race-full fuzz-smoke simcheck \
-	arena bench bench-json bench-pairs figures metrics serve smoke-serve chaos chaos-replay clean
+	arena bench bench-json bench-pairs figures metrics serve smoke-serve \
+	chaos chaos-replay walsoak clean
 
 check: vet build test race
 
@@ -20,6 +21,7 @@ check-deep: check
 	$(MAKE) fuzz-smoke
 	$(MAKE) simcheck
 	$(MAKE) chaos
+	$(MAKE) walsoak
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
 	$(MAKE) arena
 	$(MAKE) smoke-serve
@@ -42,12 +44,14 @@ test:
 race:
 	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
-		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/...
+		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
+		./internal/walstore/... ./internal/ring/...
 
 race-full:
 	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
-		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/...
+		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
+		./internal/walstore/... ./internal/ring/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -55,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseProgram -fuzztime 10s ./internal/ir
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./internal/mc
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/profile
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/walstore
 
 # Differential/metamorphic property checks (see TESTING.md).
 simcheck:
@@ -118,6 +123,13 @@ chaos:
 chaos-replay:
 	@test -n "$(SEED)" || { echo "usage: make chaos-replay SEED=<seed from a failing run>"; exit 1; }
 	CHAOS_SEED=$(SEED) $(GO) test -race -tags soak -run TestChaosSoakFull -v -count=1 ./internal/chaos
+
+# Deep torn-write soak over the WAL-backed store (see TESTING.md,
+# "Recovery oracle"): hundreds of open/upload/kill-at-random-offset cycles
+# across several seeds, each reopen checked byte-identical to the offline
+# profmerge of the committed prefix.
+walsoak:
+	$(GO) test -race -tags soak -run TestWALKillLoopFull -v -count=1 ./internal/walstore
 
 # Figure 16 with the prefetch-effectiveness observer on: per-class
 # accuracy/coverage/timeliness JSON plus the sampled event trace

@@ -9,7 +9,9 @@
 //
 //	strided [-addr :8471] [-workloads 181.mcf,197.parser] [-j N]
 //	        [-max-inflight N] [-max-queued N] [-timeout 5m] [-selfcheck]
-//	        [-hwpf scheme] [-chaos-seed N] [-chaos-scale F]
+//	        [-hwpf scheme] [-store-dir DIR] [-wal-segment-bytes N]
+//	        [-wal-snapshot-every N] [-wal-sync]
+//	        [-chaos-seed N] [-chaos-scale F]
 //
 // Endpoints:
 //
@@ -20,9 +22,18 @@
 //	                                          n: 15..25 or "arena" (the
 //	                                          prefetcher-arena cross product)
 //	GET  /v1/profiles                         stored aggregate listing
+//	POST /v1/profiles/batch                   upload many shards atomically
+//	                                          retryable (per-shard idem keys)
 //	POST /v1/profiles/{workload}/{config}     upload one profile shard
 //	GET  /v1/profiles/{workload}/{config}     download merged aggregate
 //	GET  /v1/classify/{workload}/{config}     classification decisions
+//
+// With -store-dir the profile store is durable: every accepted shard is
+// appended to a checksummed write-ahead log under DIR before it merges,
+// compacted snapshots bound replay time, and a restart recovers the exact
+// aggregate state — byte-identical to an offline profmerge of the
+// committed shards — even after a kill that tore the last record. Without
+// it the store is in-memory and lost on exit.
 //
 // Simulation-heavy requests (figures, classify) run on a bounded worker
 // gate; when the wait queue is full the daemon answers 429 with a
@@ -53,6 +64,7 @@ import (
 	"stridepf/internal/experiments"
 	"stridepf/internal/hwpf"
 	"stridepf/internal/server"
+	"stridepf/internal/walstore"
 )
 
 func main() {
@@ -66,6 +78,10 @@ func main() {
 		drainWait   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		selfCheck   = flag.Bool("selfcheck", false, "run shadow-model self-checking in every simulation")
 		hwpfFlag    = flag.String("hwpf", "", "attach a hardware prefetcher to every simulation: "+strings.Join(hwpf.Schemes(), ", ")+" (default: none)")
+		storeDir    = flag.String("store-dir", "", "durable WAL-backed profile store directory (default: in-memory, lost on exit)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 4MiB; needs -store-dir)")
+		walSnapshot = flag.Int("wal-snapshot-every", 0, "compacted snapshot every N accepted uploads (0 = 256, negative = never; needs -store-dir)")
+		walSync     = flag.Bool("wal-sync", false, "fsync every WAL append and snapshot (needs -store-dir)")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "run in self-chaos mode with this fault-injection seed (0 = off)")
 		chaosScale  = flag.Float64("chaos-scale", 1, "fault-rate multiplier for -chaos-seed mode")
 	)
@@ -90,6 +106,24 @@ func main() {
 		cfg.Experiments.HWPF = *hwpfFlag
 	}
 
+	// Durable store: WAL-backed, replayed from disk before serving.
+	var ws *walstore.Store
+	if *storeDir != "" {
+		var err error
+		ws, err = walstore.Open(*storeDir, walstore.Options{
+			SegmentBytes:  *walSegBytes,
+			SnapshotEvery: *walSnapshot,
+			Sync:          *walSync,
+			Log:           lg,
+		})
+		if err != nil {
+			lg.Fatalf("open durable store: %v", err)
+		}
+		cfg.Store = ws
+		lg.Printf("durable store %s: recovered %d aggregate(s) through seq %d",
+			*storeDir, len(ws.List()), ws.LastSeq())
+	}
+
 	// Self-chaos mode: deterministically misbehave at every seam.
 	var plan *chaos.Plan
 	if *chaosSeed != 0 {
@@ -102,7 +136,11 @@ func main() {
 			SlowRate: 0.04 * *chaosScale, MaxLatency: time.Millisecond,
 		})
 		plan.SetRule("gate", chaos.Rule{StatusRate: 0.10 * *chaosScale})
-		cfg.Store = &chaos.FlakyStore{Inner: server.NewStore(), In: plan.Injector("store")}
+		inner := server.ProfileStore(server.NewStore())
+		if ws != nil {
+			inner = ws // chaos faults over the durable store
+		}
+		cfg.Store = &chaos.FlakyStore{Inner: inner, In: plan.Injector("store")}
 		gateIn, gateQ := *maxInflight, *maxQueued
 		if gateIn <= 0 {
 			gateIn = 2
@@ -147,6 +185,11 @@ func main() {
 	}
 	if err := srv.Drain(ctx); err != nil {
 		lg.Printf("drain: %v", err)
+	}
+	if ws != nil {
+		if err := ws.Close(); err != nil {
+			lg.Printf("close durable store: %v", err)
+		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		lg.Printf("serve: %v", err)

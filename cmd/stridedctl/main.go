@@ -1,18 +1,26 @@
-// Command stridedctl is the operator CLI for a strided daemon, built on
+// Command stridedctl is the operator CLI for a strided fleet, built on
 // the resilient client in internal/client: every request retries with
 // capped exponential backoff and jitter, honours Retry-After, and shard
 // uploads carry idempotency keys so a retried push never double-merges.
 //
 // Usage:
 //
-//	stridedctl [-server http://localhost:8471] [-attempts N] [-timeout D] <command> [args]
+//	stridedctl [-server http://localhost:8471] [-servers url1,url2,...]
+//	           [-attempts N] [-timeout D] <command> [args]
+//
+// With -servers the CLI routes by the same consistent-hash ring the
+// resilient clients use: each (workload, config) aggregate lives on
+// exactly one node, keyed commands (push, pull, classify) go straight to
+// the owner, and list/health fan out across the fleet.
 //
 // Commands:
 //
-//	health                              daemon liveness and load counters
-//	push <workload> <config> <file>     upload a profile shard (strideprof output)
+//	health                              per-node liveness and load counters
+//	push <workload> <config> <file...>  upload profile shards (strideprof
+//	                                    output); several files go up as one
+//	                                    batch per owning node
 //	pull <workload> <config> [file]     download the merged aggregate
-//	list                                list stored aggregates
+//	list                                list stored aggregates fleet-wide
 //	figure <name> [-format csv|jsonl] [-workloads a,b]
 //	classify <workload> <config>        per-load classification decisions
 //	metrics                             prefetch-effectiveness roll-up
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"stridepf/internal/client"
@@ -34,7 +43,8 @@ func run(argv []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stridedctl", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		serverURL  = fs.String("server", "http://localhost:8471", "strided base URL")
+		serverURL  = fs.String("server", "http://localhost:8471", "strided base URL (single node)")
+		serversF   = fs.String("servers", "", "comma-separated strided base URLs; overrides -server and routes aggregates to their ring owner")
 		attempts   = fs.Int("attempts", 8, "max attempts per request")
 		timeout    = fs.Duration("timeout", 2*time.Minute, "overall budget per command")
 		backoff    = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff")
@@ -53,54 +63,109 @@ func run(argv []string, out io.Writer) error {
 		return fmt.Errorf("missing command")
 	}
 
-	cl, err := client.New(client.Config{
-		BaseURL:     *serverURL,
+	nodes := []string{*serverURL}
+	if *serversF != "" {
+		nodes = nodes[:0]
+		for _, n := range strings.Split(*serversF, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	fleet, err := client.NewFleet(client.Config{
 		MaxAttempts: *attempts,
 		BackoffBase: *backoff,
 		BackoffCap:  *backoffCap,
-	})
+	}, nodes)
 	if err != nil {
 		return err
 	}
+	multi := len(fleet.Nodes()) > 1
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "health":
-		h, err := cl.Health(ctx)
-		if err != nil {
-			return err
+		healths, herrs := fleet.Health(ctx)
+		for _, node := range fleet.Nodes() {
+			if multi {
+				fmt.Fprintf(out, "== %s\n", node)
+			}
+			if err, down := herrs[node]; down {
+				if !multi {
+					return err
+				}
+				fmt.Fprintf(out, "unreachable: %v\n", err)
+				continue
+			}
+			h := healths[node]
+			fmt.Fprintf(out, "status: %s\nuptime_seconds: %d\nprofiles: %d\nin_flight: %d\nqueued: %d\nserved: %d\nrejected: %d\n",
+				h.Status, h.UptimeSeconds, h.Profiles, h.InFlight, h.Queued, h.Served, h.Rejected)
 		}
-		fmt.Fprintf(out, "status: %s\nuptime_seconds: %d\nprofiles: %d\nin_flight: %d\nqueued: %d\nserved: %d\nrejected: %d\n",
-			h.Status, h.UptimeSeconds, h.Profiles, h.InFlight, h.Queued, h.Served, h.Rejected)
+		if len(herrs) > 0 {
+			return fmt.Errorf("%d of %d nodes unreachable", len(herrs), len(fleet.Nodes()))
+		}
 		return nil
 
 	case "push":
-		if len(rest) != 3 {
-			return fmt.Errorf("usage: stridedctl push <workload> <config> <profile.json>")
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: stridedctl push <workload> <config> <profile.json...>")
 		}
-		prof, err := profile.Load(rest[2])
+		workload, config, files := rest[0], rest[1], rest[2:]
+		if len(files) == 1 {
+			prof, err := profile.Load(files[0])
+			if err != nil {
+				return err
+			}
+			info, err := fleet.UploadShard(ctx, workload, config, prof)
+			if err != nil {
+				return err
+			}
+			verb := "merged"
+			if info.Deduped {
+				verb = "already merged (idempotent replay)"
+			}
+			fmt.Fprintf(out, "%s/%s: %s, version %d (%d shards)\n",
+				workload, config, verb, info.Version, info.Shards)
+			return nil
+		}
+		shards := make([]client.BatchShard, len(files))
+		for i, f := range files {
+			prof, err := profile.Load(f)
+			if err != nil {
+				return err
+			}
+			shards[i] = client.BatchShard{Workload: workload, Config: config, Profile: prof}
+		}
+		results, err := fleet.UploadBatch(ctx, shards)
 		if err != nil {
 			return err
 		}
-		info, err := cl.UploadShard(ctx, rest[0], rest[1], prof)
-		if err != nil {
-			return err
+		failed := 0
+		for i, res := range results {
+			if res.Err != "" {
+				failed++
+				fmt.Fprintf(out, "%s: rejected: %s\n", files[i], res.Err)
+				continue
+			}
+			verb := "merged"
+			if res.Info.Deduped {
+				verb = "already merged (idempotent replay)"
+			}
+			fmt.Fprintf(out, "%s: %s, version %d (%d shards)\n",
+				files[i], verb, res.Info.Version, res.Info.Shards)
 		}
-		verb := "merged"
-		if info.Deduped {
-			verb = "already merged (idempotent replay)"
+		if failed > 0 {
+			return fmt.Errorf("%d of %d shards rejected", failed, len(files))
 		}
-		fmt.Fprintf(out, "%s/%s: %s, version %d (%d shards)\n",
-			rest[0], rest[1], verb, info.Version, info.Shards)
 		return nil
 
 	case "pull":
 		if len(rest) != 2 && len(rest) != 3 {
 			return fmt.Errorf("usage: stridedctl pull <workload> <config> [out.json]")
 		}
-		prof, version, err := cl.FetchProfile(ctx, rest[0], rest[1])
+		prof, version, err := fleet.FetchProfile(ctx, rest[0], rest[1])
 		if err != nil {
 			return err
 		}
@@ -115,7 +180,7 @@ func run(argv []string, out io.Writer) error {
 		return profile.DefaultCodec.Encode(out, prof)
 
 	case "list":
-		infos, err := cl.ListProfiles(ctx)
+		infos, err := fleet.ListProfiles(ctx)
 		if err != nil {
 			return err
 		}
@@ -144,7 +209,9 @@ func run(argv []string, out io.Writer) error {
 		if *wls != "" {
 			roster = []string{*wls}
 		}
-		text, err := cl.FigureText(ctx, ffs.Arg(0), *format, roster)
+		// Figures are compute queries, not keyed data: any node can answer;
+		// the first (lowest-sorted) node keeps the choice deterministic.
+		text, err := fleet.Node(fleet.Nodes()[0]).FigureText(ctx, ffs.Arg(0), *format, roster)
 		if err != nil {
 			return err
 		}
@@ -155,7 +222,7 @@ func run(argv []string, out io.Writer) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: stridedctl classify <workload> <config>")
 		}
-		rep, err := cl.Classify(ctx, rest[0], rest[1])
+		rep, err := fleet.Classify(ctx, rest[0], rest[1])
 		if err != nil {
 			return err
 		}
@@ -172,7 +239,7 @@ func run(argv []string, out io.Writer) error {
 		return nil
 
 	case "metrics":
-		raw, err := cl.Metrics(ctx)
+		raw, err := fleet.Node(fleet.Nodes()[0]).Metrics(ctx)
 		if err != nil {
 			return err
 		}

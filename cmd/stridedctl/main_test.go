@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"log"
 	"net/http/httptest"
@@ -88,6 +89,64 @@ func TestHealthPushPullList(t *testing.T) {
 	}
 	if !strings.Contains(out, "197.parser") || !strings.Contains(out, "2 shards") {
 		t.Errorf("list output:\n%s", out)
+	}
+}
+
+func TestMultiNodePushListHealth(t *testing.T) {
+	a, b := ctlServer(t), ctlServer(t)
+	servers := a.URL + "," + b.URL
+
+	dir := t.TempDir()
+	files := make([]string, 3)
+	for i := range files {
+		files[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := ctlShard().Save(files[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Multi-file push goes up as one batch, routed to the ring owner of
+	// (197.parser, prod).
+	out, err := ctl(t, "-servers", servers, "push", "197.parser", "prod",
+		files[0], files[1], files[2])
+	if err != nil {
+		t.Fatalf("batch push: %v\n%s", err, out)
+	}
+	for _, f := range files {
+		if !strings.Contains(out, f+": merged") {
+			t.Errorf("push output missing %s:\n%s", f, out)
+		}
+	}
+	if !strings.Contains(out, "(3 shards)") {
+		t.Errorf("push output:\n%s", out)
+	}
+
+	// The aggregate lives on exactly one node; the fleet pull finds it and
+	// the fleet list sees it no matter which node holds it.
+	out, err = ctl(t, "-servers", servers, "pull", "197.parser", "prod",
+		filepath.Join(dir, "agg.json"))
+	if err != nil {
+		t.Fatalf("fleet pull: %v\n%s", err, out)
+	}
+	agg, err := profile.Load(filepath.Join(dir, "agg.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums := agg.Stride.Summaries(); len(sums) != 1 || sums[0].TotalStrides != 36 {
+		t.Errorf("pulled aggregate = %+v, want all 3 shards merged", sums)
+	}
+	out, err = ctl(t, "-servers", servers, "list")
+	if err != nil || !strings.Contains(out, "3 shards") {
+		t.Errorf("fleet list: %v\n%s", err, out)
+	}
+
+	// Multi-node health prints one stanza per node.
+	out, err = ctl(t, "-servers", servers, "health")
+	if err != nil {
+		t.Fatalf("fleet health: %v\n%s", err, out)
+	}
+	if strings.Count(out, "status: ok") != 2 || strings.Count(out, "== ") != 2 {
+		t.Errorf("fleet health output:\n%s", out)
 	}
 }
 

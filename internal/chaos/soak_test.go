@@ -102,6 +102,11 @@ type soakParams struct {
 	scale    float64 // fault-rate multiplier over the baseline storm
 	attempts int     // client retry budget; scale the storm, scale this too
 	budget   time.Duration
+	// store backs the in-process daemon; nil selects a fresh in-memory
+	// server.NewStore(). The WAL-backed soak injects a walstore.Store here
+	// so the same storm and the same byte-identity oracle run against the
+	// durable implementation.
+	store server.ProfileStore
 }
 
 // runChaosSoak executes one seeded soak run and checks the oracle.
@@ -144,7 +149,10 @@ func runChaosSoak(t *testing.T, p soakParams) {
 	wantBytes := encodeProfile(t, offline)
 
 	// In-process strided with every seam chaos-wrapped.
-	store := server.NewStore()
+	store := p.store
+	if store == nil {
+		store = server.NewStore()
+	}
 	srv := server.New(server.Config{
 		Store: &chaos.FlakyStore{Inner: store, In: plan.Injector("store")},
 		Gate:  &chaos.FlakyGate{Inner: server.NewSlotGate(2, 4), In: plan.Injector("gate")},

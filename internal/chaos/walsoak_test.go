@@ -1,0 +1,91 @@
+package chaos_test
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"stridepf/internal/profile"
+	"stridepf/internal/walstore"
+)
+
+// The WAL-backed chaos soak: the full fault storm of runChaosSoak — cut
+// connections, 5xx, truncations, committed-but-dropped responses — runs
+// against the durable walstore instead of the in-memory store, and then
+// the recovery oracle closes the loop: the store is shut down, reopened
+// from disk, and the replayed aggregate must be byte-identical to the
+// fault-free offline profmerge of every shard. Chaos faults that committed
+// before failing (DropResponse) reached the WAL; faults that failed before
+// committing never did — so replay reconstructs exactly the deduplicated
+// committed set.
+
+func TestChaosSoakWALBackedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Small thresholds so the soak crosses segment rotations, snapshots
+	// and compactions while the storm is blowing.
+	opts := walstore.Options{
+		SegmentBytes:  8 << 10,
+		SnapshotEvery: 7,
+		Log:           log.New(io.Discard, "", 0),
+	}
+	ws, err := walstore.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := soakParams{
+		seed:     soakSeed(t, 1),
+		clients:  3,
+		shards:   4,
+		scale:    1,
+		attempts: 14,
+		budget:   2 * time.Minute,
+		store:    ws,
+	}
+	runChaosSoak(t, p)
+	if t.Failed() {
+		return
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The offline reference, exactly as runChaosSoak builds it.
+	var shards []*profile.Combined
+	for ci := 0; ci < p.clients; ci++ {
+		for si := 0; si < p.shards; si++ {
+			shards = append(shards, soakShard(ci, si))
+		}
+	}
+	offline, err := profile.Merge(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := encodeProfile(t, offline)
+
+	// Recovery oracle: a cold start from disk replays snapshot + WAL tail
+	// into the identical aggregate.
+	ws2, err := walstore.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen after soak: %v", err)
+	}
+	defer ws2.Close()
+	merged, info, err := ws2.Get(soakWorkload, "chaos")
+	if err != nil {
+		t.Fatalf("aggregate missing after recovery: %v", err)
+	}
+	wantShards := p.clients * p.shards
+	if info.Shards != wantShards || info.Version != wantShards {
+		t.Errorf("recovered shards=%d version=%d, want both %d (seed %d)",
+			info.Shards, info.Version, wantShards, p.seed)
+	}
+	if got := encodeProfile(t, merged); !bytes.Equal(got, wantBytes) {
+		t.Errorf("recovered aggregate diverges from offline profmerge (%d vs %d bytes, seed %d)",
+			len(got), len(wantBytes), p.seed)
+	}
+	if got := int(ws2.LastSeq()); got != wantShards {
+		t.Errorf("WAL committed %d records, want %d: chaos let a duplicate or loss through (seed %d)",
+			got, wantShards, p.seed)
+	}
+}

@@ -1,0 +1,108 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"stridepf/internal/profile"
+)
+
+// BatchShard is one shard of a batched upload.
+type BatchShard struct {
+	Workload string
+	Config   string
+	Profile  *profile.Combined
+	// Key is the shard's idempotency key; empty draws a fresh one. Either
+	// way the key stays fixed across the batch call's retries, which is
+	// what makes whole-batch resends safe: committed shards replay.
+	Key string
+}
+
+// BatchResult is one shard's outcome of UploadBatch. Err is non-empty when
+// the server rejected this shard terminally (e.g. a fine-interval
+// conflict); Info is valid otherwise, with Info.Deduped set for shards the
+// server had already committed under the same key.
+type BatchResult struct {
+	Workload string
+	Config   string
+	Info     ProfileInfo
+	Err      string
+}
+
+// wire forms shared with the server's batch handler.
+type batchWireShard struct {
+	Workload string          `json:"workload"`
+	Config   string          `json:"config"`
+	IdemKey  string          `json:"idemKey"`
+	Profile  json.RawMessage `json:"profile"`
+}
+
+type batchWireResult struct {
+	Workload string       `json:"workload"`
+	Config   string       `json:"config"`
+	Info     *ProfileInfo `json:"info,omitempty"`
+	Replayed bool         `json:"replayed,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// UploadBatch uploads many shards in one POST /v1/profiles/batch request.
+// The returned results parallel the input order. The error covers the
+// request as a whole (transport failure, retry budget exhausted, malformed
+// batch); per-shard rejections land in the matching result's Err instead.
+func (c *Client) UploadBatch(ctx context.Context, shards []BatchShard) ([]BatchResult, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	wire := make([]batchWireShard, len(shards))
+	for i, sh := range shards {
+		var buf bytes.Buffer
+		if err := profile.DefaultCodec.Encode(&buf, sh.Profile); err != nil {
+			return nil, fmt.Errorf("client: encode shard %d: %w", i, err)
+		}
+		key := sh.Key
+		if key == "" {
+			key = NewIdempotencyKey()
+		}
+		wire[i] = batchWireShard{
+			Workload: sh.Workload, Config: sh.Config,
+			IdemKey: key, Profile: buf.Bytes(),
+		}
+	}
+	body, err := json.Marshal(map[string]any{"shards": wire})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+
+	var results []BatchResult
+	err = c.do(ctx, http.MethodPost, "/v1/profiles/batch", nil, body, hdr,
+		func(_ http.Header, respBody []byte) error {
+			var doc struct {
+				Results []batchWireResult `json:"results"`
+			}
+			if err := json.Unmarshal(respBody, &doc); err != nil {
+				return err
+			}
+			if len(doc.Results) != len(shards) {
+				return fmt.Errorf("batch answered %d results for %d shards", len(doc.Results), len(shards))
+			}
+			results = make([]BatchResult, len(doc.Results))
+			for i, r := range doc.Results {
+				br := BatchResult{Workload: r.Workload, Config: r.Config, Err: r.Error}
+				if r.Info != nil {
+					br.Info = *r.Info
+					br.Info.Deduped = r.Replayed
+				}
+				results[i] = br
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -22,11 +22,21 @@ type Entry struct {
 	Freq int64
 }
 
+// Default buffer capacities (Calder et al. size the two tables 16/8; the
+// stride runtime keeps the defaults). DefaultFinalSize also bounds how many
+// distinct strides a merged profile summary may carry: the final table is
+// the most strides any single run can report, so profile.Merge truncates to
+// the same bound instead of inventing a tighter one.
+const (
+	DefaultTempSize  = 16
+	DefaultFinalSize = 8
+)
+
 // Config parameterises a profiler.
 type Config struct {
-	// TempSize is the temp buffer capacity; zero selects 16.
+	// TempSize is the temp buffer capacity; zero selects DefaultTempSize.
 	TempSize int
-	// FinalSize is the final buffer capacity; zero selects 8.
+	// FinalSize is the final buffer capacity; zero selects DefaultFinalSize.
 	FinalSize int
 	// MergeInterval is the number of Add calls between merges; zero
 	// selects 2048.
@@ -42,10 +52,10 @@ type Config struct {
 
 func (c *Config) fill() {
 	if c.TempSize == 0 {
-		c.TempSize = 16
+		c.TempSize = DefaultTempSize
 	}
 	if c.FinalSize == 0 {
-		c.FinalSize = 8
+		c.FinalSize = DefaultFinalSize
 	}
 	if c.MergeInterval == 0 {
 		c.MergeInterval = 2048

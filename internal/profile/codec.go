@@ -82,7 +82,7 @@ func (c Codec) Decode(r io.Reader) (*Combined, error) {
 		ep.SetEntryCount(fn, c)
 	}
 	out := &Combined{Edge: ep, Stride: NewStrideProfile(ff.Strides)}
-	fi, err := fineInterval(out)
+	fi, err := summaryInterval(out)
 	if err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
 	}
@@ -91,18 +91,43 @@ func (c Codec) Decode(r io.Reader) (*Combined, error) {
 			"profile: decode: header fine interval %d disagrees with summaries sampled at %d",
 			ff.FineInterval, fi)
 	}
+	// Carry the header interval even when no summary records one (a sampled
+	// shard whose strides were all evicted): the profile stays incompatible
+	// with differently-sampled shards and re-encodes with its interval
+	// intact instead of silently degrading to 0.
+	if ff.Version >= VersionCurrent {
+		out.Interval = ff.FineInterval
+	}
 	return out, nil
 }
 
 // FineInterval returns the fine-sampling interval shared by the profile's
-// runtime-collected stride summaries, or zero when no summary records one
-// (empty or hand-built profiles). It errors if summaries disagree, which
-// can only happen to profiles spliced together outside Merge.
+// header (Interval) and runtime-collected stride summaries, or zero when
+// neither records one (empty or hand-built profiles). It errors if the
+// header and summaries disagree, which can only happen to profiles spliced
+// together outside Merge.
 func (c *Combined) FineInterval() (int, error) {
 	return fineInterval(c)
 }
 
 func fineInterval(p *Combined) (int, error) {
+	fi, err := summaryInterval(p)
+	if err != nil {
+		return 0, err
+	}
+	if p.Interval != 0 {
+		if fi != 0 && fi != p.Interval {
+			return 0, fmt.Errorf(
+				"fine-interval mismatch: header records %d but summaries were sampled at %d",
+				p.Interval, fi)
+		}
+		return p.Interval, nil
+	}
+	return fi, nil
+}
+
+// summaryInterval resolves the interval from the stride summaries alone.
+func summaryInterval(p *Combined) (int, error) {
 	interval := 0
 	for _, s := range p.Stride.Summaries() {
 		if s.FineInterval == 0 {

@@ -62,6 +62,78 @@ func TestCodecRejectsUnknownVersion(t *testing.T) {
 	}
 }
 
+// TestCodecHeaderIntervalSurvivesEvictedSummaries is the regression test
+// for the v2 header interval being dropped when no summary carries one: a
+// sampled shard whose strides were all evicted must round-trip with its
+// interval intact and must still refuse to merge with a differently-sampled
+// shard.
+func TestCodecHeaderIntervalSurvivesEvictedSummaries(t *testing.T) {
+	src := `{
+  "version": 2,
+  "fineInterval": 4,
+  "edges": [{"key": {"func": "main", "from": 0, "to": 1}, "count": 9}],
+  "strides": []
+}`
+	got, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != 4 {
+		t.Errorf("decoded header interval = %d, want 4", got.Interval)
+	}
+	if fi, err := got.FineInterval(); err != nil || fi != 4 {
+		t.Errorf("FineInterval() = %d, %v, want 4", fi, err)
+	}
+
+	// Re-encoding must keep the header interval, not degrade it to 0.
+	var buf bytes.Buffer
+	if err := DefaultCodec.Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"fineInterval": 4`) {
+		t.Errorf("re-encoded header dropped the interval:\n%s", buf.String())
+	}
+	again, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Interval != 4 {
+		t.Errorf("second round trip lost the interval: %d", again.Interval)
+	}
+
+	// Merging with a shard sampled at a different interval must fail even
+	// though the evicted shard has no summaries of its own.
+	other := codecFixture(8)
+	if _, err := Merge(got, other); err == nil {
+		t.Fatal("merging header-interval-4 shard with interval-8 shard succeeded, want error")
+	}
+	// And with a matching interval it must succeed and keep the interval.
+	match := codecFixture(4)
+	m, err := Merge(got, match)
+	if err != nil {
+		t.Fatalf("merging compatible shards: %v", err)
+	}
+	if fi, _ := m.FineInterval(); fi != 4 {
+		t.Errorf("merged interval = %d, want 4", fi)
+	}
+}
+
+// A header interval that disagrees with the summaries marks a hand-spliced
+// profile; FineInterval (and thus Merge and Encode) must reject it.
+func TestFineIntervalHeaderSummaryDisagree(t *testing.T) {
+	p := codecFixture(4)
+	p.Interval = 8
+	if _, err := p.FineInterval(); err == nil {
+		t.Fatal("FineInterval with header 8 over interval-4 summaries succeeded, want error")
+	}
+	if err := DefaultCodec.Encode(&bytes.Buffer{}, p); err == nil {
+		t.Fatal("encoding a header/summary disagreement succeeded, want error")
+	}
+	if _, err := Merge(p, nil); err == nil {
+		t.Fatal("merging a header/summary disagreement succeeded, want error")
+	}
+}
+
 func TestCodecDecodeFineIntervalMismatch(t *testing.T) {
 	// Summaries sampled at different intervals can only appear in a file
 	// spliced together by hand; the decoder must reject it.

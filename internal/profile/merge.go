@@ -24,12 +24,29 @@ func Merge(profiles ...*Combined) (*Combined, error) {
 	entries := make(map[string]uint64)
 	sums := make(map[machine.LoadKey]stride.Summary)
 
-	// Interval 0 marks a summary that never went through the runtime
-	// (hand-built fixtures); it is compatible with anything.
+	// Interval 0 marks a profile that never went through the runtime
+	// (hand-built fixtures); it is compatible with anything. Each profile's
+	// interval resolves from its header *and* its summaries (FineInterval),
+	// so a sampled shard whose strides were all evicted — header interval
+	// set, no summaries — still refuses to merge with a differently-sampled
+	// shard.
 	interval := 0
 	for _, p := range profiles {
 		if p == nil {
 			continue
+		}
+		pfi, err := fineInterval(p)
+		if err != nil {
+			return nil, fmt.Errorf("profile: merge: %w", err)
+		}
+		if pfi != 0 {
+			if interval == 0 {
+				interval = pfi
+			} else if pfi != interval {
+				return nil, fmt.Errorf(
+					"profile: cannot merge profiles sampled at fine intervals %d and %d: frequencies are not on a common scale",
+					interval, pfi)
+			}
 		}
 		for _, e := range p.Edge.Edges() {
 			out.Edge.Set(e.Key, out.Edge.Count(e.Key)+e.Count)
@@ -38,15 +55,6 @@ func Merge(profiles ...*Combined) (*Combined, error) {
 			entries[fn] += c
 		}
 		for _, s := range p.Stride.Summaries() {
-			if s.FineInterval != 0 {
-				if interval == 0 {
-					interval = s.FineInterval
-				} else if s.FineInterval != interval {
-					return nil, fmt.Errorf(
-						"profile: cannot merge profiles sampled at fine intervals %d and %d (load %s#%d): frequencies are not on a common scale",
-						interval, s.FineInterval, s.Key.Func, s.Key.ID)
-				}
-			}
 			acc, ok := sums[s.Key]
 			if !ok {
 				sums[s.Key] = s
@@ -63,8 +71,18 @@ func Merge(profiles ...*Combined) (*Combined, error) {
 		merged = append(merged, s)
 	}
 	out.Stride = NewStrideProfile(merged)
+	out.Interval = interval
 	return out, nil
 }
+
+// maxMergedStrides bounds a merged summary's top-stride list. It is the
+// LFU final-table capacity — the most strides any single run's profiler can
+// report — not the tighter per-run Top(4) the runtime hands the feedback
+// pass: truncating intermediate merges to 4 made multi-way merges
+// order-sensitive when frequencies tied at the cut, because which tied
+// entry survived an early pairwise merge decided whether a later shard
+// could lift it back above the bound.
+const maxMergedStrides = lfu.DefaultFinalSize
 
 // mergeSummaries combines two stride summaries of the same load.
 func mergeSummaries(a, b stride.Summary) stride.Summary {
@@ -85,8 +103,8 @@ func mergeSummaries(a, b stride.Summary) stride.Summary {
 		}
 		return tops[i].Value < tops[j].Value
 	})
-	if len(tops) > 4 {
-		tops = tops[:4]
+	if len(tops) > maxMergedStrides {
+		tops = tops[:maxMergedStrides]
 	}
 
 	total := a.TotalStrides + b.TotalStrides

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"bytes"
 	"testing"
 
 	"stridepf/internal/lfu"
@@ -107,6 +108,101 @@ func TestMergeFineIntervalMismatch(t *testing.T) {
 	})
 	if _, err := Merge(a, c); err != nil {
 		t.Fatalf("merging with an interval-0 fixture failed: %v", err)
+	}
+}
+
+// sumWithStrides builds a summary over sequentially-valued strides with
+// the given frequencies.
+func sumWithStrides(key machine.LoadKey, base int64, freqs ...int64) stride.Summary {
+	var tops []lfu.Entry
+	var total int64
+	for i, f := range freqs {
+		tops = append(tops, lfu.Entry{Value: base + int64(8*i), Freq: f})
+		total += f
+	}
+	return stride.Summary{Key: key, TotalStrides: total, TopStrides: tops}
+}
+
+// TestMergeTruncationBound pins the merged top-stride bound to the LFU
+// final-table capacity — the most strides any single run can report — and
+// its deterministic tie-break at the cut.
+func TestMergeTruncationBound(t *testing.T) {
+	key := machine.LoadKey{Func: "main", ID: 1}
+	// 6 + 6 distinct strides with one shared value: 11 distinct merged.
+	a := mkCombined(1, 0, sumWithStrides(key, 8, 10, 9, 8, 7, 6, 5))
+	b := mkCombined(1, 0, sumWithStrides(key, 48, 10, 9, 8, 7, 6, 5))
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Stride.Lookup(key)
+	if len(s.TopStrides) != lfu.DefaultFinalSize {
+		t.Errorf("merged top strides = %d, want the LFU final-table bound %d",
+			len(s.TopStrides), lfu.DefaultFinalSize)
+	}
+	// The overlapping value (48: 5+10) must have summed across shards.
+	found := false
+	for _, e := range s.TopStrides {
+		if e.Value == 48 {
+			found = true
+			if e.Freq != 15 {
+				t.Errorf("shared stride 48 freq = %d, want 15", e.Freq)
+			}
+		}
+	}
+	if !found {
+		t.Error("shared stride 48 truncated despite summed frequency 15")
+	}
+	// Ties at the cut break by ascending value, so the survivors are fixed.
+	for i := 1; i < len(s.TopStrides); i++ {
+		p, q := s.TopStrides[i-1], s.TopStrides[i]
+		if p.Freq < q.Freq || (p.Freq == q.Freq && p.Value > q.Value) {
+			t.Errorf("top strides not in (freq desc, value asc) order: %+v", s.TopStrides)
+		}
+	}
+}
+
+// TestMergeOrderInsensitiveAtOldBound is the regression test for the
+// hardcoded top-4 truncation: five distinct strides with tied frequencies
+// used to merge differently depending on association order, because the
+// intermediate pairwise merge cut a tied entry that a later shard would
+// have lifted back up. With the bound derived from the LFU final-table
+// size, every association of these shards is exact.
+func TestMergeOrderInsensitiveAtOldBound(t *testing.T) {
+	key := machine.LoadKey{Func: "main", ID: 7}
+	// a: strides 8,16,24,32,40 all freq 5. b: stride 40 freq 5 again.
+	a := mkCombined(1, 0, sumWithStrides(key, 8, 5, 5, 5, 5, 5))
+	c := mkCombined(1, 0, sumWithStrides(key, 40, 5))
+	fp := func(ps ...*Combined) string {
+		m, err := Merge(ps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	left := fp(a, c)
+	ab, err := Merge(a, mkCombined(0, 0, stride.Summary{Key: key}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right := fp(ab, c)
+	if left != right {
+		t.Errorf("merge order changed the result:\n%s\nvs\n%s", left, right)
+	}
+	m, err := Merge(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Stride.Lookup(key)
+	if len(s.TopStrides) != 5 {
+		t.Fatalf("merged strides = %d, want all 5 kept (old bound 4 truncated here)", len(s.TopStrides))
+	}
+	if s.TopStrides[0].Value != 40 || s.TopStrides[0].Freq != 10 {
+		t.Errorf("stride 40 should lead with summed freq 10: %+v", s.TopStrides)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"stridepf/internal/cfg"
 	"stridepf/internal/ir"
+	"stridepf/internal/lfu"
 	"stridepf/internal/machine"
 	"stridepf/internal/stride"
 )
@@ -194,6 +195,47 @@ type Combined struct {
 	Edge *EdgeProfile
 	// Stride is the stride profile.
 	Stride *StrideProfile
+	// Interval is the fine-sampling interval carried by the profile header
+	// (v2 files), kept even when no stride summary records one — e.g. a
+	// sampled shard whose strides were all evicted. Zero means "unknown";
+	// FineInterval() resolves the header and per-summary values together.
+	// Without it, such a shard would re-encode with interval 0 and could
+	// silently merge with a differently-sampled shard.
+	Interval int
+}
+
+// Clone returns a deep copy sharing no mutable state with c: edge and
+// entry maps, the summary map and every TopStrides slice are copied.
+// Stores hand clones to callers so mutating a returned aggregate can never
+// corrupt the aggregate behind the store's lock.
+func (c *Combined) Clone() *Combined {
+	if c == nil {
+		return nil
+	}
+	out := &Combined{Interval: c.Interval}
+	if c.Edge != nil {
+		ep := NewEdgeProfile()
+		for k, v := range c.Edge.counts {
+			ep.counts[k] = v
+		}
+		for fn, v := range c.Edge.entries {
+			ep.entries[fn] = v
+		}
+		out.Edge = ep
+	}
+	if c.Stride != nil {
+		sp := &StrideProfile{byKey: make(map[machine.LoadKey]stride.Summary, len(c.Stride.byKey))}
+		for k, s := range c.Stride.byKey {
+			// Preserve nil vs empty: the codec encodes them differently
+			// (null vs []), and stores compare aggregates byte-exactly.
+			if s.TopStrides != nil {
+				s.TopStrides = append(make([]lfu.Entry, 0, len(s.TopStrides)), s.TopStrides...)
+			}
+			sp.byKey[k] = s
+		}
+		out.Stride = sp
+	}
+	return out
 }
 
 // Write serialises the combined profile as JSON via DefaultCodec.

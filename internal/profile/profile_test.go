@@ -130,3 +130,43 @@ func TestReadRejectsBadVersion(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestCloneDeep proves Clone shares no mutable state with the original.
+func TestCloneDeep(t *testing.T) {
+	orig := mkCombined(10, 3, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 10, FineInterval: 4,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}, {Value: 16, Freq: 2}},
+	})
+	orig.Interval = 4
+	var want bytes.Buffer
+	if err := orig.Write(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	c := orig.Clone()
+	var got bytes.Buffer
+	if err := c.Write(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("clone differs from original:\n%s\nvs\n%s", want.String(), got.String())
+	}
+
+	c.Edge.Set(EdgeKey{Func: "main", From: 0, To: 1}, 999)
+	c.Edge.SetEntryCount("leaf", 999)
+	for _, s := range c.Stride.Summaries() {
+		s.TopStrides[0].Freq = -5
+	}
+	c.Interval = 99
+
+	var after bytes.Buffer
+	if err := orig.Write(&after); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != after.String() {
+		t.Errorf("mutating the clone changed the original:\n%s\nvs\n%s", want.String(), after.String())
+	}
+	if (*Combined)(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stridepf/internal/profile"
+)
+
+// postBatch POSTs a raw batch body and decodes the per-shard results.
+func postBatch(t *testing.T, url string, body []byte) (int, []batchItemResult, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/profiles/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Results []batchItemResult `json:"results"`
+		Error   string            `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc.Results, doc.Error
+}
+
+// batchBody builds a batch request over (workload, config, key, profile)
+// tuples.
+func batchBody(t *testing.T, shards []batchShard) []byte {
+	t.Helper()
+	body, err := json.Marshal(batchRequest{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func encodedShard(t *testing.T, prof *profile.Combined) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.DefaultCodec.Encode(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBatchUploadMergesAndRetriesSafely(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+
+	shards := []batchShard{
+		{Workload: "197.parser", Config: "prod", IdemKey: "b1", Profile: encodedShard(t, idemShard(10))},
+		{Workload: "197.parser", Config: "prod", IdemKey: "b2", Profile: encodedShard(t, idemShard(5))},
+		{Workload: "181.mcf", Config: "prod", IdemKey: "b3", Profile: encodedShard(t, idemShard(7))},
+	}
+	code, results, _ := postBatch(t, ts.URL, batchBody(t, shards))
+	if code != http.StatusOK {
+		t.Fatalf("batch status = %d", code)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Error != "" || r.Info == nil || r.Replayed {
+			t.Fatalf("result %d = %+v, want clean merge", i, r)
+		}
+	}
+	if results[1].Info.Shards != 2 || results[2].Info.Shards != 1 {
+		t.Fatalf("per-aggregate shard counts: %+v", results)
+	}
+
+	// Full-batch retry (the client's behaviour after a lost response):
+	// every shard replays; nothing double-merges.
+	code, results, _ = postBatch(t, ts.URL, batchBody(t, shards))
+	if code != http.StatusOK {
+		t.Fatalf("retry status = %d", code)
+	}
+	for i, r := range results {
+		if !r.Replayed || r.Error != "" {
+			t.Fatalf("retry result %d = %+v, want idempotent replay", i, r)
+		}
+	}
+	if _, info, err := srv.Store().Get("197.parser", "prod"); err != nil || info.Shards != 2 {
+		t.Fatalf("after retry: shards=%d err=%v, want 2 shards", info.Shards, err)
+	}
+}
+
+func TestBatchStructuralValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	good := batchShard{Workload: "197.parser", Config: "prod", IdemKey: "k", Profile: encodedShard(t, idemShard(1))}
+
+	cases := []struct {
+		name   string
+		body   []byte
+		substr string
+	}{
+		{"empty-batch", batchBody(t, nil), "empty batch"},
+		{"missing-idem-key", batchBody(t, []batchShard{{Workload: "197.parser", Config: "prod", Profile: good.Profile}}), "idemKey is required"},
+		{"unknown-workload", batchBody(t, []batchShard{{Workload: "999.bogus", Config: "prod", IdemKey: "k", Profile: good.Profile}}), "unknown workload"},
+		{"missing-profile", batchBody(t, []batchShard{{Workload: "197.parser", Config: "prod", IdemKey: "k"}}), "missing profile"},
+		{"not-json", []byte("{"), "unexpected end"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errMsg := postBatch(t, ts.URL, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", code)
+			}
+			if !strings.Contains(errMsg, tc.substr) {
+				t.Fatalf("error %q does not mention %q", errMsg, tc.substr)
+			}
+		})
+	}
+
+	// An oversized batch is refused outright.
+	big := make([]batchShard, maxBatchShards+1)
+	for i := range big {
+		big[i] = good
+		big[i].IdemKey = fmt.Sprintf("k%d", i)
+	}
+	if code, _, errMsg := postBatch(t, ts.URL, batchBody(t, big)); code != http.StatusBadRequest || !strings.Contains(errMsg, "exceeds") {
+		t.Fatalf("oversized batch: status %d, error %q", code, errMsg)
+	}
+
+	// Nothing above may have merged anything.
+	code, _, body := get(t, ts.URL+"/v1/profiles")
+	if code != http.StatusOK || strings.Contains(string(body), "197.parser") {
+		t.Fatalf("rejected batches left state behind: %s", body)
+	}
+}
+
+func TestBatchPerShardRejection(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	// Shard 2 conflicts with shard 1's fine interval: it must fail alone
+	// while the rest of the batch commits.
+	conflicting := idemShard(3)
+	sums := conflicting.Stride.Summaries()
+	sums[0].FineInterval = 4
+	conflicting.Stride = profile.NewStrideProfile(sums)
+
+	shards := []batchShard{
+		{Workload: "197.parser", Config: "prod", IdemKey: "p1", Profile: encodedShard(t, idemShard(10))},
+		{Workload: "197.parser", Config: "prod", IdemKey: "p2", Profile: encodedShard(t, conflicting)},
+		{Workload: "197.parser", Config: "prod", IdemKey: "p3", Profile: encodedShard(t, idemShard(2))},
+	}
+	code, results, _ := postBatch(t, ts.URL, batchBody(t, shards))
+	if code != http.StatusOK {
+		t.Fatalf("batch status = %d", code)
+	}
+	if results[0].Error != "" || results[2].Error != "" {
+		t.Fatalf("healthy shards failed: %+v", results)
+	}
+	if results[1].Error == "" || results[1].Info != nil {
+		t.Fatalf("conflicting shard result = %+v, want per-shard error", results[1])
+	}
+	if _, info, err := srv.Store().Get("197.parser", "prod"); err != nil || info.Shards != 2 {
+		t.Fatalf("aggregate shards=%d err=%v, want the 2 healthy shards", info.Shards, err)
+	}
+}
+
+// failNthStore fails the nth Upload call (1-based) with a transient
+// error, once; everything else passes through.
+type failNthStore struct {
+	*Store
+	n     int
+	calls int
+}
+
+func (f *failNthStore) Upload(w, c string, p *profile.Combined, key string) (EntryInfo, bool, error) {
+	f.calls++
+	if f.calls == f.n {
+		return EntryInfo{}, false, tempErr{}
+	}
+	return f.Store.Upload(w, c, p, key)
+}
+
+func TestBatchTransientStoreErrorAborts503(t *testing.T) {
+	// A store that fails transiently on the second upload: the batch must
+	// answer 503 + Retry-After so the client resends the whole batch.
+	fl := &failNthStore{Store: NewStore(), n: 2}
+	_, ts := testServer(t, Config{Store: fl})
+
+	shards := []batchShard{
+		{Workload: "197.parser", Config: "prod", IdemKey: "t1", Profile: encodedShard(t, idemShard(10))},
+		{Workload: "197.parser", Config: "prod", IdemKey: "t2", Profile: encodedShard(t, idemShard(5))},
+	}
+	resp, err := http.Post(ts.URL+"/v1/profiles/batch", "application/json", bytes.NewReader(batchBody(t, shards)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After hint")
+	}
+
+	// The resend replays shard 1 (committed before the fault) and merges
+	// shard 2 fresh: exactly-once despite the mid-batch failure.
+	code, results, _ := postBatch(t, ts.URL, batchBody(t, shards))
+	if code != http.StatusOK {
+		t.Fatalf("resend status = %d", code)
+	}
+	if !results[0].Replayed || results[1].Replayed {
+		t.Fatalf("resend results = %+v, want [replayed, fresh]", results)
+	}
+	if _, info, err := fl.Store.Get("197.parser", "prod"); err != nil || info.Shards != 2 {
+		t.Fatalf("shards=%d err=%v, want exactly 2", info.Shards, err)
+	}
+}

@@ -134,6 +134,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /v1/figure/{name}", s.heavy(s.handleFigure))
 	s.mux.HandleFunc("GET /v1/profiles", s.handleProfileList)
+	s.mux.HandleFunc("POST /v1/profiles/batch", s.handleProfileBatch)
 	s.mux.HandleFunc("POST /v1/profiles/{workload}/{config}", s.handleProfileUpload)
 	s.mux.HandleFunc("GET /v1/profiles/{workload}/{config}", s.handleProfileGet)
 	s.mux.HandleFunc("GET /v1/classify/{workload}/{config}", s.heavy(s.handleClassify))

@@ -36,7 +36,9 @@ type ProfileStore interface {
 	// already committed replays the recorded result (replayed == true)
 	// instead of double-merging the shard.
 	Upload(workload, config string, prof *profile.Combined, idemKey string) (info EntryInfo, replayed bool, err error)
-	// Get returns the merged aggregate and its info.
+	// Get returns the merged aggregate and its info. The returned profile
+	// must be safe for the caller to mutate: implementations hand out a
+	// deep copy (profile.Combined.Clone), never the live aggregate.
 	Get(workload, config string) (*profile.Combined, EntryInfo, error)
 	// List returns every aggregate's info sorted by (workload, config).
 	List() []EntryInfo
@@ -125,7 +127,9 @@ func (s *Store) Upload(workload, config string, prof *profile.Combined, idemKey 
 	return e.info, false, nil
 }
 
-// Get returns the merged aggregate and its info.
+// Get returns the merged aggregate and its info. The returned profile is a
+// deep copy: callers may mutate it (or feed it to an in-place pass) without
+// corrupting the aggregate behind the store's lock.
 func (s *Store) Get(workload, config string) (*profile.Combined, EntryInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -133,7 +137,7 @@ func (s *Store) Get(workload, config string) (*profile.Combined, EntryInfo, erro
 	if e == nil {
 		return nil, EntryInfo{}, fmt.Errorf("server: no profile for workload %q config %q", workload, config)
 	}
-	return e.merged, e.info, nil
+	return e.merged.Clone(), e.info, nil
 }
 
 // List returns every aggregate's info sorted by (workload, config).

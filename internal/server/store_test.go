@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+func storeShard(freq int64) *profile.Combined {
+	ep := profile.NewEdgeProfile()
+	ep.Set(profile.EdgeKey{Func: "main", From: 0, To: 1}, uint64(freq))
+	ep.SetEntryCount("main", 1)
+	return &profile.Combined{
+		Edge: ep,
+		Stride: profile.NewStrideProfile([]stride.Summary{{
+			Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: freq,
+			FineInterval: 1,
+			TopStrides:   []lfu.Entry{{Value: 8, Freq: freq}},
+		}}),
+	}
+}
+
+func encodeStoreProfile(t *testing.T, p *profile.Combined) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.DefaultCodec.Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreGetAliasing is the regression test for Get handing out the live
+// aggregate pointer: a caller mutating the returned profile (or a future
+// in-place merge pass) must not corrupt the aggregate behind the lock.
+func TestStoreGetAliasing(t *testing.T) {
+	s := NewStore()
+	if _, _, err := s.Upload("197.parser", "cfg", storeShard(10), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Get("197.parser", "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeStoreProfile(t, got)
+
+	// Mutate everything reachable from the returned aggregate.
+	got.Edge.Set(profile.EdgeKey{Func: "evil", From: 9, To: 9}, 999)
+	got.Edge.SetEntryCount("evil", 123)
+	for _, sum := range got.Stride.Summaries() {
+		sum.TopStrides[0].Freq = -1
+		sum.TopStrides[0].Value = -1
+	}
+	got.Interval = 77
+
+	again, _, err := s.Get("197.parser", "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes := encodeStoreProfile(t, again); !bytes.Equal(gotBytes, want) {
+		t.Errorf("mutating a Get result corrupted the stored aggregate:\nbefore:\n%s\nafter:\n%s",
+			want, gotBytes)
+	}
+
+	// Two Gets must not alias each other either.
+	a, _, _ := s.Get("197.parser", "cfg")
+	b, _, _ := s.Get("197.parser", "cfg")
+	for _, sum := range a.Stride.Summaries() {
+		sum.TopStrides[0].Freq = 42424242
+	}
+	if gotBytes := encodeStoreProfile(t, b); !bytes.Equal(gotBytes, want) {
+		t.Error("two Get results share TopStrides backing arrays")
+	}
+}

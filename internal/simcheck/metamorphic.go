@@ -6,9 +6,10 @@
 //     combination must classify exactly the loads full profiling
 //     classifies, with the same class and the same de-scaled stride.
 //   - Merge algebra: combining training-run profiles (package profile) is
-//     commutative, and associative in the exact regime — at most four
-//     distinct strides per load (no top-4 truncation loss) and no
-//     reference-distance means (no floating-point reassociation).
+//     commutative, and associative in the exact regime — at most
+//     lfu.DefaultFinalSize distinct strides per load (the merge truncation
+//     bound, so no truncation loss) and no reference-distance means (no
+//     floating-point reassociation).
 //   - LFU vs exact: the bounded two-buffer LFU profiler must agree with a
 //     brute-force exact counter — completely while distinct values fit its
 //     final buffer, and on the dominant value even on skewed overflowing
@@ -167,8 +168,9 @@ func profileFingerprint(c *profile.Combined) (string, error) {
 }
 
 // syntheticProfile builds a random but well-formed combined profile. All
-// stride summaries draw from the shared pool (at most 4 distinct strides,
-// so merging never truncates the top-4 list) and share fineInterval. When
+// stride summaries draw from the shared pool (at most lfu.DefaultFinalSize
+// distinct strides, so merging sits exactly at the truncation bound without
+// ever cutting the list) and share fineInterval. When
 // exact is set, reference-distance means are zero so merged summaries stay
 // float-exact.
 func syntheticProfile(rng *xrng, keys []machine.LoadKey, pool []int64, fineInterval int, exact bool) *profile.Combined {
@@ -238,10 +240,13 @@ func mergeFixture(seed uint64, exact bool) []*profile.Combined {
 		{Func: "main", ID: 3}, {Func: "main", ID: 9}, {Func: "main", ID: 17},
 		{Func: "helper0", ID: 2}, {Func: "helper0", ID: 11},
 	}
-	// At most 4 distinct strides across all profiles of one fixture.
-	allStrides := []int64{8, 16, 24, 32, 64, 128, -8, 48}
+	// Exactly as many distinct strides across all profiles of one fixture
+	// as a merged summary can hold (the LFU final-table bound), so the
+	// exact-regime checks exercise the truncation boundary itself: one more
+	// distinct stride and Merge would cut the list.
+	allStrides := []int64{8, 16, 24, 32, 64, 128, -8, 48, 256, 96}
 	var pool []int64
-	for len(pool) < 4 {
+	for len(pool) < lfu.DefaultFinalSize {
 		s := allStrides[rng.intn(len(allStrides))]
 		dup := false
 		for _, p := range pool {
@@ -289,9 +294,10 @@ func CheckMergeCommutative(seed uint64) error {
 }
 
 // CheckMergeAssociative asserts Merge(Merge(a,b),c) == Merge(a,Merge(b,c))
-// == Merge(a,b,c) in the exact regime: shared ≤4-stride pool (the top-4
-// truncation never loses entries) and zero reference-distance means (no
-// floating-point reassociation error).
+// == Merge(a,b,c) in the exact regime: a shared stride pool exactly as
+// large as the merge truncation bound (lfu.DefaultFinalSize, so truncation
+// sits at its boundary without losing entries) and zero reference-distance
+// means (no floating-point reassociation error).
 func CheckMergeAssociative(seed uint64) error {
 	ps := mergeFixture(seed, true)
 	a, b, c := ps[0], ps[1], ps[2]

@@ -1,0 +1,20 @@
+//go:build soak
+
+package walstore_test
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWALKillLoopFull is the deep torn-write soak behind `make walsoak`:
+// hundreds of kill cycles across several seeds. Excluded from tier-1 by
+// the soak build tag.
+func TestWALKillLoopFull(t *testing.T) {
+	for _, seed := range []int64{2, 3, 5, 8, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runKillLoop(t, 150, seed)
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package walstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stridepf/internal/walstore"
+)
+
+// The kill-loop soak: repeatedly open the store, push shards, then kill it
+// at a random byte offset — truncating the active segment mid-record the
+// way an OS-level kill tears an in-flight append — or crash it mid-snapshot
+// by littering a half-written temp file. After every kill the recovery
+// oracle must hold: the reopened aggregates are byte-identical to a
+// fault-free offline profmerge of the committed prefix replay restored.
+// Small segment and snapshot thresholds make the loop cross rotation,
+// snapshot and compaction boundaries many times per run.
+
+// killRound runs one open→upload→kill cycle and returns how many records
+// the next open has available at most.
+func killRound(t *testing.T, dir string, rng *rand.Rand, opts walstore.Options) {
+	t.Helper()
+	s, err := walstore.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	// Oracle first: whatever the previous kill left behind must already
+	// have recovered exactly.
+	checkRecovered(t, s)
+
+	// Push a random batch; each record's content is a pure function of its
+	// sequence number, so the offline reference for any surviving prefix is
+	// well defined.
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		seq := int(s.LastSeq()) + 1
+		if _, _, err := s.Upload(testWorkload, testConfig, walShard(seq), fmt.Sprintf("wal-%d", seq)); err != nil {
+			t.Fatalf("upload seq %d: %v", seq, err)
+		}
+	}
+
+	// Kill. Closing the *os.File handle does not undo bytes already
+	// written, so "truncate at a random offset after Close" is exactly the
+	// on-disk state a SIGKILL mid-write leaves behind.
+	s.Close()
+	switch rng.Intn(10) {
+	case 0:
+		// Crash mid-snapshot-write: a half-written temp file that the next
+		// open must ignore.
+		tmp := filepath.Join(dir, fmt.Sprintf("snap-%016x.snap.tmp", rng.Uint64()))
+		if err := os.WriteFile(tmp, []byte("SPFSNP1\ntorn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		segs := globDir(t, dir, "wal-*.seg")
+		seg := segs[len(segs)-1] // the active segment takes the tear
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 0 {
+			if err := os.Truncate(seg, rng.Int63n(fi.Size()+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func runKillLoop(t *testing.T, rounds int, seed int64) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed))
+	// Small thresholds: segments rotate every ~1.5 records, snapshots every
+	// 5 accepts, so kills land in every phase of the lifecycle.
+	opts := quietOpts(2048, 5)
+	for round := 0; round < rounds; round++ {
+		killRound(t, dir, rng, opts)
+		if t.Failed() {
+			t.Fatalf("round %d (seed %d)", round, seed)
+		}
+	}
+	// Final clean recovery.
+	s, err := walstore.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	checkRecovered(t, s)
+	if s.LastSeq() == 0 {
+		t.Fatalf("kill loop never committed a record (seed %d)", seed)
+	}
+	t.Logf("kill loop: %d rounds, final committed prefix %d records (seed %d)", rounds, s.LastSeq(), seed)
+}
+
+// TestWALKillLoopShortened is the tier-1 torn-write soak: fast enough for
+// every `go test ./...` run, long enough to cross several snapshot and
+// compaction boundaries with kills in between.
+func TestWALKillLoopShortened(t *testing.T) {
+	runKillLoop(t, 25, 1)
+}
