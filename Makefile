@@ -12,7 +12,7 @@ GO ?= go
 
 .PHONY: check check-deep vet build test race race-full fuzz-smoke simcheck \
 	arena bench bench-json bench-pairs figures metrics serve smoke-serve \
-	chaos chaos-replay walsoak clean
+	chaos chaos-replay converge walsoak clean
 
 check: vet build test race
 
@@ -21,6 +21,7 @@ check-deep: check
 	$(MAKE) fuzz-smoke
 	$(MAKE) simcheck
 	$(MAKE) chaos
+	$(MAKE) converge
 	$(MAKE) walsoak
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
 	$(MAKE) arena
@@ -45,13 +46,13 @@ race:
 	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
 		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
-		./internal/walstore/... ./internal/ring/...
+		./internal/walstore/... ./internal/ring/... ./internal/api/...
 
 race-full:
 	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
 		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
-		./internal/walstore/... ./internal/ring/...
+		./internal/walstore/... ./internal/ring/... ./internal/api/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -123,6 +124,15 @@ chaos:
 chaos-replay:
 	@test -n "$(SEED)" || { echo "usage: make chaos-replay SEED=<seed from a failing run>"; exit 1; }
 	CHAOS_SEED=$(SEED) $(GO) test -race -tags soak -run TestChaosSoakFull -v -count=1 ./internal/chaos
+
+# Full-length online-loop convergence soak (see TESTING.md, "Convergence"):
+# a drifting DriftKernel workload drives repeated plan re-convergence while
+# a subscriber follows /v1/plan/watch through a fault-injected transport;
+# delivered deltas must be exactly epochs 1..E and replaying them must
+# reproduce the server's plan. Shortened form runs in tier 1; pass
+# CHAOS_SEED=N to replay a seed.
+converge:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -tags soak -run TestConvergeSoakFull -v -count=1 ./internal/chaos
 
 # Deep torn-write soak over the WAL-backed store (see TESTING.md,
 # "Recovery oracle"): hundreds of open/upload/kill-at-random-offset cycles

@@ -24,10 +24,16 @@
 //	figure <name> [-format csv|jsonl] [-workloads a,b]
 //	classify <workload> <config>        per-load classification decisions
 //	metrics                             prefetch-effectiveness roll-up
+//	watch <workload> <config> [-from N] [-deltas N] [-measure]
+//	                                    subscribe to live plan deltas; with
+//	                                    -measure, re-run prefetch insertion
+//	                                    per delta, measure the speedup and
+//	                                    report it to /v1/plan/feedback
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +41,13 @@ import (
 	"strings"
 	"time"
 
+	"stridepf/internal/api"
 	"stridepf/internal/client"
+	"stridepf/internal/core"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
 	"stridepf/internal/profile"
+	"stridepf/internal/workloads"
 )
 
 func run(argv []string, out io.Writer) error {
@@ -51,7 +62,7 @@ func run(argv []string, out io.Writer) error {
 		backoffCap = fs.Duration("backoff-cap", 10*time.Second, "retry backoff ceiling")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(out, "usage: stridedctl [flags] <health|push|pull|list|figure|classify|metrics> [args]")
+		fmt.Fprintln(out, "usage: stridedctl [flags] <health|push|pull|list|figure|classify|metrics|watch> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -237,6 +248,79 @@ func run(argv []string, out io.Writer) error {
 				load, d.Class, d.Stride, d.Freq, d.K, extra)
 		}
 		return nil
+
+	case "watch":
+		wfs := flag.NewFlagSet("watch", flag.ContinueOnError)
+		wfs.SetOutput(out)
+		from := wfs.Uint64("from", 0, "resume after this plan epoch (0 = from the beginning)")
+		ndeltas := wfs.Int("deltas", 0, "stop after this many deltas (0 = until the command timeout)")
+		measure := wfs.Bool("measure", false, "per delta: fetch the aggregate, re-run prefetch insertion, measure speedup on the ref input and report it as plan feedback")
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: stridedctl watch <workload> <config> [-from N] [-deltas N] [-measure]")
+		}
+		workload, config := rest[0], rest[1]
+		if err := wfs.Parse(rest[2:]); err != nil {
+			return err
+		}
+		if wfs.NArg() != 0 {
+			return fmt.Errorf("usage: stridedctl watch <workload> <config> [-from N] [-deltas N] [-measure]")
+		}
+		var w core.Workload
+		if *measure {
+			if w = workloads.Get(workload); w == nil {
+				return fmt.Errorf("-measure needs a locally registered workload; %q is not", workload)
+			}
+		}
+		seen := 0
+		errDone := errors.New("watch budget reached")
+		err = fleet.Subscribe(ctx, workload, config, *from, func(d api.PlanDelta) error {
+			kind := "delta"
+			if d.Reset {
+				kind = "reset"
+			}
+			fmt.Fprintf(out, "epoch %d (%s, %d rounds): %d change(s)\n",
+				d.Epoch, kind, d.Rounds, len(d.Changes))
+			for _, ch := range d.Changes {
+				prev := ""
+				if ch.PrevClass != "" {
+					prev = fmt.Sprintf(" (was %s stride=%d)", ch.PrevClass, ch.PrevStride)
+				}
+				fmt.Fprintf(out, "  %-24s %-6s stride=%-6d k=%d%s\n",
+					fmt.Sprintf("%s#%d", ch.Func, ch.ID), ch.Class, ch.Stride, ch.K, prev)
+			}
+			if *measure {
+				prof, _, err := fleet.FetchProfile(ctx, workload, config)
+				if err != nil {
+					return err
+				}
+				sp, err := core.MeasureSpeedup(w, w.Ref(), prof, prefetch.Options{}, machine.Config{})
+				if err != nil {
+					return err
+				}
+				ack, err := fleet.PlanFeedback(ctx, api.PlanFeedback{
+					Workload: workload, Config: config, Epoch: d.Epoch,
+					Speedup:          sp.Speedup,
+					BaseCycles:       sp.Base.Stats.Cycles,
+					PrefetchedCycles: sp.Prefetched.Stats.Cycles,
+					Inserted:         sp.Feedback.Inserted,
+					Source:           "stridedctl",
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "  measured speedup %.3f (%d prefetches inserted); feedback recorded (%d retained)\n",
+					sp.Speedup, sp.Feedback.Inserted, ack.Recorded)
+			}
+			seen++
+			if *ndeltas > 0 && seen >= *ndeltas {
+				return errDone
+			}
+			return nil
+		})
+		if errors.Is(err, errDone) {
+			return nil
+		}
+		return err
 
 	case "metrics":
 		raw, err := fleet.Node(fleet.Nodes()[0]).Metrics(ctx)

@@ -1,19 +1,26 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"stridepf/internal/api"
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
 	"stridepf/internal/lfu"
 	"stridepf/internal/machine"
 	"stridepf/internal/profile"
 	"stridepf/internal/server"
+	"stridepf/internal/simcheck"
 	"stridepf/internal/stride"
+	"stridepf/internal/workloads"
 )
 
 func ctlServer(t *testing.T) *httptest.Server {
@@ -147,6 +154,99 @@ func TestMultiNodePushListHealth(t *testing.T) {
 	}
 	if strings.Count(out, "status: ok") != 2 || strings.Count(out, "== ") != 2 {
 		t.Errorf("fleet health output:\n%s", out)
+	}
+}
+
+// TestWatchDeliversDeltaAndMeasures drives the full consumer side of the
+// online loop through the CLI: create the plan watcher, push a drift
+// kernel's profile so the server mints epoch 1, then `watch -measure`
+// prints the delta, re-runs prefetch insertion locally, and reports the
+// measured speedup back as plan feedback.
+func TestWatchDeliversDeltaAndMeasures(t *testing.T) {
+	ts := ctlServer(t)
+	k := simcheck.NewDriftKernel(0xC7A1)
+	if err := workloads.Register(k); err != nil {
+		t.Fatal(err)
+	}
+	name := k.Name()
+
+	pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+		Method: instrument.NaiveLoop,
+	}, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(t.TempDir(), "drift.json")
+	if err := pr.Profiles.Save(shard); err != nil {
+		t.Fatal(err)
+	}
+
+	statusURL := ts.URL + "/v1/plan/status?workload=" + name + "&config=prod"
+	planStatus := func() api.PlanStatus {
+		t.Helper()
+		resp, err := http.Get(statusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st api.PlanStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// First status call creates the watcher; uploads only feed watchers
+	// that already exist.
+	if st := planStatus(); st.Epoch != 0 {
+		t.Fatalf("fresh watcher at epoch %d, want 0", st.Epoch)
+	}
+	if out, err := ctl(t, "-server", ts.URL, "push", name, "prod", shard); err != nil {
+		t.Fatalf("push: %v\n%s", err, out)
+	}
+
+	out, err := ctl(t, "-server", ts.URL, "watch", name, "prod", "-deltas", "1", "-measure")
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "epoch 1 (delta") {
+		t.Errorf("watch output missing the epoch-1 delta:\n%s", out)
+	}
+	for _, s := range k.Strides() {
+		if !strings.Contains(out, fmt.Sprintf("stride=%-6d", s)) {
+			t.Errorf("watch output missing stride %d:\n%s", s, out)
+		}
+	}
+	if !strings.Contains(out, "measured speedup") || !strings.Contains(out, "feedback recorded") {
+		t.Errorf("watch -measure output missing the measurement report:\n%s", out)
+	}
+
+	st := planStatus()
+	if st.Epoch != 1 {
+		t.Errorf("plan epoch = %d, want 1", st.Epoch)
+	}
+	if len(st.Feedback) != 1 || st.Feedback[0].Source != "stridedctl" || st.Feedback[0].Epoch != 1 {
+		t.Errorf("retained feedback = %+v, want one stridedctl entry for epoch 1", st.Feedback)
+	}
+	if st.Feedback[0].Speedup <= 1.0 {
+		t.Errorf("measured speedup %.3f, want > 1 on a pure regular-stride kernel", st.Feedback[0].Speedup)
+	}
+}
+
+// TestWatchErrors pins the watch command's argument and flag validation.
+func TestWatchErrors(t *testing.T) {
+	ts := ctlServer(t)
+	if _, err := ctl(t, "-server", ts.URL, "watch", "only-one-arg"); err == nil {
+		t.Error("watch with one arg accepted")
+	}
+	if _, err := ctl(t, "-server", ts.URL, "watch", "no-such-workload", "prod", "-measure"); err == nil ||
+		!strings.Contains(err.Error(), "locally registered") {
+		t.Errorf("watch -measure of an unregistered workload: %v", err)
+	}
+	// Unknown workloads are rejected server-side via the typed envelope.
+	if _, err := ctl(t, "-server", ts.URL, "-attempts", "1", "watch", "no-such-workload", "prod"); err == nil ||
+		!strings.Contains(err.Error(), string(api.CodeUnknownWorkload)) {
+		t.Errorf("watch of an unknown workload: %v", err)
 	}
 }
 

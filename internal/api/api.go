@@ -1,0 +1,163 @@
+// Package api defines the wire contract of the strided /v1 HTTP API in a
+// single place: the typed request/response body of every endpoint, the
+// uniform error envelope, the shared query-parameter decoder, and the SSE
+// framing of the plan-watch stream. Both sides of the service — the daemon
+// in internal/server and the resilient client in internal/client (and
+// through it stridedctl and fleet peers) — build against these types, so a
+// wire-shape change is a change to this package, pinned by the golden
+// wire-compatibility test, and can never drift between server and client.
+//
+// Conventions:
+//
+//   - Every non-2xx response carries the JSON error envelope
+//     {"error": {"code", "message", "retryAfter"}} (see Error). Codes are
+//     the machine-readable contract clients switch on; messages are
+//     diagnostics and may change freely.
+//   - Retryability is expressed twice, deliberately: the HTTP Retry-After
+//     header (for generic intermediaries) and the envelope's retryAfter
+//     field (for typed clients). They always agree.
+//   - The plan-watch stream (GET /v1/plan/watch) frames api.PlanDelta
+//     documents as server-sent events whose id field is the delta's plan
+//     epoch, so a reconnecting subscriber resumes from its last applied
+//     epoch (?from=N) and receives every delta exactly once.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Error codes. Clients switch on the code, never on the message text.
+const (
+	// CodeBadRequest covers malformed bodies, parameters and batches.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownWorkload names a workload the daemon does not serve.
+	CodeUnknownWorkload = "unknown_workload"
+	// CodeUnknownFigure names a figure outside the served set.
+	CodeUnknownFigure = "unknown_figure"
+	// CodeNotFound covers missing aggregates and unknown routes.
+	CodeNotFound = "not_found"
+	// CodeConflict marks a well-formed request incompatible with stored
+	// state (e.g. a fine-interval mismatch on upload). Not retryable.
+	CodeConflict = "conflict"
+	// CodeBadEpoch marks a plan epoch outside the watcher's range.
+	CodeBadEpoch = "bad_epoch"
+	// CodeBusy is admission-control backpressure (429). Retry after the
+	// hinted delay.
+	CodeBusy = "busy"
+	// CodeUnavailable is a transient server-side failure (503). Retryable.
+	CodeUnavailable = "unavailable"
+	// CodeTimeout is a request that exceeded the server's budget (504).
+	// Retryable.
+	CodeTimeout = "timeout"
+	// CodeCanceled is a request abandoned by its client (499).
+	CodeCanceled = "canceled"
+	// CodeInternal is an unexpected server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// Error is the uniform error envelope every /v1 endpoint returns for a
+// non-2xx status. It implements error and the Temporary convention the
+// retry/breaker logic switches on.
+type Error struct {
+	// Status is the HTTP status the envelope travelled with. Not part of
+	// the JSON body (the status line already carries it).
+	Status int `json:"-"`
+	// Code is the machine-readable error class; see the Code constants.
+	Code string `json:"code"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+	// RetryAfter is the server's retry hint in seconds (0 = none). It
+	// mirrors the Retry-After header.
+	RetryAfter int `json:"retryAfter,omitempty"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Temporary reports whether retrying the same request can succeed.
+func (e *Error) Temporary() bool {
+	switch e.Code {
+	case CodeBusy, CodeUnavailable, CodeTimeout, CodeInternal:
+		return true
+	case CodeBadRequest, CodeUnknownWorkload, CodeUnknownFigure,
+		CodeNotFound, CodeConflict, CodeBadEpoch, CodeCanceled:
+		return false
+	}
+	// Unknown code (newer server): fall back to the status class.
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// Errorf builds an envelope error.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return &Error{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// envelope is the JSON wrapper error responses are encoded in.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// WriteError writes the envelope (and the matching Retry-After header)
+// to an HTTP response.
+func WriteError(w http.ResponseWriter, e *Error) error {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.RetryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	status := e.Status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(envelope{Error: e})
+}
+
+// DecodeErrorBody reconstructs the typed error from a non-2xx response
+// body. Bodies that are not the envelope (plain-text errors from
+// intermediaries, fault injectors or pre-/v1 servers) degrade to an Error
+// whose code is inferred from the status, so callers always get a typed
+// error to switch on.
+func DecodeErrorBody(status int, body []byte) *Error {
+	var env envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = status
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200] + "..."
+	}
+	return &Error{Status: status, Code: codeForStatus(status), Message: msg}
+}
+
+// codeForStatus maps a bare HTTP status to the closest error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeBusy
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	case 499:
+		return CodeCanceled
+	default:
+		if status >= 500 {
+			return CodeInternal
+		}
+		return CodeBadRequest
+	}
+}

@@ -1,0 +1,319 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The golden wire-compatibility test: every api type's JSON encoding is
+// pinned here as a literal. If a refactor changes a field name, drops a
+// field, or flips an omitempty, the diff shows up as a wire-shape change
+// in this file — the reviewer sees the protocol break, not just a Go
+// struct edit. Keep the literals in sync ONLY for deliberate,
+// documented protocol changes (API.md).
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	return string(b)
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestGoldenWireShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"health",
+			Health{Status: "ok", UptimeSeconds: 12, InFlight: 1, Queued: 2,
+				Served: 3, Rejected: 4, Profiles: 5, Plans: 6},
+			`{"status":"ok","uptime_seconds":12,"in_flight":1,"queued":2,"served":3,"rejected":4,"profiles":5,"plans":6}`,
+		},
+		{
+			"profileInfo",
+			ProfileInfo{Workload: "181.mcf", Config: "base", Version: 3,
+				Shards: 2, FineInterval: 10, Deduped: true},
+			// Deduped travels as the X-Idempotent-Replay header, never in
+			// the body.
+			`{"workload":"181.mcf","config":"base","version":3,"shards":2,"fineInterval":10}`,
+		},
+		{
+			"profileList",
+			ProfileList{Profiles: []ProfileInfo{{Workload: "w", Config: "c", Version: 1, Shards: 1, FineInterval: 10}}},
+			`{"profiles":[{"workload":"w","config":"c","version":1,"shards":1,"fineInterval":10}]}`,
+		},
+		{
+			"figureList",
+			FigureList{Figures: []string{"16", "arena"}, Formats: []string{"text", "csv", "jsonl"}},
+			`{"figures":["16","arena"],"formats":["text","csv","jsonl"]}`,
+		},
+		{
+			"figureJSONLHeader",
+			FigureJSONLHeader{Figure: "16", Title: "T", Columns: []string{"a", "b"}},
+			`{"figure":"16","title":"T","columns":["a","b"]}`,
+		},
+		{
+			"figureJSONLRow",
+			FigureJSONLRow{Benchmark: "181.mcf", Values: []*float64{f64(1.5), nil}},
+			`{"benchmark":"181.mcf","values":[1.5,null]}`,
+		},
+		{
+			"decision",
+			Decision{Func: "main", ID: 7, Class: "SSST", InLoop: true, Freq: 4096,
+				Trip: 12.5, Stride: 8, K: 4, CoverLines: 2, FilteredBy: "freq"},
+			`{"func":"main","id":7,"class":"SSST","inLoop":true,"freq":4096,"trip":12.5,"stride":8,"k":4,"coverLines":2,"filteredBy":"freq"}`,
+		},
+		{
+			"decisionOmitsFilter",
+			Decision{Func: "main", ID: 7, Class: "SSST"},
+			`{"func":"main","id":7,"class":"SSST","inLoop":false,"freq":0,"trip":0,"stride":0,"k":0,"coverLines":0}`,
+		},
+		{
+			"classifyReport",
+			ClassifyReport{Workload: "w", Config: "c", Version: 2, Shards: 1,
+				Inserted: 3, Decisions: []Decision{}},
+			`{"workload":"w","config":"c","version":2,"shards":1,"inserted":3,"decisions":[]}`,
+		},
+		{
+			"batchShard",
+			BatchShard{Workload: "w", Config: "c", IdemKey: "k",
+				Profile: json.RawMessage(`{"v":2}`)},
+			`{"workload":"w","config":"c","idemKey":"k","profile":{"v":2}}`,
+		},
+		{
+			"batchRequest",
+			BatchRequest{Shards: []BatchShard{}},
+			`{"shards":[]}`,
+		},
+		{
+			"batchItemOK",
+			BatchItemResult{Workload: "w", Config: "c",
+				Info:     &ProfileInfo{Workload: "w", Config: "c", Version: 1, Shards: 1, FineInterval: 10},
+				Replayed: true},
+			`{"workload":"w","config":"c","info":{"workload":"w","config":"c","version":1,"shards":1,"fineInterval":10},"replayed":true}`,
+		},
+		{
+			"batchItemError",
+			BatchItemResult{Workload: "w", Config: "c", Error: "fineInterval mismatch"},
+			`{"workload":"w","config":"c","error":"fineInterval mismatch"}`,
+		},
+		{
+			"batchResponse",
+			BatchResponse{Results: []BatchItemResult{}},
+			`{"results":[]}`,
+		},
+		{
+			"planChange",
+			PlanChange{Func: "walk", ID: 3, Class: "SSST", Stride: 16, K: 4,
+				CoverLines: 2, PrevClass: "PMST", PrevStride: 8},
+			`{"func":"walk","id":3,"class":"SSST","stride":16,"k":4,"coverLines":2,"prevClass":"PMST","prevStride":8}`,
+		},
+		{
+			"planChangeNew",
+			PlanChange{Func: "walk", ID: 3, Class: "SSST", Stride: 16, K: 4},
+			`{"func":"walk","id":3,"class":"SSST","stride":16,"k":4}`,
+		},
+		{
+			"planDelta",
+			PlanDelta{Workload: "w", Config: "c", Epoch: 5, Rounds: 9,
+				Changes: []PlanChange{}},
+			`{"workload":"w","config":"c","epoch":5,"rounds":9,"changes":[]}`,
+		},
+		{
+			"planDeltaReset",
+			PlanDelta{Workload: "w", Config: "c", Epoch: 5, Rounds: 9,
+				Reset: true, Changes: []PlanChange{}},
+			`{"workload":"w","config":"c","epoch":5,"rounds":9,"reset":true,"changes":[]}`,
+		},
+		{
+			"planPoll",
+			PlanPoll{Workload: "w", Config: "c", Epoch: 5, Deltas: []PlanDelta{}},
+			`{"workload":"w","config":"c","epoch":5,"deltas":[]}`,
+		},
+		{
+			"planFeedback",
+			PlanFeedback{Workload: "w", Config: "c", Epoch: 5, Speedup: 1.25,
+				BaseCycles: 1000, PrefetchedCycles: 800, Inserted: 3, Source: "stridedctl"},
+			`{"workload":"w","config":"c","epoch":5,"speedup":1.25,"baseCycles":1000,"prefetchedCycles":800,"inserted":3,"source":"stridedctl"}`,
+		},
+		{
+			"planFeedbackMinimal",
+			PlanFeedback{Workload: "w", Config: "c", Epoch: 5, Speedup: 1.25},
+			`{"workload":"w","config":"c","epoch":5,"speedup":1.25}`,
+		},
+		{
+			"planFeedbackAck",
+			PlanFeedbackAck{Workload: "w", Config: "c", Epoch: 5, Recorded: 2},
+			`{"workload":"w","config":"c","epoch":5,"recorded":2}`,
+		},
+		{
+			"planStatus",
+			PlanStatus{Workload: "w", Config: "c", Epoch: 5, MinEpoch: 2,
+				Rounds: 9, Subscribers: 1, Plan: []PlanChange{},
+				Feedback: []PlanFeedback{{Workload: "w", Config: "c", Epoch: 5, Speedup: 1.1}}},
+			`{"workload":"w","config":"c","epoch":5,"minEpoch":2,"rounds":9,"subscribers":1,"plan":[],"feedback":[{"workload":"w","config":"c","epoch":5,"speedup":1.1}]}`,
+		},
+		{
+			"planStatusNoFeedback",
+			PlanStatus{Workload: "w", Config: "c", Epoch: 0, MinEpoch: 0,
+				Rounds: 0, Subscribers: 0, Plan: []PlanChange{}},
+			`{"workload":"w","config":"c","epoch":0,"minEpoch":0,"rounds":0,"subscribers":0,"plan":[]}`,
+		},
+		{
+			"errorEnvelope",
+			envelope{Error: &Error{Status: 429, Code: CodeBusy,
+				Message: "server busy: execution queue full", RetryAfter: 2}},
+			// Status travels on the HTTP status line, never in the body.
+			`{"error":{"code":"busy","message":"server busy: execution queue full","retryAfter":2}}`,
+		},
+		{
+			"errorEnvelopeNoRetry",
+			envelope{Error: &Error{Status: 404, Code: CodeNotFound, Message: "no profile"}},
+			`{"error":{"code":"not_found","message":"no profile"}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mustJSON(t, tc.v); got != tc.want {
+				t.Errorf("wire shape changed:\n got  %s\n want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenErrorRoundTrip pins both directions of the envelope: what
+// WriteError emits and what DecodeErrorBody reconstructs.
+func TestGoldenErrorRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	if err := WriteError(rec, Errorf(429, CodeBusy, "queue full").withRetryAfter(2)); err != nil {
+		t.Fatalf("WriteError: %v", err)
+	}
+	if rec.Code != 429 {
+		t.Errorf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	const wantBody = "{\n  \"error\": {\n    \"code\": \"busy\",\n    \"message\": \"queue full\",\n    \"retryAfter\": 2\n  }\n}\n"
+	if got := rec.Body.String(); got != wantBody {
+		t.Errorf("body:\n got  %q\n want %q", got, wantBody)
+	}
+
+	e := DecodeErrorBody(429, rec.Body.Bytes())
+	if e.Status != 429 || e.Code != CodeBusy || e.Message != "queue full" || e.RetryAfter != 2 {
+		t.Errorf("decoded %+v", e)
+	}
+	if !e.Temporary() {
+		t.Error("busy must be temporary")
+	}
+}
+
+func TestDecodeErrorBodyFallbacks(t *testing.T) {
+	cases := []struct {
+		status   int
+		body     string
+		wantCode string
+		wantTemp bool
+	}{
+		{429, "server busy: execution queue full\n", CodeBusy, true},
+		{503, "store temporarily down", CodeUnavailable, true},
+		{504, "", CodeTimeout, true},
+		{500, "boom", CodeInternal, true},
+		{502, "bad gateway", CodeInternal, true},
+		{499, "", CodeCanceled, false},
+		{404, "not here", CodeNotFound, false},
+		{409, "conflict", CodeConflict, false},
+		{400, "bad", CodeBadRequest, false},
+		{418, "teapot", CodeBadRequest, false},
+		// Legacy {"error": "..."} bodies (pre-envelope servers) have no
+		// code field and fall back on the status mapping too.
+		{404, `{"error":"unknown workload \"x\""}`, CodeNotFound, false},
+	}
+	for _, tc := range cases {
+		e := DecodeErrorBody(tc.status, []byte(tc.body))
+		if e.Code != tc.wantCode {
+			t.Errorf("status %d body %q: code = %s, want %s", tc.status, tc.body, e.Code, tc.wantCode)
+		}
+		if e.Temporary() != tc.wantTemp {
+			t.Errorf("status %d: Temporary = %v, want %v", tc.status, e.Temporary(), tc.wantTemp)
+		}
+		if e.Status != tc.status {
+			t.Errorf("status %d: Status = %d", tc.status, e.Status)
+		}
+	}
+}
+
+func TestErrorTemporaryUnknownCode(t *testing.T) {
+	if !(&Error{Status: 500, Code: "future_code"}).Temporary() {
+		t.Error("unknown code on a 500 must fall back to temporary")
+	}
+	if (&Error{Status: 422, Code: "future_code"}).Temporary() {
+		t.Error("unknown code on a 422 must fall back to permanent")
+	}
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteComment(&b, "hb"); err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{ID: "1", Name: "plan", Data: `{"epoch":1}`},
+		{Name: "plan", Data: `{"epoch":2}`},
+		{ID: "3", Data: `{"epoch":3}`},
+	}
+	for i, e := range events {
+		if err := WriteEvent(&b, e); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if err := WriteComment(&b, "keepalive"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The exact frame bytes are part of the protocol.
+	const wantFrame = ": hb\n\nid: 1\nevent: plan\ndata: {\"epoch\":1}\n\n"
+	if got := b.String()[:len(wantFrame)]; got != wantFrame {
+		t.Errorf("frame bytes:\n got  %q\n want %q", got, wantFrame)
+	}
+
+	er := NewEventReader(strings.NewReader(b.String()))
+	for i, want := range events {
+		got, err := er.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := er.Next(); err == nil {
+		t.Error("want EOF after last event")
+	}
+}
+
+func TestSSEPartialEventIsEOF(t *testing.T) {
+	// A stream cut mid-event must not dispatch the partial event.
+	er := NewEventReader(strings.NewReader("id: 4\nevent: plan\ndata: {\"epo"))
+	if ev, err := er.Next(); err == nil {
+		t.Errorf("partial event dispatched: %+v", ev)
+	}
+}
+
+// withRetryAfter is a test-local fluent helper.
+func (e *Error) withRetryAfter(secs int) *Error {
+	e.RetryAfter = secs
+	return e
+}

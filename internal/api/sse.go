@@ -1,0 +1,103 @@
+package api
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Server-sent-event framing for the plan-watch stream. Only the subset of
+// the SSE wire format the plan protocol needs: id/event/data fields,
+// comment lines as heartbeats, blank-line dispatch. Data is always a
+// single line (compact JSON), so multi-line data accumulation reduces to
+// concatenation per the SSE spec.
+
+// Event is one server-sent event.
+type Event struct {
+	// ID is the event's id field; the plan stream sets it to the delta's
+	// epoch so Last-Event-ID-style resume works with any SSE client.
+	ID string
+	// Name is the event field (the plan stream uses "plan").
+	Name string
+	// Data is the event payload (one line of compact JSON).
+	Data string
+}
+
+// WriteEvent frames one event. The caller flushes.
+func WriteEvent(w io.Writer, e Event) error {
+	var b strings.Builder
+	if e.ID != "" {
+		fmt.Fprintf(&b, "id: %s\n", e.ID)
+	}
+	if e.Name != "" {
+		fmt.Fprintf(&b, "event: %s\n", e.Name)
+	}
+	for _, line := range strings.Split(e.Data, "\n") {
+		fmt.Fprintf(&b, "data: %s\n", line)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteComment frames a comment line (the stream's heartbeat). Clients
+// ignore it; its only job is keeping the connection demonstrably alive.
+func WriteComment(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", text)
+	return err
+}
+
+// EventReader incrementally parses an SSE stream.
+type EventReader struct {
+	sc *bufio.Scanner
+}
+
+// NewEventReader wraps a stream body.
+func NewEventReader(r io.Reader) *EventReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	return &EventReader{sc: sc}
+}
+
+// Next returns the next complete event, or io.EOF at end of stream. A
+// stream that ends mid-event (transport cut) also returns io.EOF: a
+// partial event was never dispatched, so the caller treats it as not
+// received and resumes from its last applied id.
+func (er *EventReader) Next() (Event, error) {
+	var (
+		e    Event
+		data []string
+		seen bool
+	)
+	for er.sc.Scan() {
+		line := er.sc.Text()
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" {
+			if seen {
+				e.Data = strings.Join(data, "\n")
+				return e, nil
+			}
+			continue // blank line between comments/heartbeats
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment / heartbeat
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			e.ID, seen = value, true
+		case "event":
+			e.Name, seen = value, true
+		case "data":
+			data = append(data, value)
+			seen = true
+		}
+		// Unknown fields are ignored per the SSE spec.
+	}
+	if err := er.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}

@@ -1,0 +1,207 @@
+package api
+
+import "encoding/json"
+
+// This file holds the typed body of every /v1 endpoint. The JSON field
+// names are the wire contract — golden_test.go pins the encoding of every
+// type, so a tag change here fails loudly instead of silently breaking
+// stridedctl or fleet peers.
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	InFlight      int    `json:"in_flight"`
+	Queued        int    `json:"queued"`
+	Served        int64  `json:"served"`
+	Rejected      int64  `json:"rejected"`
+	Profiles      int    `json:"profiles"`
+	// Plans counts live plan watchers (one per watched workload/config).
+	Plans int `json:"plans"`
+}
+
+// ProfileInfo describes one (workload, config) profile aggregate. It is
+// the success body of POST /v1/profiles/{workload}/{config}, an element of
+// ProfileList, and the shape the WAL store persists per entry.
+type ProfileInfo struct {
+	Workload     string `json:"workload"`
+	Config       string `json:"config"`
+	Version      int    `json:"version"`
+	Shards       int    `json:"shards"`
+	FineInterval int    `json:"fineInterval"`
+	// Deduped reports that the server replayed a previously committed
+	// upload with the same idempotency key instead of merging again. It
+	// travels as the X-Idempotent-Replay header, not in the body.
+	Deduped bool `json:"-"`
+}
+
+// ProfileList is the body of GET /v1/profiles.
+type ProfileList struct {
+	Profiles []ProfileInfo `json:"profiles"`
+}
+
+// FigureList is the body of GET /v1/figures.
+type FigureList struct {
+	Figures []string `json:"figures"`
+	Formats []string `json:"formats"`
+}
+
+// FigureJSONLHeader is the first line of a figure's format=jsonl stream.
+type FigureJSONLHeader struct {
+	Figure  string   `json:"figure"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+}
+
+// FigureJSONLRow is one streamed figure table row. NaN cells (rendered
+// "-" in the text table) become nulls.
+type FigureJSONLRow struct {
+	Benchmark string     `json:"benchmark"`
+	Values    []*float64 `json:"values"`
+}
+
+// Decision is one classification decision, mirroring the fields
+// `prefetchc -report` prints.
+type Decision struct {
+	Func       string  `json:"func"`
+	ID         int     `json:"id"`
+	Class      string  `json:"class"`
+	InLoop     bool    `json:"inLoop"`
+	Freq       uint64  `json:"freq"`
+	Trip       float64 `json:"trip"`
+	Stride     int64   `json:"stride"`
+	K          int     `json:"k"`
+	CoverLines int     `json:"coverLines"`
+	FilteredBy string  `json:"filteredBy,omitempty"`
+}
+
+// ClassifyReport is the body of GET /v1/classify/{workload}/{config}.
+type ClassifyReport struct {
+	Workload  string     `json:"workload"`
+	Config    string     `json:"config"`
+	Version   int        `json:"version"`
+	Shards    int        `json:"shards"`
+	Inserted  int        `json:"inserted"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// BatchShard is one element of a batch upload request. Profile carries
+// the codec-encoded shard document; IdemKey is mandatory and must be
+// distinct per shard so a whole-batch resend is exactly-once.
+type BatchShard struct {
+	Workload string          `json:"workload"`
+	Config   string          `json:"config"`
+	IdemKey  string          `json:"idemKey"`
+	Profile  json.RawMessage `json:"profile"`
+}
+
+// BatchRequest is the body of POST /v1/profiles/batch.
+type BatchRequest struct {
+	Shards []BatchShard `json:"shards"`
+}
+
+// BatchItemResult is the per-shard outcome of a batch upload. Exactly one
+// of Info and Error is set; Replayed marks an idempotent replay.
+type BatchItemResult struct {
+	Workload string       `json:"workload"`
+	Config   string       `json:"config"`
+	Info     *ProfileInfo `json:"info,omitempty"`
+	Replayed bool         `json:"replayed,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a 200 batch upload: one result per request
+// shard, in request order.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// PlanChange is one load whose prefetch decision changed (or, in a Reset
+// delta, one load of the full current plan). Class "none" with non-empty
+// Prev fields records a load dropped from the plan.
+type PlanChange struct {
+	Func       string `json:"func"`
+	ID         int    `json:"id"`
+	Class      string `json:"class"`
+	Stride     int64  `json:"stride"`
+	K          int    `json:"k"`
+	CoverLines int    `json:"coverLines,omitempty"`
+	// PrevClass/PrevStride are the decision this change replaced; empty/0
+	// for a load newly entering the plan.
+	PrevClass  string `json:"prevClass,omitempty"`
+	PrevStride int64  `json:"prevStride,omitempty"`
+}
+
+// PlanDelta is one plan epoch's worth of change, the document framed as an
+// SSE "plan" event on GET /v1/plan/watch and listed by the long-poll form.
+// Epochs increase by exactly one per delta; a subscriber that last applied
+// epoch E resumes with ?from=E and receives E+1, E+2, ... exactly once.
+// Reset marks a full-plan snapshot (sent when the requested resume point
+// has aged out of the server's delta history): the subscriber replaces its
+// plan wholesale instead of applying changes incrementally.
+type PlanDelta struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Epoch is this delta's plan epoch (monotonically increasing, starting
+	// at 1 for the first non-empty plan).
+	Epoch uint64 `json:"epoch"`
+	// Rounds is how many profile windows the watcher had ingested when
+	// this delta was computed.
+	Rounds int `json:"rounds"`
+	// Reset marks a full-plan snapshot rather than an incremental delta.
+	Reset   bool         `json:"reset,omitempty"`
+	Changes []PlanChange `json:"changes"`
+}
+
+// PlanPoll is the body of the long-poll form of GET /v1/plan/watch
+// (mode=poll): the watcher's current epoch plus every delta after the
+// requested resume point (possibly none if the wait timed out).
+type PlanPoll struct {
+	Workload string      `json:"workload"`
+	Config   string      `json:"config"`
+	Epoch    uint64      `json:"epoch"`
+	Deltas   []PlanDelta `json:"deltas"`
+}
+
+// PlanFeedback is the body of POST /v1/plan/feedback: a consumer reporting
+// the realized effect of applying the plan at Epoch.
+type PlanFeedback struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Epoch is the plan epoch the consumer had applied when it measured.
+	Epoch uint64 `json:"epoch"`
+	// Speedup is baseline cycles over prefetched cycles (>1 is a win).
+	Speedup          float64 `json:"speedup"`
+	BaseCycles       uint64  `json:"baseCycles,omitempty"`
+	PrefetchedCycles uint64  `json:"prefetchedCycles,omitempty"`
+	// Inserted is how many prefetches the consumer's insertion pass placed.
+	Inserted int `json:"inserted,omitempty"`
+	// Source identifies the reporting consumer (e.g. "stridedctl").
+	Source string `json:"source,omitempty"`
+}
+
+// PlanFeedbackAck is the success body of POST /v1/plan/feedback.
+type PlanFeedbackAck struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Epoch    uint64 `json:"epoch"`
+	// Recorded is how many feedback reports the watcher currently retains.
+	Recorded int `json:"recorded"`
+}
+
+// PlanStatus is the body of GET /v1/plan/status: the watcher's current
+// epoch range, full plan and retained feedback.
+type PlanStatus struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Epoch    uint64 `json:"epoch"`
+	// MinEpoch is the oldest epoch still replayable incrementally; a
+	// resume from before it gets a Reset snapshot instead.
+	MinEpoch uint64 `json:"minEpoch"`
+	Rounds   int    `json:"rounds"`
+	// Subscribers counts currently connected watch streams.
+	Subscribers int `json:"subscribers"`
+	// Plan is the full current plan, sorted by (func, id).
+	Plan     []PlanChange   `json:"plan"`
+	Feedback []PlanFeedback `json:"feedback,omitempty"`
+}

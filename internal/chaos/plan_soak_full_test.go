@@ -1,0 +1,24 @@
+//go:build soak
+
+package chaos_test
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConvergeSoakFull is the long-form convergence soak behind
+// `make converge`: more drifts and a doubled storm on the subscription
+// transport. Excluded from tier-1 by the soak build tag; replay any
+// failure with CHAOS_SEED=<printed seed>.
+func TestConvergeSoakFull(t *testing.T) {
+	runConvergeSoak(t, convergeParams{
+		seed:     soakSeed(t, 20260808),
+		preRound: 4,
+		flips:    6,
+		perFlip:  6,
+		scale:    2,
+		attempts: 50,
+		budget:   5 * time.Minute,
+	})
+}

@@ -1,0 +1,320 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stridepf/internal/api"
+	"stridepf/internal/chaos"
+	"stridepf/internal/client"
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/server"
+	"stridepf/internal/simcheck"
+	"stridepf/internal/workloads"
+)
+
+// The convergence soak: a drifting workload (simcheck.DriftKernel) keeps
+// uploading profiles while a subscriber follows GET /v1/plan/watch through
+// a fault-injected transport. Every phase flip rotates the kernel's true
+// strides, so the decayed window must re-converge the plan within a
+// bounded number of rounds — and the subscriber, despite cut, truncated,
+// 5xx'd and dropped connections (plus one deliberate disconnect/resume
+// from the last applied epoch), must see every plan delta exactly once:
+// epochs 1..E in order, and replaying them over an empty plan must
+// reproduce the server's full plan byte for byte. See TESTING.md.
+
+var convergeSeq atomic.Uint64
+
+// registerConvergeKernel registers a fresh drift kernel under a name no
+// earlier test in this binary has taken.
+func registerConvergeKernel(t *testing.T) *simcheck.DriftKernel {
+	t.Helper()
+	for {
+		k := simcheck.NewDriftKernel(0xC0A0 + convergeSeq.Add(1))
+		if err := workloads.Register(k); err == nil {
+			return k
+		}
+	}
+}
+
+// convergeParams sizes one convergence soak run.
+type convergeParams struct {
+	seed     uint64
+	preRound int     // phase-0 rounds before the first drift
+	flips    int     // phase changes; each must re-converge
+	perFlip  int     // round budget per flip (α=0.5 needs 2, see below)
+	scale    float64 // subscription-transport fault multiplier
+	attempts int     // subscriber budget for consecutive dead connections
+	budget   time.Duration
+}
+
+// planStrideSet renders a full plan as a sorted stride multiset string —
+// the ground-truth fingerprint a converged plan must match.
+func planStrideSet(plan []api.PlanChange) string {
+	counts := make(map[int64]int)
+	for _, c := range plan {
+		if c.Class != "none" {
+			counts[c.Stride]++
+		}
+	}
+	return fmt.Sprint(counts)
+}
+
+func strideSet(strides []int64) string {
+	counts := make(map[int64]int)
+	for _, s := range strides {
+		counts[s]++
+	}
+	return fmt.Sprint(counts)
+}
+
+// applyDelta folds one delta into a consumer-side plan replica.
+func applyDelta(plan map[string]api.PlanChange, d api.PlanDelta) {
+	if d.Reset {
+		for k := range plan {
+			delete(plan, k)
+		}
+	}
+	for _, c := range d.Changes {
+		key := fmt.Sprintf("%s#%d", c.Func, c.ID)
+		if c.Class == "none" {
+			delete(plan, key)
+			continue
+		}
+		plan[key] = c
+	}
+}
+
+// runConvergeSoak executes one seeded convergence soak and checks three
+// oracles: bounded re-convergence after every drift, exactly-once delta
+// delivery through the storm, and consumer/server plan agreement.
+func runConvergeSoak(t *testing.T, p convergeParams) {
+	t.Helper()
+	t.Logf("converge soak: seed=%d flips=%d scale=%.2f (replay: CHAOS_SEED=%d)",
+		p.seed, p.flips, p.scale, p.seed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.budget)
+	defer cancel()
+
+	k := registerConvergeKernel(t)
+	const config = "chaos"
+
+	// Transport faults only on the subscription side: the uploads that
+	// drive reclassification stay clean, so every failure the subscriber
+	// survives is the watch stream's own resume logic, not upload retries.
+	// No DropResponse here: that fault drains the response body to EOF to
+	// prove the server committed, which never returns on an endless SSE
+	// stream; Cut already models an established-then-lost subscription.
+	// Stream-fatal rates (cut+partial+status) must stay clear of the
+	// subscriber's consecutive-failure budget even at the full soak's
+	// doubled scale: 0.74^50 leaves no realistic all-fatal streak.
+	plan := chaos.NewPlan(p.seed, chaos.Rule{})
+	plan.SetRule("sub/rt", chaos.Rule{
+		CutRate: 0.15 * p.scale, SlowRate: 0.08 * p.scale, PartialRate: 0.12 * p.scale,
+		StatusRate: 0.10 * p.scale,
+		MaxLatency: 2 * time.Millisecond,
+	})
+
+	srv := server.New(server.Config{
+		Log: log.New(io.Discard, "", 0),
+		// A fast heartbeat keeps cut SSE streams from idling out the run.
+		Plan: server.PlanConfig{Heartbeat: 5 * time.Millisecond},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv, ErrorLog: log.New(io.Discard, "", 0)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Clean producer-side client: uploads and status reads.
+	prod, err := client.New(client.Config{
+		BaseURL: base, MaxAttempts: 4,
+		BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chaos subscriber.
+	sub, err := client.New(client.Config{
+		BaseURL:     base,
+		HTTP:        &http.Client{Transport: &chaos.Transport{In: plan.Injector("sub/rt")}},
+		MaxAttempts: p.attempts,
+		BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond,
+		RetryAfterCap: 10 * time.Millisecond,
+		Breaker:       client.BreakerConfig{FailureThreshold: 10, Cooldown: 5 * time.Millisecond},
+		Rand:          plan.Rand("sub/jitter"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The watcher must exist before uploads feed it (lazy creation).
+	if st, err := prod.PlanStatus(ctx, k.Name(), config); err != nil || st.Epoch != 0 {
+		t.Fatalf("creating watcher: %+v, %v", st, err)
+	}
+
+	// Subscriber: applies every delta to a local plan replica. After the
+	// second delta it deliberately drops the subscription and resumes a
+	// fresh one from the last applied epoch — the disconnected-consumer
+	// path — with chaos supplying unplanned cuts throughout.
+	subCtx, subCancel := context.WithCancel(ctx)
+	defer subCancel()
+	var lastSeen atomic.Uint64
+	var epochs []uint64
+	replica := make(map[string]api.PlanChange)
+	errHandoff := errors.New("planned disconnect")
+	subDone := make(chan error, 1)
+	go func() {
+		deliver := func(d api.PlanDelta) error {
+			epochs = append(epochs, d.Epoch)
+			applyDelta(replica, d)
+			lastSeen.Store(d.Epoch)
+			if len(epochs) == 2 {
+				return errHandoff
+			}
+			return nil
+		}
+		err := sub.Subscribe(subCtx, k.Name(), config, 0, deliver)
+		if errors.Is(err, errHandoff) {
+			err = sub.Subscribe(subCtx, k.Name(), config, lastSeen.Load(), deliver)
+		}
+		subDone <- err
+	}()
+
+	// upload profiles the kernel in its current phase and pushes the shard;
+	// each non-replayed upload is one reclassification round.
+	upload := func() {
+		t.Helper()
+		pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+			Method: instrument.NaiveLoop,
+		}, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prod.UploadShard(ctx, k.Name(), config, pr.Profiles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// converged polls the plan until it matches the kernel's current truth.
+	converged := func(rounds int) bool {
+		t.Helper()
+		want := strideSet(k.Strides())
+		for r := 0; r < rounds; r++ {
+			upload()
+			st, err := prod.PlanStatus(ctx, k.Name(), config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Plan) == len(k.Strides()) && planStrideSet(st.Plan) == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	if !converged(p.preRound) {
+		t.Fatalf("plan never matched phase-0 truth within %d rounds (seed %d)", p.preRound, p.seed)
+	}
+	// Drift: every flip rotates all true strides; the decayed window
+	// (α=0.5) outweighs the stale phase once fresh rounds carry a
+	// 1-2^-m ≥ 0.70 share, i.e. m=2 — p.perFlip adds slack over that.
+	for flip := 1; flip <= p.flips; flip++ {
+		k.SetPhase(flip)
+		if !converged(p.perFlip) {
+			t.Fatalf("flip %d: plan did not re-converge within %d rounds (seed %d)",
+				flip, p.perFlip, p.seed)
+		}
+	}
+
+	// Let the subscriber drain to the final epoch, then shut it down.
+	final, err := prod.PlanStatus(ctx, k.Name(), config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Epoch < uint64(1+p.flips) {
+		t.Errorf("only %d epochs after %d flips: drift minted no deltas (seed %d)",
+			final.Epoch, p.flips, p.seed)
+	}
+	var subErr error
+	for lastSeen.Load() < final.Epoch {
+		select {
+		case <-ctx.Done():
+			t.Fatalf("subscriber stuck at epoch %d of %d: %v (seed %d)",
+				lastSeen.Load(), final.Epoch, ctx.Err(), p.seed)
+		case subErr = <-subDone:
+			t.Fatalf("subscriber died at epoch %d of %d: %v (seed %d)",
+				lastSeen.Load(), final.Epoch, subErr, p.seed)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	subCancel()
+	if subErr = <-subDone; subErr != nil && !errors.Is(subErr, context.Canceled) {
+		t.Fatalf("subscriber failed: %v (seed %d)", subErr, p.seed)
+	}
+
+	// Oracle 1: exactly-once — epochs 1..E in order, no gap, no duplicate.
+	if len(epochs) != int(final.Epoch) {
+		t.Fatalf("delivered %d deltas for %d epochs: %v (seed %d)",
+			len(epochs), final.Epoch, epochs, p.seed)
+	}
+	for i, e := range epochs {
+		if e != uint64(i+1) {
+			t.Fatalf("delivered epochs %v: gap or duplicate at index %d (seed %d)", epochs, i, p.seed)
+		}
+	}
+
+	// Oracle 2: replaying the deltas reproduces the server's full plan.
+	if len(replica) != len(final.Plan) {
+		t.Fatalf("replica has %d loads, server plan %d (seed %d)", len(replica), len(final.Plan), p.seed)
+	}
+	for _, c := range final.Plan {
+		key := fmt.Sprintf("%s#%d", c.Func, c.ID)
+		got, ok := replica[key]
+		if !ok {
+			t.Fatalf("replica missing %s (seed %d)", key, p.seed)
+		}
+		if got.Class != c.Class || got.Stride != c.Stride || got.K != c.K || got.CoverLines != c.CoverLines {
+			t.Fatalf("replica %s = %+v, server %+v (seed %d)", key, got, c, p.seed)
+		}
+	}
+	// ... and the converged plan matches the kernel's final ground truth.
+	if planStrideSet(final.Plan) != strideSet(k.Strides()) {
+		t.Fatalf("final plan strides %s, truth %s (seed %d)",
+			planStrideSet(final.Plan), strideSet(k.Strides()), p.seed)
+	}
+
+	// The storm must have stormed.
+	if n := plan.TotalFaults(); n == 0 {
+		t.Errorf("zero faults injected on the subscription transport (seed %d)", p.seed)
+	}
+	for _, r := range plan.Report() {
+		t.Logf("  %-12s %s", r.Site, r.Counts)
+	}
+}
+
+// TestConvergeSubscriptionChaosShortened is the tier-1 convergence soak:
+// two drifts, a moderate storm, bounded well under tier-1 runtime.
+func TestConvergeSubscriptionChaosShortened(t *testing.T) {
+	runConvergeSoak(t, convergeParams{
+		seed:     soakSeed(t, 1),
+		preRound: 4,
+		flips:    3,
+		perFlip:  5,
+		scale:    1,
+		attempts: 25,
+		budget:   2 * time.Minute,
+	})
+}

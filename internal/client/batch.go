@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 )
 
@@ -32,31 +33,16 @@ type BatchResult struct {
 	Err      string
 }
 
-// wire forms shared with the server's batch handler.
-type batchWireShard struct {
-	Workload string          `json:"workload"`
-	Config   string          `json:"config"`
-	IdemKey  string          `json:"idemKey"`
-	Profile  json.RawMessage `json:"profile"`
-}
-
-type batchWireResult struct {
-	Workload string       `json:"workload"`
-	Config   string       `json:"config"`
-	Info     *ProfileInfo `json:"info,omitempty"`
-	Replayed bool         `json:"replayed,omitempty"`
-	Error    string       `json:"error,omitempty"`
-}
-
-// UploadBatch uploads many shards in one POST /v1/profiles/batch request.
-// The returned results parallel the input order. The error covers the
-// request as a whole (transport failure, retry budget exhausted, malformed
-// batch); per-shard rejections land in the matching result's Err instead.
+// UploadBatch uploads many shards in one POST /v1/profiles/batch request
+// (wire shapes api.BatchRequest / api.BatchResponse). The returned results
+// parallel the input order. The error covers the request as a whole
+// (transport failure, retry budget exhausted, malformed batch); per-shard
+// rejections land in the matching result's Err instead.
 func (c *Client) UploadBatch(ctx context.Context, shards []BatchShard) ([]BatchResult, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("client: empty batch")
 	}
-	wire := make([]batchWireShard, len(shards))
+	wire := make([]api.BatchShard, len(shards))
 	for i, sh := range shards {
 		var buf bytes.Buffer
 		if err := profile.DefaultCodec.Encode(&buf, sh.Profile); err != nil {
@@ -66,12 +52,12 @@ func (c *Client) UploadBatch(ctx context.Context, shards []BatchShard) ([]BatchR
 		if key == "" {
 			key = NewIdempotencyKey()
 		}
-		wire[i] = batchWireShard{
+		wire[i] = api.BatchShard{
 			Workload: sh.Workload, Config: sh.Config,
 			IdemKey: key, Profile: buf.Bytes(),
 		}
 	}
-	body, err := json.Marshal(map[string]any{"shards": wire})
+	body, err := json.Marshal(api.BatchRequest{Shards: wire})
 	if err != nil {
 		return nil, fmt.Errorf("client: encode batch: %w", err)
 	}
@@ -81,9 +67,7 @@ func (c *Client) UploadBatch(ctx context.Context, shards []BatchShard) ([]BatchR
 	var results []BatchResult
 	err = c.do(ctx, http.MethodPost, "/v1/profiles/batch", nil, body, hdr,
 		func(_ http.Header, respBody []byte) error {
-			var doc struct {
-				Results []batchWireResult `json:"results"`
-			}
+			var doc api.BatchResponse
 			if err := json.Unmarshal(respBody, &doc); err != nil {
 				return err
 			}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 )
 
@@ -118,16 +119,25 @@ func New(cfg Config) (*Client, error) {
 // Breaker exposes the client's circuit breaker (tests, dashboards).
 func (c *Client) Breaker() *Breaker { return c.breaker }
 
-// StatusError is a non-2xx response. Temporary reports whether the status
-// is worth retrying (429 and all 5xx).
+// StatusError is a non-2xx response. API carries the decoded error
+// envelope — every /v1 endpoint answers errors as api.Error JSON, and
+// plain-text bodies from proxies or older servers are synthesized into
+// one — so callers switch on a stable error code instead of matching
+// body text.
 type StatusError struct {
 	Code int
 	Body string
+	// API is the decoded (or synthesized) error envelope; never nil for
+	// errors produced by this package.
+	API *api.Error
 	// RetryAfter is the parsed Retry-After hint (zero when absent).
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
+	if e.API != nil {
+		return fmt.Sprintf("client: server returned %d: %s (%s)", e.Code, e.API.Message, e.API.Code)
+	}
 	body := e.Body
 	if len(body) > 200 {
 		body = body[:200] + "..."
@@ -135,8 +145,12 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(body))
 }
 
-// Temporary reports whether retrying can help.
+// Temporary reports whether retrying can help: the envelope's error code
+// decides, falling back to the status class (429 and all 5xx).
 func (e *StatusError) Temporary() bool {
+	if e.API != nil {
+		return e.API.Temporary()
+	}
 	return e.Code == http.StatusTooManyRequests || e.Code >= 500
 }
 
@@ -257,7 +271,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 		return &bodyError{err: err}
 	}
 	if resp.StatusCode >= 400 {
-		se := &StatusError{Code: resp.StatusCode, Body: string(data)}
+		se := &StatusError{
+			Code: resp.StatusCode,
+			Body: string(data),
+			API:  api.DecodeErrorBody(resp.StatusCode, data),
+		}
 		if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), c.now()); ok {
 			se.RetryAfter = ra
 		}
@@ -273,16 +291,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 
 // ---- typed API ----
 
-// Health mirrors GET /healthz.
-type Health struct {
-	Status        string `json:"status"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
-	InFlight      int    `json:"in_flight"`
-	Queued        int    `json:"queued"`
-	Served        int64  `json:"served"`
-	Rejected      int64  `json:"rejected"`
-	Profiles      int    `json:"profiles"`
-}
+// Health is the GET /healthz document (the shared wire type).
+type Health = api.Health
 
 // Health fetches the daemon's liveness and load counters.
 func (c *Client) Health(ctx context.Context) (Health, error) {
@@ -292,17 +302,11 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return h, err
 }
 
-// ProfileInfo mirrors the server's per-aggregate entry info.
-type ProfileInfo struct {
-	Workload     string `json:"workload"`
-	Config       string `json:"config"`
-	Version      int    `json:"version"`
-	Shards       int    `json:"shards"`
-	FineInterval int    `json:"fineInterval"`
-	// Deduped reports that the server replayed a previously committed
-	// upload with the same idempotency key instead of merging again.
-	Deduped bool `json:"-"`
-}
+// ProfileInfo is the server's per-aggregate entry info (the shared wire
+// type). Its Deduped field is client-side only: this package sets it when
+// the server replayed a previously committed upload with the same
+// idempotency key instead of merging again.
+type ProfileInfo = api.ProfileInfo
 
 // NewIdempotencyKey returns a fresh random upload key.
 func NewIdempotencyKey() string {
@@ -375,9 +379,7 @@ func (c *Client) FetchProfile(ctx context.Context, workload, config string) (*pr
 
 // ListProfiles fetches the stored aggregate listing.
 func (c *Client) ListProfiles(ctx context.Context) ([]ProfileInfo, error) {
-	var doc struct {
-		Profiles []ProfileInfo `json:"profiles"`
-	}
+	var doc api.ProfileList
 	err := c.do(ctx, http.MethodGet, "/v1/profiles", nil, nil, nil,
 		func(_ http.Header, body []byte) error { return json.Unmarshal(body, &doc) })
 	return doc.Profiles, err
@@ -400,29 +402,13 @@ func (c *Client) FigureText(ctx context.Context, name, format string, workloads 
 	return text, err
 }
 
-// Decision mirrors one classification decision of GET /v1/classify.
-type Decision struct {
-	Func       string  `json:"func"`
-	ID         int     `json:"id"`
-	Class      string  `json:"class"`
-	InLoop     bool    `json:"inLoop"`
-	Freq       uint64  `json:"freq"`
-	Trip       float64 `json:"trip"`
-	Stride     int64   `json:"stride"`
-	K          int     `json:"k"`
-	CoverLines int     `json:"coverLines"`
-	FilteredBy string  `json:"filteredBy,omitempty"`
-}
+// Decision is one classification decision of GET /v1/classify (the
+// shared wire type).
+type Decision = api.Decision
 
-// ClassifyReport is the response of GET /v1/classify/{workload}/{config}.
-type ClassifyReport struct {
-	Workload  string     `json:"workload"`
-	Config    string     `json:"config"`
-	Version   int        `json:"version"`
-	Shards    int        `json:"shards"`
-	Inserted  int        `json:"inserted"`
-	Decisions []Decision `json:"decisions"`
-}
+// ClassifyReport is the response of GET /v1/classify/{workload}/{config}
+// (the shared wire type).
+type ClassifyReport = api.ClassifyReport
 
 // Classify runs the server-side classification of a workload against its
 // stored profile aggregate.

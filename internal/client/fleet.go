@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 	"stridepf/internal/ring"
 )
@@ -126,6 +127,22 @@ func (f *Fleet) FetchProfile(ctx context.Context, workload, config string) (*pro
 // only node holding the aggregate).
 func (f *Fleet) Classify(ctx context.Context, workload, config string) (*ClassifyReport, error) {
 	return f.For(workload, config).Classify(ctx, workload, config)
+}
+
+// Subscribe streams plan deltas from the node owning the (workload,
+// config) aggregate — the only node whose watcher sees its uploads.
+func (f *Fleet) Subscribe(ctx context.Context, workload, config string, from uint64, deliver func(api.PlanDelta) error) error {
+	return f.For(workload, config).Subscribe(ctx, workload, config, from, deliver)
+}
+
+// PlanStatus fetches the plan watcher state from the owning node.
+func (f *Fleet) PlanStatus(ctx context.Context, workload, config string) (api.PlanStatus, error) {
+	return f.For(workload, config).PlanStatus(ctx, workload, config)
+}
+
+// PlanFeedback reports a consumer outcome to the owning node.
+func (f *Fleet) PlanFeedback(ctx context.Context, fb api.PlanFeedback) (api.PlanFeedbackAck, error) {
+	return f.For(fb.Workload, fb.Config).PlanFeedback(ctx, fb)
 }
 
 // ListProfiles fans out to every node and returns the union sorted by

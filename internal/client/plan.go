@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"stridepf/internal/api"
+)
+
+// The plan-subscription side of the online PGO loop. Subscribe keeps one
+// SSE stream to GET /v1/plan/watch open and hands every plan delta to the
+// caller exactly once: reconnects resume from the last delivered epoch,
+// and the client-side epoch filter drops anything the server replays at
+// or below it. PlanStatus and PlanFeedback are the loop's read-back and
+// report-back calls.
+
+// Subscribe streams plan deltas for (workload, config), calling deliver
+// once per delta in strict epoch order. from resumes after the given
+// epoch: a consumer that has applied deltas up to epoch N passes N and
+// receives N+1 onward (or one Reset snapshot when N has aged out of the
+// server's history ring); 0 subscribes from the beginning.
+//
+// Transport failures and temporary statuses reconnect with the client's
+// backoff from the last delivered epoch; cfg.MaxAttempts bounds
+// consecutive failed connections, and any delivered delta resets that
+// budget. The call returns when ctx ends, when deliver returns a non-nil
+// error (returned as-is), or on a terminal server response such as
+// api.CodeBadEpoch — a daemon restarted with empty state answers that to
+// a stale resume epoch, and the consumer must restart from scratch.
+func (c *Client) Subscribe(ctx context.Context, workload, config string, from uint64, deliver func(api.PlanDelta) error) error {
+	last := from
+	failures := 0
+	var lastErr error
+	for {
+		if failures > 0 {
+			if err := c.sleep(ctx, c.delayFor(lastErr, failures-1)); err != nil {
+				return fmt.Errorf("client: subscribe %s/%s: %w (after %v)", workload, config, err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("client: subscribe %s/%s: %w", workload, config, err)
+		}
+		if err := c.breaker.Allow(); err != nil {
+			failures++
+			lastErr = err
+			if failures >= c.cfg.maxAttempts() {
+				return fmt.Errorf("client: subscribe %s/%s: giving up after %d attempts: %w",
+					workload, config, failures, lastErr)
+			}
+			continue
+		}
+
+		delivered, err := c.streamOnce(ctx, workload, config, &last, deliver)
+		if err == nil {
+			// deliver asked to stop, or ctx ended mid-stream.
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("client: subscribe %s/%s: %w", workload, config, cerr)
+			}
+			return nil
+		}
+		if delivered {
+			c.breaker.OnSuccess()
+			failures = 0
+		}
+		var de *deliverError
+		if errors.As(err, &de) {
+			return de.err
+		}
+		if !retryable(err) || errors.Is(err, context.Canceled) {
+			if retryable(err) {
+				c.breaker.OnFailure()
+			} else {
+				c.breaker.OnSuccess() // the server answered; it is alive
+			}
+			return fmt.Errorf("client: subscribe %s/%s: %w", workload, config, err)
+		}
+		c.breaker.OnFailure()
+		failures++
+		lastErr = err
+		if failures >= c.cfg.maxAttempts() {
+			return fmt.Errorf("client: subscribe %s/%s: giving up after %d attempts: %w",
+				workload, config, failures, lastErr)
+		}
+	}
+}
+
+// deliverError wraps an error returned by the deliver callback so
+// Subscribe can distinguish "the consumer wants out" from stream faults.
+type deliverError struct{ err error }
+
+func (e *deliverError) Error() string { return e.err.Error() }
+func (e *deliverError) Unwrap() error { return e.err }
+
+// streamOnce opens one SSE connection resuming after *last and pumps
+// events until the stream breaks. It advances *last per delivered delta
+// and reports whether anything was delivered on this connection. A nil
+// error means deliver terminated the subscription on purpose.
+func (c *Client) streamOnce(ctx context.Context, workload, config string, last *uint64, deliver func(api.PlanDelta) error) (delivered bool, err error) {
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/v1/plan/watch"
+	q := url.Values{}
+	q.Set("workload", workload)
+	q.Set("config", config)
+	q.Set("from", strconv.FormatUint(*last, 10))
+	u.RawQuery = q.Encode()
+
+	// Deliberately no AttemptTimeout: the stream is long-lived by design,
+	// kept honest by the server's heartbeats; only ctx bounds it.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data := make([]byte, 4096)
+		n, _ := resp.Body.Read(data)
+		se := &StatusError{
+			Code: resp.StatusCode,
+			Body: string(data[:n]),
+			API:  api.DecodeErrorBody(resp.StatusCode, data[:n]),
+		}
+		if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), c.now()); ok {
+			se.RetryAfter = ra
+		}
+		return false, se
+	}
+
+	rd := api.NewEventReader(resp.Body)
+	for {
+		ev, err := rd.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				// The consumer cancelled; surface a clean shutdown.
+				return delivered, nil
+			}
+			return delivered, &bodyError{err: err}
+		}
+		if ev.Name != "plan" {
+			continue
+		}
+		var d api.PlanDelta
+		if err := json.Unmarshal([]byte(ev.Data), &d); err != nil {
+			return delivered, &bodyError{err: err}
+		}
+		switch {
+		case d.Epoch <= *last:
+			// Replay of something already applied (reconnect overlap);
+			// exactly-once means dropping it here.
+			continue
+		case !d.Reset && d.Epoch != *last+1:
+			// A gap means this stream lost a delta; resuming from *last
+			// forces the server to replay the missing suffix.
+			return delivered, &bodyError{err: fmt.Errorf("delta epoch %d after %d", d.Epoch, *last)}
+		}
+		if err := deliver(d); err != nil {
+			return delivered, &deliverError{err: err}
+		}
+		*last = d.Epoch
+		delivered = true
+	}
+}
+
+// PlanStatus fetches the watcher's current epoch range, full plan and
+// retained feedback for (workload, config).
+func (c *Client) PlanStatus(ctx context.Context, workload, config string) (api.PlanStatus, error) {
+	q := url.Values{}
+	q.Set("workload", workload)
+	q.Set("config", config)
+	var st api.PlanStatus
+	err := c.do(ctx, http.MethodGet, "/v1/plan/status", q, nil, nil,
+		func(_ http.Header, body []byte) error { return json.Unmarshal(body, &st) })
+	return st, err
+}
+
+// PlanFeedback reports a consumer's realized outcome for the plan epoch
+// it has applied, closing the online loop.
+func (c *Client) PlanFeedback(ctx context.Context, fb api.PlanFeedback) (api.PlanFeedbackAck, error) {
+	body, err := json.Marshal(fb)
+	if err != nil {
+		return api.PlanFeedbackAck{}, fmt.Errorf("client: encode feedback: %w", err)
+	}
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	var ack api.PlanFeedbackAck
+	err = c.do(ctx, http.MethodPost, "/v1/plan/feedback", nil, body, hdr,
+		func(_ http.Header, respBody []byte) error { return json.Unmarshal(respBody, &ack) })
+	return ack, err
+}

@@ -259,6 +259,24 @@ func (s *Session) workload(name string) (core.Workload, error) {
 	return w, nil
 }
 
+// ClassifyProfile runs the feedback pass of workload wname over an
+// externally supplied profile — a store aggregate or an online window
+// snapshot — under the session's prefetch options (wsst additionally
+// enables weak-single-stride insertion). Unlike the figure cells it is
+// deliberately not memoised: the online PGO loop classifies a freshly
+// decayed snapshot every round, so no two calls see the same input.
+func (s *Session) ClassifyProfile(wname string, prof *profile.Combined, wsst bool) (*prefetch.Result, error) {
+	w, err := s.workload(wname)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.cfg.Prefetch
+	if wsst {
+		opts.EnableWSST = true
+	}
+	return prefetch.Apply(w.Program(), prof, opts)
+}
+
 // Profile returns the memoised profiling run of the workload under the
 // given method and input.
 func (s *Session) Profile(ctx context.Context, wname string, m MethodSpec, in core.Input) (*core.ProfileRun, error) {

@@ -1,0 +1,32 @@
+package opt
+
+import (
+	"testing"
+
+	"stridepf/internal/irgen"
+)
+
+// TestLICMSingleTripNoGrowth pins the executed-count bound on a generated
+// program whose loop runs its body exactly once per entry (i counts 0..1).
+// LICM used to split the entry edge into a fresh preheader, and the split's
+// br executed once per entry while the five hoisted instructions saved
+// nothing — growing the dynamic count 26 -> 27 and tripping
+// TestDifferentialOptimizer's never-grow oracle on this seed. Hoisted code
+// now rides in the unconditional entry-edge source instead, and loops whose
+// only entry is a conditional edge are left alone.
+func TestLICMSingleTripNoGrowth(t *testing.T) {
+	seed := uint64(0xe2d51ab1ae2e045b)
+	prog := irgen.Generate(seed, irgen.Config{})
+	want, baseInstrs := runProg(t, prog)
+	out, st, err := Run(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, optInstrs := runProg(t, out)
+	if got != want {
+		t.Fatalf("checksum changed: %d -> %d", want, got)
+	}
+	if optInstrs > baseInstrs {
+		t.Errorf("executed count grew %d -> %d (stats %+v)", baseInstrs, optInstrs, st)
+	}
+}

@@ -402,6 +402,33 @@ func licmOnce(f *ir.Function) int {
 			return true
 		}
 
+		// Exiting blocks: loop blocks with an edge out of the loop. A hoist
+		// source must execute at least once whenever the loop is entered,
+		// or a zero-trip traversal (header test fails immediately) would
+		// execute the hoisted instruction in the preheader without ever
+		// reaching its original block — growing the executed count the
+		// differential oracle pins. The source therefore must dominate
+		// every exiting block; the header itself may be exempted when the
+		// loop's first header evaluation provably branches into the loop.
+		var exiting []*ir.Block
+		for blk := range l.Blocks {
+			for _, succ := range blk.Succs() {
+				if !l.Blocks[succ] {
+					exiting = append(exiting, blk)
+					break
+				}
+			}
+		}
+		entryProven := false
+		entryChecked := false
+		headerEntered := func() bool {
+			if !entryChecked {
+				entryChecked = true
+				entryProven = firstIterationEnters(f, dom, l)
+			}
+			return entryProven
+		}
+
 		var candidates []*ir.Instr
 		blockOf := map[*ir.Instr]*ir.Block{}
 		// Iterate members in a deterministic order (loop membership is a
@@ -413,10 +440,10 @@ func licmOnce(f *ir.Function) int {
 		}
 		sort.Slice(members, func(i, j int) bool { return members[i].Index < members[j].Index })
 		for _, blk := range members {
-			// Only hoist from blocks that execute on every iteration — the
-			// header dominates them and they dominate the latch. A simpler
-			// sufficient condition: hoist only from the header itself and
-			// from blocks dominating all back-edge sources.
+			// Only hoist from blocks that execute at least once whenever
+			// the loop is entered: the block must dominate all back-edge
+			// sources (runs every iteration) and all exiting blocks (runs
+			// even on a zero-trip traversal).
 			for _, in := range blk.Instrs {
 				movable := pure(in.Op) || (in.Op == ir.OpLoad && !writes)
 				if !movable || in.Pred.Valid() || !in.Dst.Valid() {
@@ -431,6 +458,22 @@ func licmOnce(f *ir.Function) int {
 				if !dominatesAllLatches(dom, l, blk) {
 					continue
 				}
+				safe := true
+				for _, e := range exiting {
+					if dom.Dominates(blk, e) {
+						continue
+					}
+					// The header is the one exit the block may skip: if the
+					// first test provably enters the loop, every traversal
+					// reaches a latch or a dominated exit — both behind blk.
+					if e != l.Header || !headerEntered() {
+						safe = false
+						break
+					}
+				}
+				if !safe {
+					continue
+				}
 				candidates = append(candidates, in)
 				blockOf[in] = blk
 			}
@@ -439,12 +482,20 @@ func licmOnce(f *ir.Function) int {
 			continue
 		}
 
-		// Single entry edge required for a simple preheader; split it.
+		// Single entry edge required for a simple preheader.
 		if len(l.EntryEdges) != 1 {
 			continue
 		}
-		pre := f.SplitEdge(l.EntryEdges[0].From, l.EntryEdges[0].To)
-		f.RebuildEdges()
+		// Host the hoisted instructions at the end of the entry edge's
+		// source block when it branches unconditionally to the header:
+		// no new block, no new executed instruction. Splitting a
+		// conditional entry edge would add a br that runs once per loop
+		// entry — a net growth on single-trip loops, which the
+		// differential oracle's never-grow bound forbids.
+		pre := l.EntryEdges[0].From
+		if term := pre.Terminator(); term == nil || term.Op != ir.OpBr {
+			continue
+		}
 
 		n := 0
 		for _, in := range candidates {
@@ -471,4 +522,139 @@ func dominatesAllLatches(dom *cfg.DomTree, l *cfg.Loop, b *ir.Block) bool {
 		}
 	}
 	return true
+}
+
+// firstIterationEnters reports whether the loop's first header evaluation
+// provably branches into the loop, i.e. the loop body runs at least once
+// per entry. It resolves each register's value at loop entry (the single
+// outside-loop unpredicated const def in a block dominating the header;
+// in-loop defs have not executed yet), simulates the header's straight
+// line over those constants, and folds the terminator's condition.
+func firstIterationEnters(f *ir.Function, dom *cfg.DomTree, l *cfg.Loop) bool {
+	term := l.Header.Terminator()
+	if term == nil || term.Op != ir.OpCondBr || term.Pred.Valid() {
+		return false
+	}
+	type def struct {
+		in  *ir.Instr
+		blk *ir.Block
+	}
+	outDefs := make(map[ir.Reg][]def)
+	for _, blk := range f.Blocks {
+		if l.Blocks[blk] {
+			continue
+		}
+		for _, in := range blk.Instrs {
+			if in.Dst.Valid() {
+				outDefs[in.Dst] = append(outDefs[in.Dst], def{in, blk})
+			}
+		}
+	}
+	vals := make(map[ir.Reg]int64)
+	params := make(map[ir.Reg]bool, len(f.Params))
+	for _, p := range f.Params {
+		params[p] = true
+	}
+	reentrant := loopReentrant(l)
+	for r, ds := range outDefs {
+		if len(ds) != 1 || params[r] {
+			continue
+		}
+		// A register the loop itself writes only holds its outside const
+		// on the *first* entry; if control can come back around to the
+		// header after an exit, the stale in-loop value decides the test.
+		if reentrant && definedInLoop(l, r) {
+			continue
+		}
+		d := ds[0]
+		if d.in.Op == ir.OpConst && !d.in.Pred.Valid() && dom.Dominates(d.blk, l.Header) {
+			vals[r] = d.in.Imm
+		}
+	}
+	for _, in := range l.Header.Instrs[:len(l.Header.Instrs)-1] {
+		if !in.Dst.Valid() {
+			continue
+		}
+		v, ok := evalEntry(in, vals)
+		if ok && !in.Pred.Valid() {
+			vals[in.Dst] = v
+		} else {
+			delete(vals, in.Dst)
+		}
+	}
+	cond, ok := vals[term.Src[0]]
+	if !ok {
+		return false
+	}
+	taken := term.Targets[1]
+	if cond != 0 {
+		taken = term.Targets[0]
+	}
+	return l.Blocks[taken]
+}
+
+// loopReentrant reports whether control can reach the header again after
+// leaving the loop, i.e. the loop may be entered more than once per call.
+func loopReentrant(l *cfg.Loop) bool {
+	seen := make(map[*ir.Block]bool)
+	var stack []*ir.Block
+	for blk := range l.Blocks {
+		for _, succ := range blk.Succs() {
+			if !l.Blocks[succ] && !seen[succ] {
+				seen[succ] = true
+				stack = append(stack, succ)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, succ := range b.Succs() {
+			if succ == l.Header {
+				return true
+			}
+			if !seen[succ] {
+				seen[succ] = true
+				stack = append(stack, succ)
+			}
+		}
+	}
+	return false
+}
+
+func definedInLoop(l *cfg.Loop, r ir.Reg) bool {
+	for blk := range l.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalEntry folds one instruction over known constant register values.
+func evalEntry(in *ir.Instr, vals map[ir.Reg]int64) (int64, bool) {
+	switch in.Op {
+	case ir.OpConst:
+		return in.Imm, true
+	case ir.OpMov:
+		v, ok := vals[in.Src[0]]
+		return v, ok
+	case ir.OpAddI, ir.OpShlI, ir.OpShrI, ir.OpAndI:
+		a, ok := vals[in.Src[0]]
+		if !ok {
+			return 0, false
+		}
+		return evalImm(in.Op, a, in.Imm)
+	}
+	if !in.Src[0].Valid() || !in.Src[1].Valid() {
+		return 0, false
+	}
+	a, aok := vals[in.Src[0]]
+	b, bok := vals[in.Src[1]]
+	if !aok || !bok {
+		return 0, false
+	}
+	return evalBinary(in.Op, a, b)
 }

@@ -1,0 +1,227 @@
+package profile
+
+import (
+	"testing"
+
+	"stridepf/internal/lfu"
+	"stridepf/internal/machine"
+	"stridepf/internal/stride"
+)
+
+// shardWithStride builds a one-load shard whose top stride is v with
+// frequency f (plus the matching totals), the shape one profiling round of
+// a regular-stride loop produces.
+func shardWithStride(v int64, f int64) *Combined {
+	c := &Combined{Edge: NewEdgeProfile(), Interval: 1}
+	c.Edge.Set(EdgeKey{Func: "f", From: 0, To: 1}, uint64(f))
+	c.Edge.SetEntryCount("f", 1)
+	c.Stride = NewStrideProfile([]stride.Summary{{
+		Key:          machine.LoadKey{Func: "f", ID: 1},
+		TopStrides:   []lfu.Entry{{Value: v, Freq: f}},
+		TotalStrides: f,
+		FineInterval: 1,
+	}})
+	return c
+}
+
+// topShare returns the dominant stride and its share of the load's total
+// samples — the ratio Classify compares against the SSST threshold.
+func topShare(t *testing.T, c *Combined) (int64, float64) {
+	t.Helper()
+	s, ok := c.Stride.Lookup(machine.LoadKey{Func: "f", ID: 1})
+	if !ok {
+		t.Fatal("load not in profile")
+	}
+	if len(s.TopStrides) == 0 || s.TotalStrides == 0 {
+		return 0, 0
+	}
+	return s.TopStrides[0].Value, float64(s.TopStrides[0].Freq) / float64(s.TotalStrides)
+}
+
+func TestDecayScalesAndDrops(t *testing.T) {
+	c := &Combined{Edge: NewEdgeProfile(), Interval: 10}
+	c.Edge.Set(EdgeKey{Func: "f", From: 0, To: 1}, 100)
+	c.Edge.Set(EdgeKey{Func: "f", From: 1, To: 2}, 1) // decays to zero
+	c.Edge.SetEntryCount("f", 7)
+	c.Stride = NewStrideProfile([]stride.Summary{
+		{
+			Key:            machine.LoadKey{Func: "f", ID: 1},
+			TopStrides:     []lfu.Entry{{Value: 16, Freq: 100}, {Value: 8, Freq: 1}},
+			TotalStrides:   101,
+			ZeroStrides:    10,
+			ZeroDiffs:      90,
+			FineInterval:   10,
+			AvgRefDistance: 3.5,
+		},
+		{
+			// Decays away entirely.
+			Key:          machine.LoadKey{Func: "f", ID: 2},
+			TopStrides:   []lfu.Entry{{Value: 4, Freq: 1}},
+			TotalStrides: 1,
+		},
+	})
+
+	d := Decay(c, 0.5)
+	if got := d.Edge.Count(EdgeKey{Func: "f", From: 0, To: 1}); got != 50 {
+		t.Errorf("edge count = %d, want 50", got)
+	}
+	if got := d.Edge.Count(EdgeKey{Func: "f", From: 1, To: 2}); got != 0 {
+		t.Errorf("zero-decayed edge survived with %d", got)
+	}
+	if got := d.Edge.EntryCount("f"); got != 3 {
+		t.Errorf("entry count = %d, want 3 (floor of 3.5)", got)
+	}
+	s, ok := d.Stride.Lookup(machine.LoadKey{Func: "f", ID: 1})
+	if !ok {
+		t.Fatal("load 1 missing after decay")
+	}
+	if len(s.TopStrides) != 1 || s.TopStrides[0] != (lfu.Entry{Value: 16, Freq: 50}) {
+		t.Errorf("TopStrides = %v, want [{16 50}]", s.TopStrides)
+	}
+	if s.TotalStrides != 50 || s.ZeroStrides != 5 || s.ZeroDiffs != 45 {
+		t.Errorf("counters = %d/%d/%d, want 50/5/45", s.TotalStrides, s.ZeroStrides, s.ZeroDiffs)
+	}
+	if s.FineInterval != 10 || s.AvgRefDistance != 3.5 {
+		t.Errorf("structural fields scaled: %d %v", s.FineInterval, s.AvgRefDistance)
+	}
+	if _, ok := d.Stride.Lookup(machine.LoadKey{Func: "f", ID: 2}); ok {
+		t.Error("fully-decayed load survived")
+	}
+	if d.Interval != 10 {
+		t.Errorf("Interval = %d, want 10", d.Interval)
+	}
+	// The input is untouched.
+	if got := c.Edge.Count(EdgeKey{Func: "f", From: 0, To: 1}); got != 100 {
+		t.Errorf("Decay mutated its input: %d", got)
+	}
+}
+
+func TestDecayAlphaOneIsClone(t *testing.T) {
+	c := shardWithStride(16, 100)
+	d := Decay(c, 1)
+	if _, share := topShare(t, d); share != 1 {
+		t.Errorf("share = %v, want 1", share)
+	}
+	d.Edge.Set(EdgeKey{Func: "f", From: 0, To: 1}, 999)
+	if got := c.Edge.Count(EdgeKey{Func: "f", From: 0, To: 1}); got != 100 {
+		t.Error("alpha-1 decay aliases its input")
+	}
+	if Decay(nil, 0.5) != nil {
+		t.Error("Decay(nil) != nil")
+	}
+}
+
+func TestWindowConfigValidation(t *testing.T) {
+	if _, err := NewWindow(WindowConfig{Alpha: -0.1}); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := NewWindow(WindowConfig{Alpha: 1.5}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	w, err := NewWindow(WindowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.alpha != DefaultWindowAlpha {
+		t.Errorf("default alpha = %v", w.alpha)
+	}
+}
+
+// TestWindowReconvergesAfterPhaseChange is the unit-level form of the
+// convergence oracle: after rounds of stride 16, the workload switches to
+// stride 64. The decayed window's dominant share must cross the SSST
+// threshold (0.70) for the new stride within a few rounds, while the
+// undecayed all-time merge of the same shards is still stuck below it.
+func TestWindowReconvergesAfterPhaseChange(t *testing.T) {
+	const ssst = 0.70
+	w, err := NewWindow(WindowConfig{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allTime, err := NewWindow(WindowConfig{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(v int64) {
+		t.Helper()
+		if _, err := w.Add(shardWithStride(v, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := allTime.Add(shardWithStride(v, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for range 3 {
+		add(16)
+	}
+	snap, rounds := w.Snapshot()
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if v, share := topShare(t, snap); v != 16 || share < ssst {
+		t.Fatalf("phase 0 not converged: stride %d share %v", v, share)
+	}
+
+	// Phase change: stride 64 from here on.
+	converged := -1
+	for round := 1; round <= 4; round++ {
+		add(64)
+		snap, _ := w.Snapshot()
+		if v, share := topShare(t, snap); v == 64 && share >= ssst {
+			converged = round
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatal("decayed window never re-converged within 4 rounds")
+	}
+	if converged > 3 {
+		t.Errorf("re-convergence took %d rounds, want <= 3", converged)
+	}
+	// Control: the all-time merge has seen the same shards and is still
+	// dominated by history (3 old rounds vs <= 3 new ones can reach at most
+	// 0.5 until round 4, and even at round 4 only 4/7 ≈ 0.57 < 0.70).
+	atSnap, _ := allTime.Snapshot()
+	if v, share := topShare(t, atSnap); v == 64 && share >= ssst {
+		t.Errorf("undecayed merge converged too (stride %d share %v); the decay is doing nothing", v, share)
+	}
+}
+
+func TestWindowAddMismatchLeavesWindowUnchanged(t *testing.T) {
+	w, err := NewWindow(WindowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Add(shardWithStride(16, 100)); err != nil {
+		t.Fatal(err)
+	}
+	bad := shardWithStride(16, 100)
+	bad.Interval = 7 // conflicts with interval 1
+	if _, err := w.Add(bad); err == nil {
+		t.Fatal("interval mismatch accepted")
+	}
+	snap, rounds := w.Snapshot()
+	if rounds != 1 {
+		t.Errorf("rounds = %d, want 1", rounds)
+	}
+	if v, share := topShare(t, snap); v != 16 || share != 1 {
+		t.Errorf("window corrupted by failed add: stride %d share %v", v, share)
+	}
+}
+
+func TestWindowSnapshotIsACopy(t *testing.T) {
+	w, err := NewWindow(WindowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Add(shardWithStride(16, 100)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := w.Snapshot()
+	snap.Edge.Set(EdgeKey{Func: "f", From: 0, To: 1}, 12345)
+	again, _ := w.Snapshot()
+	if got := again.Edge.Count(EdgeKey{Func: "f", From: 0, To: 1}); got == 12345 {
+		t.Error("snapshot aliases the window's aggregate")
+	}
+}

@@ -3,10 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 	"stridepf/internal/workloads"
 )
@@ -17,34 +17,8 @@ import (
 // a transient failure mid-batch answers 503 and the client resends the
 // entire batch — shards that committed before the failure replay through
 // their per-shard keys instead of double-merging, so partial progress is
-// never lost and never duplicated.
-
-// batchShard is one shard of a batch upload.
-type batchShard struct {
-	Workload string `json:"workload"`
-	Config   string `json:"config"`
-	// IdemKey is required: without per-shard dedup a whole-batch retry
-	// would double-merge every shard that committed before the failure.
-	IdemKey string `json:"idemKey"`
-	// Profile is the codec-encoded shard document.
-	Profile json.RawMessage `json:"profile"`
-}
-
-type batchRequest struct {
-	Shards []batchShard `json:"shards"`
-}
-
-// batchItemResult is one shard's outcome. Exactly one of Info and Error is
-// set: a shard that is well-formed JSON but incompatible with its
-// aggregate (fine-interval conflict) fails alone without failing the
-// batch.
-type batchItemResult struct {
-	Workload string     `json:"workload"`
-	Config   string     `json:"config"`
-	Info     *EntryInfo `json:"info,omitempty"`
-	Replayed bool       `json:"replayed,omitempty"`
-	Error    string     `json:"error,omitempty"`
-}
+// never lost and never duplicated. Wire shapes are api.BatchRequest /
+// api.BatchResponse.
 
 // maxBatchShards bounds one batch request; producers with more shards
 // split into multiple batches.
@@ -53,44 +27,46 @@ const maxBatchShards = 256
 func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "%v", err))
 		return
 	}
-	var req batchRequest
+	var req api.BatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "%v", err))
 		return
 	}
 	if len(req.Shards) == 0 {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "empty batch"))
 		return
 	}
 	if len(req.Shards) > maxBatchShards {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("batch of %d shards exceeds the limit of %d", len(req.Shards), maxBatchShards))
+		s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+			"batch of %d shards exceeds the limit of %d", len(req.Shards), maxBatchShards))
 		return
 	}
 	// Structural validation up front: a malformed request is rejected
 	// before any shard merges, so it can never half-apply.
 	for i, sh := range req.Shards {
 		if workloads.Get(sh.Workload) == nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("shard %d: unknown workload %q", i, sh.Workload))
+			s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+				"shard %d: unknown workload %q", i, sh.Workload))
 			return
 		}
 		if sh.IdemKey == "" {
-			s.writeError(w, http.StatusBadRequest,
-				fmt.Errorf("shard %d: idemKey is required (whole-batch retries rely on per-shard dedup)", i))
+			s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+				"shard %d: idemKey is required (whole-batch retries rely on per-shard dedup)", i))
 			return
 		}
 		if len(sh.Profile) == 0 || string(sh.Profile) == "null" {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("shard %d: missing profile", i))
+			s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest,
+				"shard %d: missing profile", i))
 			return
 		}
 	}
 
-	results := make([]batchItemResult, len(req.Shards))
+	results := make([]api.BatchItemResult, len(req.Shards))
 	for i, sh := range req.Shards {
-		res := batchItemResult{Workload: sh.Workload, Config: sh.Config}
+		res := api.BatchItemResult{Workload: sh.Workload, Config: sh.Config}
 		prof, err := profile.DefaultCodec.Decode(bytes.NewReader(sh.Profile))
 		if err != nil {
 			res.Error = err.Error()
@@ -101,12 +77,17 @@ func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err == nil:
 			res.Info, res.Replayed = &info, replayed
+			if !replayed {
+				// Feed the online PGO window; replays already merged once.
+				s.planIngest(sh.Workload, sh.Config, prof)
+			}
 		case isTemporary(err):
 			// Abort the whole batch retryably. Shards 0..i-1 committed under
 			// their idempotency keys; the client's full resend replays them.
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable,
-				fmt.Errorf("shard %d (%s/%s): %w", i, sh.Workload, sh.Config, err))
+			e := api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable,
+				"shard %d (%s/%s): %v", i, sh.Workload, sh.Config, err)
+			e.RetryAfter = 1
+			s.writeErr(w, e)
 			return
 		default:
 			res.Error = err.Error()
@@ -114,5 +95,5 @@ func (s *Server) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
 		results[i] = res
 	}
 	s.log.Printf("server: batch of %d shards processed", len(req.Shards))
-	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	s.writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
 }

@@ -4,36 +4,43 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 )
 
-// postBatch POSTs a raw batch body and decodes the per-shard results.
-func postBatch(t *testing.T, url string, body []byte) (int, []batchItemResult, string) {
+// postBatch POSTs a raw batch body and decodes the per-shard results (or,
+// for a non-2xx status, the error envelope's message).
+func postBatch(t *testing.T, url string, body []byte) (int, []api.BatchItemResult, string) {
 	t.Helper()
 	resp, err := http.Post(url+"/v1/profiles/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var doc struct {
-		Results []batchItemResult `json:"results"`
-		Error   string            `json:"error"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, doc.Results, doc.Error
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, nil, api.DecodeErrorBody(resp.StatusCode, raw).Message
+	}
+	var doc api.BatchResponse
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc.Results, ""
 }
 
 // batchBody builds a batch request over (workload, config, key, profile)
 // tuples.
-func batchBody(t *testing.T, shards []batchShard) []byte {
+func batchBody(t *testing.T, shards []api.BatchShard) []byte {
 	t.Helper()
-	body, err := json.Marshal(batchRequest{Shards: shards})
+	body, err := json.Marshal(api.BatchRequest{Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +59,7 @@ func encodedShard(t *testing.T, prof *profile.Combined) json.RawMessage {
 func TestBatchUploadMergesAndRetriesSafely(t *testing.T) {
 	srv, ts := testServer(t, Config{})
 
-	shards := []batchShard{
+	shards := []api.BatchShard{
 		{Workload: "197.parser", Config: "prod", IdemKey: "b1", Profile: encodedShard(t, idemShard(10))},
 		{Workload: "197.parser", Config: "prod", IdemKey: "b2", Profile: encodedShard(t, idemShard(5))},
 		{Workload: "181.mcf", Config: "prod", IdemKey: "b3", Profile: encodedShard(t, idemShard(7))},
@@ -91,7 +98,7 @@ func TestBatchUploadMergesAndRetriesSafely(t *testing.T) {
 
 func TestBatchStructuralValidation(t *testing.T) {
 	_, ts := testServer(t, Config{})
-	good := batchShard{Workload: "197.parser", Config: "prod", IdemKey: "k", Profile: encodedShard(t, idemShard(1))}
+	good := api.BatchShard{Workload: "197.parser", Config: "prod", IdemKey: "k", Profile: encodedShard(t, idemShard(1))}
 
 	cases := []struct {
 		name   string
@@ -99,9 +106,9 @@ func TestBatchStructuralValidation(t *testing.T) {
 		substr string
 	}{
 		{"empty-batch", batchBody(t, nil), "empty batch"},
-		{"missing-idem-key", batchBody(t, []batchShard{{Workload: "197.parser", Config: "prod", Profile: good.Profile}}), "idemKey is required"},
-		{"unknown-workload", batchBody(t, []batchShard{{Workload: "999.bogus", Config: "prod", IdemKey: "k", Profile: good.Profile}}), "unknown workload"},
-		{"missing-profile", batchBody(t, []batchShard{{Workload: "197.parser", Config: "prod", IdemKey: "k"}}), "missing profile"},
+		{"missing-idem-key", batchBody(t, []api.BatchShard{{Workload: "197.parser", Config: "prod", Profile: good.Profile}}), "idemKey is required"},
+		{"unknown-workload", batchBody(t, []api.BatchShard{{Workload: "999.bogus", Config: "prod", IdemKey: "k", Profile: good.Profile}}), "unknown workload"},
+		{"missing-profile", batchBody(t, []api.BatchShard{{Workload: "197.parser", Config: "prod", IdemKey: "k"}}), "missing profile"},
 		{"not-json", []byte("{"), "unexpected end"},
 	}
 	for _, tc := range cases {
@@ -117,7 +124,7 @@ func TestBatchStructuralValidation(t *testing.T) {
 	}
 
 	// An oversized batch is refused outright.
-	big := make([]batchShard, maxBatchShards+1)
+	big := make([]api.BatchShard, maxBatchShards+1)
 	for i := range big {
 		big[i] = good
 		big[i].IdemKey = fmt.Sprintf("k%d", i)
@@ -142,7 +149,7 @@ func TestBatchPerShardRejection(t *testing.T) {
 	sums[0].FineInterval = 4
 	conflicting.Stride = profile.NewStrideProfile(sums)
 
-	shards := []batchShard{
+	shards := []api.BatchShard{
 		{Workload: "197.parser", Config: "prod", IdemKey: "p1", Profile: encodedShard(t, idemShard(10))},
 		{Workload: "197.parser", Config: "prod", IdemKey: "p2", Profile: encodedShard(t, conflicting)},
 		{Workload: "197.parser", Config: "prod", IdemKey: "p3", Profile: encodedShard(t, idemShard(2))},
@@ -184,7 +191,7 @@ func TestBatchTransientStoreErrorAborts503(t *testing.T) {
 	fl := &failNthStore{Store: NewStore(), n: 2}
 	_, ts := testServer(t, Config{Store: fl})
 
-	shards := []batchShard{
+	shards := []api.BatchShard{
 		{Workload: "197.parser", Config: "prod", IdemKey: "t1", Profile: encodedShard(t, idemShard(10))},
 		{Workload: "197.parser", Config: "prod", IdemKey: "t2", Profile: encodedShard(t, idemShard(5))},
 	}

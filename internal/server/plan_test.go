@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stridepf/internal/api"
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/profile"
+	"stridepf/internal/simcheck"
+	"stridepf/internal/workloads"
+)
+
+// driftSeq makes every registered drift kernel's name unique within the
+// test process, so repeated runs (-count) never collide in the registry.
+var driftSeq atomic.Uint64
+
+// registerDrift registers a fresh drift kernel workload and returns it.
+func registerDrift(t *testing.T) *simcheck.DriftKernel {
+	t.Helper()
+	for {
+		k := simcheck.NewDriftKernel(0xD000 + driftSeq.Add(1))
+		if err := workloads.Register(k); err == nil {
+			return k
+		}
+	}
+}
+
+// driftProfile runs one profiling round of the kernel in its current phase.
+func driftProfile(t *testing.T, k *simcheck.DriftKernel) *profile.Combined {
+	t.Helper()
+	pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+		Method: instrument.NaiveLoop,
+	}, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr.Profiles
+}
+
+// pollPlan long-polls the watch endpoint in poll mode and decodes the
+// result.
+func pollPlan(t *testing.T, base, workload string, from uint64, wait string) api.PlanPoll {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/plan/watch?workload=%s&config=prod&mode=poll&from=%d&wait=%s",
+		base, workload, from, wait)
+	code, _, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("poll status = %d: %s", code, body)
+	}
+	var p api.PlanPoll
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func planStatus(t *testing.T, base, workload string) api.PlanStatus {
+	t.Helper()
+	code, _, body := get(t, base+"/v1/plan/status?workload="+workload+"&config=prod")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var st api.PlanStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// planStrides extracts the stride multiset of the active (non-"none")
+// plan entries.
+func planStrides(plan []api.PlanChange) map[int64]int {
+	out := make(map[int64]int)
+	for _, c := range plan {
+		if c.Class != "none" {
+			out[c.Stride]++
+		}
+	}
+	return out
+}
+
+// TestPlanEpochsResumeAndConvergence drives the whole online loop over
+// the HTTP surface: uploads publish deltas with strictly increasing
+// epochs, poll resume replays exactly the missed suffix, and after a
+// phase drift the converged plan matches the kernel's new ground truth.
+func TestPlanEpochsResumeAndConvergence(t *testing.T) {
+	k := registerDrift(t)
+	_, ts := testServer(t, Config{})
+	upURL := ts.URL + "/v1/profiles/" + k.Name() + "/prod"
+
+	// Before any watcher exists, uploads must not create one (the hub is
+	// lazy); healthz reports zero plans.
+	if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	_, _, body := get(t, ts.URL+"/healthz")
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Plans != 0 {
+		t.Fatalf("plans = %d before any plan endpoint was hit, want 0", h.Plans)
+	}
+
+	// The status endpoint creates the watcher; the pre-watcher upload is
+	// not retroactively ingested.
+	if st := planStatus(t, ts.URL, k.Name()); st.Epoch != 0 || len(st.Plan) != 0 {
+		t.Fatalf("fresh watcher status = %+v, want epoch 0 and empty plan", st)
+	}
+
+	// Phase-0 rounds: the first ingest must publish epoch 1 with the full
+	// plan as new entries; a second identical round changes nothing.
+	if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	p := pollPlan(t, ts.URL, k.Name(), 0, "0")
+	if p.Epoch != 1 || len(p.Deltas) != 1 || p.Deltas[0].Epoch != 1 || p.Deltas[0].Reset {
+		t.Fatalf("first poll = %+v, want exactly delta 1", p)
+	}
+	want := make(map[int64]int)
+	for _, s := range k.Strides() {
+		want[s]++
+	}
+	if got := planStrides(p.Deltas[0].Changes); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("epoch-1 plan strides = %v, want phase-0 truth %v", got, want)
+	}
+	if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	if st := planStatus(t, ts.URL, k.Name()); st.Epoch != 1 {
+		t.Fatalf("identical round bumped the epoch to %d", st.Epoch)
+	}
+
+	// An empty poll (nothing after epoch 1) answers the current epoch with
+	// no deltas once the wait elapses.
+	if p := pollPlan(t, ts.URL, k.Name(), 1, "0.01"); p.Epoch != 1 || len(p.Deltas) != 0 {
+		t.Fatalf("empty poll = %+v", p)
+	}
+
+	// Drift. Each round decays the window; within a few rounds the plan
+	// re-converges to phase 1's ground truth, publishing at least one
+	// delta along the way.
+	k.SetPhase(1)
+	for r := 0; r < 4; r++ {
+		if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+			t.Fatalf("upload: %d %s", code, body)
+		}
+	}
+	st := planStatus(t, ts.URL, k.Name())
+	if st.Epoch < 2 {
+		t.Fatalf("no delta published after drift: %+v", st)
+	}
+	want = make(map[int64]int)
+	for _, s := range k.Strides() {
+		want[s]++
+	}
+	if got := planStrides(st.Plan); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("converged plan strides = %v, want phase-1 truth %v", got, want)
+	}
+
+	// Resume from 0 replays every delta exactly once, in epoch order, and
+	// replaying them over an empty plan reproduces the status plan.
+	p = pollPlan(t, ts.URL, k.Name(), 0, "0")
+	if p.Epoch != st.Epoch || len(p.Deltas) != int(st.Epoch) {
+		t.Fatalf("full replay = epoch %d / %d deltas, want epoch %d / %d",
+			p.Epoch, len(p.Deltas), st.Epoch, st.Epoch)
+	}
+	applied := make(map[string]api.PlanChange)
+	for i, d := range p.Deltas {
+		if d.Epoch != uint64(i+1) {
+			t.Fatalf("delta %d has epoch %d, want %d", i, d.Epoch, i+1)
+		}
+		for _, c := range d.Changes {
+			key := fmt.Sprintf("%s#%d", c.Func, c.ID)
+			if c.Class == "none" {
+				delete(applied, key)
+			} else {
+				applied[key] = api.PlanChange{Func: c.Func, ID: c.ID, Class: c.Class,
+					Stride: c.Stride, K: c.K, CoverLines: c.CoverLines}
+			}
+		}
+	}
+	if len(applied) != len(st.Plan) {
+		t.Fatalf("replayed plan has %d entries, status plan %d", len(applied), len(st.Plan))
+	}
+	for _, c := range st.Plan {
+		if applied[fmt.Sprintf("%s#%d", c.Func, c.ID)] != c {
+			t.Fatalf("replayed plan diverges on %s#%d: %+v vs %+v",
+				c.Func, c.ID, applied[fmt.Sprintf("%s#%d", c.Func, c.ID)], c)
+		}
+	}
+
+	// Partial resume: from the penultimate epoch only the last delta
+	// replays.
+	p = pollPlan(t, ts.URL, k.Name(), st.Epoch-1, "0")
+	if len(p.Deltas) != 1 || p.Deltas[0].Epoch != st.Epoch {
+		t.Fatalf("partial resume = %+v, want only epoch %d", p, st.Epoch)
+	}
+
+	// Resuming from the future is a client bug, not a wait.
+	code, _, body := get(t, fmt.Sprintf(
+		"%s/v1/plan/watch?workload=%s&config=prod&mode=poll&from=%d&wait=0",
+		ts.URL, k.Name(), st.Epoch+10))
+	if code != http.StatusBadRequest {
+		t.Fatalf("future resume status = %d: %s", code, body)
+	}
+	if e := api.DecodeErrorBody(code, body); e.Code != api.CodeBadEpoch {
+		t.Fatalf("future resume code = %q, want %q", e.Code, api.CodeBadEpoch)
+	}
+}
+
+// TestPlanResetAfterHistoryAgedOut pins the Reset path: with a one-deep
+// history ring, a resume from before the ring gets a single full-plan
+// Reset delta at the current epoch.
+func TestPlanResetAfterHistoryAgedOut(t *testing.T) {
+	k := registerDrift(t)
+	_, ts := testServer(t, Config{Plan: PlanConfig{History: 1}})
+	upURL := ts.URL + "/v1/profiles/" + k.Name() + "/prod"
+
+	planStatus(t, ts.URL, k.Name()) // create the watcher
+	for r := 0; r < 2; r++ {
+		if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+			t.Fatalf("upload: %d %s", code, body)
+		}
+	}
+	k.SetPhase(1)
+	for r := 0; r < 4; r++ {
+		if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+			t.Fatalf("upload: %d %s", code, body)
+		}
+	}
+	st := planStatus(t, ts.URL, k.Name())
+	if st.Epoch < 2 {
+		t.Fatalf("need at least two deltas to age the ring, got epoch %d", st.Epoch)
+	}
+	if st.MinEpoch != st.Epoch {
+		t.Fatalf("one-deep ring retains epochs %d..%d, want only the last", st.MinEpoch, st.Epoch)
+	}
+	p := pollPlan(t, ts.URL, k.Name(), 0, "0")
+	if len(p.Deltas) != 1 || !p.Deltas[0].Reset || p.Deltas[0].Epoch != st.Epoch {
+		t.Fatalf("aged resume = %+v, want one Reset delta at epoch %d", p, st.Epoch)
+	}
+	if fmt.Sprint(planStrides(p.Deltas[0].Changes)) != fmt.Sprint(planStrides(st.Plan)) {
+		t.Fatalf("Reset snapshot diverges from the status plan: %+v vs %+v",
+			p.Deltas[0].Changes, st.Plan)
+	}
+}
+
+// TestPlanSSEStream subscribes over SSE and checks deltas stream out as
+// uploads land, ids carrying the epochs, heartbeats keeping the
+// connection warm in between.
+func TestPlanSSEStream(t *testing.T) {
+	k := registerDrift(t)
+	_, ts := testServer(t, Config{Plan: PlanConfig{Heartbeat: 10 * time.Millisecond}})
+	upURL := ts.URL + "/v1/profiles/" + k.Name() + "/prod"
+
+	planStatus(t, ts.URL, k.Name())
+	if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET",
+		ts.URL+"/v1/plan/watch?workload="+k.Name()+"&config=prod&from=0", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	rd := api.NewEventReader(resp.Body)
+	ev, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Name != "plan" || ev.ID != "1" {
+		t.Fatalf("first event = %+v, want plan event id 1", ev)
+	}
+	var d api.PlanDelta
+	if err := json.Unmarshal([]byte(ev.Data), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch != 1 || len(d.Changes) == 0 {
+		t.Fatalf("first delta = %+v", d)
+	}
+
+	// Drift while subscribed: new deltas arrive on the open stream.
+	k.SetPhase(1)
+	for r := 0; r < 4; r++ {
+		if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+			t.Fatalf("upload: %d %s", code, body)
+		}
+	}
+	st := planStatus(t, ts.URL, k.Name())
+	last := uint64(1)
+	for last < st.Epoch {
+		ev, err := rd.Next()
+		if err != nil {
+			t.Fatalf("stream died at epoch %d of %d: %v", last, st.Epoch, err)
+		}
+		if err := json.Unmarshal([]byte(ev.Data), &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Epoch != last+1 {
+			t.Fatalf("SSE delta epoch %d after %d; gap or duplicate", d.Epoch, last)
+		}
+		last = d.Epoch
+	}
+	if st.Subscribers != 1 {
+		t.Fatalf("subscribers = %d with one open stream", st.Subscribers)
+	}
+	cancel()
+}
+
+// TestPlanFeedbackEndpoint exercises the feedback path: recording against
+// a published epoch, rejecting future epochs and unknown workloads.
+func TestPlanFeedbackEndpoint(t *testing.T) {
+	k := registerDrift(t)
+	_, ts := testServer(t, Config{Plan: PlanConfig{Feedback: 2}})
+	upURL := ts.URL + "/v1/profiles/" + k.Name() + "/prod"
+
+	planStatus(t, ts.URL, k.Name())
+	if code, body := uploadShard(t, upURL, driftProfile(t, k)); code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+
+	post := func(fb api.PlanFeedback) (int, []byte) {
+		t.Helper()
+		body, err := json.Marshal(fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/plan/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw := make([]byte, 4096)
+		n, _ := resp.Body.Read(raw)
+		return resp.StatusCode, raw[:n]
+	}
+
+	code, body := post(api.PlanFeedback{Workload: k.Name(), Config: "prod", Epoch: 1, Speedup: 1.25, Source: "test"})
+	if code != http.StatusOK {
+		t.Fatalf("feedback status = %d: %s", code, body)
+	}
+	var ack api.PlanFeedbackAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch != 1 || ack.Recorded != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	// The ring is bounded: a third report keeps only the newest two.
+	post(api.PlanFeedback{Workload: k.Name(), Config: "prod", Epoch: 1, Speedup: 1.1})
+	post(api.PlanFeedback{Workload: k.Name(), Config: "prod", Epoch: 1, Speedup: 1.2})
+	st := planStatus(t, ts.URL, k.Name())
+	if len(st.Feedback) != 2 || st.Feedback[0].Speedup != 1.1 || st.Feedback[1].Speedup != 1.2 {
+		t.Fatalf("feedback ring = %+v, want the newest two", st.Feedback)
+	}
+
+	code, body = post(api.PlanFeedback{Workload: k.Name(), Config: "prod", Epoch: 99, Speedup: 1.0})
+	if code != http.StatusBadRequest || api.DecodeErrorBody(code, body).Code != api.CodeBadEpoch {
+		t.Fatalf("future-epoch feedback: %d %s", code, body)
+	}
+	code, body = post(api.PlanFeedback{Workload: "999.bogus", Config: "prod", Epoch: 0})
+	if code != http.StatusNotFound || api.DecodeErrorBody(code, body).Code != api.CodeUnknownWorkload {
+		t.Fatalf("unknown-workload feedback: %d %s", code, body)
+	}
+	code, body = post(api.PlanFeedback{Workload: k.Name()})
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing-config feedback: %d %s", code, body)
+	}
+}
+
+// TestPlanWatchValidation pins the query validation of the plan
+// endpoints.
+func TestPlanWatchValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		url  string
+		code int
+		api  string
+	}{
+		{"/v1/plan/watch?config=prod", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/plan/watch?workload=197.parser", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/plan/watch?workload=999.bogus&config=prod", http.StatusNotFound, api.CodeUnknownWorkload},
+		{"/v1/plan/watch?workload=197.parser&config=prod&from=x", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/plan/watch?workload=197.parser&config=prod&mode=carrier-pigeon", http.StatusBadRequest, api.CodeBadRequest},
+		{"/v1/plan/status?workload=999.bogus&config=prod", http.StatusNotFound, api.CodeUnknownWorkload},
+	}
+	for _, tc := range cases {
+		code, _, body := get(t, ts.URL+tc.url)
+		if code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.url, code, tc.code, body)
+			continue
+		}
+		if e := api.DecodeErrorBody(code, body); e.Code != tc.api {
+			t.Errorf("%s: code = %q, want %q", tc.url, e.Code, tc.api)
+		}
+	}
+}

@@ -11,6 +11,11 @@
 // with Retry-After), every heavy request carries a timeout and the
 // client-disconnect cancellation threaded down into the simulator's
 // interrupt check, and shutdown drains in-flight requests.
+//
+// The wire contract — request/response bodies, the uniform error
+// envelope, query-parameter semantics, the SSE plan protocol — lives in
+// internal/api (documented in API.md) and is shared with internal/client;
+// this package contains no endpoint body definitions of its own.
 package server
 
 import (
@@ -21,13 +26,13 @@ import (
 	"log"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"stridepf/internal/api"
 	"stridepf/internal/core"
 	"stridepf/internal/experiments"
 	"stridepf/internal/machine"
@@ -52,6 +57,10 @@ type Config struct {
 	// RequestTimeout bounds each simulation-heavy request; zero means
 	// no timeout (client disconnect still cancels).
 	RequestTimeout time.Duration
+	// Plan configures the online PGO plan watchers (window decay, delta
+	// history depth, SSE heartbeat, long-poll bound); see plan.go. The
+	// zero value selects production defaults.
+	Plan PlanConfig
 	// Metrics receives the prefetch-effectiveness reports of every
 	// observed measurement cell and backs GET /obs/metrics. Nil creates a
 	// registry (set Experiments.Metrics to the same registry to observe
@@ -98,6 +107,11 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*experiments.Session
 
+	// plans holds the online PGO watchers; planSession classifies their
+	// window snapshots (never memoised, so one shared session suffices).
+	plans       *planHub
+	planSession *experiments.Session
+
 	served   atomic.Int64 // completed heavy requests
 	rejected atomic.Int64 // 429 responses
 }
@@ -128,7 +142,9 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 		gate:     cfg.Gate,
 		sessions: make(map[string]*experiments.Session),
+		plans:    newPlanHub(),
 	}
+	s.planSession = s.session(s.defaultRoster())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /obs/metrics", s.handleObsMetrics)
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
@@ -138,6 +154,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/profiles/{workload}/{config}", s.handleProfileUpload)
 	s.mux.HandleFunc("GET /v1/profiles/{workload}/{config}", s.handleProfileGet)
 	s.mux.HandleFunc("GET /v1/classify/{workload}/{config}", s.heavy(s.handleClassify))
+	// Plan endpoints are deliberately outside the heavy gate: a watch
+	// stream is long-lived (it would pin a simulation slot for its whole
+	// life), and ingest-side classification is an IR pass, not a
+	// simulation.
+	s.mux.HandleFunc("GET /v1/plan/watch", s.handlePlanWatch)
+	s.mux.HandleFunc("GET /v1/plan/status", s.handlePlanStatus)
+	s.mux.HandleFunc("POST /v1/plan/feedback", s.handlePlanFeedback)
 	return s
 }
 
@@ -173,12 +196,15 @@ func (s *Server) heavy(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 			switch {
 			case errors.As(err, &busy):
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(busy.RetryAfter))
-				http.Error(w, "server busy: execution queue full", http.StatusTooManyRequests)
+				e := api.Errorf(http.StatusTooManyRequests, api.CodeBusy,
+					"server busy: execution queue full")
+				e.RetryAfter = busy.RetryAfter
+				s.writeErr(w, e)
 			case isTemporary(err):
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", "1")
-				s.writeError(w, http.StatusServiceUnavailable, err)
+				e := api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable, "%v", err)
+				e.RetryAfter = 1
+				s.writeErr(w, e)
 			}
 			return // otherwise: client went away while queued
 		}
@@ -222,36 +248,22 @@ func (s *Server) session(names []string) *experiments.Session {
 	return sess
 }
 
-// roster resolves the ?workloads= selection against the configured
-// default, validating names and normalising order so equivalent requests
-// share one session.
-func (s *Server) roster(r *http.Request) ([]string, error) {
-	raw := r.URL.Query().Get("workloads")
-	if raw == "" {
-		if len(s.cfg.Experiments.Workloads) > 0 {
-			return append([]string(nil), s.cfg.Experiments.Workloads...), nil
-		}
-		return workloads.Names(), nil
+// defaultRoster is the workload selection when a request names none.
+func (s *Server) defaultRoster() []string {
+	if len(s.cfg.Experiments.Workloads) > 0 {
+		return append([]string(nil), s.cfg.Experiments.Workloads...)
 	}
-	names := strings.Split(raw, ",")
-	seen := make(map[string]bool, len(names))
-	out := make([]string, 0, len(names))
-	for _, n := range names {
-		n = strings.TrimSpace(n)
-		if n == "" || seen[n] {
-			continue
-		}
-		if workloads.Get(n) == nil {
-			return nil, fmt.Errorf("unknown workload %q", n)
-		}
-		seen[n] = true
-		out = append(out, n)
+	return workloads.Names()
+}
+
+// rosterSpec is the DecodeParams spec shared by roster-selecting
+// endpoints.
+func (s *Server) rosterSpec() api.ParamSpec {
+	return api.ParamSpec{
+		Workloads:        true,
+		DefaultWorkloads: s.defaultRoster(),
+		KnownWorkload:    func(n string) bool { return workloads.Get(n) != nil },
 	}
-	if len(out) == 0 {
-		return nil, errors.New("empty workload selection")
-	}
-	sort.Strings(out)
-	return out, nil
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -264,24 +276,37 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// writeErr sends the uniform api.Error envelope. Every non-2xx response
+// of every endpoint flows through here.
+func (s *Server) writeErr(w http.ResponseWriter, e *api.Error) {
+	if err := api.WriteError(w, e); err != nil {
+		s.log.Printf("server: write error response: %v", err)
+	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-// errStatus maps a pipeline error to an HTTP status.
-func errStatus(err error) int {
+// apiFromErr maps a pipeline error to the envelope: timeouts to 504,
+// client-abandoned work to 499 (the nginx convention), everything else to
+// a 500.
+func apiFromErr(err error) *api.Error {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return api.Errorf(http.StatusGatewayTimeout, api.CodeTimeout, "%v", err)
 	case errors.Is(err, context.Canceled), errors.Is(err, machine.ErrInterrupted):
-		return 499 // client closed request (nginx convention)
+		return api.Errorf(499, api.CodeCanceled, "%v", err)
 	default:
-		return http.StatusInternalServerError
+		return api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err)
 	}
+}
+
+// storeErr maps a store failure: transient errors answer 503 with a
+// Retry-After hint, terminal ones the given status.
+func storeErr(err error, status int, code string) *api.Error {
+	if isTemporary(err) {
+		e := api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable, "%v", err)
+		e.RetryAfter = 1
+		return e
+	}
+	return api.Errorf(status, code, "%v", err)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -289,14 +314,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.gate.(GateStats); ok {
 		inFlight, queued = st.Stats()
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": int64(time.Since(s.start).Seconds()),
-		"in_flight":      inFlight,
-		"queued":         queued,
-		"served":         s.served.Load(),
-		"rejected":       s.rejected.Load(),
-		"profiles":       len(s.store.List()),
+	s.writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		InFlight:      inFlight,
+		Queued:        queued,
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		Profiles:      len(s.store.List()),
+		Plans:         s.plans.count(),
 	})
 }
 
@@ -310,9 +336,9 @@ func (s *Server) handleObsMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 	names := experiments.FigureNames()
 	names = append(names[:len(names):len(names)], experiments.ExtraFigureNames()...)
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"figures": names,
-		"formats": []string{"text", "csv", "jsonl"},
+	s.writeJSON(w, http.StatusOK, api.FigureList{
+		Figures: names,
+		Formats: []string{"text", "csv", "jsonl"},
 	})
 }
 
@@ -321,61 +347,46 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 // matches `-csv`, and format=jsonl streams one JSON object per table row.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	roster, err := s.roster(r)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	spec := s.rosterSpec()
+	spec.Formats = []string{"text", "csv", "jsonl"}
+	p, aerr := api.DecodeParams(r.URL.Query(), spec)
+	if aerr != nil {
+		s.writeErr(w, aerr)
 		return
 	}
-	sess := s.session(roster)
+	sess := s.session(p.Workloads)
 	// Mirror the CLI: precompute the figure's cells on the session's worker
 	// pool, then assemble the table serially from the memoised cells. The
 	// output is byte-identical either way; warming only buys parallelism.
 	if jobs := s.cfg.Experiments.Jobs; jobs != 1 && name != "15" {
 		sess.Warm(r.Context(), jobs, name)
 	}
-	format := r.URL.Query().Get("format")
-	switch format {
-	case "", "text", "csv":
-		text, err := sess.FigureText(r.Context(), name, format == "csv")
+	switch p.Format {
+	case "text", "csv":
+		text, err := sess.FigureText(r.Context(), name, p.Format == "csv")
 		if err != nil {
-			status := errStatus(err)
+			e := apiFromErr(err)
 			if strings.Contains(err.Error(), "unknown figure") {
-				status = http.StatusNotFound
+				e = api.Errorf(http.StatusNotFound, api.CodeUnknownFigure, "%v", err)
 			}
-			s.writeError(w, status, err)
+			s.writeErr(w, e)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, text)
 	case "jsonl":
 		s.streamFigureJSONL(w, r, sess, name)
-	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text, csv or jsonl)", format))
 	}
-}
-
-// jsonlHeader is the first line of a figure's JSONL stream.
-type jsonlHeader struct {
-	Figure  string   `json:"figure"`
-	Title   string   `json:"title"`
-	Columns []string `json:"columns"`
-}
-
-// jsonlRow is one streamed table row. NaN cells (rendered "-" in the text
-// table) become nulls.
-type jsonlRow struct {
-	Benchmark string     `json:"benchmark"`
-	Values    []*float64 `json:"values"`
 }
 
 func (s *Server) streamFigureJSONL(w http.ResponseWriter, r *http.Request, sess *experiments.Session, name string) {
 	t, err := sess.Figure(r.Context(), name)
 	if err != nil {
-		status := errStatus(err)
+		e := apiFromErr(err)
 		if strings.Contains(err.Error(), "unknown figure") || strings.Contains(err.Error(), "figure 15") {
-			status = http.StatusNotFound
+			e = api.Errorf(http.StatusNotFound, api.CodeUnknownFigure, "%v", err)
 		}
-		s.writeError(w, status, err)
+		s.writeErr(w, e)
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
@@ -390,11 +401,11 @@ func (s *Server) streamFigureJSONL(w http.ResponseWriter, r *http.Request, sess 
 		}
 		return true
 	}
-	if !writeLine(jsonlHeader{Figure: name, Title: t.Title, Columns: t.Columns}) {
+	if !writeLine(api.FigureJSONLHeader{Figure: name, Title: t.Title, Columns: t.Columns}) {
 		return
 	}
 	for _, row := range t.Rows {
-		jr := jsonlRow{Benchmark: row.Name, Values: make([]*float64, len(row.Values))}
+		jr := api.FigureJSONLRow{Benchmark: row.Name, Values: make([]*float64, len(row.Values))}
 		for i, v := range row.Values {
 			if v == v { // not NaN
 				v := v
@@ -408,7 +419,7 @@ func (s *Server) streamFigureJSONL(w http.ResponseWriter, r *http.Request, sess 
 }
 
 func (s *Server) handleProfileList(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"profiles": s.store.List()})
+	s.writeJSON(w, http.StatusOK, api.ProfileList{Profiles: s.store.List()})
 }
 
 // handleProfileUpload accepts one codec-encoded profile shard and merges
@@ -419,24 +430,21 @@ func (s *Server) handleProfileList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
 	wname, cname := r.PathValue("workload"), r.PathValue("config")
 	if workloads.Get(wname) == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", wname))
+		s.writeErr(w, api.Errorf(http.StatusNotFound, api.CodeUnknownWorkload,
+			"unknown workload %q", wname))
 		return
 	}
 	prof, err := profile.DefaultCodec.Decode(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "%v", err))
 		return
 	}
 	idemKey := r.Header.Get("Idempotency-Key")
 	info, replayed, err := s.store.Upload(wname, cname, prof, idemKey)
 	if err != nil {
-		if isTemporary(err) {
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		// The shard is well-formed but incompatible with the aggregate.
-		s.writeError(w, http.StatusConflict, err)
+		// A non-transient failure means the shard is well-formed but
+		// incompatible with the aggregate: conflict.
+		s.writeErr(w, storeErr(err, http.StatusConflict, api.CodeConflict))
 		return
 	}
 	if replayed {
@@ -446,6 +454,9 @@ func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.log.Printf("server: profile %s/%s now at version %d (%d shards)",
 			wname, cname, info.Version, info.Shards)
+		// Feed the online PGO window. Replays stay out: the shard already
+		// merged once, and double-feeding would double its window weight.
+		s.planIngest(wname, cname, prof)
 	}
 	s.writeJSON(w, http.StatusOK, info)
 }
@@ -453,12 +464,7 @@ func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 	merged, info, err := s.store.Get(r.PathValue("workload"), r.PathValue("config"))
 	if err != nil {
-		if isTemporary(err) {
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeErr(w, storeErr(err, http.StatusNotFound, api.CodeNotFound))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -468,21 +474,6 @@ func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// decisionView is the JSON form of one classification decision, mirroring
-// the fields `prefetchc -report` prints.
-type decisionView struct {
-	Func       string  `json:"func"`
-	ID         int     `json:"id"`
-	Class      string  `json:"class"`
-	InLoop     bool    `json:"inLoop"`
-	Freq       uint64  `json:"freq"`
-	Trip       float64 `json:"trip"`
-	Stride     int64   `json:"stride"`
-	K          int     `json:"k"`
-	CoverLines int     `json:"coverLines"`
-	FilteredBy string  `json:"filteredBy,omitempty"`
-}
-
 // handleClassify classifies every load of the workload against the stored
 // (workload, config) profile aggregate and reports the decisions — the
 // offline `profmerge && prefetchc -report` flow as one query.
@@ -490,21 +481,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	wname, cname := r.PathValue("workload"), r.PathValue("config")
 	wl := workloads.Get(wname)
 	if wl == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", wname))
+		s.writeErr(w, api.Errorf(http.StatusNotFound, api.CodeUnknownWorkload,
+			"unknown workload %q", wname))
+		return
+	}
+	p, aerr := api.DecodeParams(r.URL.Query(), api.ParamSpec{WSST: true})
+	if aerr != nil {
+		s.writeErr(w, aerr)
 		return
 	}
 	merged, info, err := s.store.Get(wname, cname)
 	if err != nil {
-		if isTemporary(err) {
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeErr(w, storeErr(err, http.StatusNotFound, api.CodeNotFound))
 		return
 	}
 	opts := s.cfg.Experiments.Prefetch
-	if v := r.URL.Query().Get("wsst"); v == "1" || v == "true" {
+	if p.WSST {
 		opts.EnableWSST = true
 	}
 	if r.Context().Err() != nil {
@@ -512,23 +504,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	fb, err := core.BuildPrefetched(wl, merged, opts)
 	if err != nil {
-		s.writeError(w, errStatus(err), err)
+		s.writeErr(w, apiFromErr(err))
 		return
 	}
-	views := make([]decisionView, 0, len(fb.Decisions))
+	decisions := make([]api.Decision, 0, len(fb.Decisions))
 	for _, d := range fb.Decisions {
-		views = append(views, decisionView{
+		decisions = append(decisions, api.Decision{
 			Func: d.Key.Func, ID: d.Key.ID, Class: d.Class.String(),
 			InLoop: d.InLoop, Freq: d.Freq, Trip: d.Trip, Stride: d.Stride,
 			K: d.K, CoverLines: d.CoverLines, FilteredBy: d.FilteredBy,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"workload":  wname,
-		"config":    cname,
-		"version":   info.Version,
-		"shards":    info.Shards,
-		"inserted":  fb.Inserted,
-		"decisions": views,
+	s.writeJSON(w, http.StatusOK, api.ClassifyReport{
+		Workload:  wname,
+		Config:    cname,
+		Version:   info.Version,
+		Shards:    info.Shards,
+		Inserted:  fb.Inserted,
+		Decisions: decisions,
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"stridepf/internal/api"
 	"stridepf/internal/core"
 	"stridepf/internal/experiments"
 	"stridepf/internal/instrument"
@@ -139,14 +140,14 @@ func TestFigureGolden(t *testing.T) {
 	if len(lines) != 1+len(tb.Rows) {
 		t.Fatalf("jsonl lines = %d, want %d", len(lines), 1+len(tb.Rows))
 	}
-	var head jsonlHeader
+	var head api.FigureJSONLHeader
 	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
 		t.Fatal(err)
 	}
 	if head.Title != tb.Title || len(head.Columns) != len(tb.Columns) {
 		t.Errorf("jsonl header = %+v", head)
 	}
-	var row jsonlRow
+	var row api.FigureJSONLRow
 	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestShardedUploadMatchesOfflineMerge(t *testing.T) {
 	var got struct {
 		Version   int            `json:"version"`
 		Inserted  int            `json:"inserted"`
-		Decisions []decisionView `json:"decisions"`
+		Decisions []api.Decision `json:"decisions"`
 	}
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
@@ -459,18 +460,18 @@ func TestRosterNormalisation(t *testing.T) {
 	srv := New(Config{})
 	r1, _ := http.NewRequest("GET", "/v1/figure/16?workloads=255.vortex,197.parser", nil)
 	r2, _ := http.NewRequest("GET", "/v1/figure/16?workloads=197.parser,%20255.vortex,197.parser", nil)
-	n1, err := srv.roster(r1)
-	if err != nil {
-		t.Fatal(err)
+	p1, apiErr := api.DecodeParams(r1.URL.Query(), srv.rosterSpec())
+	if apiErr != nil {
+		t.Fatal(apiErr)
 	}
-	n2, err := srv.roster(r2)
-	if err != nil {
-		t.Fatal(err)
+	p2, apiErr := api.DecodeParams(r2.URL.Query(), srv.rosterSpec())
+	if apiErr != nil {
+		t.Fatal(apiErr)
 	}
-	if fmt.Sprint(n1) != fmt.Sprint(n2) {
-		t.Errorf("equivalent rosters normalise differently: %v vs %v", n1, n2)
+	if fmt.Sprint(p1.Workloads) != fmt.Sprint(p2.Workloads) {
+		t.Errorf("equivalent rosters normalise differently: %v vs %v", p1.Workloads, p2.Workloads)
 	}
-	if srv.session(n1) != srv.session(n2) {
+	if srv.session(p1.Workloads) != srv.session(p2.Workloads) {
 		t.Error("equivalent rosters get distinct sessions")
 	}
 }

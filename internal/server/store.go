@@ -5,25 +5,22 @@ import (
 	"sort"
 	"sync"
 
+	"stridepf/internal/api"
 	"stridepf/internal/profile"
 )
 
-// EntryInfo is the JSON view of one stored profile aggregate.
-type EntryInfo struct {
-	// Workload and Config key the aggregate: Config names the collection
-	// setup ("sample-edge-check", "prod-v3", ...) so differently collected
-	// profiles of one workload stay separate.
-	Workload string `json:"workload"`
-	Config   string `json:"config"`
-	// Version counts accepted uploads; readers use it to detect staleness.
-	Version int `json:"version"`
-	// Shards is the number of profiles merged in (== Version today, but
-	// kept separate so a future reset/compact can diverge them).
-	Shards int `json:"shards"`
-	// FineInterval is the aggregate's fine-sampling interval (0 when the
-	// profiles never went through the runtime sampler).
-	FineInterval int `json:"fineInterval"`
-}
+// EntryInfo is one stored profile aggregate's info. It is an alias of the
+// shared wire type — the shape lives in internal/api, pinned by its golden
+// test — kept under this name because the WAL store persists it inside its
+// snapshot and log records and the chaos wrappers implement ProfileStore
+// against it. Workload and Config key the aggregate (Config names the
+// collection setup, e.g. "sample-edge-check", so differently collected
+// profiles of one workload stay separate); Version counts accepted
+// uploads; Shards is the number of profiles merged in (== Version today,
+// but kept separate so a future reset/compact can diverge them);
+// FineInterval is the aggregate's fine-sampling interval (0 when the
+// profiles never went through the runtime sampler).
+type EntryInfo = api.ProfileInfo
 
 // ProfileStore is the aggregate store behind the upload/download/classify
 // endpoints. It is an interface so the chaos harness (internal/chaos) can

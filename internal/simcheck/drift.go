@@ -1,0 +1,289 @@
+// Drifting regular-stride kernels and the online-convergence property.
+//
+// The online PGO loop (internal/server's plan watchers) rests on one
+// claim: an exponentially-decayed profile window re-converges to a new
+// stride regime within a few profiling rounds after the workload's
+// behaviour drifts, while an all-time merge stays anchored to history.
+// DriftKernel makes drift expressible without changing a single
+// instruction — each loop reads its byte stride from a memory slot that
+// Setup writes per phase — and CheckConvergence pins the claim against
+// the kernel's exact ground truth.
+package simcheck
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+	"stridepf/internal/profile"
+)
+
+// driftSlotBase is where the per-loop stride slots live: loop j's program
+// reads its byte stride from driftSlotBase + 8j before entering the loop,
+// so re-running Setup after SetPhase moves the access pattern while the
+// program (and therefore every load's key) stays identical.
+const driftSlotBase uint64 = 0x2F00_0000
+
+// driftBase is where the drift kernels' arrays live, one region per loop,
+// disjoint from the static Kernel arrays.
+const driftBase uint64 = 0x3800_0000
+
+// driftStrides is the stride pool a phase rotates through. All entries are
+// distinct word multiples, so every phase change moves every loop to a
+// stride no earlier phase used for it.
+var driftStrides = []int64{8, 16, 32, 64, 128}
+
+// DriftKernel is a regular-stride workload whose strides are a function of
+// its phase: loop j walks its array with stride
+// driftStrides[(offset_j + phase) mod len(driftStrides)]. Profiles taken
+// in different phases disagree on every loop's dominant stride, which is
+// exactly the drift the online plan watchers must chase. It implements
+// core.Workload; SetPhase is safe to call concurrently with Setup.
+type DriftKernel struct {
+	seed  uint64
+	trips []int64
+	offs  []int
+	phase atomic.Int64
+	prog  *ir.Program
+}
+
+// NewDriftKernel derives a kernel from the seed: 2-3 loops with distinct
+// stride-pool offsets and trips in [3000, 3500). The program is built
+// eagerly so Program is safe for concurrent use.
+func NewDriftKernel(seed uint64) *DriftKernel {
+	rng := newRng(seed ^ 0xD7C1)
+	k := &DriftKernel{seed: seed}
+	n := 2 + rng.intn(2)
+	perm := []int{0, 1, 2, 3, 4}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for j := 0; j < n; j++ {
+		k.trips = append(k.trips, 3000+int64(rng.intn(500)))
+		k.offs = append(k.offs, perm[j])
+	}
+	k.prog = k.build()
+	return k
+}
+
+// Name returns a seed-derived name.
+func (k *DriftKernel) Name() string { return fmt.Sprintf("kernel-drift-%x", k.seed) }
+
+// Description summarises the kernel.
+func (k *DriftKernel) Description() string {
+	return fmt.Sprintf("drifting-stride checker kernel (%d loops, phase %d)", len(k.trips), k.Phase())
+}
+
+// Phase returns the current phase.
+func (k *DriftKernel) Phase() int { return int(k.phase.Load()) }
+
+// SetPhase moves the kernel to phase p: the next Setup installs the
+// rotated strides, drifting every loop's access pattern.
+func (k *DriftKernel) SetPhase(p int) { k.phase.Store(int64(p)) }
+
+// strideAt returns loop j's stride in the given phase.
+func (k *DriftKernel) strideAt(j, phase int) int64 {
+	n := len(driftStrides)
+	return driftStrides[((k.offs[j]+phase)%n+n)%n]
+}
+
+// Strides returns the per-loop strides of the current phase — the ground
+// truth a converged classification must reproduce as a multiset.
+func (k *DriftKernel) Strides() []int64 {
+	phase := k.Phase()
+	out := make([]int64, len(k.trips))
+	for j := range k.trips {
+		out[j] = k.strideAt(j, phase)
+	}
+	return out
+}
+
+// build constructs the phase-independent IR: one counted loop per trip,
+// each bumping its pointer by a stride loaded from the loop's slot.
+func (k *DriftKernel) build() *ir.Program {
+	b := ir.NewBuilder("main")
+	sum := b.F.NewReg()
+	b.MovConst(sum, 0)
+	for j, trip := range k.trips {
+		sp := b.F.NewReg()
+		b.MovConst(sp, int64(driftSlotBase+8*uint64(j)))
+		s := b.Load(sp, 0).Dst // the slot load: out-loop, never stride-classified
+		p := b.F.NewReg()
+		b.MovConst(p, int64(driftBase+uint64(j)*kernelRegion))
+		i := b.F.NewReg()
+		b.MovConst(i, 0)
+		tr := b.Const(trip)
+
+		head := b.Block("head")
+		body := b.Block("body")
+		exit := b.Block("exit")
+		b.Br(head)
+
+		b.At(head)
+		b.CondBr(b.CmpLT(i, tr), body, exit)
+
+		b.At(body)
+		v := b.Load(p, 0).Dst
+		b.Mov(sum, b.Add(sum, v))
+		b.Mov(p, b.Add(p, s))
+		b.AddITo(i, i, 1)
+		b.Br(head)
+
+		b.At(exit)
+	}
+	b.Ret(sum)
+
+	prog := ir.NewProgram()
+	prog.Add(b.Finish())
+	return prog
+}
+
+// Program returns the (phase-independent) kernel IR.
+func (k *DriftKernel) Program() *ir.Program { return k.prog }
+
+// Setup writes the current phase's stride into each loop's slot and fills
+// the addresses that phase will touch with seed-derived values.
+func (k *DriftKernel) Setup(m *machine.Machine, in core.Input) {
+	phase := k.Phase()
+	rng := newRng(k.seed ^ in.Seed ^ uint64(phase)*0x9E3779B97F4A7C15)
+	for j, trip := range k.trips {
+		s := k.strideAt(j, phase)
+		m.Mem.Store(driftSlotBase+8*uint64(j), s)
+		base := driftBase + uint64(j)*kernelRegion
+		for t := int64(0); t < trip; t++ {
+			m.Mem.Store(base+uint64(t*s), int64(rng.next()%1024))
+		}
+	}
+}
+
+// Train returns the training input.
+func (k *DriftKernel) Train() core.Input { return core.Input{Name: "train", Scale: 1, Seed: k.seed} }
+
+// Ref returns the reference input.
+func (k *DriftKernel) Ref() core.Input {
+	return core.Input{Name: "ref", Scale: 1, Seed: k.seed ^ 0xABCD}
+}
+
+// DriftGroundTruth checks a feedback-pass outcome against the kernel's
+// current phase: the in-loop classified loads (Class != None) must be
+// exactly one per loop, with the multiset of classified strides equal to
+// the multiset of the phase's configured strides.
+func DriftGroundTruth(k *DriftKernel, res *prefetch.Result) error {
+	want := make(map[int64]int)
+	for _, s := range k.Strides() {
+		want[s]++
+	}
+	n := 0
+	for _, d := range res.Decisions {
+		if !d.InLoop || d.Class == prefetch.None {
+			continue
+		}
+		n++
+		if want[d.Stride] == 0 {
+			return fmt.Errorf("load %s#%d classified %v with stride %d, not a phase-%d stride",
+				d.Key.Func, d.Key.ID, d.Class, d.Stride, k.Phase())
+		}
+		want[d.Stride]--
+	}
+	if n != len(k.trips) {
+		return fmt.Errorf("classified %d in-loop loads, kernel has %d loops", n, len(k.trips))
+	}
+	return nil
+}
+
+// driftRound profiles one training run of the kernel in its current phase.
+func driftRound(k *DriftKernel) (*profile.Combined, error) {
+	pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+		Method: instrument.NaiveLoop,
+	}, machine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return pr.Profiles, nil
+}
+
+// CheckConvergence is the online-PGO convergence property. It feeds
+// per-round profiles of a DriftKernel into a decayed profile.Window,
+// classifying each window snapshot with the production feedback pass:
+//
+//   - after three phase-0 rounds the window's classification must match
+//     phase 0's ground truth exactly;
+//   - after SetPhase(1), the window must re-converge to phase 1's ground
+//     truth within four further rounds;
+//   - the all-time merge of the same shards must still be stuck on stale
+//     strides at that point — decay is what buys the re-convergence.
+func CheckConvergence(seed uint64) error {
+	k := NewDriftKernel(seed)
+	win, err := profile.NewWindow(profile.WindowConfig{})
+	if err != nil {
+		return err
+	}
+	var allTime *profile.Combined
+	round := func() error {
+		prof, err := driftRound(k)
+		if err != nil {
+			return err
+		}
+		if _, err := win.Add(prof); err != nil {
+			return err
+		}
+		allTime, err = profile.Merge(allTime, prof)
+		return err
+	}
+	classify := func(prof *profile.Combined) (*prefetch.Result, error) {
+		return prefetch.Apply(k.Program(), prof, prefetch.Options{})
+	}
+
+	const preRounds, budget = 3, 4
+	for r := 0; r < preRounds; r++ {
+		if err := round(); err != nil {
+			return fmt.Errorf("phase-0 round %d: %w", r+1, err)
+		}
+	}
+	snap, _ := win.Snapshot()
+	res, err := classify(snap)
+	if err != nil {
+		return err
+	}
+	if err := DriftGroundTruth(k, res); err != nil {
+		return fmt.Errorf("phase-0 window classification: %w", err)
+	}
+
+	k.SetPhase(1)
+	converged := 0
+	for r := 1; r <= budget; r++ {
+		if err := round(); err != nil {
+			return fmt.Errorf("phase-1 round %d: %w", r, err)
+		}
+		snap, _ := win.Snapshot()
+		res, err := classify(snap)
+		if err != nil {
+			return err
+		}
+		if DriftGroundTruth(k, res) == nil {
+			converged = r
+			break
+		}
+	}
+	if converged == 0 {
+		return fmt.Errorf("window did not re-converge to phase 1 within %d rounds", budget)
+	}
+
+	// Control: the undecayed all-time merge still carries the phase-0
+	// majority, so it must not satisfy phase 1's ground truth yet. (With
+	// three pre-drift rounds and at most four post-drift ones it can tie at
+	// best 4/7 — far below the 0.70 SSST bar on the new stride.)
+	resAll, err := classify(allTime)
+	if err != nil {
+		return err
+	}
+	if DriftGroundTruth(k, resAll) == nil {
+		return fmt.Errorf("all-time merge satisfied phase 1 after %d rounds; decay buys nothing", converged)
+	}
+	return nil
+}

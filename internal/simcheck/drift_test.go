@@ -1,0 +1,56 @@
+package simcheck
+
+import (
+	"testing"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/prefetch"
+)
+
+func TestConvergenceHolds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		if err := CheckConvergence(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDriftKernelPhases pins the drift mechanics the convergence property
+// rests on: phases move every loop to a different stride, the program is
+// byte-for-byte phase-independent, and a single-phase profile classifies
+// to that phase's ground truth (and fails the other phase's).
+func TestDriftKernelPhases(t *testing.T) {
+	k := NewDriftKernel(7)
+	s0 := k.Strides()
+	k.SetPhase(1)
+	s1 := k.Strides()
+	if len(s0) != len(s1) {
+		t.Fatalf("phase changed loop count: %v vs %v", s0, s1)
+	}
+	for j := range s0 {
+		if s0[j] == s1[j] {
+			t.Errorf("loop %d kept stride %d across the phase change", j, s0[j])
+		}
+	}
+
+	k.SetPhase(0)
+	pr, err := core.ProfilePass(k, k.Train(), instrument.Options{
+		Method: instrument.NaiveLoop,
+	}, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prefetch.Apply(k.Program(), pr.Profiles, prefetch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DriftGroundTruth(k, res); err != nil {
+		t.Errorf("phase-0 profile vs phase-0 truth: %v", err)
+	}
+	k.SetPhase(1)
+	if DriftGroundTruth(k, res) == nil {
+		t.Error("phase-0 profile satisfied phase-1 truth; phases are not observable")
+	}
+}

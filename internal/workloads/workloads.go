@@ -66,19 +66,43 @@ func (w *workload) Program() *ir.Program {
 
 func (w *workload) Setup(m *machine.Machine, in core.Input) { w.setup(m, in) }
 
-var registry = map[string]*workload{}
-var registryOrder []string
+var (
+	registryMu    sync.RWMutex
+	registry      = map[string]core.Workload{}
+	registryOrder []string
+)
 
 func register(w *workload) {
-	if _, dup := registry[w.name]; dup {
-		panic("workloads: duplicate " + w.name)
+	if err := Register(w); err != nil {
+		panic("workloads: " + err.Error())
 	}
-	registry[w.name] = w
-	registryOrder = append(registryOrder, w.name)
+}
+
+// Register adds a workload to the registry, making it visible to Get,
+// All, Names — and through them to the experiment sessions and the
+// strided daemon's upload/classify/plan endpoints. The built-in
+// benchmarks register at init; tests and soaks (e.g. the convergence
+// drift kernels) register synthetic workloads at runtime. Safe for
+// concurrent use; a duplicate name is an error.
+func Register(w core.Workload) error {
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("workload has no name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("duplicate workload %q", name)
+	}
+	registry[name] = w
+	registryOrder = append(registryOrder, name)
+	return nil
 }
 
 // All returns every registered workload in SPEC numbering order.
 func All() []core.Workload {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	names := append([]string(nil), registryOrder...)
 	sort.Strings(names)
 	out := make([]core.Workload, 0, len(names))
@@ -90,6 +114,8 @@ func All() []core.Workload {
 
 // Get returns the workload with the given name, or nil.
 func Get(name string) core.Workload {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	w, ok := registry[name]
 	if !ok {
 		return nil
@@ -99,6 +125,8 @@ func Get(name string) core.Workload {
 
 // Names returns the registered names in SPEC numbering order.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	names := append([]string(nil), registryOrder...)
 	sort.Strings(names)
 	return names
