@@ -11,7 +11,7 @@
 GO ?= go
 
 .PHONY: check check-deep vet build test race race-full fuzz-smoke simcheck \
-	arena bench bench-json bench-pairs figures metrics serve smoke-serve \
+	arena paths bench bench-json bench-pairs figures metrics serve smoke-serve \
 	chaos chaos-replay converge walsoak clean
 
 check: vet build test race
@@ -25,6 +25,7 @@ check-deep: check
 	$(MAKE) walsoak
 	$(GO) run ./cmd/experiments -figure 16 -workloads 181.mcf -selfcheck
 	$(MAKE) arena
+	$(MAKE) paths
 	$(MAKE) smoke-serve
 
 vet:
@@ -46,13 +47,15 @@ race:
 	$(GO) test -race -short -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
 		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
-		./internal/walstore/... ./internal/ring/... ./internal/api/...
+		./internal/walstore/... ./internal/ring/... ./internal/api/... \
+		./internal/blpath/...
 
 race-full:
 	$(GO) test -race -shuffle=on ./internal/experiments/... ./internal/machine/... \
 		./internal/server/... ./internal/client/... ./internal/chaos/... \
 		./internal/simcheck/... ./internal/cache/... ./internal/hwpf/... \
-		./internal/walstore/... ./internal/ring/... ./internal/api/...
+		./internal/walstore/... ./internal/ring/... ./internal/api/... \
+		./internal/blpath/...
 
 # Short coverage-guided fuzzing runs seeded from testdata/fuzz corpora.
 # ~10s per target: enough to exercise the mutator, not a soak test.
@@ -61,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 10s ./internal/mc
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/walstore
+	$(GO) test -run '^$$' -fuzz FuzzPathNumbering -fuzztime 10s ./internal/blpath
 
 # Differential/metamorphic property checks (see TESTING.md).
 simcheck:
@@ -89,6 +93,13 @@ figures:
 # config) on the short workload set; see EXPERIMENTS.md, "Prefetcher arena".
 arena:
 	$(GO) run ./cmd/experiments -figure arena -workloads 181.mcf,197.parser
+
+# Path-sensitive stride discovery: the Ball-Larus path figure over the short
+# workload set (the ground-truth kernels ride along automatically) plus the
+# pathtruth oracle property; see EXPERIMENTS.md, "Path-sensitive discovery".
+paths:
+	$(GO) run ./cmd/experiments -figure paths -workloads 181.mcf,197.parser
+	$(GO) run ./cmd/simcheck -prop pathtruth -n 8
 
 # Run the stride-profiling service daemon (see cmd/strided and DESIGN.md §9).
 serve:

@@ -188,7 +188,7 @@ func main() {
 		known = known || name == *figureFlag
 	}
 	if !known {
-		fatal(fmt.Errorf("unknown figure %q (want all, 15..25 or arena)", *figureFlag))
+		fatal(fmt.Errorf("unknown figure %q (want all, 15..25, arena or paths)", *figureFlag))
 	}
 	if n := cfg.Jobs; n != 1 && *figureFlag != "15" {
 		s.Warm(ctx, n, *figureFlag)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"stridepf/internal/client"
@@ -37,8 +38,7 @@ func run(argv []string, out io.Writer) error {
 		wl     = fs.String("workload", "", "benchmark name (see -list)")
 		list   = fs.Bool("list", false, "list available benchmarks")
 		method = fs.String("method", "edge-check",
-			"profiling method: edge-only, edge-check, block-check, naive-loop, naive-all, "+
-				"sample-edge-check, sample-naive-loop, sample-naive-all")
+			"profiling method: "+methodUsage())
 		input  = fs.String("input", "train", "input data set: train or ref")
 		outF   = fs.String("o", "profile.json", "profile output path")
 		dumpIR = fs.Bool("dump-ir", false, "print the instrumented IR")
@@ -123,28 +123,49 @@ func run(argv []string, out io.Writer) error {
 	return nil
 }
 
-func methodOptions(name string) (instrument.Options, error) {
-	sampled := stride.Config{FineInterval: 4, ChunkSkip: 1200, ChunkProfile: 300}
-	switch name {
-	case "edge-only":
-		return instrument.Options{Method: instrument.EdgeOnly}, nil
-	case "edge-check":
-		return instrument.Options{Method: instrument.EdgeCheck}, nil
-	case "block-check":
-		return instrument.Options{Method: instrument.BlockCheck}, nil
-	case "naive-loop":
-		return instrument.Options{Method: instrument.NaiveLoop}, nil
-	case "naive-all":
-		return instrument.Options{Method: instrument.NaiveAll}, nil
-	case "sample-edge-check":
-		return instrument.Options{Method: instrument.EdgeCheck, Stride: sampled}, nil
-	case "sample-naive-loop":
-		return instrument.Options{Method: instrument.NaiveLoop, Stride: sampled}, nil
-	case "sample-naive-all":
-		return instrument.Options{Method: instrument.NaiveAll, Stride: sampled}, nil
-	default:
-		return instrument.Options{}, fmt.Errorf("unknown method %q", name)
+// sampleMethods are the schemes the sampled-stride variant is defined for
+// (Section 4.3's bursty sampling of the check methods).
+var sampleMethods = []instrument.Method{
+	instrument.EdgeCheck, instrument.NaiveLoop, instrument.NaiveAll,
+}
+
+// methodUsage derives the flag help from the instrument registry so a new
+// scheme shows up here without editing this file.
+func methodUsage() string {
+	var names []string
+	for _, m := range instrument.Methods() {
+		if m == instrument.TwoPass {
+			continue // needs a prior edge profile this CLI cannot supply
+		}
+		names = append(names, m.String())
 	}
+	for _, m := range sampleMethods {
+		names = append(names, "sample-"+m.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+func methodOptions(name string) (instrument.Options, error) {
+	base, sampled := strings.CutPrefix(name, "sample-")
+	m, ok := instrument.ParseMethod(base)
+	if !ok {
+		return instrument.Options{}, fmt.Errorf("unknown method %q (want one of %s)", name, methodUsage())
+	}
+	if m == instrument.TwoPass {
+		return instrument.Options{}, fmt.Errorf("method %q needs a first-pass edge profile; use the experiments driver", name)
+	}
+	opts := instrument.Options{Method: m}
+	if sampled {
+		okSample := false
+		for _, sm := range sampleMethods {
+			okSample = okSample || sm == m
+		}
+		if !okSample {
+			return instrument.Options{}, fmt.Errorf("no sampled variant of %q", base)
+		}
+		opts.Stride = stride.Config{FineInterval: 4, ChunkSkip: 1200, ChunkProfile: 300}
+	}
+	return opts, nil
 }
 
 func main() {

@@ -1,0 +1,316 @@
+// Package blpath implements Ball–Larus path numbering over the natural
+// loops of package cfg, extended across k consecutive loop iterations in
+// the manner of D'Elia & Demetrescu's k-iteration path profiling.
+//
+// For an innermost reducible loop, the body with its back edges removed is
+// an acyclic region; every edge leaving the region (a back edge or a loop
+// exit) terminates one iteration's path. The classic Ball–Larus assignment
+// gives each edge an increment such that summing the increments along any
+// root-to-terminal path yields a distinct id in [0, N), where N is the
+// number of acyclic paths. A single register ("pid") maintained by three
+// kinds of updates then identifies paths at run time:
+//
+//	entry edge:  pid = 0
+//	body edge:   pid += val(e)
+//	back edge:   pid = ((pid + val(back)) mod N^(k-1)) * N
+//
+// The back-edge rotation folds the just-completed iteration's full path id
+// into a base-N history of the most recent k-1 iterations, so at any point
+// inside the body pid = history*N + prefix, where prefix is the Ball–Larus
+// partial sum of the current iteration. Partial sums at a given program
+// point are distinct across paths (the interval property), so pid uniquely
+// identifies up to k consecutive iterations' control flow with one add per
+// branch — no hashing, no tables.
+//
+// The numbering is purely structural: it depends only on block indices and
+// terminator target order, so the instrumentation pass and the feedback
+// pass (which must predicate prefetches on the same pid values in the
+// uninstrumented program) recompute identical numberings independently.
+package blpath
+
+import (
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+)
+
+// DefaultK is the number of consecutive iterations one path id spans.
+const DefaultK = 2
+
+// MaxSpace caps N^K, the size of the path-id space per loop. Loops whose
+// body has more paths than this are left unnumbered (their loads fall back
+// to the aggregate, path-insensitive profile), bounding both the per-path
+// bucket memory and the degree of history dilution.
+const MaxSpace = 4096
+
+// EdgeKey identifies a CFG edge by the endpoint block indices of the
+// function the numbering was computed on. Parallel edges (a CondBr with
+// both targets equal) collapse to one key, matching the edge-profiling
+// convention of package cfg.
+type EdgeKey struct {
+	From, To int
+}
+
+// edgeKind classifies an out-edge of a body block.
+type edgeKind uint8
+
+const (
+	kindBody edgeKind = iota // stays inside the acyclic region
+	kindBack                 // back edge to the header
+	kindExit                 // leaves the loop
+)
+
+// edgeInfo is one out-edge of a body block in terminator target order.
+type edgeInfo struct {
+	to    int
+	kind  edgeKind
+	val   int64 // Ball–Larus increment
+	width int64 // number of paths through this edge (1 for back/exit)
+}
+
+// Numbering is the path numbering of one loop.
+type Numbering struct {
+	// Func is the function the numbering belongs to.
+	Func string
+	// Header is the block index of the loop header.
+	Header int
+	// K is the number of iterations one id spans.
+	K int
+	// N is the number of acyclic paths through one iteration.
+	N int64
+	// M is N^(K-1), the modulus of the back-edge history rotation.
+	M int64
+	// Space is N^K, the number of distinct path ids.
+	Space int64
+
+	succs   map[int][]edgeInfo
+	incs    map[EdgeKey]int64 // non-zero body-edge increments
+	backs   map[EdgeKey]int64 // back edges -> increment (possibly zero)
+	entries []EdgeKey
+}
+
+// Increments returns the non-zero path-register increments for body edges.
+func (n *Numbering) Increments() map[EdgeKey]int64 { return n.incs }
+
+// BackEdges returns the loop's back edges and their increments. The
+// increment must be added before the history rotation so the rotated-in
+// digit is the completed iteration's full path id.
+func (n *Numbering) BackEdges() map[EdgeKey]int64 { return n.backs }
+
+// EntryEdges returns the loop entry edges, where pid must be reset to 0.
+func (n *Numbering) EntryEdges() []EdgeKey { return n.entries }
+
+// Split decomposes a pid value observed inside the body into the base-N
+// history of the previous K-1 iterations and the current iteration's
+// Ball–Larus partial sum.
+func (n *Numbering) Split(pid int64) (history, prefix int64) {
+	return pid / n.N, pid % n.N
+}
+
+// Number computes the path numbering of l with history depth k (<= 0
+// selects DefaultK). It returns nil when the loop is ineligible: not
+// innermost, touched by irreducible flow, containing an inner cycle the
+// loop forest missed, or with a path space larger than MaxSpace. Callers
+// must invoke it before any CFG surgery on f; the result is keyed by the
+// block indices current at that time.
+func Number(f *ir.Function, li *cfg.LoopInfo, l *cfg.Loop, k int) *Numbering {
+	if k <= 0 {
+		k = DefaultK
+	}
+	if len(l.Children) > 0 {
+		return nil
+	}
+	for b := range l.Blocks {
+		if li.Irreducible(b) {
+			return nil
+		}
+	}
+
+	backSet := make(map[EdgeKey]bool, len(l.BackEdges))
+	for _, e := range l.BackEdges {
+		backSet[EdgeKey{e.From.Index, e.To.Index}] = true
+	}
+
+	// Topologically order the body over internal non-back edges. A cycle or
+	// an unreachable body block means the region is not the acyclic DAG the
+	// numbering needs (possible next to flow the loop forest approximated);
+	// give up rather than emit a wrong numbering.
+	index := make(map[int]*ir.Block, len(l.Blocks))
+	for b := range l.Blocks {
+		index[b.Index] = b
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[int]uint8, len(l.Blocks))
+	acyclic := true
+	var order []int // reverse postorder is appended reversed below
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		state[b.Index] = visiting
+		seen := map[*ir.Block]bool{}
+		for _, s := range b.Succs() {
+			if seen[s] || !l.Blocks[s] || backSet[EdgeKey{b.Index, s.Index}] {
+				seen[s] = true
+				continue
+			}
+			seen[s] = true
+			switch state[s.Index] {
+			case 0:
+				dfs(s)
+			case visiting:
+				acyclic = false
+			}
+		}
+		state[b.Index] = done
+		order = append(order, b.Index)
+	}
+	dfs(l.Header)
+	if !acyclic || len(order) != len(l.Blocks) {
+		return nil
+	}
+
+	// numPaths in postorder (successors before predecessors), assigning each
+	// out-edge its interval [val, val+width) in terminator target order.
+	n := &Numbering{
+		Func:   f.Name,
+		Header: l.Header.Index,
+		K:      k,
+		succs:  make(map[int][]edgeInfo, len(order)),
+		incs:   make(map[EdgeKey]int64),
+		backs:  make(map[EdgeKey]int64),
+	}
+	numPaths := make(map[int]int64, len(order))
+	for _, bi := range order {
+		b := index[bi]
+		var infos []edgeInfo
+		var sum int64
+		seen := map[*ir.Block]bool{}
+		for _, s := range b.Succs() {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			ei := edgeInfo{to: s.Index, val: sum}
+			switch {
+			case backSet[EdgeKey{bi, s.Index}]:
+				ei.kind, ei.width = kindBack, 1
+			case !l.Blocks[s]:
+				ei.kind, ei.width = kindExit, 1
+			default:
+				ei.kind, ei.width = kindBody, numPaths[s.Index]
+			}
+			sum += ei.width
+			if sum > MaxSpace {
+				return nil
+			}
+			infos = append(infos, ei)
+		}
+		if sum == 0 {
+			sum = 1 // a ret inside the body terminates one path
+		}
+		numPaths[bi] = sum
+		n.succs[bi] = infos
+	}
+
+	n.N = numPaths[l.Header.Index]
+	if n.N < 1 || n.N > MaxSpace {
+		return nil
+	}
+	n.M, n.Space = 1, n.N
+	for i := 1; i < k; i++ {
+		n.M = n.Space
+		n.Space *= n.N
+		if n.Space > MaxSpace {
+			return nil
+		}
+	}
+
+	for bi, infos := range n.succs {
+		for _, ei := range infos {
+			key := EdgeKey{bi, ei.to}
+			switch ei.kind {
+			case kindBack:
+				n.backs[key] = ei.val
+			case kindBody:
+				if ei.val != 0 {
+					n.incs[key] = ei.val
+				}
+			}
+		}
+	}
+	for _, e := range l.EntryEdges {
+		n.entries = append(n.entries, EdgeKey{e.From.Index, e.To.Index})
+	}
+	return n
+}
+
+// Decode maps a single-iteration path id in [0, N) back to its edge
+// sequence, starting at the header and ending with the back or exit edge
+// that terminates the iteration. It reports false for out-of-range ids.
+func (n *Numbering) Decode(id int64) ([]EdgeKey, bool) {
+	if id < 0 || id >= n.N {
+		return nil, false
+	}
+	var path []EdgeKey
+	at := n.Header
+	remaining := id
+	for {
+		infos := n.succs[at]
+		if len(infos) == 0 {
+			// A ret block: the path ends inside the body with no edge.
+			return path, remaining == 0
+		}
+		var chosen *edgeInfo
+		for i := range infos {
+			ei := &infos[i]
+			if remaining >= ei.val && remaining < ei.val+ei.width {
+				chosen = ei
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, false
+		}
+		path = append(path, EdgeKey{at, chosen.to})
+		remaining -= chosen.val
+		if chosen.kind != kindBody {
+			return path, remaining == 0
+		}
+		at = chosen.to
+	}
+}
+
+// Encode maps an edge sequence produced by Decode back to its path id. It
+// reports false when the sequence is not a root-to-terminal path of the
+// region.
+func (n *Numbering) Encode(path []EdgeKey) (int64, bool) {
+	at := n.Header
+	var id int64
+	for i, e := range path {
+		if e.From != at {
+			return 0, false
+		}
+		var chosen *edgeInfo
+		infos := n.succs[at]
+		for j := range infos {
+			if infos[j].to == e.To {
+				chosen = &infos[j]
+				break
+			}
+		}
+		if chosen == nil {
+			return 0, false
+		}
+		id += chosen.val
+		if chosen.kind != kindBody {
+			if i != len(path)-1 {
+				return 0, false
+			}
+			return id, true
+		}
+		at = chosen.to
+	}
+	// Paths ending at a ret block have no terminal edge.
+	return id, len(n.succs[at]) == 0
+}

@@ -1,0 +1,276 @@
+package blpath
+
+import (
+	"testing"
+
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+)
+
+// branchyLoop builds the canonical two-arm loop the ground-truth workload
+// uses:
+//
+//	entry -> head -> body -> {a | b} -> join -> head
+//	           \-> exit
+//
+// Its acyclic region has exactly three paths: arm a (id 0), arm b (id 1)
+// and the exit (id 2), the numbering the pathtruth property reasons about.
+func branchyLoop() (*ir.Function, map[string]*ir.Block) {
+	b := ir.NewBuilder("branchy")
+	head := b.Block("head")
+	body := b.Block("body")
+	a := b.Block("a")
+	bb := b.Block("b")
+	join := b.Block("join")
+	exit := b.Block("exit")
+
+	n := b.Const(10)
+	i := b.Const(0)
+	b.Br(head)
+
+	b.At(head)
+	b.CondBr(b.CmpLT(i, n), body, exit)
+
+	b.At(body)
+	b.CondBr(b.CmpEQ(b.AndI(i, 1), i), a, bb)
+
+	b.At(a)
+	b.Br(join)
+
+	b.At(bb)
+	b.Br(join)
+
+	b.At(join)
+	b.AddITo(i, i, 1)
+	b.Br(head)
+
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+	return f, map[string]*ir.Block{
+		"entry": f.Entry(), "head": head, "body": body, "a": a, "b": bb,
+		"join": join, "exit": exit,
+	}
+}
+
+func numberOnly(t *testing.T, f *ir.Function, k int) *Numbering {
+	t.Helper()
+	dom := cfg.Dominators(f)
+	li := cfg.FindLoops(f, dom)
+	if len(li.Loops) != 1 {
+		t.Fatalf("FindLoops found %d loops, want 1", len(li.Loops))
+	}
+	return Number(f, li, li.Loops[0], k)
+}
+
+func TestNumberBranchyLoop(t *testing.T) {
+	f, bs := branchyLoop()
+	n := numberOnly(t, f, 2)
+	if n == nil {
+		t.Fatal("Number returned nil for an eligible loop")
+	}
+	if n.N != 3 || n.M != 3 || n.Space != 9 {
+		t.Fatalf("N/M/Space = %d/%d/%d, want 3/3/9", n.N, n.M, n.Space)
+	}
+	if n.Header != bs["head"].Index {
+		t.Errorf("Header = %d, want %d", n.Header, bs["head"].Index)
+	}
+
+	// The only non-zero increment is the edge into the second arm.
+	incs := n.Increments()
+	wantKey := EdgeKey{bs["body"].Index, bs["b"].Index}
+	if len(incs) != 1 || incs[wantKey] != 1 {
+		t.Errorf("Increments() = %v, want {%v: 1}", incs, wantKey)
+	}
+	backs := n.BackEdges()
+	backKey := EdgeKey{bs["join"].Index, bs["head"].Index}
+	if len(backs) != 1 || backs[backKey] != 0 {
+		t.Errorf("BackEdges() = %v, want {%v: 0}", backs, backKey)
+	}
+	if entries := n.EntryEdges(); len(entries) != 1 ||
+		entries[0] != (EdgeKey{bs["entry"].Index, bs["head"].Index}) {
+		t.Errorf("EntryEdges() = %v, want the entry->head edge", entries)
+	}
+
+	// Path id 0 takes arm a, id 1 arm b, id 2 the exit.
+	wantPaths := map[int64][]EdgeKey{
+		0: {
+			{bs["head"].Index, bs["body"].Index},
+			{bs["body"].Index, bs["a"].Index},
+			{bs["a"].Index, bs["join"].Index},
+			{bs["join"].Index, bs["head"].Index},
+		},
+		1: {
+			{bs["head"].Index, bs["body"].Index},
+			{bs["body"].Index, bs["b"].Index},
+			{bs["b"].Index, bs["join"].Index},
+			{bs["join"].Index, bs["head"].Index},
+		},
+		2: {
+			{bs["head"].Index, bs["exit"].Index},
+		},
+	}
+	for id, want := range wantPaths {
+		got, ok := n.Decode(id)
+		if !ok {
+			t.Fatalf("Decode(%d) failed", id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Decode(%d) = %v, want %v", id, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Decode(%d)[%d] = %v, want %v", id, i, got[i], want[i])
+			}
+		}
+		back, ok := n.Encode(got)
+		if !ok || back != id {
+			t.Errorf("Encode(Decode(%d)) = %d, %v", id, back, ok)
+		}
+	}
+	if _, ok := n.Decode(3); ok {
+		t.Error("Decode(3) succeeded; N = 3 ids end at 2")
+	}
+	if _, ok := n.Decode(-1); ok {
+		t.Error("Decode(-1) succeeded")
+	}
+
+	// pid = history*N + prefix.
+	if h, p := n.Split(7); h != 2 || p != 1 {
+		t.Errorf("Split(7) = %d, %d, want 2, 1", h, p)
+	}
+}
+
+func TestNumberKSpans(t *testing.T) {
+	f, _ := branchyLoop()
+	cases := []struct {
+		k                  int
+		wantN, wantM, want int64
+	}{
+		{1, 3, 1, 3},
+		{0, 3, 3, 9}, // k <= 0 selects DefaultK = 2
+		{3, 3, 9, 27},
+	}
+	for _, c := range cases {
+		n := numberOnly(t, f, c.k)
+		if n == nil {
+			t.Fatalf("k=%d: Number returned nil", c.k)
+		}
+		if n.N != c.wantN || n.M != c.wantM || n.Space != c.want {
+			t.Errorf("k=%d: N/M/Space = %d/%d/%d, want %d/%d/%d",
+				c.k, n.N, n.M, n.Space, c.wantN, c.wantM, c.want)
+		}
+	}
+	// 3^8 = 6561 > MaxSpace: the span is refused, not truncated.
+	if n := numberOnly(t, f, 8); n != nil {
+		t.Errorf("k=8: Number = %+v, want nil (space %d exceeds MaxSpace)", n, 6561)
+	}
+}
+
+func TestNumberRejectsNonInnermost(t *testing.T) {
+	b := ir.NewBuilder("nest")
+	oh := b.Block("oh")
+	ih := b.Block("ih")
+	ib := b.Block("ib")
+	ol := b.Block("ol")
+	exit := b.Block("exit")
+
+	n := b.Const(10)
+	i := b.Const(0)
+	b.Br(oh)
+	b.At(oh)
+	b.CondBr(b.CmpLT(i, n), ih, exit)
+	b.At(ih)
+	b.CondBr(b.CmpLT(i, n), ib, ol)
+	b.At(ib)
+	b.AddITo(i, i, 1)
+	b.Br(ih)
+	b.At(ol)
+	b.Br(oh)
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+
+	dom := cfg.Dominators(f)
+	li := cfg.FindLoops(f, dom)
+	var outer, inner *cfg.Loop
+	for _, l := range li.Loops {
+		if len(l.Children) > 0 {
+			outer = l
+		} else {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("expected one outer and one inner loop, got %d loops", len(li.Loops))
+	}
+	if n := Number(f, li, outer, 2); n != nil {
+		t.Error("Number accepted a non-innermost loop")
+	}
+	if n := Number(f, li, inner, 2); n == nil {
+		t.Error("Number rejected the innermost loop")
+	}
+}
+
+// TestDecodeEncodeExhaustive checks the round-trip over every id of a
+// numbering with a deeper body: two diamonds in sequence -> N = 5 (four
+// body paths plus the exit).
+func TestDecodeEncodeExhaustive(t *testing.T) {
+	b := ir.NewBuilder("twodiamond")
+	head := b.Block("head")
+	d1 := b.Block("d1")
+	l1 := b.Block("l1")
+	r1 := b.Block("r1")
+	m := b.Block("m")
+	l2 := b.Block("l2")
+	r2 := b.Block("r2")
+	join := b.Block("join")
+	exit := b.Block("exit")
+
+	n := b.Const(10)
+	i := b.Const(0)
+	b.Br(head)
+	b.At(head)
+	b.CondBr(b.CmpLT(i, n), d1, exit)
+	b.At(d1)
+	b.CondBr(b.CmpEQ(i, n), l1, r1)
+	b.At(l1)
+	b.Br(m)
+	b.At(r1)
+	b.Br(m)
+	b.At(m)
+	b.CondBr(b.CmpLT(i, n), l2, r2)
+	b.At(l2)
+	b.Br(join)
+	b.At(r2)
+	b.Br(join)
+	b.At(join)
+	b.AddITo(i, i, 1)
+	b.Br(head)
+	b.At(exit)
+	b.Ret(ir.NoReg)
+	f := b.Finish()
+
+	num := numberOnly(t, f, 2)
+	if num == nil {
+		t.Fatal("Number returned nil")
+	}
+	if num.N != 5 {
+		t.Fatalf("N = %d, want 5", num.N)
+	}
+	seen := map[int64]bool{}
+	for id := int64(0); id < num.N; id++ {
+		path, ok := num.Decode(id)
+		if !ok {
+			t.Fatalf("Decode(%d) failed", id)
+		}
+		back, ok := num.Encode(path)
+		if !ok || back != id {
+			t.Fatalf("Encode(Decode(%d)) = %d, %v", id, back, ok)
+		}
+		if seen[back] {
+			t.Fatalf("id %d decoded twice", back)
+		}
+		seen[back] = true
+	}
+}

@@ -1,0 +1,69 @@
+package blpath
+
+import (
+	"testing"
+
+	"stridepf/internal/cfg"
+	"stridepf/internal/irgen"
+)
+
+// FuzzPathNumbering throws generated programs at the numbering and checks
+// its internal consistency on every loop it accepts: the id space matches
+// N^K, every id in [0, N) decodes to a root-to-terminal path that encodes
+// back to the same id, out-of-range ids are rejected, and nothing panics on
+// loops the generator makes ineligible (nested, irreducible, too wide).
+func FuzzPathNumbering(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(7), uint64(1))
+	f.Add(uint64(42), uint64(3))
+	f.Fuzz(func(t *testing.T, seed, kRaw uint64) {
+		k := int(kRaw % 5) // 0 selects DefaultK; 1..4 are explicit spans
+		prog := irgen.Generate(seed, irgen.Config{})
+		for _, fn := range prog.Funcs {
+			dom := cfg.Dominators(fn)
+			li := cfg.FindLoops(fn, dom)
+			for _, l := range li.Loops {
+				n := Number(fn, li, l, k)
+				if n == nil {
+					continue
+				}
+				if n.N < 1 || n.Space > MaxSpace {
+					t.Fatalf("%s: N = %d, Space = %d out of bounds", fn.Name, n.N, n.Space)
+				}
+				wantSpace := int64(1)
+				for i := 0; i < n.K; i++ {
+					wantSpace *= n.N
+				}
+				if n.Space != wantSpace || n.M*n.N != n.Space {
+					t.Fatalf("%s: Space = %d, M = %d inconsistent with N = %d, K = %d",
+						fn.Name, n.Space, n.M, n.N, n.K)
+				}
+				seen := make(map[int64]bool, n.N)
+				for id := int64(0); id < n.N; id++ {
+					path, ok := n.Decode(id)
+					if !ok {
+						t.Fatalf("%s: Decode(%d) failed with N = %d", fn.Name, id, n.N)
+					}
+					back, ok := n.Encode(path)
+					if !ok || back != id {
+						t.Fatalf("%s: Encode(Decode(%d)) = %d, %v", fn.Name, id, back, ok)
+					}
+					if seen[id] {
+						t.Fatalf("%s: id %d decoded twice", fn.Name, id)
+					}
+					seen[id] = true
+					if len(path) > 0 && path[0].From != n.Header {
+						t.Fatalf("%s: path for id %d starts at %d, not the header %d",
+							fn.Name, id, path[0].From, n.Header)
+					}
+				}
+				if _, ok := n.Decode(n.N); ok {
+					t.Fatalf("%s: Decode(N) succeeded", fn.Name)
+				}
+				if _, ok := n.Decode(-1); ok {
+					t.Fatalf("%s: Decode(-1) succeeded", fn.Name)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package blpath
+
+import (
+	"stridepf/internal/ir"
+)
+
+// Materialize inserts the path-register maintenance code of the given
+// numberings into f: pid = 0 on loop entry edges, pid += val on body
+// edges, and the history rotation on back edges. f must still have the CFG
+// the numberings were computed on (same block indices, no surgery in
+// between), with edges rebuilt; Materialize rebuilds them again before
+// returning when it had to split an edge.
+//
+// Placement mirrors the edge-counter policy of package instrument: at the
+// end of the source block when it has a single distinct successor, at the
+// top of the destination when it is the edge's only way in, otherwise on a
+// fresh split block — so the update runs exactly when the edge is
+// traversed. pid and scratch must be registers unused by f's original
+// code; scratch is clobbered by back-edge rotations only.
+func Materialize(f *ir.Function, ns []*Numbering, pid, scratch ir.Reg) {
+	byIndex := func(i int) *ir.Block {
+		for _, b := range f.Blocks {
+			if b.Index == i {
+				return b
+			}
+		}
+		return nil
+	}
+	split := false
+	// atEdge inserts the instructions built by gen on edge e.
+	atEdge := func(e EdgeKey, gen func(emit func(in *ir.Instr))) {
+		from, to := byIndex(e.From), byIndex(e.To)
+		if from == nil || to == nil {
+			return
+		}
+		var site *ir.Block
+		var pos int
+		switch {
+		case distinctSuccs(from) == 1:
+			site, pos = from, len(from.Instrs)-1
+		case len(to.Preds) == 1 && !parallelEdge(from, to):
+			site, pos = to, 0
+		default:
+			site = f.SplitEdge(from, to)
+			f.RebuildEdges()
+			split = true
+			pos = len(site.Instrs) - 1
+		}
+		gen(func(in *ir.Instr) {
+			in.ID = f.NextInstrID()
+			site.InsertBefore(pos, in)
+			pos++
+		})
+	}
+
+	for _, n := range ns {
+		for _, e := range n.EntryEdges() {
+			atEdge(e, func(emit func(in *ir.Instr)) {
+				c := ir.NewInstr(ir.OpConst)
+				c.Dst = pid
+				c.Imm = 0
+				c.Comment = "pathnum"
+				emit(c)
+			})
+		}
+		for _, ev := range sortedEdgeVals(n.Increments()) {
+			atEdge(ev.key, func(emit func(in *ir.Instr)) {
+				add := ir.NewInstr(ir.OpAddI)
+				add.Dst = pid
+				add.Src[0] = pid
+				add.Imm = ev.val
+				add.Comment = "pathnum"
+				emit(add)
+			})
+		}
+		for _, ev := range sortedEdgeVals(n.BackEdges()) {
+			atEdge(ev.key, func(emit func(in *ir.Instr)) {
+				if n.K == 1 {
+					c := ir.NewInstr(ir.OpConst)
+					c.Dst = pid
+					c.Imm = 0
+					c.Comment = "pathnum"
+					emit(c)
+					return
+				}
+				if ev.val != 0 {
+					add := ir.NewInstr(ir.OpAddI)
+					add.Dst = pid
+					add.Src[0] = pid
+					add.Imm = ev.val
+					add.Comment = "pathnum"
+					emit(add)
+				}
+				cm := ir.NewInstr(ir.OpConst)
+				cm.Dst = scratch
+				cm.Imm = n.M
+				cm.Comment = "pathnum"
+				emit(cm)
+				rem := ir.NewInstr(ir.OpRem)
+				rem.Dst = pid
+				rem.Src[0] = pid
+				rem.Src[1] = scratch
+				emit(rem)
+				cn := ir.NewInstr(ir.OpConst)
+				cn.Dst = scratch
+				cn.Imm = n.N
+				emit(cn)
+				mul := ir.NewInstr(ir.OpMul)
+				mul.Dst = pid
+				mul.Src[0] = pid
+				mul.Src[1] = scratch
+				emit(mul)
+			})
+		}
+	}
+	if split {
+		f.RebuildEdges()
+	}
+}
+
+type edgeVal struct {
+	key EdgeKey
+	val int64
+}
+
+// sortedEdgeVals returns the map's entries in deterministic edge order.
+func sortedEdgeVals(m map[EdgeKey]int64) []edgeVal {
+	out := make([]edgeVal, 0, len(m))
+	for k, v := range m {
+		out = append(out, edgeVal{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j].key, out[j-1].key); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b EdgeKey) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func distinctSuccs(b *ir.Block) int {
+	seen := map[*ir.Block]bool{}
+	for _, s := range b.Succs() {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+func parallelEdge(from, to *ir.Block) bool {
+	n := 0
+	for _, s := range from.Succs() {
+		if s == to {
+			n++
+		}
+	}
+	return n > 1
+}

@@ -124,17 +124,25 @@ func TestArenaCellValidatesInputs(t *testing.T) {
 	}
 }
 
-// TestArenaIsExtraFigure pins the frozen paper-figure list: arena is
-// reachable as a named figure but must never join FigureNames (RunAll and
-// `-figure all` stay byte-identical to the pre-arena harness).
+// TestArenaIsExtraFigure pins the frozen paper-figure list: the repo's own
+// figures are reachable by name but must never join FigureNames (RunAll and
+// `-figure all` stay byte-identical to the paper harness).
 func TestArenaIsExtraFigure(t *testing.T) {
+	extras := ExtraFigureNames()
 	for _, name := range FigureNames() {
-		if name == "arena" {
-			t.Fatal("arena leaked into FigureNames")
+		for _, extra := range extras {
+			if name == extra {
+				t.Fatalf("%s leaked into FigureNames", extra)
+			}
 		}
 	}
-	extras := ExtraFigureNames()
-	if len(extras) != 1 || extras[0] != "arena" {
-		t.Errorf("ExtraFigureNames() = %v, want [arena]", extras)
+	want := []string{"arena", "paths"}
+	if len(extras) != len(want) {
+		t.Fatalf("ExtraFigureNames() = %v, want %v", extras, want)
+	}
+	for i, extra := range extras {
+		if extra != want[i] {
+			t.Errorf("ExtraFigureNames()[%d] = %q, want %q", i, extra, want[i])
+		}
 	}
 }

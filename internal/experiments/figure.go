@@ -15,9 +15,10 @@ func FigureNames() []string {
 }
 
 // ExtraFigureNames lists the non-paper figures the session can produce on
-// request: currently the prefetcher-arena cross product (see Arena).
+// request: the prefetcher-arena cross product (see Arena) and the
+// path-profiling evaluation (see Paths).
 func ExtraFigureNames() []string {
-	return []string{"arena"}
+	return []string{"arena", "paths"}
 }
 
 // Figure computes the named figure's table by name, the string-keyed
@@ -47,10 +48,12 @@ func (s *Session) Figure(ctx context.Context, name string) (*Table, error) {
 		return s.Fig25(ctx)
 	case "arena":
 		return s.Arena(ctx)
+	case "paths":
+		return s.Paths(ctx)
 	case "15":
 		return nil, fmt.Errorf("experiments: figure 15 is preformatted text; use FigureText")
 	}
-	return nil, fmt.Errorf("experiments: unknown figure %q (want 15..25 or arena)", name)
+	return nil, fmt.Errorf("experiments: unknown figure %q (want 15..25, arena or paths)", name)
 }
 
 // FigureText returns the exact bytes the experiments CLI writes for

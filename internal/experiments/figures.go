@@ -127,7 +127,7 @@ func (s *Session) classifyCompute(ctx context.Context, name string) (*classBucke
 	if err != nil {
 		return nil, err
 	}
-	m := MethodSpec{Name: "naive-all", Opts: instrument.Options{Method: instrument.NaiveAll}}
+	m := MethodSpec{Name: instrument.NaiveAll.String(), Opts: instrument.Options{Method: instrument.NaiveAll}}
 	pr, err := s.Profile(ctx, name, m, w.Train())
 	if err != nil {
 		return nil, err
@@ -219,7 +219,7 @@ func (s *Session) distTable(ctx context.Context, title string, sel func(*classBu
 }
 
 // edgeOnlySpec is the overhead baseline: frequency profiling alone.
-var edgeOnlySpec = MethodSpec{Name: "edge-only", Opts: instrument.Options{Method: instrument.EdgeOnly}}
+var edgeOnlySpec = MethodSpec{Name: instrument.EdgeOnly.String(), Opts: instrument.Options{Method: instrument.EdgeOnly}}
 
 // Fig20 reproduces Figure 20: profiling overhead of each integrated method
 // over edge-frequency profiling alone, on the train input:
@@ -302,7 +302,7 @@ func (s *Session) rateTable(ctx context.Context, title string, num func(*core.Pr
 // paper's recommended production configuration).
 func sampleEdgeCheck() MethodSpec {
 	return MethodSpec{
-		Name: "sample-edge-check",
+		Name: "sample-" + instrument.EdgeCheck.String(),
 		Opts: instrument.Options{Method: instrument.EdgeCheck, Stride: sampledConfig()},
 	}
 }

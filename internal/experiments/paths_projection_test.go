@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"stridepf/internal/core"
+	"stridepf/internal/instrument"
+	"stridepf/internal/machine"
+	"stridepf/internal/simcheck"
+	"stridepf/internal/stride"
+	"stridepf/internal/workloads"
+)
+
+// checkPathProjection runs one paths and one edge-check profiling pass over
+// w's train input and asserts the two halves of the projection property:
+// stripping the path buckets from the paths profile reproduces the
+// edge-check profile bit-for-bit (path profiling is a pure refinement of
+// the aggregate), and within the paths profile every summary's bucket
+// counters sum exactly to its aggregate counters (buckets attribute
+// samples, never re-count them).
+// It returns the number of summaries that carried buckets: some real
+// workloads have no loop the numbering accepts (too wide, not innermost),
+// and for those the projection trivially holds but proves less — callers
+// that know buckets must exist assert on the count.
+func checkPathProjection(t *testing.T, w core.Workload, scfg stride.Config, pathK int) int {
+	t.Helper()
+	popts := instrument.Options{Method: instrument.Paths, Stride: scfg, PathK: pathK}
+	copts := instrument.Options{Method: instrument.EdgeCheck, Stride: scfg}
+	ppr, err := core.ProfilePass(w, w.Train(), popts, machine.Config{})
+	if err != nil {
+		t.Fatalf("paths profiling run: %v", err)
+	}
+	cpr, err := core.ProfilePass(w, w.Train(), copts, machine.Config{})
+	if err != nil {
+		t.Fatalf("edge-check profiling run: %v", err)
+	}
+	if ppr.Stats.Ret != cpr.Stats.Ret {
+		t.Fatalf("paths run checksum %d, edge-check run %d", ppr.Stats.Ret, cpr.Stats.Ret)
+	}
+
+	var pb, cb bytes.Buffer
+	if err := simcheck.StripPaths(ppr.Profiles).Write(&pb); err != nil {
+		t.Fatalf("serialise stripped paths profile: %v", err)
+	}
+	if err := cpr.Profiles.Write(&cb); err != nil {
+		t.Fatalf("serialise edge-check profile: %v", err)
+	}
+	if !bytes.Equal(pb.Bytes(), cb.Bytes()) {
+		t.Errorf("paths profile with buckets stripped differs from the edge-check profile")
+	}
+
+	projected := 0
+	for _, sum := range ppr.Profiles.Stride.Summaries() {
+		if len(sum.Paths) == 0 {
+			continue
+		}
+		projected++
+		proc, total, zeros, zeroDiffs := stride.ProjectPaths(sum)
+		if total != sum.TotalStrides || zeros != sum.ZeroStrides || zeroDiffs != sum.ZeroDiffs {
+			t.Errorf("load %s#%d: bucket sums %d/%d/%d disagree with aggregate %d/%d/%d",
+				sum.Key.Func, sum.Key.ID, total, zeros, zeroDiffs,
+				sum.TotalStrides, sum.ZeroStrides, sum.ZeroDiffs)
+		}
+		if proc < total {
+			t.Errorf("load %s#%d: %d processed samples < %d strides",
+				sum.Key.Func, sum.Key.ID, proc, total)
+		}
+	}
+	return projected
+}
+
+// TestPathProjectionDifferential checks the projection property over the
+// registered workload suite (a subset in short mode), the ground-truth
+// kernels (weave with its three-iteration numbering), and the chunk-sampled
+// configuration of Figure 9.
+func TestPathProjectionDifferential(t *testing.T) {
+	names := workloads.Names()
+	if testing.Short() {
+		names = names[:3]
+	}
+	bucketed := 0
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			bucketed += checkPathProjection(t, workloads.Get(name), stride.Config{}, 0)
+		})
+	}
+	// Not every real workload has a loop the numbering accepts, but the
+	// suite as a whole must exercise the bucketed half of the property.
+	if bucketed == 0 {
+		t.Errorf("no roster workload produced path buckets")
+	}
+	t.Run(workloads.BranchyName, func(t *testing.T) {
+		if checkPathProjection(t, workloads.Branchy(), stride.Config{}, 0) == 0 {
+			t.Error("branchy kernel produced no path buckets")
+		}
+	})
+	t.Run(workloads.WeaveName, func(t *testing.T) {
+		if checkPathProjection(t, workloads.Weave(), stride.Config{}, workloads.WeavePathK) == 0 {
+			t.Error("weave kernel produced no path buckets")
+		}
+	})
+	t.Run("sampled/197.parser", func(t *testing.T) {
+		if checkPathProjection(t, workloads.Get("197.parser"), sampledConfig(), 0) == 0 {
+			t.Error("sampled parser run produced no path buckets")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"stridepf/internal/workloads"
+)
+
+// TestPathsGolden locks the paths figure's bytes for the default-config
+// session on the fast roster. The golden file is the committed output of
+//
+//	go run ./cmd/experiments -figure paths -workloads 197.parser
+//
+// so any change to the numbering, the split pass, the ground-truth kernels
+// or the table renderer that moves these rows must be deliberate enough to
+// regenerate it.
+func TestPathsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	s := NewSession(Config{Workloads: []string{"197.parser"}})
+	got, err := s.FigureText(ctx, "paths", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/paths_197.parser.golden")
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with `go run ./cmd/experiments -figure paths -workloads 197.parser`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("paths figure diverges from golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Structure: the selected workload plus both ground-truth kernels, in
+	// order.
+	idx := 0
+	for _, row := range []string{"197.parser", workloads.BranchyName, workloads.WeaveName} {
+		at := strings.Index(got[idx:], row)
+		if at < 0 {
+			t.Fatalf("paths output missing row %q (or out of order):\n%s", row, got)
+		}
+		idx += at
+	}
+}
+
+// TestPathsSplitImprovesCoverage pins the figure-level claim of the path
+// extension: on the weave kernel the PMST load is split into per-path
+// SSSTs, and the split binary's prefetch coverage beats the plain PMST
+// binary built from the same profile (the transition-chain lookahead
+// prefetches addresses last-address differencing never hits).
+func TestPathsSplitImprovesCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	s := NewSession(Config{Workloads: []string{"197.parser"}})
+	cell, err := s.PathsCell(ctx, workloads.WeaveName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.SplitLoads < 1 || cell.PathSSSTs < 2 {
+		t.Fatalf("weave split %d loads into %d path-SSSTs, want >= 1 and >= 2",
+			cell.SplitLoads, cell.PathSSSTs)
+	}
+	if cell.CoverageSplit <= cell.CoveragePlain {
+		t.Errorf("split coverage %.3f does not beat plain %.3f",
+			cell.CoverageSplit, cell.CoveragePlain)
+	}
+	if cell.CoverageSSST <= 0 {
+		t.Errorf("split run reports no SSST-class coverage")
+	}
+}
+
+// TestPathsParallelMatchesSerial pins the memoisation contract for the
+// paths figure: precomputing cells on a worker pool must leave the
+// assembled table byte-identical to a serial session.
+func TestPathsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	cfg := Config{Workloads: []string{"197.parser"}}
+
+	warm := NewSession(cfg)
+	warm.Warm(ctx, 4, "paths")
+	parallel, err := warm.FigureText(ctx, "paths", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serialCfg := cfg
+	serialCfg.Jobs = 1
+	serial, err := NewSession(serialCfg).FigureText(ctx, "paths", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel != serial {
+		t.Errorf("warmed paths figure diverges from serial\n--- warmed ---\n%s\n--- serial ---\n%s", parallel, serial)
+	}
+}

@@ -36,16 +36,22 @@ func sampledConfig() stride.Config {
 }
 
 // PaperMethods returns the six one-pass profiling methods evaluated in
-// Section 4, in the paper's presentation order.
+// Section 4, in the paper's presentation order. Spec names come from the
+// instrument method table, so the figure labels here, the strideprof flag
+// values and the golden-listing filenames are all the same strings.
 func PaperMethods() []MethodSpec {
-	return []MethodSpec{
-		{Name: "edge-check", Opts: instrument.Options{Method: instrument.EdgeCheck}},
-		{Name: "naive-loop", Opts: instrument.Options{Method: instrument.NaiveLoop}},
-		{Name: "naive-all", Opts: instrument.Options{Method: instrument.NaiveAll}},
-		{Name: "sample-edge-check", Opts: instrument.Options{Method: instrument.EdgeCheck, Stride: sampledConfig()}},
-		{Name: "sample-naive-loop", Opts: instrument.Options{Method: instrument.NaiveLoop, Stride: sampledConfig()}},
-		{Name: "sample-naive-all", Opts: instrument.Options{Method: instrument.NaiveAll, Stride: sampledConfig()}},
+	exact := []instrument.Method{instrument.EdgeCheck, instrument.NaiveLoop, instrument.NaiveAll}
+	specs := make([]MethodSpec, 0, 2*len(exact))
+	for _, m := range exact {
+		specs = append(specs, MethodSpec{Name: m.String(), Opts: instrument.Options{Method: m}})
 	}
+	for _, m := range exact {
+		specs = append(specs, MethodSpec{
+			Name: "sample-" + m.String(),
+			Opts: instrument.Options{Method: m, Stride: sampledConfig()},
+		})
+	}
+	return specs
 }
 
 // Config parameterises an experiment session.
@@ -120,9 +126,10 @@ type Session struct {
 	profiles map[string]*core.ProfileRun
 	cleans   map[string]core.RunStats
 	speedups map[string]*speedupEntry
-	classes  map[string]*classBuckets
-	arenas   map[string]*ArenaCell
-	arenaRef map[string]core.RunStats
+	classes    map[string]*classBuckets
+	arenas     map[string]*ArenaCell
+	arenaRef   map[string]core.RunStats
+	pathsCells map[string]*PathsCell
 }
 
 type speedupEntry struct {
@@ -148,8 +155,9 @@ func NewSession(cfg Config) *Session {
 		cleans:   make(map[string]core.RunStats),
 		speedups: make(map[string]*speedupEntry),
 		classes:  make(map[string]*classBuckets),
-		arenas:   make(map[string]*ArenaCell),
-		arenaRef: make(map[string]core.RunStats),
+		arenas:     make(map[string]*ArenaCell),
+		arenaRef:   make(map[string]core.RunStats),
+		pathsCells: make(map[string]*PathsCell),
 	}
 	if cfg.HWPF != "" {
 		if _, err := hwpf.NewScheme(cfg.HWPF, cfg.HWPFConfig); err != nil {
@@ -254,6 +262,14 @@ func ctxErr(ctx context.Context, err error) error {
 func (s *Session) workload(name string) (core.Workload, error) {
 	w := workloads.Get(name)
 	if w == nil {
+		// The ground-truth kernels are deliberately unregistered (they
+		// would change Figures 15-25); the paths figure reaches them here.
+		switch name {
+		case workloads.BranchyName:
+			return workloads.Branchy(), nil
+		case workloads.WeaveName:
+			return workloads.Weave(), nil
+		}
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
 	}
 	return w, nil
@@ -428,6 +444,10 @@ func (s *Session) warmTasks(ctx context.Context, figs map[string]bool) []func() 
 				}
 			}
 		}
+		// The paths figure is opt-in for the same reason as the arena.
+		if figs["paths"] {
+			tasks = append(tasks, func() { _, _ = s.PathsCell(ctx, name) })
+		}
 		if want("23", "24", "25") {
 			tasks = append(tasks, func() {
 				m := sampleEdgeCheck()
@@ -475,6 +495,10 @@ func (s *Session) Warm(ctx context.Context, jobs int, figs ...string) {
 	sel := make(map[string]bool, len(figs))
 	for _, f := range figs {
 		sel[f] = true
+	}
+	if sel["paths"] {
+		core.EnsureAnalyzed(workloads.Branchy().Program())
+		core.EnsureAnalyzed(workloads.Weave().Program())
 	}
 	tasks := s.warmTasks(ctx, sel)
 	if jobs > len(tasks) {

@@ -3,9 +3,11 @@ package instrument
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"stridepf/internal/ir"
+	"stridepf/internal/profile"
 )
 
 // chaseLoop builds the canonical Figure 3(a)/Figure 14 subject: a two-pass
@@ -49,27 +51,69 @@ func chaseLoop() *ir.Program {
 	return prog
 }
 
-// TestEdgeCheckGoldenListing pins the edge-check instrumentation output
-// (Figure 14's counter triples, trip-check sequence and guarded hook).
-// Regenerate with UPDATE_GOLDEN=1 go test ./internal/instrument -run Golden.
-func TestEdgeCheckGoldenListing(t *testing.T) {
-	res, err := Instrument(chaseLoop(), Options{Method: EdgeCheck})
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := ir.PrintProgram(res.Prog)
-	path := filepath.Join("testdata", "edgecheck.golden")
+// goldenFile maps a method to its pinned-listing filename: the conventional
+// name with dashes dropped, e.g. edge-check -> edgecheck.golden.
+func goldenFile(m Method) string {
+	return strings.ReplaceAll(m.String(), "-", "") + ".golden"
+}
 
-	if os.Getenv("UPDATE_GOLDEN") != "" {
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
+// chasePrior synthesises the first-pass edge profile TwoPass needs for the
+// chase-loop subject: one outer pass of 50 iterations, each chasing 1000
+// pointers, so the inner loop clears the trip threshold.
+func chasePrior(prog *ir.Program) *profile.EdgeProfile {
+	f := prog.Funcs["main"]
+	idx := map[string]int{}
+	for _, b := range f.Blocks {
+		idx[b.Name] = b.Index
 	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	e := profile.NewEdgeProfile()
+	e.SetEntryCount("main", 1)
+	set := func(from, to int, n uint64) {
+		e.Set(profile.EdgeKey{Func: "main", From: from, To: to}, n)
 	}
-	if got != string(want) {
-		t.Errorf("instrumented listing changed; review and regenerate with UPDATE_GOLDEN=1\n--- got\n%s", got)
+	set(f.Entry().Index, idx["ohead"], 1)
+	set(idx["ohead"], idx["head"], 50)
+	set(idx["ohead"], idx["exit"], 1)
+	set(idx["head"], idx["body"], 50)
+	set(idx["body"], idx["body"], 49_950)
+	set(idx["body"], idx["oinc"], 50)
+	set(idx["oinc"], idx["ohead"], 50)
+	return e
+}
+
+// TestGoldenListings pins the instrumented listing of every registered
+// scheme on the chase-loop subject (Figure 14's counter triples, trip-check
+// sequence and guarded hook for the check methods; the path-register
+// updates and three-argument hook for paths). Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/instrument -run Golden.
+func TestGoldenListings(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			prog := chaseLoop()
+			opts := Options{Method: m}
+			if m == TwoPass {
+				opts.PriorEdge = chasePrior(prog)
+			}
+			res, err := Instrument(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ir.PrintProgram(res.Prog)
+			path := filepath.Join("testdata", goldenFile(m))
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("instrumented listing changed; review and regenerate with UPDATE_GOLDEN=1\n--- got\n%s", got)
+			}
+		})
 	}
 }

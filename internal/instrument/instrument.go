@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"stridepf/internal/blpath"
 	"stridepf/internal/cfg"
 	"stridepf/internal/ir"
 	"stridepf/internal/machine"
@@ -51,27 +52,14 @@ const (
 	// EdgeCheck uses edge-frequency counters and guards strideProf calls
 	// with the trip-count predicate of Figures 12-14.
 	EdgeCheck
+	// Paths is EdgeCheck extended with Ball–Larus k-iteration path
+	// profiling (package blpath): a path register maintained on loop edges
+	// is passed to every strideProf call, and the runtime attributes each
+	// sample to a per-(load, path-id) bucket on top of the aggregate
+	// profile. Summing a load's buckets reproduces its EdgeCheck profile
+	// exactly; the buckets expose per-path regularity the aggregate hides.
+	Paths
 )
-
-// String returns the method's conventional name.
-func (m Method) String() string {
-	switch m {
-	case EdgeOnly:
-		return "edge-only"
-	case TwoPass:
-		return "two-pass"
-	case NaiveLoop:
-		return "naive-loop"
-	case NaiveAll:
-		return "naive-all"
-	case BlockCheck:
-		return "block-check"
-	case EdgeCheck:
-		return "edge-check"
-	default:
-		return fmt.Sprintf("method(%d)", int(m))
-	}
-}
 
 // CounterBase is the simulated address of the profiling counter segment.
 const CounterBase uint64 = 0x0800_0000
@@ -87,6 +75,9 @@ type Options struct {
 	TripThreshold int
 	// PriorEdge is the first-pass edge profile required by TwoPass.
 	PriorEdge *profile.EdgeProfile
+	// PathK is the iteration span of one path id under the Paths method;
+	// zero selects blpath.DefaultK.
+	PathK int
 }
 
 func (o *Options) fill() {
@@ -142,6 +133,11 @@ func Instrument(prog *ir.Program, opts Options) (*Result, error) {
 	}
 	if opts.Method == TwoPass && opts.PriorEdge == nil {
 		return nil, fmt.Errorf("instrument: two-pass method requires Options.PriorEdge")
+	}
+	if opts.Method == Paths {
+		// The hook protocol changes with the method, so the runtime must
+		// agree regardless of how the caller filled the stride config.
+		opts.Stride.Paths = true
 	}
 	res := &Result{
 		Prog:        ir.CloneProgram(prog),
@@ -227,6 +223,8 @@ type funcCtx struct {
 	idxReg  ir.Reg // scratch for hook data-index constants
 	addrReg ir.Reg // scratch for hook effective addresses
 	prdReg  ir.Reg // scratch for composed predicates
+	pidReg  ir.Reg // path register (Paths method only)
+	pkReg   ir.Reg // scratch for rotations and the -1 sentinel (Paths)
 
 	li   *cfg.LoopInfo
 	dom  *cfg.DomTree
@@ -239,6 +237,21 @@ type funcCtx struct {
 	// each predicate loop, captured before edge splitting.
 	entryKeys      map[*cfg.Loop][]profile.EdgeKey
 	headerExitKeys map[*cfg.Loop][]profile.EdgeKey
+
+	// Paths method: path-register maintenance keyed by original-CFG edge
+	// keys (computed by blpath.Number before any surgery) so the updates
+	// piggyback on the edge-counter sites.
+	loopNum     map[*cfg.Loop]*blpath.Numbering
+	pathIncs    map[profile.EdgeKey]int64
+	pathBacks   map[profile.EdgeKey]*pathRotation
+	pathEntries map[profile.EdgeKey]bool
+}
+
+// pathRotation is the back-edge history-rotation recipe of one loop.
+type pathRotation struct {
+	val  int64 // Ball–Larus increment of the back edge itself
+	n, m int64 // base N and modulus N^(K-1)
+	k    int
 }
 
 func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
@@ -248,6 +261,10 @@ func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
 		loopPred:       make(map[*cfg.Loop]ir.Reg),
 		entryKeys:      make(map[*cfg.Loop][]profile.EdgeKey),
 		headerExitKeys: make(map[*cfg.Loop][]profile.EdgeKey),
+		loopNum:        make(map[*cfg.Loop]*blpath.Numbering),
+		pathIncs:       make(map[profile.EdgeKey]int64),
+		pathBacks:      make(map[profile.EdgeKey]*pathRotation),
+		pathEntries:    make(map[profile.EdgeKey]bool),
 	}
 	fc.dom = cfg.Dominators(f)
 	fc.pdom = cfg.PostDominators(f)
@@ -259,6 +276,10 @@ func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
 	fc.idxReg = f.NewReg()
 	fc.addrReg = f.NewReg()
 	fc.prdReg = f.NewReg()
+	if opts.Method == Paths {
+		fc.pidReg = f.NewReg()
+		fc.pkReg = f.NewReg()
+	}
 
 	// Select profiled loads before any blocks are added, so block indices
 	// in profiles refer to the original CFG.
@@ -304,11 +325,38 @@ func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
 	// predicate computed on the loop's entry edges; those edges are split so
 	// the predicate code runs exactly when the loop is entered from outside.
 	needPred := map[*cfg.Loop]bool{}
-	if opts.Method == EdgeCheck || opts.Method == BlockCheck {
+	if opts.Method == EdgeCheck || opts.Method == BlockCheck || opts.Method == Paths {
 		for _, pl := range loads {
 			blk, _ := f.FindInstr(pl.key.ID)
 			if l := fc.li.InnermostLoop(blk); l != nil {
 				needPred[l] = true
+			}
+		}
+	}
+	// Paths: number the eligible profiled loops on the still-clean CFG, so
+	// increments are keyed by the same original edge keys as the counters
+	// (and so the feedback pass can recompute the identical numbering on
+	// the uninstrumented program). Ineligible loops stay unnumbered; their
+	// loads are hooked with the -1 sentinel id.
+	if opts.Method == Paths {
+		for _, l := range fc.li.Loops {
+			if !needPred[l] {
+				continue
+			}
+			n := blpath.Number(f, fc.li, l, opts.PathK)
+			if n == nil {
+				continue
+			}
+			fc.loopNum[l] = n
+			for e, v := range n.Increments() {
+				fc.pathIncs[profile.EdgeKey{Func: f.Name, From: e.From, To: e.To}] = v
+			}
+			for e, v := range n.BackEdges() {
+				fc.pathBacks[profile.EdgeKey{Func: f.Name, From: e.From, To: e.To}] =
+					&pathRotation{val: v, n: n.N, m: n.M, k: n.K}
+			}
+			for _, e := range n.EntryEdges() {
+				fc.pathEntries[profile.EdgeKey{Func: f.Name, From: e.From, To: e.To}] = true
 			}
 		}
 	}
@@ -350,9 +398,19 @@ func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
 			if mid, ok := splitBlockFor(splitBlocks, e.from, e.to); ok {
 				// The split block sits on this edge; count there.
 				fc.insertCounterIncr(mid, len(mid.Instrs)-1, addr)
+				fc.insertPathOps(mid, true, e.key)
 				continue
 			}
-			fc.placeEdgeCounter(e.from, e.to, addr)
+			b, atEnd := fc.edgeSite(e.from, e.to)
+			pos := 0
+			if atEnd {
+				pos = len(b.Instrs) - 1
+			}
+			fc.insertCounterIncr(b, pos, addr)
+			// Path-register updates share the counter's site: the site runs
+			// exactly when the edge is traversed, which is the update's
+			// correctness condition too.
+			fc.insertPathOps(b, atEnd, e.key)
 		}
 	}
 
@@ -362,7 +420,7 @@ func instrumentFunc(res *Result, f *ir.Function, opts Options) error {
 			continue
 		}
 		switch opts.Method {
-		case EdgeCheck:
+		case EdgeCheck, Paths:
 			fc.insertEdgePredicate(l, splitBlocks)
 		case BlockCheck:
 			fc.insertBlockPredicate(l, splitBlocks)
@@ -413,7 +471,7 @@ func (fc *funcCtx) selectProfiledLoads() []selected {
 				candidates = append(candidates, in)
 				inLoop[in] = true
 			}
-		case TwoPass, EdgeCheck, BlockCheck:
+		case TwoPass, EdgeCheck, BlockCheck, Paths:
 			if !il {
 				return
 			}
@@ -437,7 +495,8 @@ func (fc *funcCtx) selectProfiledLoads() []selected {
 
 	// Equivalent-load reduction for the refined methods: only the
 	// representative of each set is profiled.
-	if fc.opts.Method == TwoPass || fc.opts.Method == EdgeCheck || fc.opts.Method == BlockCheck {
+	switch fc.opts.Method {
+	case TwoPass, EdgeCheck, BlockCheck, Paths:
 		ce := cfg.NewControlEquiv(fc.dom, fc.pdom)
 		sets := cfg.FindEquivalentLoads(fc.f, fc.li, ce, fc.defs, candidates)
 		candidates = candidates[:0]
@@ -496,22 +555,100 @@ func (fc *funcCtx) insertCounterIncr(b *ir.Block, pos int, addr uint64) {
 // function entry by instrumentFunc).
 func (fc *funcCtx) zeroRegInit(*ir.Block) ir.Reg { return fc.zeroReg }
 
-// placeEdgeCounter inserts the counter for edge from->to using the cheapest
-// sound placement: the source block when it has a single distinct
-// successor, the destination when it has a single predecessor, otherwise a
-// split block on the edge.
-func (fc *funcCtx) placeEdgeCounter(from, to *ir.Block, addr uint64) {
+// edgeSite picks the cheapest sound location for code that must run
+// exactly when edge from->to is traversed: the source block when it has a
+// single distinct successor, the destination when it has a single
+// predecessor, otherwise a fresh split block on the edge. The boolean
+// reports end-of-block placement (before the terminator) vs top-of-block.
+func (fc *funcCtx) edgeSite(from, to *ir.Block) (*ir.Block, bool) {
 	if distinctSuccs(from) == 1 {
-		fc.insertCounterIncr(from, len(from.Instrs)-1, addr)
-		return
+		return from, true
 	}
 	if len(to.Preds) == 1 && !parallelEdge(from, to) {
-		fc.insertCounterIncr(to, 0, addr)
-		return
+		return to, false
 	}
 	mid := fc.f.SplitEdge(from, to)
 	fc.f.RebuildEdges()
-	fc.insertCounterIncr(mid, len(mid.Instrs)-1, addr)
+	return mid, true
+}
+
+// insertPathOps emits the Paths method's path-register maintenance for the
+// given original edge at the edge's counter site: body-edge increments,
+// the back-edge history rotation (which first folds in the back edge's own
+// increment so the rotated-in digit is the completed iteration's full path
+// id), and the entry-edge reset.
+func (fc *funcCtx) insertPathOps(b *ir.Block, atEnd bool, key profile.EdgeKey) {
+	if fc.opts.Method != Paths {
+		return
+	}
+	inc, hasInc := fc.pathIncs[key]
+	rot, hasRot := fc.pathBacks[key]
+	entry := fc.pathEntries[key]
+	if !hasInc && !hasRot && !entry {
+		return
+	}
+	pos := 0
+	if atEnd {
+		pos = len(b.Instrs) - 1
+	}
+	emit := func(in *ir.Instr) {
+		in.ID = fc.f.NextInstrID()
+		b.InsertBefore(pos, in)
+		pos++
+	}
+	if hasInc {
+		add := ir.NewInstr(ir.OpAddI)
+		add.Dst = fc.pidReg
+		add.Src[0] = fc.pidReg
+		add.Imm = inc
+		add.Comment = "pathnum"
+		emit(add)
+	}
+	if hasRot {
+		if rot.k == 1 {
+			// No history: a new iteration simply restarts at prefix 0.
+			c := ir.NewInstr(ir.OpConst)
+			c.Dst = fc.pidReg
+			c.Imm = 0
+			c.Comment = "pathnum"
+			emit(c)
+		} else {
+			if rot.val != 0 {
+				add := ir.NewInstr(ir.OpAddI)
+				add.Dst = fc.pidReg
+				add.Src[0] = fc.pidReg
+				add.Imm = rot.val
+				add.Comment = "pathnum"
+				emit(add)
+			}
+			cm := ir.NewInstr(ir.OpConst)
+			cm.Dst = fc.pkReg
+			cm.Imm = rot.m
+			cm.Comment = "pathnum"
+			emit(cm)
+			rem := ir.NewInstr(ir.OpRem)
+			rem.Dst = fc.pidReg
+			rem.Src[0] = fc.pidReg
+			rem.Src[1] = fc.pkReg
+			emit(rem)
+			cn := ir.NewInstr(ir.OpConst)
+			cn.Dst = fc.pkReg
+			cn.Imm = rot.n
+			emit(cn)
+			mul := ir.NewInstr(ir.OpMul)
+			mul.Dst = fc.pidReg
+			mul.Src[0] = fc.pidReg
+			mul.Src[1] = fc.pkReg
+			emit(mul)
+		}
+	}
+	if entry {
+		c := ir.NewInstr(ir.OpConst)
+		c.Dst = fc.pidReg
+		c.Imm = 0
+		c.Comment = "pathnum"
+		emit(c)
+	}
 }
 
 func distinctSuccs(b *ir.Block) int {
@@ -734,10 +871,26 @@ func (fc *funcCtx) insertHook(pl selected) {
 	hook := ir.NewInstr(ir.OpHook)
 	hook.Imm = stride.HookID
 	hook.Args = []ir.Reg{fc.idxReg, fc.addrReg}
+	if fc.opts.Method == Paths {
+		// Third argument: the load's path register, or the -1 sentinel for
+		// loads whose loop could not be numbered (irreducible, too many
+		// paths, or not a loop at all).
+		preg := fc.pkReg
+		if l := fc.li.InnermostLoop(blk); l != nil && fc.loopNum[l] != nil {
+			preg = fc.pidReg
+		} else {
+			sent := ir.NewInstr(ir.OpConst)
+			sent.Dst = fc.pkReg
+			sent.Imm = -1
+			sent.Comment = "pathnum"
+			emit(sent)
+		}
+		hook.Args = append(hook.Args, preg)
+	}
 
 	// Guard with the trip-count predicate where applicable.
 	var guard ir.Reg = ir.NoReg
-	if fc.opts.Method == EdgeCheck || fc.opts.Method == BlockCheck {
+	if fc.opts.Method == EdgeCheck || fc.opts.Method == BlockCheck || fc.opts.Method == Paths {
 		if l := fc.li.InnermostLoop(blk); l != nil {
 			if pr, ok := fc.loopPred[l]; ok {
 				guard = pr

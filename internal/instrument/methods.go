@@ -1,0 +1,53 @@
+package instrument
+
+import "fmt"
+
+// methodTable is the single registry of instrumentation schemes: the
+// String/ParseMethod names double as the labels the experiment figures
+// print, and the golden-listing tests iterate Methods() so every entry is
+// pinned. Adding a scheme means adding a constant and one row here.
+var methodTable = []struct {
+	m    Method
+	name string
+}{
+	{EdgeOnly, "edge-only"},
+	{TwoPass, "two-pass"},
+	{NaiveLoop, "naive-loop"},
+	{NaiveAll, "naive-all"},
+	{BlockCheck, "block-check"},
+	{EdgeCheck, "edge-check"},
+	{Paths, "paths"},
+}
+
+// String returns the method's conventional name.
+func (m Method) String() string {
+	for _, e := range methodTable {
+		if e.m == m {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// FigureLabel returns the label the figures use for the method's columns
+// and rows; the sampled variants prepend "sample-" to it.
+func (m Method) FigureLabel() string { return m.String() }
+
+// ParseMethod maps a conventional name back to its Method.
+func ParseMethod(name string) (Method, bool) {
+	for _, e := range methodTable {
+		if e.name == name {
+			return e.m, true
+		}
+	}
+	return 0, false
+}
+
+// Methods returns every registered method in declaration order.
+func Methods() []Method {
+	out := make([]Method, len(methodTable))
+	for i, e := range methodTable {
+		out[i] = e.m
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package instrument
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMethodRegistry checks that the method table is the one place a scheme
+// needs registering: every method has a real String (no "method(N)"
+// fallback), round-trips through ParseMethod, carries a figure label, and
+// has a pinned golden listing on disk.
+func TestMethodRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Methods() {
+		name := m.String()
+		if strings.HasPrefix(name, "method(") {
+			t.Errorf("method %d has no name in the table", int(m))
+			continue
+		}
+		if seen[name] {
+			t.Errorf("duplicate method name %q", name)
+		}
+		seen[name] = true
+		back, ok := ParseMethod(name)
+		if !ok || back != m {
+			t.Errorf("ParseMethod(%q) = %v, %v, want %v", name, back, ok, m)
+		}
+		if m.FigureLabel() == "" {
+			t.Errorf("method %q has an empty figure label", name)
+		}
+		golden := filepath.Join("testdata", goldenFile(m))
+		if _, err := os.Stat(golden); err != nil {
+			t.Errorf("method %q has no golden listing: %v", name, err)
+		}
+	}
+	if _, ok := ParseMethod("no-such-method"); ok {
+		t.Error("ParseMethod accepted an unknown name")
+	}
+	if got := Method(127).String(); got != "method(127)" {
+		t.Errorf("unregistered method String() = %q", got)
+	}
+}

@@ -29,6 +29,9 @@ const (
 	PFWSST
 	// PFIndirect marks dependent-load (indirect) prefetches.
 	PFIndirect
+	// PFPathSSST marks path-predicated single-stride prefetches: a PMST
+	// load split into per-path SSSTs by the Ball-Larus path profile.
+	PFPathSSST
 )
 
 // pfMarkers maps each class to its legacy comment marker.
@@ -39,6 +42,7 @@ var pfMarkers = [...]string{
 	PFOutLoopDynamic: "outloop-dynamic",
 	PFWSST:           "wsst-prefetch",
 	PFIndirect:       "indirect-prefetch",
+	PFPathSSST:       "path-prefetch",
 }
 
 // String returns the class's comment-marker spelling ("" for PFNone).

@@ -184,6 +184,10 @@ func obsClassOf(in *ir.Instr) obs.Class {
 		return obs.ClassWSST
 	case ir.PFIndirect:
 		return obs.ClassIndirect
+	case ir.PFPathSSST:
+		// Path-predicated splits are SSSTs specialised per path; the
+		// observer accounts them with the SSST class they stand in for.
+		return obs.ClassSSST
 	}
 	return legacyPrefetchClass(in.Comment)
 }

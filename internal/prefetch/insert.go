@@ -58,6 +58,17 @@ type Options struct {
 	// the slot's load and store add overhead on every execution; the option
 	// exists so the ablation bench can verify that argument.
 	OutLoopDynamic bool
+	// EnablePathSplit turns on path-predicated prefetching: an in-loop PMST
+	// load whose per-path stride buckets (from an instrument.Paths profile)
+	// are individually regular is split into one compile-time-constant SSST
+	// prefetch per regular path, guarded by a compare on the load's
+	// Ball-Larus path register (see pathsplit.go). Loads without usable
+	// buckets keep the ordinary PMST sequence.
+	EnablePathSplit bool
+	// PathK is the iteration span of the path numbering recomputed by the
+	// split pass; it must match the instrumentation run's Options.PathK.
+	// Zero selects blpath.DefaultK.
+	PathK int
 }
 
 func (o *Options) fill() {
@@ -95,6 +106,9 @@ type Decision struct {
 	// CoverLines is the number of cache lines prefetched per execution
 	// (>1 when an equivalent set spans several lines).
 	CoverLines int
+	// PathSSSTs is the number of per-path SSST prefetch groups a PMST load
+	// was split into (Options.EnablePathSplit); zero means no split.
+	PathSSSTs int
 	// FilteredBy explains a None class.
 	FilteredBy string
 }
@@ -110,6 +124,9 @@ type Result struct {
 	// IndirectInserted counts dependent-load prefetches added by the
 	// indirect-prefetching extension (Options.EnableIndirect).
 	IndirectInserted int
+	// PathSplitLoads counts PMST loads split into per-path SSSTs by the
+	// path-profile extension (Options.EnablePathSplit).
+	PathSplitLoads int
 
 	// nextSlot bump-allocates static memory slots for out-loop dynamic
 	// prefetching (Options.OutLoopDynamic).
@@ -191,6 +208,13 @@ func applyFunc(res *Result, f *ir.Function, prof *profile.Combined, opts Options
 	})
 	sets := cfg.FindEquivalentLoads(f, li, ce, defs, inLoopCands)
 
+	var ps *pathSplitter
+	if opts.EnablePathSplit {
+		// Number the loops now, before any insertion mutates the CFG, so the
+		// numbering matches the instrumentation run's.
+		ps = newPathSplitter(f, li, opts)
+	}
+
 	var ssstSets []ssstInfo
 	var unprefetched []*ir.Instr
 
@@ -242,6 +266,10 @@ func applyFunc(res *Result, f *ir.Function, prof *profile.Combined, opts Options
 			for _, m := range s.Members {
 				unprefetched = append(unprefetched, m.Instr)
 			}
+			continue
+		}
+		if cl.Class == PMST && ps.trySplit(res, f, s, sum, prof, trip, lineSize, opts, &d) {
+			res.Decisions = append(res.Decisions, d)
 			continue
 		}
 		k := distance(opts, prof, f, s.Loop, trip, cl.Stride)

@@ -1,0 +1,248 @@
+package prefetch
+
+import (
+	"stridepf/internal/blpath"
+	"stridepf/internal/cfg"
+	"stridepf/internal/ir"
+	"stridepf/internal/profile"
+	"stridepf/internal/stride"
+)
+
+// Path-predicated prefetch insertion (Options.EnablePathSplit). A PMST
+// verdict says "several strides, each frequent" — the aggregate profile
+// cannot tell which stride the *next* iteration will take, so the ordinary
+// PMST sequence falls back to dynamic last-address differencing. A path
+// profile (instrument.Paths) can: when every frequent stride is confined to
+// its own Ball-Larus path, the path register available at the load predicts
+// the stride exactly, and the load splits into one compile-time-constant
+// SSST prefetch per regular path, guarded by a compare on the path register.
+//
+// The pass recomputes the instrumentation run's numbering on the clean
+// program (blpath.Number is deterministic, and both passes run on the same
+// uninstrumented CFG), materialises the path-register updates into the
+// output program once per loop, and emits per regular bucket b:
+//
+//	cR = const b                    ; path id to match
+//	pR = cmpeq pid, cR
+//	(pR [&& load pred])? prefetch [base + disp + K*S_b + delta]
+//
+// Loads whose buckets are not path-regular — or whose loop could not be
+// numbered — keep the ordinary PMST treatment.
+
+// pathSplitter carries the per-function state of the path-split pass: the
+// per-loop numberings (computed up front, before any CFG surgery, so they
+// match the instrumentation run) and the lazily-materialised path register.
+type pathSplitter struct {
+	f       *ir.Function
+	nums    map[*cfg.Loop]*blpath.Numbering
+	done    map[*cfg.Loop]bool
+	pid     ir.Reg
+	scratch ir.Reg
+}
+
+// newPathSplitter numbers every eligible innermost loop of f. Returns nil
+// when no loop is numberable (the split pass then never fires).
+func newPathSplitter(f *ir.Function, li *cfg.LoopInfo, opts Options) *pathSplitter {
+	// Reg's zero value is r0, a real register — the unallocated markers
+	// must be NoReg or the path register would alias program state.
+	ps := &pathSplitter{
+		f: f, nums: map[*cfg.Loop]*blpath.Numbering{}, done: map[*cfg.Loop]bool{},
+		pid: ir.NoReg, scratch: ir.NoReg,
+	}
+	for _, l := range li.Loops {
+		if n := blpath.Number(f, li, l, opts.PathK); n != nil {
+			ps.nums[l] = n
+		}
+	}
+	if len(ps.nums) == 0 {
+		return nil
+	}
+	return ps
+}
+
+// pathStride is one regular bucket: on path id, the load strides by stride
+// bytes (de-scaled), with freq profiled samples.
+type pathStride struct {
+	id     int64
+	stride int64
+	freq   int64
+}
+
+// pathRegulars selects the buckets that qualify as per-path SSSTs: real
+// path ids only (the -1 catch-all never predicts), top-1 stride share above
+// the SSST threshold within the bucket, and a non-zero de-scaled stride.
+// The split happens only if at least two such buckets together cover the
+// PMST-qualifying share of the aggregate samples — otherwise the path
+// dimension explains too little and the load keeps its PMST sequence.
+func pathRegulars(sum stride.Summary, n *blpath.Numbering, th Thresholds) []pathStride {
+	fi := int64(sum.FineInterval)
+	if fi < 1 {
+		fi = 1
+	}
+	var regs []pathStride
+	var covered int64
+	for _, p := range sum.Paths {
+		if p.ID < 0 || p.ID >= n.Space || p.TotalStrides <= 0 || len(p.TopStrides) == 0 {
+			continue
+		}
+		top := p.TopStrides[0]
+		if float64(top.Freq)/float64(p.TotalStrides) <= th.SSST {
+			continue
+		}
+		s := top.Value / fi
+		if s == 0 {
+			continue
+		}
+		regs = append(regs, pathStride{id: p.ID, stride: s, freq: p.TotalStrides})
+		covered += p.TotalStrides
+	}
+	if len(regs) < 2 || sum.TotalStrides <= 0 ||
+		float64(covered)/float64(sum.TotalStrides) <= th.PMST {
+		return nil
+	}
+	return regs
+}
+
+// pathSigShare is the significance floor for the transition chain: buckets
+// holding less than 1/pathSigShare of the samples (entry-warmup ids, noise)
+// neither define nor disambiguate transitions.
+const pathSigShare = 100
+
+// chainAhead walks the observed path-transition chain k steps forward from
+// bucket id and returns the summed stride displacement — the exact k-ahead
+// address offset when the stride sequence is path-periodic. A bucket's
+// successors are the ids that extend its history by one iteration,
+// (id mod M)*N + j; the walk requires each step to have exactly one
+// significant observed successor, with a known pure stride. It reports
+// ok=false on an ambiguous or unknown step, and the caller falls back to the
+// stationary k*stride estimate.
+func chainAhead(id int64, k int, n *blpath.Numbering, sig map[int64]bool, strideOf map[int64]int64) (int64, bool) {
+	var ahead int64
+	cur := id
+	for step := 0; step < k; step++ {
+		next := int64(-1)
+		for j := int64(0); j < n.N; j++ {
+			c := (cur%n.M)*n.N + j
+			if !sig[c] {
+				continue
+			}
+			if next >= 0 {
+				return 0, false // ambiguous transition
+			}
+			next = c
+		}
+		s, ok := strideOf[next]
+		if next < 0 || !ok {
+			return 0, false
+		}
+		ahead += s
+		cur = next
+	}
+	return ahead, true
+}
+
+// trySplit attempts the path split for one PMST-classified equivalent set.
+// On success it materialises the loop's path register (once), emits the
+// predicated prefetches, updates d and the result counters, and reports
+// true; on false the caller falls back to the ordinary PMST insertion.
+func (ps *pathSplitter) trySplit(res *Result, f *ir.Function, s *cfg.EquivSet,
+	sum stride.Summary, prof *profile.Combined, trip float64, lineSize int,
+	opts Options, d *Decision) bool {
+	if ps == nil {
+		return false
+	}
+	n := ps.nums[s.Loop]
+	if n == nil {
+		return false
+	}
+	regs := pathRegulars(sum, n, opts.Thresholds)
+	if regs == nil {
+		return false
+	}
+	if !ps.done[s.Loop] {
+		if !ps.pid.Valid() {
+			ps.pid = f.NewReg()
+			ps.scratch = f.NewReg()
+		}
+		blpath.Materialize(f, []*blpath.Numbering{n}, ps.pid, ps.scratch)
+		ps.done[s.Loop] = true
+	}
+	sig := make(map[int64]bool, len(sum.Paths))
+	for _, p := range sum.Paths {
+		if p.ID >= 0 && p.TotalStrides*pathSigShare >= sum.TotalStrides {
+			sig[p.ID] = true
+		}
+	}
+	strideOf := make(map[int64]int64, len(regs))
+	for _, r := range regs {
+		strideOf[r.id] = r.stride
+	}
+	deltas := coverDeltas(s, lineSize)
+	rep := s.Rep()
+	for _, r := range regs {
+		k := distance(opts, prof, f, s.Loop, trip, r.stride)
+		ahead, ok := chainAhead(r.id, k, n, sig, strideOf)
+		if !ok {
+			ahead = int64(k) * r.stride
+		}
+		res.Inserted += emitPathSSST(f, rep.Block, rep.Instr, ps.pid, r.id, deltas, ahead)
+		if k > d.K {
+			d.K = k
+		}
+	}
+	d.CoverLines = len(deltas)
+	d.PathSSSTs = len(regs)
+	res.PathSplitLoads++
+	return true
+}
+
+// emitPathSSST inserts, before the load, one path-predicated prefetch per
+// cover delta and returns the number of prefetches inserted.
+func emitPathSSST(f *ir.Function, b *ir.Block, load *ir.Instr, pid ir.Reg,
+	pathID int64, deltas []int64, ahead int64) int {
+	pos := b.IndexOf(load)
+	if pos < 0 {
+		return 0
+	}
+	cR := f.NewReg()
+	pR := f.NewReg()
+	pc := pR
+
+	emit := func(in *ir.Instr) {
+		in.ID = f.NextInstrID()
+		b.InsertBefore(pos, in)
+		pos++
+	}
+	c := ir.NewInstr(ir.OpConst)
+	c.Dst = cR
+	c.Imm = pathID
+	c.Comment = "path-prefetch"
+	emit(c)
+
+	cmp := ir.NewInstr(ir.OpCmpEQ)
+	cmp.Dst = pR
+	cmp.Src[0] = pid
+	cmp.Src[1] = cR
+	emit(cmp)
+
+	if load.Pred.Valid() {
+		pc = f.NewReg()
+		and := ir.NewInstr(ir.OpAnd)
+		and.Dst = pc
+		and.Src[0] = pR
+		and.Src[1] = load.Pred
+		emit(and)
+	}
+	n := 0
+	for _, delta := range deltas {
+		pf := ir.NewInstr(ir.OpPrefetch)
+		pf.Src[0] = load.Src[0]
+		pf.Imm = load.Imm + ahead + delta
+		pf.Pred = pc
+		pf.Comment = "path-prefetch"
+		pf.PFClass = ir.PFPathSSST
+		emit(pf)
+		n++
+	}
+	return n
+}

@@ -13,9 +13,13 @@ import (
 // lifts the interval into the header so a reader can reject incompatible
 // profiles before looking at a single summary, and so producers that
 // downsample differently cannot be merged by accident (see Merge).
+// Version 3 adds the optional per-path stride buckets of the "paths"
+// instrumentation scheme (stride.Summary.Paths); profiles without path
+// data encode identically to version 2 apart from the header number.
 const (
 	VersionLegacy  = 1
-	VersionCurrent = 2
+	VersionV2      = 2
+	VersionCurrent = 3
 )
 
 // Codec serialises and deserialises combined profiles at a pinned format
@@ -43,8 +47,17 @@ func (c Codec) Encode(w io.Writer, p *Combined) error {
 	if v == 0 {
 		v = VersionCurrent
 	}
-	if v != VersionLegacy && v != VersionCurrent {
+	if v != VersionLegacy && v != VersionV2 && v != VersionCurrent {
 		return fmt.Errorf("profile: encode: unsupported version %d", v)
+	}
+	if v < VersionCurrent {
+		for _, s := range p.Stride.Summaries() {
+			if len(s.Paths) > 0 {
+				return fmt.Errorf(
+					"profile: encode: version %d cannot carry the path buckets of load %s#%d",
+					v, s.Key.Func, s.Key.ID)
+			}
+		}
 	}
 	fi, err := fineInterval(p)
 	if err != nil {
@@ -56,7 +69,7 @@ func (c Codec) Encode(w io.Writer, p *Combined) error {
 		Entries: p.Edge.entries,
 		Strides: p.Stride.Summaries(),
 	}
-	if v >= VersionCurrent {
+	if v >= VersionV2 {
 		ff.FineInterval = fi
 	}
 	enc := json.NewEncoder(w)
@@ -71,7 +84,7 @@ func (c Codec) Decode(r io.Reader) (*Combined, error) {
 	if err := json.NewDecoder(r).Decode(&ff); err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
 	}
-	if ff.Version != VersionLegacy && ff.Version != VersionCurrent {
+	if ff.Version != VersionLegacy && ff.Version != VersionV2 && ff.Version != VersionCurrent {
 		return nil, fmt.Errorf("profile: unsupported version %d", ff.Version)
 	}
 	ep := NewEdgeProfile()
@@ -86,7 +99,7 @@ func (c Codec) Decode(r io.Reader) (*Combined, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
 	}
-	if ff.Version >= VersionCurrent && ff.FineInterval != 0 && fi != 0 && ff.FineInterval != fi {
+	if ff.Version >= VersionV2 && ff.FineInterval != 0 && fi != 0 && ff.FineInterval != fi {
 		return nil, fmt.Errorf(
 			"profile: decode: header fine interval %d disagrees with summaries sampled at %d",
 			ff.FineInterval, fi)
@@ -95,7 +108,7 @@ func (c Codec) Decode(r io.Reader) (*Combined, error) {
 	// shard whose strides were all evicted): the profile stays incompatible
 	// with differently-sampled shards and re-encodes with its interval
 	// intact instead of silently degrading to 0.
-	if ff.Version >= VersionCurrent {
+	if ff.Version >= VersionV2 {
 		out.Interval = ff.FineInterval
 	}
 	return out, nil

@@ -22,11 +22,11 @@ func TestCodecCurrentRoundTrip(t *testing.T) {
 	if err := DefaultCodec.Encode(&buf, codecFixture(4)); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"version": 2`) {
-		t.Errorf("default codec did not write version 2:\n%s", buf.String())
+	if !strings.Contains(buf.String(), `"version": 3`) {
+		t.Errorf("default codec did not write version 3:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), `"fineInterval": 4`) {
-		t.Errorf("v2 header missing fine interval:\n%s", buf.String())
+		t.Errorf("header missing fine interval:\n%s", buf.String())
 	}
 	got, err := DefaultCodec.Decode(&buf)
 	if err != nil {
@@ -37,6 +37,51 @@ func TestCodecCurrentRoundTrip(t *testing.T) {
 	}
 	if got.Edge.Count(EdgeKey{Func: "main", From: 0, To: 1}) != 10 {
 		t.Error("edge count lost in round trip")
+	}
+}
+
+// TestCodecV2WriteAndRead pins the v2 compatibility contract: a pinned v2
+// codec still writes a v2 header, and v2 files still decode.
+func TestCodecV2WriteAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Codec{Version: VersionV2}).Encode(&buf, codecFixture(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Errorf("pinned v2 codec did not write version 2:\n%s", buf.String())
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("reading v2 format: %v", err)
+	}
+}
+
+// TestCodecPathBuckets: per-path buckets round-trip under v3 and are
+// refused by the pinned older versions rather than silently dropped.
+func TestCodecPathBuckets(t *testing.T) {
+	p := mkCombined(10, 3, stride.Summary{
+		Key: machine.LoadKey{Func: "main", ID: 1}, TotalStrides: 10, FineInterval: 1,
+		TopStrides: []lfu.Entry{{Value: 8, Freq: 10}},
+		Paths: []stride.PathSummary{
+			{ID: 0, TotalStrides: 6, Processed: 6, TopStrides: []lfu.Entry{{Value: 8, Freq: 6}}},
+			{ID: 3, TotalStrides: 4, Processed: 4, TopStrides: []lfu.Entry{{Value: 8, Freq: 4}}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := DefaultCodec.Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DefaultCodec.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.Stride.Lookup(machine.LoadKey{Func: "main", ID: 1})
+	if !ok || len(s.Paths) != 2 || s.Paths[1].ID != 3 || s.Paths[1].TotalStrides != 4 {
+		t.Errorf("path buckets lost in round trip: %+v", s.Paths)
+	}
+	for _, v := range []int{VersionLegacy, VersionV2} {
+		if err := (Codec{Version: v}).Encode(&bytes.Buffer{}, p); err == nil {
+			t.Errorf("version %d encoded path buckets, want error", v)
+		}
 	}
 }
 

@@ -125,5 +125,65 @@ func mergeSummaries(a, b stride.Summary) stride.Summary {
 		ZeroDiffs:      a.ZeroDiffs + b.ZeroDiffs,
 		FineInterval:   fi,
 		AvgRefDistance: dist,
+		Paths:          mergePaths(a.Paths, b.Paths),
+	}
+}
+
+// mergePaths combines two per-path bucket lists by path id, summing
+// counters and re-ranking top strides with the same policy as the
+// aggregate merge. Both inputs sorted by id implies the output is too.
+func mergePaths(a, b []stride.PathSummary) []stride.PathSummary {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	byID := make(map[int64]stride.PathSummary, len(a)+len(b))
+	ids := make([]int64, 0, len(a)+len(b))
+	for _, lists := range [][]stride.PathSummary{a, b} {
+		for _, p := range lists {
+			acc, ok := byID[p.ID]
+			if !ok {
+				byID[p.ID] = p
+				ids = append(ids, p.ID)
+				continue
+			}
+			byID[p.ID] = mergePathSummaries(acc, p)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]stride.PathSummary, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+func mergePathSummaries(a, b stride.PathSummary) stride.PathSummary {
+	byValue := make(map[int64]int64)
+	for _, e := range a.TopStrides {
+		byValue[e.Value] += e.Freq
+	}
+	for _, e := range b.TopStrides {
+		byValue[e.Value] += e.Freq
+	}
+	tops := make([]lfu.Entry, 0, len(byValue))
+	for v, f := range byValue {
+		tops = append(tops, lfu.Entry{Value: v, Freq: f})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].Freq != tops[j].Freq {
+			return tops[i].Freq > tops[j].Freq
+		}
+		return tops[i].Value < tops[j].Value
+	})
+	if len(tops) > maxMergedStrides {
+		tops = tops[:maxMergedStrides]
+	}
+	return stride.PathSummary{
+		ID:           a.ID,
+		TopStrides:   tops,
+		TotalStrides: a.TotalStrides + b.TotalStrides,
+		ZeroStrides:  a.ZeroStrides + b.ZeroStrides,
+		ZeroDiffs:    a.ZeroDiffs + b.ZeroDiffs,
+		Processed:    a.Processed + b.Processed,
 	}
 }

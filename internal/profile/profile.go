@@ -231,6 +231,16 @@ func (c *Combined) Clone() *Combined {
 			if s.TopStrides != nil {
 				s.TopStrides = append(make([]lfu.Entry, 0, len(s.TopStrides)), s.TopStrides...)
 			}
+			if s.Paths != nil {
+				paths := append(make([]stride.PathSummary, 0, len(s.Paths)), s.Paths...)
+				for i := range paths {
+					if paths[i].TopStrides != nil {
+						paths[i].TopStrides = append(
+							make([]lfu.Entry, 0, len(paths[i].TopStrides)), paths[i].TopStrides...)
+					}
+				}
+				s.Paths = paths
+			}
 			sp.byKey[k] = s
 		}
 		out.Stride = sp

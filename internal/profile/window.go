@@ -148,6 +148,24 @@ func Decay(c *Combined, alpha float64) *Combined {
 					d.TopStrides = append(d.TopStrides, lfu.Entry{Value: e.Value, Freq: f})
 				}
 			}
+			for _, p := range s.Paths {
+				dp := stride.PathSummary{
+					ID:           p.ID,
+					TotalStrides: scaleI(p.TotalStrides),
+					ZeroStrides:  scaleI(p.ZeroStrides),
+					ZeroDiffs:    scaleI(p.ZeroDiffs),
+					Processed:    scaleI(p.Processed),
+				}
+				for _, e := range p.TopStrides {
+					if f := scaleI(e.Freq); f > 0 {
+						dp.TopStrides = append(dp.TopStrides, lfu.Entry{Value: e.Value, Freq: f})
+					}
+				}
+				if dp.TotalStrides == 0 && len(dp.TopStrides) == 0 && dp.Processed == 0 {
+					continue
+				}
+				d.Paths = append(d.Paths, dp)
+			}
 			if d.TotalStrides == 0 && len(d.TopStrides) == 0 {
 				continue
 			}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stridepf/internal/experiments"
+)
+
+// TestPathsEndpointMatchesExperiments asserts the daemon serves the
+// path-splitting figure byte-identical to `experiments -figure paths` (an
+// independent session is the golden reference, like the arena test), and
+// that the figure listing advertises it alongside the paper figures.
+func TestPathsEndpointMatchesExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment session in -short mode")
+	}
+	roster := []string{"197.parser"}
+	_, ts := testServer(t, Config{Experiments: experiments.Config{Workloads: roster}})
+
+	golden := experiments.NewSession(experiments.Config{Workloads: roster})
+	want, err := golden.FigureText(context.Background(), "paths", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, hdr, body := get(t, ts.URL+"/v1/figure/paths")
+	if code != http.StatusOK {
+		t.Fatalf("paths status = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("paths content type = %q", ct)
+	}
+	if !bytes.Equal(body, []byte(want)) {
+		t.Errorf("paths response diverges from CLI bytes\n--- server ---\n%s\n--- cli ---\n%s", body, want)
+	}
+
+	code, _, body = get(t, ts.URL+"/v1/figures")
+	if code != http.StatusOK || !strings.Contains(string(body), `"paths"`) {
+		t.Errorf("figures listing misses paths: %d %s", code, body)
+	}
+}

@@ -1,0 +1,15 @@
+package simcheck
+
+import "testing"
+
+func TestPathTruth(t *testing.T) {
+	seeds := []uint64{0, 1, 5}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		if err := CheckPathTruth(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

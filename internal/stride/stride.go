@@ -40,11 +40,15 @@ type CostModel struct {
 	DiffPath uint64
 	// LFU is the cost of one LFU buffer update.
 	LFU uint64
+	// PathBucket is the extra cost per processed sample of attributing the
+	// reference to its per-path bucket (paths mode only: one table lookup
+	// plus the bucket counter updates).
+	PathBucket uint64
 }
 
 // DefaultCosts returns the default cost model.
 func DefaultCosts() CostModel {
-	return CostModel{Call: 10, ChunkCheck: 3, FineCheck: 2, ZeroStride: 5, DiffPath: 8, LFU: 40}
+	return CostModel{Call: 10, ChunkCheck: 3, FineCheck: 2, ZeroStride: 5, DiffPath: 8, LFU: 40, PathBucket: 6}
 }
 
 // Config parameterises the runtime.
@@ -73,6 +77,15 @@ type Config struct {
 	// references between its successive executions, charged at one extra
 	// DiffPath cost per processed call.
 	RefDistance bool
+	// Paths enables the path dimension (the "paths" instrumentation
+	// scheme): hooks carry a third argument, the Ball–Larus k-iteration
+	// path id of package blpath, and every processed sample is additionally
+	// attributed to a per-(load, path-id) bucket. The aggregate per-load
+	// counters and LFU are maintained unchanged, so summing a load's
+	// buckets reproduces its path-insensitive profile exactly. Samples at
+	// loads outside any numbered loop arrive with path id -1 and land in a
+	// catch-all bucket, keeping the projection exact there too.
+	Paths bool
 }
 
 func (c *Config) fill() {
@@ -113,6 +126,10 @@ type ProfData struct {
 	// LFU tracks the non-zero stride values.
 	LFU *lfu.Profiler
 
+	// paths holds the per-path-id buckets (Config.Paths mode only),
+	// allocated lazily on the first sample attributed to each id.
+	paths map[int64]*PathBucket
+
 	// Reference-distance profiling (the paper's first future-work item):
 	// the number of other memory references issued between successive
 	// references of this load. Large distances mean a prefetched line is
@@ -121,6 +138,26 @@ type ProfData struct {
 	distSamples   int64
 	distTotal     int64
 }
+
+// PathBucket accumulates the samples of one load attributed to one
+// k-iteration path id. Buckets only attribute: they never influence the
+// aggregate state machine (prev_address, prev_stride, sampling counters),
+// which is what makes the path→load projection exact.
+type PathBucket struct {
+	// Processed counts post-sampling samples attributed to this path.
+	Processed int64
+	// TotalStrides, ZeroStrides and ZeroDiffs mirror the aggregate
+	// counters for the subset of samples taken on this path.
+	TotalStrides int64
+	ZeroStrides  int64
+	ZeroDiffs    int64
+	// LFU tracks this path's non-zero stride values.
+	LFU *lfu.Profiler
+}
+
+// PathBuckets returns the load's per-path buckets keyed by path id, or nil
+// outside paths mode. The map is live; callers must not mutate it.
+func (pd *ProfData) PathBuckets() map[int64]*PathBucket { return pd.paths }
 
 // Runtime is the profiling runtime shared by all profiled loads of one
 // instrumented execution.
@@ -180,10 +217,15 @@ func (rt *Runtime) Data(key machine.LoadKey) *ProfData {
 func (rt *Runtime) Records() []*ProfData { return rt.data }
 
 // Register installs the runtime's hook on m. Instrumented code invokes it
-// as hook(HookID, dataIndex, address).
+// as hook(HookID, dataIndex, address) — or, in paths mode, as
+// hook(HookID, dataIndex, address, pathID).
 func (rt *Runtime) Register(m *machine.Machine) {
+	want := 2
+	if rt.cfg.Paths {
+		want = 3
+	}
 	m.Register(HookID, func(mm *machine.Machine, args []int64) {
-		if len(args) != 2 {
+		if len(args) != want {
 			rt.MalformedCalls++
 			mm.Obs().Emit(obs.TraceEvent{
 				Cycle: mm.Now(), Kind: "hook-malformed",
@@ -191,7 +233,7 @@ func (rt *Runtime) Register(m *machine.Machine) {
 			})
 			if mm.SelfChecked() {
 				mm.Fault(fmt.Errorf(
-					"stride: hook %d called with %d args, want 2", HookID, len(args)))
+					"stride: hook %d called with %d args, want %d", HookID, len(args), want))
 			}
 			return
 		}
@@ -214,7 +256,12 @@ func (rt *Runtime) Register(m *machine.Machine) {
 			st := mm.Stats()
 			rt.RecordRefDistance(pd, int64(st.LoadRefs+st.StoreRefs))
 		}
-		cost := rt.Profile(pd, args[1])
+		var cost uint64
+		if rt.cfg.Paths {
+			cost = rt.ProfilePath(pd, args[1], args[2])
+		} else {
+			cost = rt.Profile(pd, args[1])
+		}
 		mm.AddCycles(cost)
 	})
 }
@@ -248,6 +295,29 @@ func (rt *Runtime) sameValue(a1, a2 int64) bool {
 // Profile runs the strideProf routine (Figures 6/7/9) for one reference of
 // the profiled load and returns the simulated cycle cost of the call.
 func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
+	return rt.profile(pd, address, nil)
+}
+
+// ProfilePath runs the strideProf routine for one reference carrying a
+// k-iteration path id, additionally attributing the sample to the load's
+// bucket for that id. The aggregate state machine sees exactly what
+// Profile would, so a paths-mode run and a plain run over the same
+// reference sequence produce identical aggregate profiles.
+func (rt *Runtime) ProfilePath(pd *ProfData, address, pathID int64) uint64 {
+	if pd.paths == nil {
+		pd.paths = make(map[int64]*PathBucket)
+	}
+	pb := pd.paths[pathID]
+	if pb == nil {
+		pb = &PathBucket{LFU: lfu.New(rt.cfg.LFU)}
+		pd.paths[pathID] = pb
+	}
+	return rt.profile(pd, address, pb)
+}
+
+// profile is the shared strideProf body; pb, when non-nil, receives the
+// per-path attribution of every counter the aggregate records.
+func (rt *Runtime) profile(pd *ProfData, address int64, pb *PathBucket) uint64 {
 	rt.Invocations++
 	cost := rt.cfg.Costs.Call
 
@@ -282,6 +352,10 @@ func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
 	}
 
 	pd.Processed++
+	if pb != nil {
+		pb.Processed++
+		cost += rt.cfg.Costs.PathBucket
+	}
 	if rt.cfg.RefDistance {
 		cost += rt.cfg.Costs.DiffPath // distance bookkeeping
 	}
@@ -300,6 +374,10 @@ func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
 	if zero {
 		pd.NumZeroStride++
 		pd.TotalStrides++
+		if pb != nil {
+			pb.ZeroStrides++
+			pb.TotalStrides++
+		}
 		cost += rt.cfg.Costs.ZeroStride
 		// Figure 6 returns without updating prev_address (the address is
 		// unchanged by definition; in Enhanced mode it may differ within the
@@ -315,6 +393,9 @@ func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
 	if pd.hasStride {
 		if stride == pd.prevStride {
 			pd.NumZeroDiff++
+			if pb != nil {
+				pb.ZeroDiffs++
+			}
 		} else {
 			pd.prevStride = stride
 		}
@@ -325,6 +406,10 @@ func (rt *Runtime) Profile(pd *ProfData, address int64) uint64 {
 	pd.prevAddr = address
 	pd.TotalStrides++
 	pd.LFU.Add(stride)
+	if pb != nil {
+		pb.TotalStrides++
+		pb.LFU.Add(stride)
+	}
 	cost += rt.cfg.Costs.LFU
 	return cost
 }
@@ -368,6 +453,40 @@ type Summary struct {
 	// successive references of this load (0 when not profiled; see
 	// Config.RefDistance).
 	AvgRefDistance float64 `json:",omitempty"`
+	// Paths holds the per-path-id attribution of this load's samples
+	// (Config.Paths mode only), sorted by id. The id -1 is the catch-all
+	// bucket for samples taken outside any numbered loop. Summing the
+	// bucket counters reproduces the aggregate fields above exactly.
+	Paths []PathSummary `json:",omitempty"`
+}
+
+// PathSummary is the profile of one (load, path-id) bucket.
+type PathSummary struct {
+	// ID is the Ball–Larus k-iteration path id (-1 for the catch-all).
+	ID int64
+	// TopStrides lists up to four non-zero strides by decreasing frequency,
+	// scaled like Summary.TopStrides.
+	TopStrides []lfu.Entry
+	// TotalStrides, ZeroStrides, ZeroDiffs and Processed mirror the
+	// aggregate counters for this path's subset of samples.
+	TotalStrides int64
+	ZeroStrides  int64
+	ZeroDiffs    int64
+	Processed    int64
+}
+
+// ProjectPaths sums a path-dimensioned summary's bucket counters — the
+// path→load projection. In paths mode the result equals the aggregate
+// counters of the same summary (and of an edge-check run over the same
+// execution); the differential tests assert exactly that.
+func ProjectPaths(s Summary) (processed, total, zeros, zeroDiffs int64) {
+	for _, p := range s.Paths {
+		processed += p.Processed
+		total += p.TotalStrides
+		zeros += p.ZeroStrides
+		zeroDiffs += p.ZeroDiffs
+	}
+	return processed, total, zeros, zeroDiffs
 }
 
 // Summarize extracts the feedback-facing profile of every profiled load,
@@ -383,6 +502,7 @@ func (rt *Runtime) Summarize() []Summary {
 			ZeroDiffs:      pd.NumZeroDiff,
 			FineInterval:   maxInt(1, rt.cfg.FineInterval),
 			AvgRefDistance: pd.AvgRefDistance(),
+			Paths:          pd.summarizePaths(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -391,6 +511,32 @@ func (rt *Runtime) Summarize() []Summary {
 		}
 		return out[i].Key.ID < out[j].Key.ID
 	})
+	return out
+}
+
+// summarizePaths extracts the per-path buckets sorted by id (nil outside
+// paths mode).
+func (pd *ProfData) summarizePaths() []PathSummary {
+	if pd.paths == nil {
+		return nil
+	}
+	ids := make([]int64, 0, len(pd.paths))
+	for id := range pd.paths {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PathSummary, 0, len(ids))
+	for _, id := range ids {
+		pb := pd.paths[id]
+		out = append(out, PathSummary{
+			ID:           id,
+			TopStrides:   pb.LFU.Top(4),
+			TotalStrides: pb.TotalStrides,
+			ZeroStrides:  pb.ZeroStrides,
+			ZeroDiffs:    pb.ZeroDiffs,
+			Processed:    pb.Processed,
+		})
+	}
 	return out
 }
 

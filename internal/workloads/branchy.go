@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"sync"
+
+	"stridepf/internal/core"
+	"stridepf/internal/ir"
+	"stridepf/internal/machine"
+)
+
+// 999.branchy — the path-profiling ground-truth kernel. A pointer walks a
+// pre-laid-out region, advancing by stride A on one branch arm and stride B
+// on the other; the arm alternates in phases of 2^shift iterations, and a
+// single load at the join block reads through the pointer. The aggregate
+// stride profile of that load is the textbook PMST (two ~50% strides with a
+// near-1 zero-diff ratio, since the arm only changes at phase boundaries),
+// but each Ball-Larus path through the loop body takes exactly one arm, so
+// every per-path bucket is a pure single stride — the analytically-known
+// answer the pathtruth property and the projection tests check against.
+//
+// The workload is deliberately NOT registered: registering it would extend
+// workloads.Names() and change Figures 15-25. The paths figure and the
+// tests reach it through Branchy()/NewBranchy directly.
+//
+// The walk runs branchyPasses times under an outer loop, with the pointer
+// carried across passes: like mcf's simplex passes, re-entering the hot
+// loop gives the check methods' trip predicate counter history (a
+// single-entry loop is never profiled — its predicate evaluates before any
+// counts exist), and carrying the pointer keeps the pass-boundary stride
+// equal to the arm-A stride, so the per-path ground truth stays exact.
+//
+// Globals: 0 = region base pointer, 1 = per-pass trip count, 2 = passes.
+
+// BranchyName is the name of the branchy ground-truth workload.
+const BranchyName = "999.branchy"
+
+// branchyCfg fixes the kernel's analytically-known parameters.
+type branchyCfg struct {
+	sA, sB int64 // per-arm pointer strides in bytes
+	shift  int64 // arm = (i >> shift) & 1: phase length 2^shift
+	trip   int64 // train-input loop trip count (scaled by Input.Scale)
+}
+
+// branchyCfgFor derives a config from a seed. Seed zero is the canonical
+// instance (64/192-byte strides, phase 64, trip 6000); other seeds draw
+// distinct strides and phase lengths so the fuzz-style pathtruth property
+// exercises many parameterisations with the same known answer.
+func branchyCfgFor(seed uint64) branchyCfg {
+	if seed == 0 {
+		return branchyCfg{sA: 64, sB: 192, shift: 6, trip: 6000}
+	}
+	rng := newRng(seed)
+	strides := []int64{64, 128, 192, 256}
+	i := rng.intn(len(strides))
+	j := rng.intn(len(strides) - 1)
+	if j >= i {
+		j++
+	}
+	shifts := []int64{5, 6, 7}
+	return branchyCfg{
+		sA:    strides[i],
+		sB:    strides[j],
+		shift: shifts[rng.intn(len(shifts))],
+		trip:  5000 + int64(rng.intn(2001)),
+	}
+}
+
+// BranchyParams exposes the analytically-known parameters of the instance
+// NewBranchy(seed) builds: the two arm strides in bytes, the phase length
+// in iterations, and the unscaled train trip count. The ground-truth
+// checks (simcheck's pathtruth property) compare profiled buckets against
+// these values.
+func BranchyParams(seed uint64) (sA, sB, phase, trip int64) {
+	c := branchyCfgFor(seed)
+	return c.sA, c.sB, 1 << c.shift, c.trip
+}
+
+// branchyPasses is the fixed outer pass count.
+const branchyPasses = 3
+
+// buildBranchy returns the program builder for one config. The inner loop
+// {head, body, apath, bpath, join} is the numbered one; the tests reason
+// about its Ball-Larus numbering analytically: N = 3 (arm-A iteration 0,
+// arm-B iteration 1, exit path 2), so with the default two-iteration span
+// the load observes exactly the ids {0, 1, 3, 4} and an id's prefix
+// (id mod 3) selects the arm taken this iteration.
+func buildBranchy(c branchyCfg) func() *ir.Program {
+	return func() *ir.Program {
+		prog := ir.NewProgram()
+		b := ir.NewBuilder("main")
+
+		ohead := b.Block("ohead")
+		opre := b.Block("opre")
+		head := b.Block("head")
+		body := b.Block("body")
+		apath := b.Block("apath")
+		bpath := b.Block("bpath")
+		join := b.Block("join")
+		oinc := b.Block("oinc")
+		oexit := b.Block("oexit")
+
+		sum := b.Const(0)
+		zero := b.Const(0)
+		p := b.F.NewReg()
+		b.LoadTo(p, b.Const(int64(Global(0))), 0)
+		trip := loadGlobal(b, 1)
+		passes := loadGlobal(b, 2)
+		i := b.Const(0)
+		j := b.Const(0)
+		b.Br(ohead)
+
+		b.At(ohead)
+		b.CondBr(b.CmpLT(j, passes), opre, oexit)
+
+		b.At(opre)
+		b.MovConst(i, 0)
+		b.Br(head)
+
+		b.At(head)
+		b.CondBr(b.CmpLT(i, trip), body, oinc)
+
+		b.At(body)
+		arm := b.AndI(b.ShrI(i, c.shift), 1)
+		b.CondBr(b.CmpEQ(arm, zero), apath, bpath)
+
+		b.At(apath)
+		b.AddITo(p, p, c.sA)
+		b.Br(join)
+
+		b.At(bpath)
+		b.AddITo(p, p, c.sB)
+		b.Br(join)
+
+		b.At(join)
+		v := b.Load(p, 0)
+		b.Mov(sum, b.Add(sum, v.Dst))
+		b.AddITo(i, i, 1)
+		b.Br(head)
+
+		b.At(oinc)
+		b.AddITo(j, j, 1)
+		b.Br(ohead)
+
+		b.At(oexit)
+		b.Ret(sum)
+		prog.Add(b.Finish())
+		return prog
+	}
+}
+
+// branchySetup lays out the region the walk will read: it replays the
+// pointer-advance sequence in Go and stores a payload at every address the
+// join-block load will visit, then maps the whole range so prefetches into
+// it are honoured.
+func branchySetup(c branchyCfg) func(m *machine.Machine, in core.Input) {
+	return func(m *machine.Machine, in core.Input) {
+		trip := c.trip * int64(in.Scale)
+		maxS := c.sA
+		if c.sB > maxS {
+			maxS = c.sB
+		}
+		size := uint64(branchyPasses)*uint64(trip)*uint64(maxS) + 64
+		base := m.Heap.Alloc(int64(size))
+		p := base
+		for pass := 0; pass < branchyPasses; pass++ {
+			for i := int64(0); i < trip; i++ {
+				if (i>>c.shift)&1 == 0 {
+					p += uint64(c.sA)
+				} else {
+					p += uint64(c.sB)
+				}
+				m.Mem.Store(p, i%127+1)
+			}
+		}
+		touchRegion(m, base, size)
+		SetGlobal(m, 0, int64(base))
+		SetGlobal(m, 1, trip)
+		SetGlobal(m, 2, branchyPasses)
+	}
+}
+
+// NewBranchy builds a fresh branchy workload instance for one seed (see
+// branchyCfgFor). Instances are independent core.Workload values and are
+// never registered.
+func NewBranchy(seed uint64) core.Workload {
+	c := branchyCfgFor(seed)
+	return &workload{
+		name:  BranchyName,
+		desc:  "Path-Regular Branchy Walk (ground truth)",
+		build: buildBranchy(c),
+		setup: branchySetup(c),
+		train: core.Input{Name: "train", Scale: 1, Seed: 21},
+		ref:   core.Input{Name: "ref", Scale: 2, Seed: 22},
+	}
+}
+
+var (
+	branchyOnce sync.Once
+	branchyW    core.Workload
+)
+
+// Branchy returns the canonical (seed-zero) branchy instance, shared so
+// repeated figure runs reuse the one verified program.
+func Branchy() core.Workload {
+	branchyOnce.Do(func() { branchyW = NewBranchy(0) })
+	return branchyW
+}
+
+// 998.weave — the chain-lookahead ground-truth kernel. Same skeleton as
+// branchy, but the arm alternates every two iterations (shift 1), giving the
+// period-4 stride sequence A A B B with sA = 64 and sB = 320 bytes. The
+// choice is adversarial for last-address differencing: k*64 and k*320 are
+// never partial sums of the A A B B increment sequence for the distances the
+// heuristics pick, so the ordinary PMST sequence prefetches lines the walk
+// never touches and covers nothing. A three-iteration path id, by contrast,
+// pins the position inside the period: every observed 3-arm history has a
+// unique observed successor, so the path-split pass can walk the transition
+// chain and prefetch the exact k-ahead address (see prefetch/pathsplit.go).
+//
+// Like branchy, weave is deliberately unregistered.
+
+// WeaveName is the name of the weave ground-truth workload.
+const WeaveName = "998.weave"
+
+// WeavePathK is the path-numbering iteration span weave needs: two-iteration
+// ids leave the A A B B transition graph ambiguous (both A->A and A->B occur
+// after an A), three-iteration ids make it deterministic.
+const WeavePathK = 3
+
+var (
+	weaveOnce sync.Once
+	weaveW    core.Workload
+)
+
+// Weave returns the canonical weave instance.
+func Weave() core.Workload {
+	weaveOnce.Do(func() {
+		c := branchyCfg{sA: 64, sB: 320, shift: 1, trip: 6000}
+		weaveW = &workload{
+			name:  WeaveName,
+			desc:  "Period-4 Stride Weave (chain ground truth)",
+			build: buildBranchy(c),
+			setup: branchySetup(c),
+			train: core.Input{Name: "train", Scale: 1, Seed: 23},
+			ref:   core.Input{Name: "ref", Scale: 2, Seed: 24},
+		}
+	})
+	return weaveW
+}
